@@ -1,0 +1,124 @@
+// E7 — §4.2 ablation: CRC-8/CRC-32 over many streams — bit-serial (Fig. 5),
+// table-driven (conventional software), and bitsliced (Fig. 6, one lane per
+// stream, including the boundary transpose cost).
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "bitslice/transpose.hpp"
+#include "crc/crc32.hpp"
+#include "crc/crc8.hpp"
+
+namespace bs = bsrng::bitslice;
+namespace crc = bsrng::crc;
+
+namespace {
+
+constexpr std::size_t kFrameBytes = 128;
+
+std::vector<std::vector<std::uint8_t>> make_frames(std::size_t n) {
+  std::mt19937_64 rng(7);
+  std::vector<std::vector<std::uint8_t>> frames(
+      n, std::vector<std::uint8_t>(kFrameBytes));
+  for (auto& f : frames)
+    for (auto& b : f) b = static_cast<std::uint8_t>(rng());
+  return frames;
+}
+
+void BM_Crc32BitSerial(benchmark::State& state) {
+  const auto frames = make_frames(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (const auto& f : frames) acc ^= crc::crc32_bitwise(f);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * kFrameBytes);
+}
+
+void BM_Crc32Table(benchmark::State& state) {
+  const auto frames = make_frames(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (const auto& f : frames) acc ^= crc::crc32_table(f);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * kFrameBytes);
+}
+
+template <typename W>
+void BM_Crc32Bitsliced(benchmark::State& state) {
+  constexpr std::size_t L = bs::lane_count<W>;
+  const auto frames = make_frames(L);
+  // Row-major packing (u64 words) once per frame set.
+  std::vector<std::vector<std::uint64_t>> rows(L);
+  for (std::size_t j = 0; j < L; ++j) {
+    rows[j].assign(kFrameBytes / 8, 0);
+    for (std::size_t b = 0; b < kFrameBytes; ++b)
+      rows[j][b / 8] |= std::uint64_t{frames[j][b]} << (8 * (b % 8));
+  }
+  for (auto _ : state) {
+    // Boundary transpose + lockstep CRC (both counted, as in real use).
+    std::vector<W> columns;
+    bs::interleave<W>(rows, kFrameBytes * 8, columns);
+    crc::Crc32Sliced<W> sliced;
+    for (const auto& in : columns) sliced.step(in);
+    std::uint32_t acc = 0;
+    for (std::size_t j = 0; j < L; ++j) acc ^= sliced.lane_crc(j);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(L) * kFrameBytes);
+}
+
+void BM_Crc8Bitwise(benchmark::State& state) {
+  const auto frames = make_frames(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::uint8_t acc = 0;
+    for (const auto& f : frames) acc ^= crc::crc8_bitwise(f);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * kFrameBytes);
+}
+
+template <typename W>
+void BM_Crc8Bitsliced(benchmark::State& state) {
+  constexpr std::size_t L = bs::lane_count<W>;
+  const auto frames = make_frames(L);
+  std::vector<std::vector<std::uint64_t>> rows(L);
+  for (std::size_t j = 0; j < L; ++j) {
+    rows[j].assign(kFrameBytes / 8, 0);
+    for (std::size_t b = 0; b < kFrameBytes; ++b)
+      for (int bit = 0; bit < 8; ++bit)  // MSB-first bit order for CRC-8
+        rows[j][(b * 8 + static_cast<std::size_t>(7 - bit)) / 64] |=
+            std::uint64_t{(frames[j][b] >> bit) & 1u}
+            << ((b * 8 + static_cast<std::size_t>(7 - bit)) % 64);
+  }
+  for (auto _ : state) {
+    std::vector<W> columns;
+    bs::interleave<W>(rows, kFrameBytes * 8, columns);
+    crc::Crc8Sliced<W> sliced;
+    for (const auto& in : columns) sliced.step(in);
+    std::uint8_t acc = 0;
+    for (std::size_t j = 0; j < L; ++j) acc ^= sliced.lane_crc(j);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(L) * kFrameBytes);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Crc32BitSerial)->Arg(64)->Arg(512);
+BENCHMARK(BM_Crc32Table)->Arg(64)->Arg(512);
+BENCHMARK_TEMPLATE(BM_Crc32Bitsliced, bs::SliceU32);
+BENCHMARK_TEMPLATE(BM_Crc32Bitsliced, bs::SliceV256);
+BENCHMARK_TEMPLATE(BM_Crc32Bitsliced, bs::SliceV512);
+BENCHMARK(BM_Crc8Bitwise)->Arg(64)->Arg(512);
+BENCHMARK_TEMPLATE(BM_Crc8Bitsliced, bs::SliceU32);
+BENCHMARK_TEMPLATE(BM_Crc8Bitsliced, bs::SliceV512);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// E6 — §4.3 ablation: the naive row-major LFSR farm (Fig. 7: one register +
+// shift/mask per instance) vs the bitsliced column-major LFSR (Fig. 8:
+// register renaming, k full-width XORs) at several polynomial degrees and
+// lane widths, plus the exact gate-count identity the paper argues from.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bitslice/slice.hpp"
+#include "core/registry.hpp"
+#include "lfsr/bitsliced_lfsr.hpp"
+#include "lfsr/polynomial.hpp"
+#include "lfsr/scalar_lfsr.hpp"
+
+namespace bs = bsrng::bitslice;
+namespace lf = bsrng::lfsr;
+
+namespace {
+
+// Naive Fig. 7 configuration: `lanes` independent scalar LFSRs, each paying
+// shift+mask per clock.
+void BM_NaiveLfsrFarm(benchmark::State& state) {
+  const unsigned degree = static_cast<unsigned>(state.range(0));
+  const std::size_t lanes = static_cast<std::size_t>(state.range(1));
+  const auto poly = lf::primitive_polynomial(degree);
+  std::vector<lf::FibonacciLfsr> farm;
+  for (std::size_t j = 0; j < lanes; ++j)
+    farm.emplace_back(poly, 0x12345 + j);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (auto& l : farm) acc ^= l.step64();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lanes) * 64);  // bits
+}
+
+template <typename W>
+void BM_BitslicedLfsr(benchmark::State& state) {
+  const unsigned degree = static_cast<unsigned>(state.range(0));
+  lf::BitslicedLfsr<W> l(lf::primitive_polynomial(degree), 99u);
+  for (auto _ : state) {
+    W acc = bs::SliceTraits<W>::zero();
+    for (int i = 0; i < 64; ++i) acc ^= l.step();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 *
+                          static_cast<std::int64_t>(bs::lane_count<W>));
+}
+
+void print_gate_identity() {
+  std::printf("\n=== §4.3 operation-count identity ===\n");
+  std::printf("%-8s %6s %28s %24s\n", "degree", "taps k", "naive (32 x k XOR + shifts)",
+              "bitsliced (k wide XOR)");
+  for (const unsigned n : {20u, 32u, 64u}) {
+    const auto poly = lf::primitive_polynomial(n);
+    const unsigned k = poly.tap_count();
+    const double measured =
+        bsrng::core::gate_ops_per_step("lfsr" + std::to_string(n));
+    std::printf("%-8u %6u %28u %24.0f\n", n, k, 32 * k, measured);
+  }
+  std::printf("(measured column = CountingSlice gate audit of one clock)\n");
+}
+
+}  // namespace
+
+BENCHMARK(BM_NaiveLfsrFarm)
+    ->Args({20, 32})
+    ->Args({32, 32})
+    ->Args({64, 32})
+    ->Args({20, 512})
+    ->Args({64, 512});
+BENCHMARK_TEMPLATE(BM_BitslicedLfsr, bs::SliceU32)->Arg(20)->Arg(32)->Arg(64);
+BENCHMARK_TEMPLATE(BM_BitslicedLfsr, bs::SliceV512)->Arg(20)->Arg(32)->Arg(64);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_gate_identity();
+  return 0;
+}

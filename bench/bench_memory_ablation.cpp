@@ -1,0 +1,164 @@
+// E8 — §4.5 ablation on the virtual GPU: shared-memory output staging and
+// coalesced global writes vs naive per-thread strided stores, measured in
+// modeled memory transactions (the quantity real GPUs bill for).
+//
+// Kernel shape mirrors the paper's: each GPU thread produces one 32-bit
+// word per cycle (32 bitsliced lanes) and must land `kSteps` words in
+// global memory.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "baselines/xorshift.hpp"
+#include "core/gpu_kernel.hpp"
+#include "gpusim/device.hpp"
+
+namespace gs = bsrng::gpusim;
+
+namespace {
+
+constexpr std::size_t kBlocks = 4;
+constexpr std::size_t kThreads = 64;  // per block
+constexpr std::size_t kSteps = 256;   // words produced per thread
+
+std::size_t total_words() { return kBlocks * kThreads * kSteps; }
+
+// (a) Naive: each thread owns a contiguous region; at every step the warp's
+// 32 stores are kSteps*4 bytes apart — worst-case scatter.
+gs::MemStats run_strided(gs::Device& dev) {
+  return dev.launch({.blocks = kBlocks, .threads_per_block = kThreads},
+                    [](gs::ThreadCtx& ctx) {
+                      bsrng::baselines::Xorshift32 gen(
+                          static_cast<std::uint32_t>(ctx.global_thread_id() + 1));
+                      const std::size_t base = ctx.global_thread_id() * kSteps;
+                      for (std::size_t i = 0; i < kSteps; ++i)
+                        ctx.global_store(base + i, gen.next());
+                    });
+}
+
+// (b) Coalesced direct: at step i the warp stores to consecutive words.
+gs::MemStats run_coalesced(gs::Device& dev) {
+  return dev.launch({.blocks = kBlocks, .threads_per_block = kThreads},
+                    [](gs::ThreadCtx& ctx) {
+                      bsrng::baselines::Xorshift32 gen(
+                          static_cast<std::uint32_t>(ctx.global_thread_id() + 1));
+                      const std::size_t stride = kBlocks * kThreads;
+                      for (std::size_t i = 0; i < kSteps; ++i)
+                        ctx.global_store(i * stride + ctx.global_thread_id(),
+                                         gen.next());
+                    });
+}
+
+// (c) §4.5 staging: accumulate `staging` words per thread in shared memory,
+// then flush the block's buffer with coalesced bursts.
+gs::MemStats run_staged(gs::Device& dev, std::size_t staging) {
+  return dev.launch(
+      {.blocks = kBlocks, .threads_per_block = kThreads,
+       .shared_bytes = kThreads * staging * 4},
+      [staging](gs::ThreadCtx& ctx) {
+        bsrng::baselines::Xorshift32 gen(
+            static_cast<std::uint32_t>(ctx.global_thread_id() + 1));
+        const std::size_t stride = kBlocks * kThreads;
+        for (std::size_t round = 0; round < kSteps / staging; ++round) {
+          for (std::size_t i = 0; i < staging; ++i)
+            ctx.shared_store(i * ctx.block_dim() + ctx.thread_idx(),
+                             gen.next());
+          // Flush: burst b is a warp-wide store to consecutive words.
+          for (std::size_t b = 0; b < staging; ++b)
+            ctx.global_store((round * staging + b) * stride +
+                                 ctx.global_thread_id(),
+                             ctx.shared_load(b * ctx.block_dim() +
+                                             ctx.thread_idx()));
+        }
+      });
+}
+
+void print_ablation() {
+  std::printf("\n=== §4.5 memory-path ablation (modeled transactions) ===\n");
+  std::printf("grid: %zu blocks x %zu threads, %zu words/thread, %zu KiB total\n",
+              kBlocks, kThreads, kSteps, total_words() * 4 / 1024);
+  std::printf("%-34s %14s %12s %12s\n", "variant", "transactions",
+              "efficiency", "shared ops");
+  {
+    gs::Device dev(total_words());
+    const auto s = run_strided(dev);
+    std::printf("%-34s %14llu %12.3f %12llu\n",
+                "naive per-thread regions (strided)",
+                static_cast<unsigned long long>(s.global_transactions),
+                s.coalescing_efficiency(),
+                static_cast<unsigned long long>(s.shared_accesses));
+  }
+  {
+    gs::Device dev(total_words());
+    const auto s = run_coalesced(dev);
+    std::printf("%-34s %14llu %12.3f %12llu\n", "coalesced direct store",
+                static_cast<unsigned long long>(s.global_transactions),
+                s.coalescing_efficiency(),
+                static_cast<unsigned long long>(s.shared_accesses));
+  }
+  for (const std::size_t staging : {4u, 16u, 64u, 256u}) {
+    gs::Device dev(total_words());
+    const auto s = run_staged(dev, staging);
+    std::printf("shared staging, %3zu words/thread    %14llu %12.3f %12llu\n",
+                staging, static_cast<unsigned long long>(s.global_transactions),
+                s.coalescing_efficiency(),
+                static_cast<unsigned long long>(s.shared_accesses));
+  }
+  // The same ablation on the real §4.4 kernel (each simulated thread runs a
+  // 32-lane bitsliced MICKEY engine).
+  std::printf("\n--- real MICKEY 2.0 kernel (gpu_kernel) ---\n");
+  bsrng::core::GpuKernelConfig cfg;
+  cfg.blocks = 2;
+  cfg.threads_per_block = 64;
+  cfg.words_per_thread = 64;
+  cfg.staging_words = 16;
+  const std::size_t words =
+      cfg.blocks * cfg.threads_per_block * cfg.words_per_thread;
+  const auto row = [&](const char* label) {
+    gs::Device dev(words);
+    const auto r = bsrng::core::run_mickey_gpu_kernel(dev, cfg);
+    std::printf("%-34s %14llu %12.3f %12llu\n", label,
+                static_cast<unsigned long long>(r.stats.global_transactions),
+                r.stats.coalescing_efficiency(),
+                static_cast<unsigned long long>(r.stats.shared_accesses));
+  };
+  row("staged + coalesced (paper §4.5)");
+  cfg.use_shared_staging = false;
+  row("direct coalesced");
+  cfg.coalesced_layout = false;
+  row("direct per-thread regions");
+
+  std::printf(
+      "\nshape: strided costs ~32x the transactions of the coalesced and\n"
+      "staged paths (one 128B segment per 4B lane store); staging keeps the\n"
+      "coalesced transaction count while batching flushes — the paper's\n"
+      "\"intermediate access to Shared Memory decreases the run-time\n"
+      "considerably compared to direct write access\" effect (§4.5).\n");
+}
+
+void BM_StridedKernel(benchmark::State& state) {
+  gs::Device dev(total_words());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_strided(dev));
+  }
+}
+
+void BM_StagedKernel(benchmark::State& state) {
+  gs::Device dev(total_words());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_staged(dev, 16));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_StridedKernel)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StagedKernel)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_ablation();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// E9 — §5.2 ablation: "the peak AES performance is limited ... mainly caused
+// by the complex bitsliced S-box."  Quantifies the bitsliced S-box's gate
+// cost (vs the table lookup conventional code uses) and its throughput
+// across lane widths.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bitslice/gatecount.hpp"
+#include "ciphers/aes_bs.hpp"
+#include "ciphers/aes_ref.hpp"
+
+namespace bs = bsrng::bitslice;
+namespace ci = bsrng::ciphers;
+
+namespace {
+
+void BM_SboxTableLookup(benchmark::State& state) {
+  std::mt19937_64 rng(1);
+  std::vector<std::uint8_t> data(4096);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  for (auto _ : state) {
+    for (auto& b : data) b = ci::aes::kSbox[b];
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+
+template <typename W>
+void BM_SboxBitsliced(benchmark::State& state) {
+  std::mt19937_64 rng(2);
+  W s[8];
+  for (auto& x : s) {
+    x = bs::SliceTraits<W>::zero();
+    for (std::size_t j = 0; j < bs::lane_count<W>; ++j)
+      bs::SliceTraits<W>::set_lane(x, j, rng() & 1u);
+  }
+  for (auto _ : state) {
+    ci::AesBs<W>::sbox8(s);
+    benchmark::DoNotOptimize(s);
+  }
+  // One sbox8 call substitutes lane_count bytes.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bs::lane_count<W>));
+}
+
+void print_gate_audit() {
+  using C = bs::CountingSlice;
+  C s[8] = {};
+  C::reset();
+  ci::AesBs<C>::sbox8(s);
+  const auto sbox_gates = C::ops;
+
+  C a[8] = {}, b[8] = {}, out[8] = {};
+  C::reset();
+  ci::AesBs<C>::gf_mul8(a, b, out);
+  const auto mul_gates = C::ops;
+  C::reset();
+  ci::AesBs<C>::gf_sq8(a, out);
+  const auto sq_gates = C::ops;
+
+  std::printf("\n=== bitsliced AES S-box gate audit ===\n");
+  std::printf("GF(2^8) multiply circuit: %llu gates\n",
+              static_cast<unsigned long long>(mul_gates));
+  std::printf("GF(2^8) squaring (linear): %llu gates\n",
+              static_cast<unsigned long long>(sq_gates));
+  std::printf("full S-box (x^254 chain + affine): %llu gates\n",
+              static_cast<unsigned long long>(sbox_gates));
+  std::printf("per AES round: 16 S-boxes = %llu gates; ShiftRows = 0;\n",
+              static_cast<unsigned long long>(16 * sbox_gates));
+  std::printf(
+      "reference point: the Boyar-Peralta depth-optimized network needs 113\n"
+      "gates per S-box — our derivable inversion circuit trades ~%.0fx the\n"
+      "gates for testable correctness, amplifying the paper's observed\n"
+      "stream-vs-block cipher gap (Fig. 10, AES bars).\n",
+      static_cast<double>(sbox_gates) / 113.0);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SboxTableLookup);
+BENCHMARK_TEMPLATE(BM_SboxBitsliced, bs::SliceU32);
+BENCHMARK_TEMPLATE(BM_SboxBitsliced, bs::SliceU64);
+BENCHMARK_TEMPLATE(BM_SboxBitsliced, bs::SliceV256);
+BENCHMARK_TEMPLATE(BM_SboxBitsliced, bs::SliceV512);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_gate_audit();
+  return 0;
+}

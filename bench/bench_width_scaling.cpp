@@ -1,0 +1,66 @@
+// E10 — §4.1 "full SIMD datapath utilization": the same bitsliced kernels at
+// every lane width the host offers.  The paper's argument predicts
+// throughput ~ linear in W (until the state outgrows the register/L1
+// budget); this bench measures where that holds on the CPU substitute.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/throughput.hpp"
+
+namespace co = bsrng::core;
+
+namespace {
+
+void BM_Width(benchmark::State& state, const std::string& algo) {
+  auto gen = co::make_generator(algo, 3);
+  std::vector<std::uint8_t> buf(1 << 16);
+  for (auto _ : state) {
+    gen->fill(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+
+void print_scaling_table() {
+  std::printf("\n=== lane-width scaling (measured Gbit/s, 1 CPU core) ===\n");
+  std::printf("%-10s", "cipher");
+  for (const int w : {32, 64, 128, 256, 512}) std::printf(" %8s", ("W=" + std::to_string(w)).c_str());
+  std::printf(" %14s\n", "512/32 ratio");
+  for (const char* cipher :
+       {"mickey", "grain", "trivium", "aes-ctr", "a51", "chacha20"}) {
+    std::printf("%-10s", cipher);
+    double first = 0, last = 0;
+    for (const int w : {32, 64, 128, 256, 512}) {
+      auto gen = co::make_generator(
+          std::string(cipher) + "-bs" + std::to_string(w), 3);
+      const auto m = co::measure_throughput(*gen, 4ull << 20);
+      if (w == 32) first = m.gbps();
+      last = m.gbps();
+      std::printf(" %8.3f", m.gbps());
+    }
+    std::printf(" %13.1fx\n", last / first);
+  }
+  std::printf(
+      "\nideal §4.1 scaling is 16x from W=32 to W=512; deviations show where\n"
+      "the engine's working set leaves registers (see EXPERIMENTS.md E10).\n");
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Width, grain_bs32, "grain-bs32");
+BENCHMARK_CAPTURE(BM_Width, grain_bs512, "grain-bs512");
+BENCHMARK_CAPTURE(BM_Width, trivium_bs32, "trivium-bs32");
+BENCHMARK_CAPTURE(BM_Width, trivium_bs512, "trivium-bs512");
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_scaling_table();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// monte_carlo_pi — the paper's opening motivation: "High-performance random
+// number generation ... is a vital necessity in ... Monte Carlo simulation"
+// (§1).  Estimates pi by dart-throwing with several of the library's
+// generators and reports error convergence (~ 1/sqrt(N)) plus the rate at
+// which each generator feeds the simulation.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/registry.hpp"
+
+namespace {
+
+struct Row {
+  std::size_t samples;
+  double estimate;
+  double error;
+  double msamples_per_sec;
+};
+
+Row estimate_pi(bsrng::core::Generator& gen, std::size_t samples) {
+  std::size_t inside = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double x = gen.next_double();
+    const double y = gen.next_double();
+    inside += x * x + y * y <= 1.0;
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double est =
+      4.0 * static_cast<double>(inside) / static_cast<double>(samples);
+  return {samples, est, std::abs(est - M_PI),
+          static_cast<double>(samples) / secs / 1e6};
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<const char*> generators = {
+      "mickey-bs512", "grain-bs512", "trivium-bs512", "aes-ctr-bs256",
+      "philox",       "mt19937",     "middle-square"};
+
+  std::printf("%-16s %10s %10s %10s %12s\n", "generator", "samples",
+              "pi-hat", "abs error", "Msamples/s");
+  for (const char* name : generators) {
+    auto gen = bsrng::core::make_generator(name, 20260706);
+    for (const std::size_t n : {100000ull, 1000000ull, 4000000ull}) {
+      const Row r = estimate_pi(*gen, n);
+      std::printf("%-16s %10zu %10.6f %10.6f %12.2f\n", name, r.samples,
+                  r.estimate, r.error, r.msamples_per_sec);
+    }
+  }
+  std::printf(
+      "\nNote: middle-square (von Neumann 1949, paper §2.1) is included as\n"
+      "the historical counterexample — watch its estimate stall as the\n"
+      "generator collapses into a short cycle.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// secure_channel — the paper's §5.4 two-way communication scenario:
+// "the same output sequence of random bits could be generated identically
+// in a single GPU sequentially ... handy in two-way communication where the
+// sequence should be reconstructed at the receiver."
+//
+// The sender encrypts with a keystream produced by FOUR parallel devices;
+// the receiver, owning only one device, regenerates the identical keystream
+// sequentially and decrypts.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/multi_device.hpp"
+
+int main() {
+  const std::string message =
+      "BSRNG: bitsliced PRNGs make one machine feel like a datacenter.";
+  std::vector<std::uint8_t> plaintext(message.begin(), message.end());
+
+  const std::vector<std::uint8_t> key(16, 0x5C);
+  const std::vector<std::uint8_t> nonce{0x5c, 0x3a, 0xff, 0x01, 0x02, 0x03,
+                                        0x04, 0x05, 0x06, 0x07, 0x08, 0x09};
+
+  // Sender: 4 "devices" (threads) generate the keystream in parallel.
+  std::vector<std::uint8_t> ks_sender(plaintext.size());
+  const auto rep =
+      bsrng::core::multi_device_aes_ctr(key, nonce, 4, ks_sender);
+  std::printf("sender: keystream from %zu devices (modeled speedup %.2fx)\n",
+              rep.devices, rep.modeled_speedup());
+
+  std::vector<std::uint8_t> ciphertext(plaintext.size());
+  for (std::size_t i = 0; i < plaintext.size(); ++i)
+    ciphertext[i] = plaintext[i] ^ ks_sender[i];
+  std::printf("wire:   ");
+  for (std::size_t i = 0; i < 24; ++i) std::printf("%02x", ciphertext[i]);
+  std::printf("...\n");
+
+  // Receiver: one device regenerates the identical keystream sequentially.
+  std::vector<std::uint8_t> ks_receiver(plaintext.size());
+  bsrng::core::multi_device_aes_ctr(key, nonce, 1, ks_receiver,
+                                    /*parallel=*/false);
+  if (ks_receiver != ks_sender) {
+    std::printf("FATAL: keystreams diverged — §5.4 property violated\n");
+    return 1;
+  }
+
+  std::vector<std::uint8_t> decrypted(ciphertext.size());
+  for (std::size_t i = 0; i < ciphertext.size(); ++i)
+    decrypted[i] = ciphertext[i] ^ ks_receiver[i];
+  std::printf("receiver decrypted: %s\n",
+              std::string(decrypted.begin(), decrypted.end()).c_str());
+  std::printf("keystream reconstruction: identical across device counts OK\n");
+
+  // The same property for the MICKEY bitsliced stream.
+  std::vector<std::uint8_t> m2(4096), m3(4096);
+  bsrng::core::multi_device_mickey(7, 2, m2);
+  bsrng::core::multi_device_mickey(7, 2, m3, /*parallel=*/false);
+  std::printf("mickey multi-device determinism: %s\n",
+              m2 == m3 ? "OK" : "FAILED");
+  return m2 == m3 ? 0 : 1;
+}

@@ -1,0 +1,2 @@
+// MiddleSquare is header-only; this TU anchors the module in the build.
+#include "baselines/middle_square.hpp"

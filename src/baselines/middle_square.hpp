@@ -1,0 +1,35 @@
+// middle_square.hpp — von Neumann's Middle Square Method (paper §2.1, ref
+// [44]): the historical PRNG the paper's background opens with.  Included as
+// the known-bad statistical calibration generator — it collapses to short
+// cycles and fails the NIST suite, which the tests assert.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace bsrng::baselines {
+
+class MiddleSquare {
+ public:
+  explicit MiddleSquare(std::uint32_t seed = 675248u) : x_(seed) {}
+
+  // Square the 8-digit decimal state and take the middle 8 digits.
+  std::uint32_t next() noexcept {
+    const std::uint64_t sq = std::uint64_t{x_} * x_;
+    x_ = static_cast<std::uint32_t>((sq / 10000) % 100000000ull);
+    return x_;
+  }
+
+  void fill(std::span<std::uint8_t> out) noexcept {
+    for (std::size_t i = 0; i < out.size();) {
+      const std::uint32_t w = next();
+      for (std::size_t k = 0; k < 3 && i < out.size(); ++k, ++i)
+        out[i] = static_cast<std::uint8_t>(w >> (8 * k));
+    }
+  }
+
+ private:
+  std::uint32_t x_;
+};
+
+}  // namespace bsrng::baselines

@@ -1,0 +1,2 @@
+// Minstd is header-only; this TU anchors the module in the build.
+#include "baselines/minstd.hpp"

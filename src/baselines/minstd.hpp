@@ -1,0 +1,40 @@
+// minstd.hpp — Park-Miller minimal standard generator (Lehmer LCG with
+// multiplier 48271 modulo 2^31 - 1), the algorithm of the "ParkMiller" GPU
+// row in the paper's Table 1 ([21]).  Pinned to std::minstd_rand in tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace bsrng::baselines {
+
+class Minstd {
+ public:
+  static constexpr std::uint32_t kModulus = 2147483647u;  // 2^31 - 1
+  static constexpr std::uint32_t kMultiplier = 48271u;
+
+  explicit Minstd(std::uint32_t seed = 1u)
+      : x_(seed % kModulus == 0 ? 1u : seed % kModulus) {}
+
+  std::uint32_t next() noexcept {
+    x_ = static_cast<std::uint32_t>(
+        (std::uint64_t{x_} * kMultiplier) % kModulus);
+    return x_;
+  }
+
+  void fill(std::span<std::uint8_t> out) noexcept {
+    // Only the low 31 bits are uniform; emit 3 bytes per draw to avoid the
+    // always-clear top bit skewing the stream.
+    std::size_t i = 0;
+    while (i < out.size()) {
+      const std::uint32_t w = next();
+      for (std::size_t k = 0; k < 3 && i < out.size(); ++k, ++i)
+        out[i] = static_cast<std::uint8_t>(w >> (8 * k));
+    }
+  }
+
+ private:
+  std::uint32_t x_;
+};
+
+}  // namespace bsrng::baselines

@@ -1,0 +1,82 @@
+#include "baselines/modern.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "lfsr/bitsliced_lfsr.hpp"  // splitmix64
+
+namespace bsrng::baselines {
+
+Rc4::Rc4(std::span<const std::uint8_t> key) {
+  if (key.empty() || key.size() > 256)
+    throw std::invalid_argument("RC4 key must be 1..256 bytes");
+  for (unsigned i = 0; i < 256; ++i) s_[i] = static_cast<std::uint8_t>(i);
+  std::uint8_t j = 0;
+  for (unsigned i = 0; i < 256; ++i) {
+    j = static_cast<std::uint8_t>(j + s_[i] + key[i % key.size()]);
+    std::swap(s_[i], s_[j]);
+  }
+}
+
+std::uint8_t Rc4::next_byte() noexcept {
+  i_ = static_cast<std::uint8_t>(i_ + 1);
+  j_ = static_cast<std::uint8_t>(j_ + s_[i_]);
+  std::swap(s_[i_], s_[j_]);
+  return s_[static_cast<std::uint8_t>(s_[i_] + s_[j_])];
+}
+
+void Rc4::fill(std::span<std::uint8_t> out) noexcept {
+  for (auto& b : out) b = next_byte();
+}
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1) | 1u) {
+  next();
+  state_ += seed;
+  next();
+}
+
+std::uint32_t Pcg32::next() noexcept {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ull + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+  const auto rot = static_cast<int>(old >> 59);
+  return std::rotr(xorshifted, rot);
+}
+
+void Pcg32::fill(std::span<std::uint8_t> out) noexcept {
+  for (std::size_t i = 0; i < out.size();) {
+    const std::uint32_t w = next();
+    for (std::size_t k = 0; k < 4 && i < out.size(); ++k, ++i)
+      out[i] = static_cast<std::uint8_t>(w >> (8 * k));
+  }
+}
+
+Xoshiro256pp::Xoshiro256pp(std::uint64_t seed) {
+  // Seed the full state through splitmix64 (the authors' recommendation).
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = bsrng::lfsr::splitmix64(x);
+}
+
+std::uint64_t Xoshiro256pp::next() noexcept {
+  const std::uint64_t result = std::rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256pp::fill(std::span<std::uint8_t> out) noexcept {
+  for (std::size_t i = 0; i < out.size();) {
+    const std::uint64_t w = next();
+    for (std::size_t k = 0; k < 8 && i < out.size(); ++k, ++i)
+      out[i] = static_cast<std::uint8_t>(w >> (8 * k));
+  }
+}
+
+}  // namespace bsrng::baselines

@@ -1,0 +1,52 @@
+// modern.hpp — additional baseline generators rounding out the comparison
+// set: RC4 (the classic byte-oriented stream cipher — table-driven, hence
+// *not* bitsliceable, a useful contrast), PCG32 and xoshiro256++ (the
+// post-paper state of the art in statistical PRNGs).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace bsrng::baselines {
+
+// RC4 (ARCFOUR).  Cryptographically retired; included as the byte-table
+// architecture the bitslicing technique cannot accelerate.
+class Rc4 {
+ public:
+  explicit Rc4(std::span<const std::uint8_t> key);
+
+  std::uint8_t next_byte() noexcept;
+  void fill(std::span<std::uint8_t> out) noexcept;
+
+ private:
+  std::array<std::uint8_t, 256> s_{};
+  std::uint8_t i_ = 0, j_ = 0;
+};
+
+// PCG32 (O'Neill): 64-bit LCG state, xorshift-rotate output.
+class Pcg32 {
+ public:
+  Pcg32(std::uint64_t seed, std::uint64_t stream = 54u);
+
+  std::uint32_t next() noexcept;
+  void fill(std::span<std::uint8_t> out) noexcept;
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;  // odd
+};
+
+// xoshiro256++ (Blackman & Vigna).
+class Xoshiro256pp {
+ public:
+  explicit Xoshiro256pp(std::uint64_t seed);
+
+  std::uint64_t next() noexcept;
+  void fill(std::span<std::uint8_t> out) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace bsrng::baselines

@@ -1,0 +1,51 @@
+#include "baselines/mt19937.hpp"
+
+namespace bsrng::baselines {
+
+void Mt19937::reseed(std::uint32_t seed) noexcept {
+  state_[0] = seed;
+  for (std::size_t i = 1; i < N; ++i)
+    state_[i] = 1812433253u * (state_[i - 1] ^ (state_[i - 1] >> 30)) +
+                static_cast<std::uint32_t>(i);
+  index_ = N;
+}
+
+void Mt19937::twist() noexcept {
+  for (std::size_t i = 0; i < N; ++i) {
+    const std::uint32_t x =
+        (state_[i] & kUpperMask) | (state_[(i + 1) % N] & kLowerMask);
+    std::uint32_t xa = x >> 1;
+    if (x & 1u) xa ^= kMatrixA;
+    state_[i] = state_[(i + M) % N] ^ xa;
+  }
+  index_ = 0;
+}
+
+std::uint32_t Mt19937::next() noexcept {
+  if (index_ >= N) twist();
+  std::uint32_t y = state_[index_++];
+  y ^= y >> 11;
+  y ^= (y << 7) & 0x9D2C5680u;
+  y ^= (y << 15) & 0xEFC60000u;
+  y ^= y >> 18;
+  return y;
+}
+
+void Mt19937::fill(std::span<std::uint8_t> out) noexcept {
+  std::size_t i = 0;
+  while (i + 4 <= out.size()) {
+    const std::uint32_t w = next();
+    out[i] = static_cast<std::uint8_t>(w);
+    out[i + 1] = static_cast<std::uint8_t>(w >> 8);
+    out[i + 2] = static_cast<std::uint8_t>(w >> 16);
+    out[i + 3] = static_cast<std::uint8_t>(w >> 24);
+    i += 4;
+  }
+  if (i < out.size()) {
+    const std::uint32_t w = next();
+    for (std::size_t k = 0; i < out.size(); ++i, ++k)
+      out[i] = static_cast<std::uint8_t>(w >> (8 * k));
+  }
+}
+
+}  // namespace bsrng::baselines

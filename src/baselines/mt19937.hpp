@@ -1,0 +1,38 @@
+// mt19937.hpp — Mersenne Twister (Matsumoto & Nishimura 1998, paper ref
+// [29]): the generator cuRAND's default host API configuration uses and the
+// paper's cuRAND comparison baseline ("evaluated using the Mersenne Twister
+// algorithm as the default cuRand method", §5.2).
+//
+// Independent implementation; the test suite pins it bit-for-bit to
+// std::mt19937.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace bsrng::baselines {
+
+class Mt19937 {
+ public:
+  static constexpr std::uint32_t kDefaultSeed = 5489u;
+
+  explicit Mt19937(std::uint32_t seed = kDefaultSeed) { reseed(seed); }
+
+  void reseed(std::uint32_t seed) noexcept;
+  std::uint32_t next() noexcept;
+  void fill(std::span<std::uint8_t> out) noexcept;
+
+ private:
+  void twist() noexcept;
+
+  static constexpr std::size_t N = 624, M = 397;
+  static constexpr std::uint32_t kMatrixA = 0x9908B0DFu;
+  static constexpr std::uint32_t kUpperMask = 0x80000000u;
+  static constexpr std::uint32_t kLowerMask = 0x7FFFFFFFu;
+
+  std::array<std::uint32_t, N> state_{};
+  std::size_t index_ = N;
+};
+
+}  // namespace bsrng::baselines

@@ -1,0 +1,52 @@
+#include "baselines/philox.hpp"
+
+namespace bsrng::baselines {
+
+namespace {
+constexpr std::uint32_t kMul0 = 0xD2511F53u;
+constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline void mulhilo(std::uint32_t a, std::uint32_t b, std::uint32_t& hi,
+                    std::uint32_t& lo) noexcept {
+  const std::uint64_t p = std::uint64_t{a} * b;
+  hi = static_cast<std::uint32_t>(p >> 32);
+  lo = static_cast<std::uint32_t>(p);
+}
+}  // namespace
+
+Philox4x32::Counter Philox4x32::block(Counter c, Key k) noexcept {
+  for (unsigned r = 0; r < kRounds; ++r) {
+    std::uint32_t hi0, lo0, hi1, lo1;
+    mulhilo(kMul0, c[0], hi0, lo0);
+    mulhilo(kMul1, c[2], hi1, lo1);
+    c = Counter{hi1 ^ c[1] ^ k[0], lo1, hi0 ^ c[3] ^ k[1], lo0};
+    k[0] += kWeyl0;
+    k[1] += kWeyl1;
+  }
+  return c;
+}
+
+void Philox4x32::bump() noexcept {
+  out_ = block(counter_, key_);
+  have_ = 4;
+  // 128-bit little-endian counter increment.
+  for (auto& w : counter_)
+    if (++w != 0) break;
+}
+
+std::uint32_t Philox4x32::next() noexcept {
+  if (have_ == 0) bump();
+  return out_[4 - have_--];
+}
+
+void Philox4x32::fill(std::span<std::uint8_t> out) noexcept {
+  for (std::size_t i = 0; i < out.size();) {
+    const std::uint32_t w = next();
+    for (std::size_t k = 0; k < 4 && i < out.size(); ++k, ++i)
+      out[i] = static_cast<std::uint8_t>(w >> (8 * k));
+  }
+}
+
+}  // namespace bsrng::baselines

@@ -1,0 +1,44 @@
+// philox.hpp — Philox4x32-10 counter-based generator (Salmon et al.,
+// "Parallel random numbers: as easy as 1, 2, 3", SC'11): the other generator
+// family cuRAND offers, and the natural CTR-structured comparison point for
+// the paper's AES-CTR PRNG (both are embarrassingly parallel in the counter).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace bsrng::baselines {
+
+class Philox4x32 {
+ public:
+  static constexpr unsigned kRounds = 10;
+  using Counter = std::array<std::uint32_t, 4>;
+  using Key = std::array<std::uint32_t, 2>;
+
+  explicit Philox4x32(Key key = {0, 0}, Counter counter = {0, 0, 0, 0})
+      : key_(key), counter_(counter) {}
+
+  // The pure round function: one 128-bit block from (counter, key).
+  static Counter block(Counter c, Key k) noexcept;
+
+  // Sequential convenience: emits block words, bumping the counter.
+  std::uint32_t next() noexcept;
+  void fill(std::span<std::uint8_t> out) noexcept;
+
+  // Jump the counter (for partitioning across devices).
+  void set_counter(Counter c) noexcept {
+    counter_ = c;
+    have_ = 0;
+  }
+
+ private:
+  void bump() noexcept;
+
+  Key key_;
+  Counter counter_;
+  Counter out_{};
+  unsigned have_ = 0;  // unconsumed words of out_
+};
+
+}  // namespace bsrng::baselines

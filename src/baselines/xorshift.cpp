@@ -1,0 +1,49 @@
+#include "baselines/xorshift.hpp"
+
+#include "lfsr/bitsliced_lfsr.hpp"  // splitmix64
+
+namespace bsrng::baselines {
+
+Xorwow::Xorwow(std::uint32_t seed) noexcept {
+  // Expand the seed through splitmix64 so any 32-bit seed yields a
+  // well-mixed, nonzero 160-bit xorshift state (Marsaglia's published
+  // constants are the seed==0 defaults).
+  if (seed == 0) {
+    x_ = 123456789u;
+    y_ = 362436069u;
+    z_ = 521288629u;
+    w_ = 88675123u;
+    v_ = 5783321u;
+    d_ = 6615241u;
+    return;
+  }
+  std::uint64_t s = seed;
+  const std::uint64_t a = lfsr::splitmix64(s);
+  const std::uint64_t b = lfsr::splitmix64(s);
+  const std::uint64_t c = lfsr::splitmix64(s);
+  x_ = static_cast<std::uint32_t>(a);
+  y_ = static_cast<std::uint32_t>(a >> 32) | 1u;  // keep state nonzero
+  z_ = static_cast<std::uint32_t>(b);
+  w_ = static_cast<std::uint32_t>(b >> 32);
+  v_ = static_cast<std::uint32_t>(c) | 1u;
+  d_ = static_cast<std::uint32_t>(c >> 32);
+}
+
+void Xorwow::fill(std::span<std::uint8_t> out) noexcept {
+  std::size_t i = 0;
+  while (i + 4 <= out.size()) {
+    const std::uint32_t w = next();
+    out[i] = static_cast<std::uint8_t>(w);
+    out[i + 1] = static_cast<std::uint8_t>(w >> 8);
+    out[i + 2] = static_cast<std::uint8_t>(w >> 16);
+    out[i + 3] = static_cast<std::uint8_t>(w >> 24);
+    i += 4;
+  }
+  if (i < out.size()) {
+    const std::uint32_t w = next();
+    for (std::size_t k = 0; i < out.size(); ++i, ++k)
+      out[i] = static_cast<std::uint8_t>(w >> (8 * k));
+  }
+}
+
+}  // namespace bsrng::baselines

@@ -1,0 +1,82 @@
+// xorshift.hpp — Marsaglia's xorshift family (paper ref [26]) including
+// XORWOW, the default device-API generator of the cuRAND library the paper
+// benchmarks against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace bsrng::baselines {
+
+// 32-bit xorshift, triple (13, 17, 5).
+class Xorshift32 {
+ public:
+  explicit Xorshift32(std::uint32_t seed = 2463534242u) : x_(seed ? seed : 1u) {}
+  std::uint32_t next() noexcept {
+    x_ ^= x_ << 13;
+    x_ ^= x_ >> 17;
+    x_ ^= x_ << 5;
+    return x_;
+  }
+
+ private:
+  std::uint32_t x_;
+};
+
+// 64-bit xorshift, triple (13, 7, 17).
+class Xorshift64 {
+ public:
+  explicit Xorshift64(std::uint64_t seed = 88172645463325252ull)
+      : x_(seed ? seed : 1u) {}
+  std::uint64_t next() noexcept {
+    x_ ^= x_ << 13;
+    x_ ^= x_ >> 7;
+    x_ ^= x_ << 17;
+    return x_;
+  }
+
+ private:
+  std::uint64_t x_;
+};
+
+// 128-bit xorshift (Marsaglia 2003, §4 "xor128").
+class Xorshift128 {
+ public:
+  Xorshift128(std::uint32_t x = 123456789u, std::uint32_t y = 362436069u,
+              std::uint32_t z = 521288629u, std::uint32_t w = 88675123u)
+      : x_(x), y_(y), z_(z), w_(w) {}
+  std::uint32_t next() noexcept {
+    const std::uint32_t t = x_ ^ (x_ << 11);
+    x_ = y_;
+    y_ = z_;
+    z_ = w_;
+    w_ = (w_ ^ (w_ >> 19)) ^ (t ^ (t >> 8));
+    return w_;
+  }
+
+ private:
+  std::uint32_t x_, y_, z_, w_;
+};
+
+// XORWOW: xorshift160 plus a Weyl sequence (Marsaglia 2003, §3.1); cuRAND's
+// XORWOW generator is this algorithm.
+class Xorwow {
+ public:
+  explicit Xorwow(std::uint32_t seed = 0) noexcept;
+  std::uint32_t next() noexcept {
+    const std::uint32_t t = x_ ^ (x_ >> 2);
+    x_ = y_;
+    y_ = z_;
+    z_ = w_;
+    w_ = v_;
+    v_ = (v_ ^ (v_ << 4)) ^ (t ^ (t << 1));
+    d_ += 362437u;
+    return v_ + d_;
+  }
+  void fill(std::span<std::uint8_t> out) noexcept;
+
+ private:
+  std::uint32_t x_, y_, z_, w_, v_, d_;
+};
+
+}  // namespace bsrng::baselines

@@ -1,0 +1,30 @@
+#include "bitslice/bitbuf.hpp"
+
+#include <bit>
+
+namespace bsrng::bitslice {
+
+std::size_t BitBuf::count() const noexcept {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::vector<std::uint8_t> BitBuf::to_bytes() const {
+  std::vector<std::uint8_t> out((nbits_ + 7) / 8, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::size_t word = i / 8, byte = i % 8;
+    if (word < words_.size())
+      out[i] = static_cast<std::uint8_t>(words_[word] >> (8 * byte));
+  }
+  return out;
+}
+
+BitBuf BitBuf::slice(std::size_t pos, std::size_t len) const {
+  BitBuf out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) out.push_back(get(pos + i));
+  return out;
+}
+
+}  // namespace bsrng::bitslice

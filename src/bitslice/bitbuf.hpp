@@ -1,0 +1,88 @@
+// bitbuf.hpp — growable packed bit buffer (LSB-first within 64-bit words).
+//
+// The row-major "stream" view of generated randomness: bit t of the buffer is
+// bit t of one PRNG instance's output.  Used at bitsliced <-> byte-stream
+// boundaries and throughout the NIST SP 800-22 suite.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bsrng::bitslice {
+
+class BitBuf {
+ public:
+  BitBuf() = default;
+  explicit BitBuf(std::size_t nbits) { resize(nbits); }
+
+  std::size_t size() const noexcept { return nbits_; }
+  bool empty() const noexcept { return nbits_ == 0; }
+
+  void clear() noexcept {
+    words_.clear();
+    nbits_ = 0;
+  }
+
+  // Resize to nbits; new bits are zero.
+  void resize(std::size_t nbits) {
+    words_.resize((nbits + 63) / 64, 0);
+    nbits_ = nbits;
+    mask_tail();
+  }
+
+  void reserve(std::size_t nbits) { words_.reserve((nbits + 63) / 64); }
+
+  bool get(std::size_t i) const noexcept {
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  void set(std::size_t i, bool v) noexcept {
+    const std::uint64_t m = std::uint64_t{1} << (i % 64);
+    words_[i / 64] = (words_[i / 64] & ~m) | (v ? m : 0u);
+  }
+
+  void push_back(bool v) {
+    if (nbits_ % 64 == 0) words_.push_back(0);
+    ++nbits_;
+    set(nbits_ - 1, v);
+  }
+
+  // Append the low `n` bits of `w`, LSB first.
+  void append_word(std::uint64_t w, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) push_back((w >> i) & 1u);
+  }
+
+  // Append bytes, each LSB-first (bit 0 of byte 0 becomes the next bit).
+  void append_bytes(std::span<const std::uint8_t> bytes) {
+    for (auto b : bytes) append_word(b, 8);
+  }
+
+  std::span<const std::uint64_t> words() const noexcept { return words_; }
+  std::vector<std::uint64_t>& mutable_words() noexcept { return words_; }
+
+  // Number of set bits.
+  std::size_t count() const noexcept;
+
+  // Pack into bytes, LSB-first; trailing partial byte zero-padded.
+  std::vector<std::uint8_t> to_bytes() const;
+
+  // View bit range [pos, pos+len) as a new buffer (copy).
+  BitBuf slice(std::size_t pos, std::size_t len) const;
+
+  friend bool operator==(const BitBuf& a, const BitBuf& b) {
+    return a.nbits_ == b.nbits_ && a.words_ == b.words_;
+  }
+
+ private:
+  void mask_tail() noexcept {
+    if (nbits_ % 64 != 0 && !words_.empty())
+      words_.back() &= (std::uint64_t{1} << (nbits_ % 64)) - 1;
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t nbits_ = 0;
+};
+
+}  // namespace bsrng::bitslice

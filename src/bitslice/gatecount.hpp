@@ -1,0 +1,63 @@
+// gatecount.hpp — a 1-lane slice type that counts boolean operations.
+//
+// Instantiating a bitsliced engine over CountingSlice measures its exact
+// gate cost per clock (XOR/AND/OR/NOT on full-width registers).  Dividing by
+// the lane count of a real slice gives gate-ops per produced bit — the
+// `gate_ops_per_bit` input of the gpusim throughput projection (E1/E2) and
+// the quantity behind the paper's "k full-width XORs instead of 32 x k
+// bit-level XORs" argument (§4.3).
+#pragma once
+
+#include <cstdint>
+
+#include "bitslice/slice.hpp"
+
+namespace bsrng::bitslice {
+
+struct CountingSlice {
+  bool v = false;
+
+  static inline std::uint64_t ops = 0;
+  static void reset() { ops = 0; }
+
+  friend CountingSlice operator^(CountingSlice a, CountingSlice b) {
+    ++ops;
+    return {a.v != b.v};
+  }
+  friend CountingSlice operator&(CountingSlice a, CountingSlice b) {
+    ++ops;
+    return {a.v && b.v};
+  }
+  friend CountingSlice operator|(CountingSlice a, CountingSlice b) {
+    ++ops;
+    return {a.v || b.v};
+  }
+  friend CountingSlice operator~(CountingSlice a) {
+    ++ops;
+    return {!a.v};
+  }
+  CountingSlice& operator^=(CountingSlice b) { return *this = *this ^ b; }
+  CountingSlice& operator&=(CountingSlice b) { return *this = *this & b; }
+  CountingSlice& operator|=(CountingSlice b) { return *this = *this | b; }
+  friend bool operator==(CountingSlice, CountingSlice) = default;
+};
+
+template <>
+struct SliceTraits<CountingSlice> {
+  static constexpr std::size_t lanes = 1;
+  static constexpr CountingSlice zero() { return {false}; }
+  static constexpr CountingSlice ones() { return {true}; }
+  static constexpr bool get_lane(CountingSlice s, std::size_t) { return s.v; }
+  static constexpr void set_lane(CountingSlice& s, std::size_t, bool v) {
+    s.v = v;
+  }
+  static constexpr std::uint64_t word64(CountingSlice s, std::size_t) {
+    return s.v;
+  }
+  static constexpr void set_word64(CountingSlice& s, std::size_t,
+                                   std::uint64_t v) {
+    s.v = v & 1u;
+  }
+};
+
+}  // namespace bsrng::bitslice

@@ -1,0 +1,176 @@
+// slice.hpp — lane-width abstraction for bitsliced (column-major) computation.
+//
+// A "slice" is one machine word holding the SAME bit position of W independent
+// cipher/LFSR instances: lane j of the word belongs to instance j (the paper's
+// column-major data representation, §4.1).  Algorithms written against this
+// abstraction run unchanged at every datapath width the host offers:
+//
+//   lane width W    type        hardware
+//   ------------    ---------   -------------------------------
+//   32              SliceU32    the paper's per-GPU-thread register
+//   64              SliceU64    any 64-bit scalar unit
+//   128             SliceV128   SSE2
+//   256             SliceV256   AVX2
+//   512             SliceV512   AVX-512F
+//
+// Only bit-parallel operations are provided (XOR/AND/OR/NOT/ANDNOT/MUX):
+// bitsliced code never shifts *within* a slice — shifting the simulated
+// register is a renaming of whole slices (§4.3), which is exactly what makes
+// the technique fast.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#if defined(__SSE2__)
+#include <immintrin.h>
+#endif
+
+namespace bsrng::bitslice {
+
+using SliceU32 = std::uint32_t;
+using SliceU64 = std::uint64_t;
+
+namespace detail {
+// Portable fixed-width vector-of-u64 slice.  With -march=native GCC/Clang
+// lower the element-wise loops to single VPXOR/VPAND/VPOR instructions, so a
+// dedicated intrinsic path is unnecessary while staying valgrind/UBSan clean.
+template <std::size_t NWords>
+struct WideSlice {
+  std::array<std::uint64_t, NWords> w{};
+
+  friend constexpr WideSlice operator^(WideSlice a, const WideSlice& b) {
+    for (std::size_t i = 0; i < NWords; ++i) a.w[i] ^= b.w[i];
+    return a;
+  }
+  friend constexpr WideSlice operator&(WideSlice a, const WideSlice& b) {
+    for (std::size_t i = 0; i < NWords; ++i) a.w[i] &= b.w[i];
+    return a;
+  }
+  friend constexpr WideSlice operator|(WideSlice a, const WideSlice& b) {
+    for (std::size_t i = 0; i < NWords; ++i) a.w[i] |= b.w[i];
+    return a;
+  }
+  friend constexpr WideSlice operator~(WideSlice a) {
+    for (std::size_t i = 0; i < NWords; ++i) a.w[i] = ~a.w[i];
+    return a;
+  }
+  constexpr WideSlice& operator^=(const WideSlice& b) { return *this = *this ^ b; }
+  constexpr WideSlice& operator&=(const WideSlice& b) { return *this = *this & b; }
+  constexpr WideSlice& operator|=(const WideSlice& b) { return *this = *this | b; }
+  friend constexpr bool operator==(const WideSlice&, const WideSlice&) = default;
+};
+}  // namespace detail
+
+using SliceV128 = detail::WideSlice<2>;
+using SliceV256 = detail::WideSlice<4>;
+using SliceV512 = detail::WideSlice<8>;
+
+// ---------------------------------------------------------------------------
+// SliceTraits: uniform construction / lane access over all slice types.
+// Lane access is O(1) but not branch-free; it exists for (de)interleaving at
+// stream boundaries and for tests — inner loops must use only bulk operators.
+// ---------------------------------------------------------------------------
+template <typename W>
+struct SliceTraits;
+
+template <>
+struct SliceTraits<SliceU32> {
+  static constexpr std::size_t lanes = 32;
+  static constexpr SliceU32 zero() { return 0u; }
+  static constexpr SliceU32 ones() { return ~0u; }
+  static constexpr bool get_lane(SliceU32 s, std::size_t j) {
+    return (s >> j) & 1u;
+  }
+  static constexpr void set_lane(SliceU32& s, std::size_t j, bool v) {
+    s = (s & ~(SliceU32{1} << j)) | (SliceU32{v} << j);
+  }
+  static constexpr std::uint64_t word64(SliceU32 s, std::size_t) { return s; }
+  static constexpr void set_word64(SliceU32& s, std::size_t, std::uint64_t v) {
+    s = static_cast<SliceU32>(v);
+  }
+};
+
+template <>
+struct SliceTraits<SliceU64> {
+  static constexpr std::size_t lanes = 64;
+  static constexpr SliceU64 zero() { return 0u; }
+  static constexpr SliceU64 ones() { return ~SliceU64{0}; }
+  static constexpr bool get_lane(SliceU64 s, std::size_t j) {
+    return (s >> j) & 1u;
+  }
+  static constexpr void set_lane(SliceU64& s, std::size_t j, bool v) {
+    s = (s & ~(SliceU64{1} << j)) | (SliceU64{v} << j);
+  }
+  static constexpr std::uint64_t word64(SliceU64 s, std::size_t) { return s; }
+  static constexpr void set_word64(SliceU64& s, std::size_t, std::uint64_t v) {
+    s = v;
+  }
+};
+
+template <std::size_t NWords>
+struct SliceTraits<detail::WideSlice<NWords>> {
+  using W = detail::WideSlice<NWords>;
+  static constexpr std::size_t lanes = 64 * NWords;
+  static constexpr W zero() { return W{}; }
+  static constexpr W ones() {
+    W s{};
+    for (auto& w : s.w) w = ~std::uint64_t{0};
+    return s;
+  }
+  static constexpr bool get_lane(const W& s, std::size_t j) {
+    return (s.w[j / 64] >> (j % 64)) & 1u;
+  }
+  static constexpr void set_lane(W& s, std::size_t j, bool v) {
+    const std::uint64_t m = std::uint64_t{1} << (j % 64);
+    s.w[j / 64] = (s.w[j / 64] & ~m) | (v ? m : 0u);
+  }
+  static constexpr std::uint64_t word64(const W& s, std::size_t k) {
+    return s.w[k];
+  }
+  static constexpr void set_word64(W& s, std::size_t k, std::uint64_t v) {
+    s.w[k] = v;
+  }
+};
+
+// Number of independent instances a slice of type W carries.
+template <typename W>
+inline constexpr std::size_t lane_count = SliceTraits<W>::lanes;
+
+// A slice with every lane set to `v` (broadcast of one bit to all instances).
+template <typename W>
+constexpr W splat(bool v) {
+  return v ? SliceTraits<W>::ones() : SliceTraits<W>::zero();
+}
+
+// Bit-parallel multiplexer: lane-wise (c ? a : b).  XOR form costs one AND
+// and two XORs — the cheapest gate realization for irregular-clocking ciphers
+// such as MICKEY 2.0 where every lane may clock differently (§4.4).
+template <typename W>
+constexpr W mux(const W& c, const W& a, const W& b) {
+  return b ^ (c & (a ^ b));
+}
+
+// Lane-wise a AND (NOT b).
+template <typename W>
+constexpr W andnot(const W& a, const W& b) {
+  return a & ~b;
+}
+
+// Population count across all lanes of a slice (test/statistics helper).
+template <typename W>
+constexpr std::size_t popcount(const W& s) {
+  std::size_t n = 0;
+  for (std::size_t k = 0; k < lane_count<W> / 64 + (lane_count<W> < 64); ++k)
+    n += static_cast<std::size_t>(
+        std::popcount(SliceTraits<W>::word64(s, k) &
+                      (lane_count<W> >= 64 ? ~std::uint64_t{0}
+                                           : ((std::uint64_t{1} << lane_count<W>) - 1))));
+  return n;
+}
+
+}  // namespace bsrng::bitslice

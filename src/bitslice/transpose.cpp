@@ -1,0 +1,130 @@
+#include "bitslice/transpose.hpp"
+
+#include <cstring>
+
+namespace bsrng::bitslice {
+
+// Hacker's Delight 7-3: recursive halving with masked swaps.
+void transpose8x8(std::uint8_t m[8]) noexcept {
+  std::uint64_t x = 0;
+  for (int i = 0; i < 8; ++i) x |= std::uint64_t{m[i]} << (8 * i);
+  // Swap 4x4 quadrants, then 2x2, then 1x1 (bit order: m[i] bit j = x bit 8i+j).
+  std::uint64_t t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0ull;
+  x ^= t ^ (t << 28);
+  t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCCull;
+  x ^= t ^ (t << 14);
+  t = (x ^ (x >> 7)) & 0x00AA00AA00AA00AAull;
+  x ^= t ^ (t << 7);
+  for (int i = 0; i < 8; ++i) m[i] = static_cast<std::uint8_t>(x >> (8 * i));
+}
+
+void transpose32x32(std::uint32_t m[32]) noexcept {
+  std::uint32_t mask = 0x0000FFFFu;
+  for (std::uint32_t j = 16; j != 0; j >>= 1, mask ^= (mask << j)) {
+    for (std::uint32_t k = 0; k < 32; k = (k + j + 1) & ~j) {
+      const std::uint32_t t = (m[k] ^ (m[k + j] << j)) & ~mask;
+      m[k] ^= t;
+      m[k + j] ^= (t >> j);
+    }
+  }
+}
+
+void transpose64x64(std::uint64_t m[64]) noexcept {
+  std::uint64_t mask = 0x00000000FFFFFFFFull;
+  for (std::uint64_t j = 32; j != 0; j >>= 1, mask ^= (mask << j)) {
+    for (std::uint64_t k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = (m[k] ^ (m[k + j] << j)) & ~mask;
+      m[k] ^= t;
+      m[k + j] ^= (t >> j);
+    }
+  }
+}
+
+namespace {
+
+// Extract 64-bit word `blk` of the bit range [0, nbits) of a packed stream;
+// bits past the stream's end read as zero.
+std::uint64_t stream_word(const std::vector<std::uint64_t>& s, std::size_t blk,
+                          std::size_t nbits) {
+  if (blk * 64 >= nbits || blk >= s.size()) return 0;
+  std::uint64_t w = s[blk];
+  const std::size_t remaining = nbits - blk * 64;
+  if (remaining < 64) w &= (std::uint64_t{1} << remaining) - 1;
+  return w;
+}
+
+}  // namespace
+
+template <typename W>
+void interleave(std::span<const std::vector<std::uint64_t>> rows,
+                std::size_t nbits, std::vector<W>& slices) {
+  constexpr std::size_t L = lane_count<W>;
+  slices.assign(nbits, SliceTraits<W>::zero());
+  const std::size_t nblocks = (nbits + 63) / 64;
+  // Process a 64x64 tile per (bit-block, lane-block) pair.
+  for (std::size_t lb = 0; lb < L / 64 + (L < 64); ++lb) {
+    const std::size_t lanes_here = L < 64 ? L : 64;
+    for (std::size_t bb = 0; bb < nblocks; ++bb) {
+      std::uint64_t tile[64] = {};
+      for (std::size_t j = 0; j < lanes_here; ++j) {
+        const std::size_t lane = lb * 64 + j;
+        if (lane < rows.size()) tile[j] = stream_word(rows[lane], bb, nbits);
+      }
+      transpose64x64(tile);
+      const std::size_t bits_here = nbits - bb * 64 < 64 ? nbits - bb * 64 : 64;
+      for (std::size_t t = 0; t < bits_here; ++t) {
+        if constexpr (L == 32) {
+          slices[bb * 64 + t] = static_cast<SliceU32>(tile[t]);
+        } else {
+          SliceTraits<W>::set_word64(slices[bb * 64 + t], lb, tile[t]);
+        }
+      }
+    }
+  }
+}
+
+template <typename W>
+void deinterleave(std::span<const W> slices, std::size_t nbits,
+                  std::vector<std::vector<std::uint64_t>>& rows) {
+  constexpr std::size_t L = lane_count<W>;
+  const std::size_t nblocks = (nbits + 63) / 64;
+  rows.assign(L, std::vector<std::uint64_t>(nblocks, 0));
+  for (std::size_t lb = 0; lb < L / 64 + (L < 64); ++lb) {
+    const std::size_t lanes_here = L < 64 ? L : 64;
+    for (std::size_t bb = 0; bb < nblocks; ++bb) {
+      std::uint64_t tile[64] = {};
+      const std::size_t bits_here = nbits - bb * 64 < 64 ? nbits - bb * 64 : 64;
+      for (std::size_t t = 0; t < bits_here; ++t)
+        tile[t] = SliceTraits<W>::word64(slices[bb * 64 + t], lb);
+      transpose64x64(tile);
+      for (std::size_t j = 0; j < lanes_here; ++j)
+        rows[lb * 64 + j][bb] = tile[j];
+    }
+  }
+  // Mask trailing garbage bits in the final block of each stream.
+  if (nbits % 64 != 0)
+    for (auto& r : rows) r.back() &= (std::uint64_t{1} << (nbits % 64)) - 1;
+}
+
+template void interleave<SliceU32>(std::span<const std::vector<std::uint64_t>>,
+                                   std::size_t, std::vector<SliceU32>&);
+template void interleave<SliceU64>(std::span<const std::vector<std::uint64_t>>,
+                                   std::size_t, std::vector<SliceU64>&);
+template void interleave<SliceV128>(std::span<const std::vector<std::uint64_t>>,
+                                    std::size_t, std::vector<SliceV128>&);
+template void interleave<SliceV256>(std::span<const std::vector<std::uint64_t>>,
+                                    std::size_t, std::vector<SliceV256>&);
+template void interleave<SliceV512>(std::span<const std::vector<std::uint64_t>>,
+                                    std::size_t, std::vector<SliceV512>&);
+template void deinterleave<SliceU32>(std::span<const SliceU32>, std::size_t,
+                                     std::vector<std::vector<std::uint64_t>>&);
+template void deinterleave<SliceU64>(std::span<const SliceU64>, std::size_t,
+                                     std::vector<std::vector<std::uint64_t>>&);
+template void deinterleave<SliceV128>(std::span<const SliceV128>, std::size_t,
+                                      std::vector<std::vector<std::uint64_t>>&);
+template void deinterleave<SliceV256>(std::span<const SliceV256>, std::size_t,
+                                      std::vector<std::vector<std::uint64_t>>&);
+template void deinterleave<SliceV512>(std::span<const SliceV512>, std::size_t,
+                                      std::vector<std::vector<std::uint64_t>>&);
+
+}  // namespace bsrng::bitslice

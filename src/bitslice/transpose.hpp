@@ -1,0 +1,79 @@
+// transpose.hpp — row-major <-> column-major bit-matrix conversion.
+//
+// Bitsliced engines consume and produce column-major data: slice t holds bit
+// t of W independent streams.  The outside world (files, NIST suite, cipher
+// test vectors) is row-major: stream j is a contiguous run of bits.  The
+// transposes here convert between the two views at stream boundaries; they
+// are *not* on the hot generation path (§4.1 — the whole point of bitslicing
+// is that the inner loop never reformats data).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitslice/slice.hpp"
+
+namespace bsrng::bitslice {
+
+// In-place transpose of an 8x8 bit matrix; m[i] bit j  <->  m[j] bit i.
+void transpose8x8(std::uint8_t m[8]) noexcept;
+
+// In-place transpose of a 32x32 bit matrix held in 32 words.
+void transpose32x32(std::uint32_t m[32]) noexcept;
+
+// In-place transpose of a 64x64 bit matrix held in 64 words.
+void transpose64x64(std::uint64_t m[64]) noexcept;
+
+// ---------------------------------------------------------------------------
+// Block (de)interleave between W row-major bit streams and column-major
+// slices.
+//
+//   interleave:   rows[j] = stream j, packed LSB-first in 64-bit words.
+//                 Produces nbits slices: slice t lane j = bit t of stream j.
+//   deinterleave: the exact inverse.
+//
+// Both are implemented with 64x64 block transposes; a slice wider than 64
+// lanes is treated as lane_count/64 adjacent 64-lane blocks.
+// ---------------------------------------------------------------------------
+template <typename W>
+void interleave(std::span<const std::vector<std::uint64_t>> rows,
+                std::size_t nbits, std::vector<W>& slices);
+
+template <typename W>
+void deinterleave(std::span<const W> slices, std::size_t nbits,
+                  std::vector<std::vector<std::uint64_t>>& rows);
+
+extern template void interleave<SliceU32>(
+    std::span<const std::vector<std::uint64_t>>, std::size_t,
+    std::vector<SliceU32>&);
+extern template void interleave<SliceU64>(
+    std::span<const std::vector<std::uint64_t>>, std::size_t,
+    std::vector<SliceU64>&);
+extern template void interleave<SliceV128>(
+    std::span<const std::vector<std::uint64_t>>, std::size_t,
+    std::vector<SliceV128>&);
+extern template void interleave<SliceV256>(
+    std::span<const std::vector<std::uint64_t>>, std::size_t,
+    std::vector<SliceV256>&);
+extern template void interleave<SliceV512>(
+    std::span<const std::vector<std::uint64_t>>, std::size_t,
+    std::vector<SliceV512>&);
+extern template void deinterleave<SliceU32>(std::span<const SliceU32>,
+                                            std::size_t,
+                                            std::vector<std::vector<std::uint64_t>>&);
+extern template void deinterleave<SliceU64>(std::span<const SliceU64>,
+                                            std::size_t,
+                                            std::vector<std::vector<std::uint64_t>>&);
+extern template void deinterleave<SliceV128>(std::span<const SliceV128>,
+                                             std::size_t,
+                                             std::vector<std::vector<std::uint64_t>>&);
+extern template void deinterleave<SliceV256>(std::span<const SliceV256>,
+                                             std::size_t,
+                                             std::vector<std::vector<std::uint64_t>>&);
+extern template void deinterleave<SliceV512>(std::span<const SliceV512>,
+                                             std::size_t,
+                                             std::vector<std::vector<std::uint64_t>>&);
+
+}  // namespace bsrng::bitslice

@@ -1,0 +1,86 @@
+#include "ciphers/a51_bs.hpp"
+
+#include <stdexcept>
+
+#include "lfsr/bitsliced_lfsr.hpp"  // splitmix64
+
+namespace bsrng::ciphers {
+
+namespace bs = bsrng::bitslice;
+
+namespace {
+// Feedback = XOR of tap stages (shift-up form: taps are the high stages).
+template <typename W, std::size_t N>
+W feedback(const std::array<W, N>& r, std::initializer_list<std::size_t> taps) {
+  W fb = bs::SliceTraits<W>::zero();
+  for (const std::size_t t : taps) fb ^= r[t];
+  return fb;
+}
+}  // namespace
+
+template <typename W>
+A51Bs<W>::A51Bs(std::span<const KeyBytes> keys,
+                std::span<const std::uint32_t> frames) {
+  if (keys.size() != lanes || frames.size() != lanes)
+    throw std::invalid_argument("A51Bs: need one key and frame per lane");
+  for (const auto f : frames)
+    if (f >> A51Ref::kFrameBits)
+      throw std::invalid_argument("A51Bs: frame number must fit in 22 bits");
+  for (std::size_t i = 0; i < 64; ++i) {
+    W in = bs::SliceTraits<W>::zero();
+    for (std::size_t j = 0; j < lanes; ++j)
+      bs::SliceTraits<W>::set_lane(in, j, (keys[j][i / 8] >> (i % 8)) & 1u);
+    clock_all(in);
+  }
+  for (std::size_t i = 0; i < A51Ref::kFrameBits; ++i) {
+    W in = bs::SliceTraits<W>::zero();
+    for (std::size_t j = 0; j < lanes; ++j)
+      bs::SliceTraits<W>::set_lane(in, j, (frames[j] >> i) & 1u);
+    clock_all(in);
+  }
+  for (std::size_t i = 0; i < A51Ref::kMixClocks; ++i) clock_majority();
+}
+
+template <typename W>
+A51Bs<W>::A51Bs(std::uint64_t master_seed) {
+  std::vector<KeyBytes> keys(lanes);
+  std::vector<std::uint32_t> frames(lanes);
+  std::uint64_t x = master_seed;
+  for (std::size_t j = 0; j < lanes; ++j) {
+    const std::uint64_t k = lfsr::splitmix64(x);
+    for (std::size_t b = 0; b < 8; ++b)
+      keys[j][b] = static_cast<std::uint8_t>(k >> (8 * b));
+    frames[j] = static_cast<std::uint32_t>(lfsr::splitmix64(x)) &
+                ((1u << A51Ref::kFrameBits) - 1);
+  }
+  *this = A51Bs(keys, frames);
+}
+
+template <typename W>
+void A51Bs<W>::clock_all(const W& in) noexcept {
+  clock_uncond(r1_, in ^ feedback(r1_, {18, 17, 16, 13}));
+  clock_uncond(r2_, in ^ feedback(r2_, {21, 20}));
+  clock_uncond(r3_, in ^ feedback(r3_, {22, 21, 20, 7}));
+}
+
+template <typename W>
+void A51Bs<W>::clock_majority() noexcept {
+  const W b1 = r1_[8], b2 = r2_[10], b3 = r3_[10];
+  const W maj = (b1 & b2) ^ (b1 & b3) ^ (b2 & b3);
+  // Register clocks iff its clock bit equals the majority.
+  const W c1 = ~(b1 ^ maj);
+  const W c2 = ~(b2 ^ maj);
+  const W c3 = ~(b3 ^ maj);
+  clock_cond(r1_, c1, feedback(r1_, {18, 17, 16, 13}));
+  clock_cond(r2_, c2, feedback(r2_, {21, 20}));
+  clock_cond(r3_, c3, feedback(r3_, {22, 21, 20, 7}));
+}
+
+template class A51Bs<bs::SliceU32>;
+template class A51Bs<bs::SliceU64>;
+template class A51Bs<bs::SliceV128>;
+template class A51Bs<bs::SliceV256>;
+template class A51Bs<bs::SliceV512>;
+template class A51Bs<bs::CountingSlice>;
+
+}  // namespace bsrng::ciphers

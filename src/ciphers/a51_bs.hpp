@@ -1,0 +1,74 @@
+// a51_bs.hpp — bitsliced A5/1: majority stop/go clocking as lane-wise muxes.
+//
+// Each lane runs an independent (key, frame) instance.  The three registers
+// are slice banks; per clock, the majority slice is three AND/XOR gates, and
+// each register's conditional shift is a mux cascade:
+//   new stage i = clk ? stage i-1 : stage i
+// evaluated top-down in place — the same pattern as MickeyBs::clock_r,
+// demonstrating that the paper's technique covers the whole
+// irregularly-clocked LFSR family.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitslice/gatecount.hpp"
+#include "bitslice/slice.hpp"
+#include "ciphers/a51_ref.hpp"
+
+namespace bsrng::ciphers {
+
+template <typename W>
+class A51Bs {
+ public:
+  static constexpr std::size_t lanes = bitslice::lane_count<W>;
+  using KeyBytes = std::array<std::uint8_t, A51Ref::kKeyBytes>;
+
+  A51Bs(std::span<const KeyBytes> keys, std::span<const std::uint32_t> frames);
+  explicit A51Bs(std::uint64_t master_seed);
+
+  W step() noexcept {
+    clock_majority();
+    return r1_[18] ^ r2_[21] ^ r3_[22];
+  }
+
+  void generate(std::span<W> out) noexcept {
+    for (auto& o : out) o = step();
+  }
+
+  bool r1_lane_bit(std::size_t i, std::size_t lane) const {
+    return bitslice::SliceTraits<W>::get_lane(r1_[i], lane);
+  }
+
+ private:
+  template <std::size_t N>
+  static void clock_cond(std::array<W, N>& r, const W& clk, const W& fb) noexcept {
+    // Conditional shift-up: stage i := clk ? stage i-1 : stage i.
+    for (std::size_t i = N; i-- > 1;) r[i] = bitslice::mux(clk, r[i - 1], r[i]);
+    r[0] = bitslice::mux(clk, fb, r[0]);
+  }
+
+  template <std::size_t N>
+  static void clock_uncond(std::array<W, N>& r, const W& in) noexcept {
+    for (std::size_t i = N; i-- > 1;) r[i] = r[i - 1];
+    r[0] = in;
+  }
+
+  void clock_all(const W& in) noexcept;
+  void clock_majority() noexcept;
+
+  std::array<W, A51Ref::kR1Bits> r1_{};
+  std::array<W, A51Ref::kR2Bits> r2_{};
+  std::array<W, A51Ref::kR3Bits> r3_{};
+};
+
+extern template class A51Bs<bitslice::SliceU32>;
+extern template class A51Bs<bitslice::SliceU64>;
+extern template class A51Bs<bitslice::SliceV128>;
+extern template class A51Bs<bitslice::SliceV256>;
+extern template class A51Bs<bitslice::SliceV512>;
+extern template class A51Bs<bitslice::CountingSlice>;
+
+}  // namespace bsrng::ciphers

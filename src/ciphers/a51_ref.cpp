@@ -1,0 +1,71 @@
+#include "ciphers/a51_ref.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace bsrng::ciphers {
+
+namespace {
+constexpr std::uint32_t kR1Mask = (1u << 19) - 1;
+constexpr std::uint32_t kR2Mask = (1u << 22) - 1;
+constexpr std::uint32_t kR3Mask = (1u << 23) - 1;
+constexpr std::uint32_t kR1Taps = (1u << 18) | (1u << 17) | (1u << 16) | (1u << 13);
+constexpr std::uint32_t kR2Taps = (1u << 21) | (1u << 20);
+constexpr std::uint32_t kR3Taps = (1u << 22) | (1u << 21) | (1u << 20) | (1u << 7);
+constexpr std::uint32_t kR1Clk = 1u << 8;
+constexpr std::uint32_t kR2Clk = 1u << 10;
+constexpr std::uint32_t kR3Clk = 1u << 10;
+
+std::uint32_t clock_reg(std::uint32_t r, std::uint32_t mask,
+                        std::uint32_t taps, bool in) {
+  const bool fb =
+      (std::popcount(r & taps) & 1) != static_cast<int>(in);
+  return ((r << 1) | static_cast<std::uint32_t>(fb)) & mask;
+}
+}  // namespace
+
+bool A51Ref::parity(std::uint32_t v) noexcept {
+  return std::popcount(v) & 1;
+}
+
+A51Ref::A51Ref(std::span<const std::uint8_t> key, std::uint32_t frame) {
+  if (key.size() != kKeyBytes)
+    throw std::invalid_argument("A5/1 key must be 64 bits");
+  if (frame >> kFrameBits)
+    throw std::invalid_argument("A5/1 frame number must fit in 22 bits");
+  // 64 key clocks then 22 frame clocks, all registers running.
+  for (std::size_t i = 0; i < 64; ++i)
+    clock_all((key[i / 8] >> (i % 8)) & 1u);
+  for (std::size_t i = 0; i < kFrameBits; ++i)
+    clock_all((frame >> i) & 1u);
+  // 100 mix clocks under majority rule, output discarded.
+  for (std::size_t i = 0; i < kMixClocks; ++i) clock_majority();
+}
+
+void A51Ref::clock_all(bool in) noexcept {
+  r1_ = clock_reg(r1_, kR1Mask, kR1Taps, in);
+  r2_ = clock_reg(r2_, kR2Mask, kR2Taps, in);
+  r3_ = clock_reg(r3_, kR3Mask, kR3Taps, in);
+}
+
+void A51Ref::clock_majority() noexcept {
+  const bool b1 = r1_ & kR1Clk, b2 = r2_ & kR2Clk, b3 = r3_ & kR3Clk;
+  const bool maj = (b1 && b2) || (b1 && b3) || (b2 && b3);
+  if (b1 == maj) r1_ = clock_reg(r1_, kR1Mask, kR1Taps, false);
+  if (b2 == maj) r2_ = clock_reg(r2_, kR2Mask, kR2Taps, false);
+  if (b3 == maj) r3_ = clock_reg(r3_, kR3Mask, kR3Taps, false);
+}
+
+bool A51Ref::step() noexcept {
+  clock_majority();
+  return ((r1_ >> 18) ^ (r2_ >> 21) ^ (r3_ >> 22)) & 1u;
+}
+
+std::uint32_t A51Ref::step32() noexcept {
+  std::uint32_t w = 0;
+  for (unsigned i = 0; i < 32; ++i)
+    w |= static_cast<std::uint32_t>(step()) << i;
+  return w;
+}
+
+}  // namespace bsrng::ciphers

@@ -1,0 +1,47 @@
+// a51_ref.hpp — scalar A5/1 reference (the GSM stream cipher).
+//
+// Extension cipher beyond the paper's three (§6 invites "other
+// crypto-systems"): three LFSRs (19/22/23 bits) with majority-rule stop/go
+// clocking — the same irregular-clocking structure that makes MICKEY "not so
+// straightforward" to parallelize, and therefore a second demonstration of
+// the bitsliced mux technique.  A5/1 is cryptographically broken; it is
+// included as a substrate/demo cipher, not as a recommended CSPRNG.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace bsrng::ciphers {
+
+class A51Ref {
+ public:
+  static constexpr std::size_t kR1Bits = 19, kR2Bits = 22, kR3Bits = 23;
+  static constexpr std::size_t kKeyBytes = 8;   // 64-bit key
+  static constexpr std::uint32_t kFrameBits = 22;
+  static constexpr std::size_t kMixClocks = 100;
+
+  // Registers shift "up": bit 0 is the feedback input, the top bit is the
+  // output tap.  Taps/clock bits per the published reference implementation:
+  //   R1: feedback {18,17,16,13}, clock bit 8
+  //   R2: feedback {21,20},       clock bit 10
+  //   R3: feedback {22,21,20,7},  clock bit 10
+  A51Ref(std::span<const std::uint8_t> key, std::uint32_t frame);
+
+  bool step() noexcept;
+  std::uint32_t step32() noexcept;
+
+  // White-box access for tests.
+  std::uint32_t r1() const noexcept { return r1_; }
+  std::uint32_t r2() const noexcept { return r2_; }
+  std::uint32_t r3() const noexcept { return r3_; }
+
+ private:
+  static bool parity(std::uint32_t v) noexcept;
+  void clock_all(bool in) noexcept;  // key/frame load: no stuttering
+  void clock_majority() noexcept;
+
+  std::uint32_t r1_ = 0, r2_ = 0, r3_ = 0;
+};
+
+}  // namespace bsrng::ciphers

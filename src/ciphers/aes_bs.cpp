@@ -1,0 +1,306 @@
+#include "bitslice/gatecount.hpp"
+#include "ciphers/aes_bs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bsrng::ciphers {
+
+namespace bs = bsrng::bitslice;
+
+namespace {
+
+// x^(2i) mod 0x11B for i = 0..7: the linear squaring map's column bytes.
+constexpr std::array<std::uint8_t, 8> make_sq_table() {
+  std::array<std::uint8_t, 8> t{};
+  for (int i = 0; i < 8; ++i) {
+    std::uint8_t v = 1;
+    for (int k = 0; k < 2 * i; ++k) v = aes::gf_mul(v, 0x02);
+    t[static_cast<std::size_t>(i)] = v;
+  }
+  return t;
+}
+inline constexpr auto kSqTable = make_sq_table();
+
+// x^k mod 0x11B for k = 8..14: the schoolbook-product reduction rows.
+constexpr std::array<std::uint8_t, 7> make_red_table() {
+  std::array<std::uint8_t, 7> t{};
+  std::uint8_t v = 1;
+  for (int k = 0; k < 8; ++k) v = aes::gf_mul(v, 0x02);  // v = x^8
+  for (int k = 0; k < 7; ++k) {
+    t[static_cast<std::size_t>(k)] = v;
+    v = aes::gf_mul(v, 0x02);
+  }
+  return t;
+}
+inline constexpr auto kRedTable = make_red_table();
+
+}  // namespace
+
+template <typename W>
+void AesBs<W>::gf_mul8(const W a[8], const W b[8], W out[8]) noexcept {
+  W t[15];
+  for (auto& x : t) x = bs::SliceTraits<W>::zero();
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j) t[i + j] ^= a[i] & b[j];
+  for (int k = 14; k >= 8; --k) {
+    const std::uint8_t red = kRedTable[static_cast<std::size_t>(k - 8)];
+    for (int j = 0; j < 8; ++j)
+      if ((red >> j) & 1u) t[j] ^= t[k];
+  }
+  for (int j = 0; j < 8; ++j) out[j] = t[j];
+}
+
+template <typename W>
+void AesBs<W>::gf_sq8(const W a[8], W out[8]) noexcept {
+  W r[8];
+  for (auto& x : r) x = bs::SliceTraits<W>::zero();
+  for (int i = 0; i < 8; ++i) {
+    const std::uint8_t col = kSqTable[static_cast<std::size_t>(i)];
+    for (int j = 0; j < 8; ++j)
+      if ((col >> j) & 1u) r[j] ^= a[i];
+  }
+  for (int j = 0; j < 8; ++j) out[j] = r[j];
+}
+
+template <typename W>
+void AesBs<W>::gf_inv8(const W a[8], W out[8]) noexcept {
+  // a^254 via the addition chain 2,3,6,12,15,30,60,120,240,252,254:
+  // 4 multiplications, 8 squarings.
+  W x2[8], x3[8], x6[8], x12[8], x15[8], x240[8], x252[8];
+  gf_sq8(a, x2);
+  gf_mul8(x2, a, x3);
+  gf_sq8(x3, x6);
+  gf_sq8(x6, x12);
+  gf_mul8(x12, x3, x15);
+  gf_sq8(x15, x240);   // x30 (reusing buffers down the doubling ladder)
+  gf_sq8(x240, x252);  // x60
+  gf_sq8(x252, x240);  // x120
+  gf_sq8(x240, x252);  // x240
+  gf_mul8(x252, x12, x240);  // x252
+  gf_mul8(x240, x2, out);    // x254
+}
+
+template <typename W>
+void AesBs<W>::sbox8(W s[8]) noexcept {
+  W inv[8];
+  gf_inv8(s, inv);
+  // Affine map: out_j = inv_j ^ inv_{j+4} ^ inv_{j+5} ^ inv_{j+6} ^ inv_{j+7}
+  // (indices mod 8) ^ 0x63_j.
+  for (int j = 0; j < 8; ++j) {
+    W v = inv[j] ^ inv[(j + 4) % 8] ^ inv[(j + 5) % 8] ^ inv[(j + 6) % 8] ^
+          inv[(j + 7) % 8];
+    if ((0x63 >> j) & 1u) v = ~v;
+    s[j] = v;
+  }
+}
+
+template <typename W>
+AesBs<W>::AesBs(std::span<const std::uint8_t> key) {
+  if (key.size() != 16 && key.size() != 24 && key.size() != 32)
+    throw std::invalid_argument("AesBs: key must be 128/192/256 bits");
+  // One schedule, broadcast to all lanes.
+  const Aes128 sched(key);
+  rounds_ = sched.rounds();
+  rks_.assign(128 * (rounds_ + 1), bs::SliceTraits<W>::zero());
+  for (unsigned r = 0; r <= rounds_; ++r) {
+    const auto rk = sched.round_key(r);
+    for (std::size_t i = 0; i < 16; ++i)
+      for (std::size_t bit = 0; bit < 8; ++bit)
+        rks_[128 * r + 8 * i + bit] = bs::splat<W>((rk[i] >> bit) & 1u);
+  }
+}
+
+template <typename W>
+AesBs<W>::AesBs(std::span<const Block> lane_keys) {
+  if (lane_keys.size() != lanes)
+    throw std::invalid_argument("AesBs: need one key per lane");
+  rounds_ = aes::kRounds;  // Block keys are 128-bit
+  rks_.assign(128 * (rounds_ + 1), bs::SliceTraits<W>::zero());
+  for (std::size_t j = 0; j < lanes; ++j) {
+    const Aes128 sched(lane_keys[j]);
+    for (unsigned r = 0; r <= rounds_; ++r) {
+      const auto rk = sched.round_key(r);
+      for (std::size_t i = 0; i < 16; ++i)
+        for (std::size_t bit = 0; bit < 8; ++bit)
+          bs::SliceTraits<W>::set_lane(rks_[128 * r + 8 * i + bit], j,
+                                       (rk[i] >> bit) & 1u);
+    }
+  }
+}
+
+template <typename W>
+void AesBs<W>::add_round_key(State& st, unsigned r) const noexcept {
+  const W* rk = rks_.data() + 128 * r;
+  for (int i = 0; i < 128; ++i) st[static_cast<std::size_t>(i)] ^= rk[i];
+}
+
+template <typename W>
+void AesBs<W>::sub_bytes(State& st) noexcept {
+  for (int byte = 0; byte < 16; ++byte) sbox8(st.data() + 8 * byte);
+}
+
+template <typename W>
+void AesBs<W>::shift_rows(State& st) noexcept {
+  State t;
+  // new s[r][c] = old s[r][(c + r) % 4]; byte index = 4c + r.
+  for (int c = 0; c < 4; ++c)
+    for (int r = 0; r < 4; ++r) {
+      const int src = 4 * ((c + r) % 4) + r, dst = 4 * c + r;
+      for (int bit = 0; bit < 8; ++bit)
+        t[static_cast<std::size_t>(8 * dst + bit)] =
+            st[static_cast<std::size_t>(8 * src + bit)];
+    }
+  st = t;
+}
+
+namespace {
+// xtime on 8 slices: multiply the bitsliced byte by x (wiring + cond. XOR).
+template <typename W>
+void xtime8(const W a[8], W out[8]) noexcept {
+  const W hi = a[7];
+  out[0] = hi;
+  out[1] = a[0] ^ hi;
+  out[2] = a[1];
+  out[3] = a[2] ^ hi;
+  out[4] = a[3] ^ hi;
+  out[5] = a[4];
+  out[6] = a[5];
+  out[7] = a[6];
+}
+}  // namespace
+
+template <typename W>
+void AesBs<W>::mix_columns(State& st) noexcept {
+  for (int c = 0; c < 4; ++c) {
+    W* a0 = st.data() + 8 * (4 * c + 0);
+    W* a1 = st.data() + 8 * (4 * c + 1);
+    W* a2 = st.data() + 8 * (4 * c + 2);
+    W* a3 = st.data() + 8 * (4 * c + 3);
+    W x0[8], x1[8], x2[8], x3[8];
+    xtime8<W>(a0, x0);
+    xtime8<W>(a1, x1);
+    xtime8<W>(a2, x2);
+    xtime8<W>(a3, x3);
+    for (int j = 0; j < 8; ++j) {
+      const W b0 = x0[j] ^ x1[j] ^ a1[j] ^ a2[j] ^ a3[j];
+      const W b1 = a0[j] ^ x1[j] ^ x2[j] ^ a2[j] ^ a3[j];
+      const W b2 = a0[j] ^ a1[j] ^ x2[j] ^ x3[j] ^ a3[j];
+      const W b3 = x0[j] ^ a0[j] ^ a1[j] ^ a2[j] ^ x3[j];
+      a0[j] = b0;
+      a1[j] = b1;
+      a2[j] = b2;
+      a3[j] = b3;
+    }
+  }
+}
+
+template <typename W>
+void AesBs<W>::encrypt_slices(State& st) const noexcept {
+  add_round_key(st, 0);
+  for (unsigned r = 1; r < rounds_; ++r) {
+    sub_bytes(st);
+    shift_rows(st);
+    mix_columns(st);
+    add_round_key(st, r);
+  }
+  sub_bytes(st);
+  shift_rows(st);
+  add_round_key(st, rounds_);
+}
+
+template <typename W>
+void AesBs<W>::encrypt_blocks(std::span<const Block> in,
+                              std::span<Block> out) const {
+  if (in.size() != lanes || out.size() != lanes)
+    throw std::invalid_argument("AesBs: need exactly one block per lane");
+  State st;
+  for (int i = 0; i < 128; ++i) {
+    W s = bs::SliceTraits<W>::zero();
+    for (std::size_t j = 0; j < lanes; ++j)
+      bs::SliceTraits<W>::set_lane(
+          s, j, (in[j][static_cast<std::size_t>(i / 8)] >> (i % 8)) & 1u);
+    st[static_cast<std::size_t>(i)] = s;
+  }
+  encrypt_slices(st);
+  for (std::size_t j = 0; j < lanes; ++j)
+    for (std::size_t byte = 0; byte < 16; ++byte) {
+      std::uint8_t v = 0;
+      for (std::size_t bit = 0; bit < 8; ++bit)
+        v |= static_cast<std::uint8_t>(
+            bs::SliceTraits<W>::get_lane(st[8 * byte + bit], j) << bit);
+      out[j][byte] = v;
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+template <typename W>
+AesCtrBs<W>::AesCtrBs(std::span<const std::uint8_t> key16,
+                      std::span<const std::uint8_t> nonce12,
+                      std::uint32_t counter0)
+    : cipher_(key16), next_counter_(counter0) {
+  if (nonce12.size() != 12)
+    throw std::invalid_argument("AesCtrBs: nonce must be 12 bytes");
+  std::copy(nonce12.begin(), nonce12.end(), nonce_.begin());
+}
+
+template <typename W>
+void AesCtrBs<W>::fill(std::span<std::uint8_t> out) {
+  std::size_t produced = 0;
+  const auto drain = [&] {
+    const std::size_t n =
+        std::min(buf_.size() - buf_pos_, out.size() - produced);
+    std::copy_n(buf_.begin() + static_cast<std::ptrdiff_t>(buf_pos_), n,
+                out.begin() + static_cast<std::ptrdiff_t>(produced));
+    buf_pos_ += n;
+    produced += n;
+  };
+  drain();  // residue from the previous batch first
+  typename AesBs<W>::State st;
+  while (produced < out.size()) {
+    // Build one batch: lane j encrypts counter next_counter_ + j.
+    for (int i = 0; i < 96; ++i)
+      st[static_cast<std::size_t>(i)] = bs::splat<W>(
+          (nonce_[static_cast<std::size_t>(i / 8)] >> (i % 8)) & 1u);
+    for (int i = 96; i < 128; ++i) {
+      W s = bs::SliceTraits<W>::zero();
+      const int byte = i / 8, bit = i % 8;
+      for (std::size_t j = 0; j < lanes; ++j) {
+        const std::uint32_t ctr = next_counter_ + static_cast<std::uint32_t>(j);
+        const std::uint8_t cb =
+            static_cast<std::uint8_t>(ctr >> (8 * (15 - byte)));
+        bs::SliceTraits<W>::set_lane(s, j, (cb >> bit) & 1u);
+      }
+      st[static_cast<std::size_t>(i)] = s;
+    }
+    cipher_.encrypt_slices(st);
+    next_counter_ += static_cast<std::uint32_t>(lanes);
+    // Serialize the whole batch (block order = counter order), then drain.
+    buf_.resize(16 * lanes);
+    buf_pos_ = 0;
+    for (std::size_t j = 0; j < lanes; ++j)
+      for (std::size_t byte = 0; byte < 16; ++byte) {
+        std::uint8_t v = 0;
+        for (std::size_t bit = 0; bit < 8; ++bit)
+          v |= static_cast<std::uint8_t>(
+              bs::SliceTraits<W>::get_lane(st[8 * byte + bit], j) << bit);
+        buf_[16 * j + byte] = v;
+      }
+    drain();
+  }
+}
+
+template class AesBs<bs::SliceU32>;
+template class AesBs<bs::SliceU64>;
+template class AesBs<bs::SliceV128>;
+template class AesBs<bs::SliceV256>;
+template class AesBs<bs::SliceV512>;
+template class AesBs<bs::CountingSlice>;
+template class AesCtrBs<bs::SliceU32>;
+template class AesCtrBs<bs::SliceU64>;
+template class AesCtrBs<bs::SliceV128>;
+template class AesCtrBs<bs::SliceV256>;
+template class AesCtrBs<bs::SliceV512>;
+
+}  // namespace bsrng::ciphers

@@ -1,0 +1,102 @@
+// aes_bs.hpp — fully bitsliced AES-128 and the CTR-mode PRNG on top of it
+// (§2.3.2, §4.4: "we have implemented the bitsliced version of ... AES").
+//
+// State layout: 128 slices, slice 8*i + k = bit k of state byte i (FIPS-197
+// byte order), lane j = block j.  All four round operations become gate
+// networks over slices:
+//   SubBytes   — GF(2^8) inversion circuit (x^254 addition chain: 4 bitsliced
+//                multiplications + 8 linear squarings) + affine map.  We use
+//                the derivable inversion circuit instead of a transcribed
+//                Boyar-Peralta network; it costs more gates, which is exactly
+//                the "complex bitsliced S-box" effect the paper reports for
+//                AES (§5.2) and which bench_sbox_ablation quantifies.
+//   ShiftRows  — pure slice renaming (a byte-index permutation).
+//   MixColumns — xtime is a wiring permutation plus one conditional XOR, so
+//                each column costs a fixed XOR network.
+//   AddRoundKey— XOR with precomputed round-key slices (splat when all lanes
+//                share a key).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitslice/gatecount.hpp"
+#include "bitslice/slice.hpp"
+#include "ciphers/aes_ref.hpp"
+
+namespace bsrng::ciphers {
+
+template <typename W>
+class AesBs {
+ public:
+  static constexpr std::size_t lanes = bitslice::lane_count<W>;
+  using Block = std::array<std::uint8_t, 16>;
+  using State = std::array<W, 128>;
+
+  // All lanes share one key (the CTR PRNG configuration of Fig. 3);
+  // 16/24/32 bytes select AES-128/192/256.
+  explicit AesBs(std::span<const std::uint8_t> key);
+  // Independent 128-bit key per lane.
+  explicit AesBs(std::span<const Block> lane_keys);
+
+  unsigned rounds() const noexcept { return rounds_; }
+
+  // Encrypt W blocks held column-major.
+  void encrypt_slices(State& st) const noexcept;
+
+  // Encrypt W byte-blocks (lane j = blocks[j]); handles (de)interleave.
+  void encrypt_blocks(std::span<const Block> in, std::span<Block> out) const;
+
+  // --- bitsliced GF(2^8) building blocks (exposed for unit tests) ---
+  static void gf_mul8(const W a[8], const W b[8], W out[8]) noexcept;
+  static void gf_sq8(const W a[8], W out[8]) noexcept;
+  static void gf_inv8(const W a[8], W out[8]) noexcept;
+  static void sbox8(W s[8]) noexcept;
+
+ private:
+  void add_round_key(State& st, unsigned r) const noexcept;
+  static void sub_bytes(State& st) noexcept;
+  static void shift_rows(State& st) noexcept;
+  static void mix_columns(State& st) noexcept;
+
+  // rounds()+1 round keys x 128 slices.
+  unsigned rounds_ = aes::kRounds;
+  std::vector<W> rks_;
+};
+
+// CTR-mode bulk generator producing the byte-identical stream of the scalar
+// aes_ctr_fill oracle: global block m is encrypted in lane m % W of batch
+// m / W, and the output is re-serialized in block order.
+template <typename W>
+class AesCtrBs {
+ public:
+  static constexpr std::size_t lanes = bitslice::lane_count<W>;
+
+  AesCtrBs(std::span<const std::uint8_t> key16,
+           std::span<const std::uint8_t> nonce12, std::uint32_t counter0 = 0);
+
+  void fill(std::span<std::uint8_t> out);
+
+ private:
+  AesBs<W> cipher_;
+  std::array<std::uint8_t, 12> nonce_{};
+  std::uint32_t next_counter_;
+  std::vector<std::uint8_t> buf_;  // serialized batch awaiting consumption
+  std::size_t buf_pos_ = 0;
+};
+
+extern template class AesBs<bitslice::SliceU32>;
+extern template class AesBs<bitslice::SliceU64>;
+extern template class AesBs<bitslice::SliceV128>;
+extern template class AesBs<bitslice::SliceV256>;
+extern template class AesBs<bitslice::SliceV512>;
+extern template class AesBs<bitslice::CountingSlice>;
+extern template class AesCtrBs<bitslice::SliceU32>;
+extern template class AesCtrBs<bitslice::SliceU64>;
+extern template class AesCtrBs<bitslice::SliceV128>;
+extern template class AesCtrBs<bitslice::SliceV256>;
+extern template class AesCtrBs<bitslice::SliceV512>;
+
+}  // namespace bsrng::ciphers

@@ -1,0 +1,109 @@
+#include "ciphers/aes_ref.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace bsrng::ciphers {
+
+using aes::gf_mul;
+using aes::kSbox;
+
+Aes128::Aes128(std::span<const std::uint8_t> key) {
+  if (key.size() != 16 && key.size() != 24 && key.size() != 32)
+    throw std::invalid_argument("AES key must be 128, 192 or 256 bits");
+  rounds_ = aes::rounds_for_key(key.size());
+  // FIPS-197 §5.2 key expansion over 4-byte words w[0 .. 4(Nr+1)-1].
+  const unsigned nk = static_cast<unsigned>(key.size() / 4);
+  const unsigned total_words = 4 * (rounds_ + 1);
+  std::memcpy(round_keys_.data(), key.data(), key.size());
+  std::uint8_t rcon = 0x01;
+  for (unsigned i = nk; i < total_words; ++i) {
+    std::uint8_t temp[4];
+    std::memcpy(temp, round_keys_.data() + 4 * (i - 1), 4);
+    if (i % nk == 0) {
+      // RotWord + SubWord + Rcon.
+      const std::uint8_t t0 = temp[0];
+      temp[0] = static_cast<std::uint8_t>(kSbox[temp[1]] ^ rcon);
+      temp[1] = kSbox[temp[2]];
+      temp[2] = kSbox[temp[3]];
+      temp[3] = kSbox[t0];
+      rcon = gf_mul(rcon, 0x02);
+    } else if (nk > 6 && i % nk == 4) {
+      for (auto& b : temp) b = kSbox[b];
+    }
+    for (unsigned b = 0; b < 4; ++b)
+      round_keys_[4 * i + b] =
+          static_cast<std::uint8_t>(round_keys_[4 * (i - nk) + b] ^ temp[b]);
+  }
+}
+
+namespace {
+
+void sub_bytes(std::uint8_t s[16]) noexcept {
+  for (int i = 0; i < 16; ++i) s[i] = kSbox[s[i]];
+}
+
+// State byte i = s[r][c] with i = 4c + r (FIPS-197 layout).
+void shift_rows(std::uint8_t s[16]) noexcept {
+  std::uint8_t t[16];
+  for (int c = 0; c < 4; ++c)
+    for (int r = 0; r < 4; ++r) t[4 * c + r] = s[4 * ((c + r) % 4) + r];
+  std::memcpy(s, t, 16);
+}
+
+void mix_columns(std::uint8_t s[16]) noexcept {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3);
+    col[1] = static_cast<std::uint8_t>(a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3);
+    col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3));
+    col[3] = static_cast<std::uint8_t>(gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2));
+  }
+}
+
+void add_round_key(std::uint8_t s[16], const std::uint8_t* rk) noexcept {
+  for (int i = 0; i < 16; ++i) s[i] ^= rk[i];
+}
+
+}  // namespace
+
+void Aes128::encrypt_block(const std::uint8_t in[16],
+                           std::uint8_t out[16]) const noexcept {
+  std::uint8_t s[16];
+  std::memcpy(s, in, 16);
+  add_round_key(s, round_keys_.data());
+  for (unsigned r = 1; r < rounds_; ++r) {
+    sub_bytes(s);
+    shift_rows(s);
+    mix_columns(s);
+    add_round_key(s, round_keys_.data() + 16 * r);
+  }
+  sub_bytes(s);
+  shift_rows(s);
+  add_round_key(s, round_keys_.data() + 16 * rounds_);
+  std::memcpy(out, s, 16);
+}
+
+void aes_ctr_fill(const Aes128& cipher, std::span<const std::uint8_t> nonce12,
+                  std::uint32_t counter0, std::span<std::uint8_t> out) {
+  if (nonce12.size() != 12)
+    throw std::invalid_argument("aes_ctr_fill: nonce must be 12 bytes");
+  std::uint8_t block[16], ks[16];
+  std::memcpy(block, nonce12.data(), 12);
+  std::size_t produced = 0;
+  std::uint32_t ctr = counter0;
+  while (produced < out.size()) {
+    block[12] = static_cast<std::uint8_t>(ctr >> 24);
+    block[13] = static_cast<std::uint8_t>(ctr >> 16);
+    block[14] = static_cast<std::uint8_t>(ctr >> 8);
+    block[15] = static_cast<std::uint8_t>(ctr);
+    cipher.encrypt_block(block, ks);
+    const std::size_t n = std::min<std::size_t>(16, out.size() - produced);
+    std::memcpy(out.data() + produced, ks, n);
+    produced += n;
+    ++ctr;
+  }
+}
+
+}  // namespace bsrng::ciphers

@@ -1,0 +1,98 @@
+// aes_ref.hpp — scalar AES-128/192/256 reference (FIPS-197) and CTR-mode
+// PRNG (§2.3.2, Fig. 3: "NIST's AES specification introduces three versions
+// of Rijndael cipher with 10, 12, and 14 rounds of ciphering with 128, 192,
+// and 256 bits of keys").
+//
+// The S-box is computed from its algebraic definition (inversion in GF(2^8)
+// mod x^8+x^4+x^3+x+1 followed by the affine map) rather than transcribed,
+// and all three key sizes are validated against the FIPS-197 Appendix C
+// vectors in the test suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace bsrng::ciphers {
+
+namespace aes {
+
+inline constexpr std::size_t kBlockBytes = 16;
+// Round count for a key of `key_bytes` length (16/24/32 -> 10/12/14).
+constexpr unsigned rounds_for_key(std::size_t key_bytes) {
+  return static_cast<unsigned>(key_bytes / 4 + 6);
+}
+inline constexpr unsigned kRounds = 10;       // AES-128 (compat alias)
+inline constexpr std::size_t kKeyBytes = 16;  // AES-128 (compat alias)
+inline constexpr unsigned kMaxRounds = 14;
+
+// Multiply in GF(2^8) mod x^8 + x^4 + x^3 + x + 1 (0x11B).
+constexpr std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1u) r ^= a;
+    const bool hi = a & 0x80u;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (hi) a ^= 0x1Bu;
+    b >>= 1;
+  }
+  return r;
+}
+
+constexpr std::uint8_t gf_inv(std::uint8_t a) {
+  if (a == 0) return 0;
+  // a^254 = a^-1 in GF(2^8).
+  std::uint8_t r = 1;
+  for (int e = 0; e < 254; ++e) r = gf_mul(r, a);
+  return r;
+}
+
+constexpr std::uint8_t affine(std::uint8_t b) {
+  std::uint8_t out = 0;
+  for (int j = 0; j < 8; ++j) {
+    const int bit = ((b >> j) ^ (b >> ((j + 4) % 8)) ^ (b >> ((j + 5) % 8)) ^
+                     (b >> ((j + 6) % 8)) ^ (b >> ((j + 7) % 8)) ^
+                     (0x63 >> j)) &
+                    1;
+    out |= static_cast<std::uint8_t>(bit << j);
+  }
+  return out;
+}
+
+constexpr std::array<std::uint8_t, 256> make_sbox() {
+  std::array<std::uint8_t, 256> s{};
+  for (unsigned v = 0; v < 256; ++v)
+    s[v] = affine(gf_inv(static_cast<std::uint8_t>(v)));
+  return s;
+}
+
+inline constexpr std::array<std::uint8_t, 256> kSbox = make_sbox();
+
+}  // namespace aes
+
+// AES block encryption with precomputed key schedule; 128-, 192- or 256-bit
+// keys (10/12/14 rounds).
+class Aes128 {
+ public:
+  explicit Aes128(std::span<const std::uint8_t> key);
+
+  unsigned rounds() const noexcept { return rounds_; }
+
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const noexcept;
+
+  // Round key r (0..rounds()), 16 bytes each, for the bitsliced engine.
+  std::span<const std::uint8_t> round_key(unsigned r) const noexcept {
+    return {round_keys_.data() + 16 * r, 16};
+  }
+
+ private:
+  unsigned rounds_;
+  std::array<std::uint8_t, 16 * (aes::kMaxRounds + 1)> round_keys_{};
+};
+
+// CTR-mode keystream: block m is E_K(nonce96 || big-endian32(counter0 + m)).
+// Fills `out` with consecutive keystream bytes (Fig. 3's PRNG construction).
+void aes_ctr_fill(const Aes128& cipher, std::span<const std::uint8_t> nonce12,
+                  std::uint32_t counter0, std::span<std::uint8_t> out);
+
+}  // namespace bsrng::ciphers

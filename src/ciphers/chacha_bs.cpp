@@ -1,0 +1,145 @@
+#include "ciphers/chacha_bs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bsrng::ciphers {
+
+namespace bs = bsrng::bitslice;
+
+namespace {
+constexpr std::array<std::uint32_t, 4> kSigma = {
+    0x61707865u, 0x3320646Eu, 0x79622D32u, 0x6B206574u};
+
+std::uint32_t load_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+// Broadcast a scalar 32-bit word into a bitsliced word.
+template <typename W>
+void splat_word(std::uint32_t v, std::array<W, 32>& out) {
+  for (int i = 0; i < 32; ++i)
+    out[static_cast<std::size_t>(i)] = bs::splat<W>((v >> i) & 1u);
+}
+}  // namespace
+
+template <typename W>
+void ChaCha20Bs<W>::add32(Word& a, const Word& b) noexcept {
+  // Ripple-carry adder over slices; the final carry out is discarded
+  // (mod 2^32).  5 gates per bit stage.
+  W carry = bs::SliceTraits<W>::zero();
+  for (std::size_t i = 0; i < 32; ++i) {
+    const W t = a[i] ^ b[i];
+    const W s = t ^ carry;
+    if (i + 1 < 32) carry = (a[i] & b[i]) | (carry & t);
+    a[i] = s;
+  }
+}
+
+template <typename W>
+void ChaCha20Bs<W>::xor32(Word& a, const Word& b) noexcept {
+  for (std::size_t i = 0; i < 32; ++i) a[i] ^= b[i];
+}
+
+template <typename W>
+void ChaCha20Bs<W>::rotl32(Word& a, unsigned n) noexcept {
+  // Pure renaming: no gates (the bitsliced free lunch the paper's §4.3
+  // describes for shifts applies to rotations too).
+  std::rotate(a.begin(), a.begin() + (32 - n), a.end());
+}
+
+template <typename W>
+void ChaCha20Bs<W>::quarter_round(Word& a, Word& b, Word& c, Word& d) noexcept {
+  add32(a, b); xor32(d, a); rotl32(d, 16);
+  add32(c, d); xor32(b, c); rotl32(b, 12);
+  add32(a, b); xor32(d, a); rotl32(d, 8);
+  add32(c, d); xor32(b, c); rotl32(b, 7);
+}
+
+template <typename W>
+ChaCha20Bs<W>::ChaCha20Bs(std::span<const std::uint8_t> key,
+                          std::span<const std::uint8_t> nonce,
+                          std::uint32_t counter0)
+    : next_counter_(counter0) {
+  if (key.size() != ChaCha20Ref::kKeyBytes)
+    throw std::invalid_argument("ChaCha20Bs: key must be 32 bytes");
+  if (nonce.size() != ChaCha20Ref::kNonceBytes)
+    throw std::invalid_argument("ChaCha20Bs: nonce must be 12 bytes");
+  for (std::size_t i = 0; i < 8; ++i) key_words_[i] = load_le(key.data() + 4 * i);
+  for (std::size_t i = 0; i < 3; ++i)
+    nonce_words_[i] = load_le(nonce.data() + 4 * i);
+}
+
+template <typename W>
+void ChaCha20Bs<W>::generate_batch() {
+  // Build the 16-word state: all words identical across lanes except the
+  // block counter (word 12), which is counter0 + lane.
+  std::array<Word, 16> st;
+  for (std::size_t i = 0; i < 4; ++i) splat_word(kSigma[i], st[i]);
+  for (std::size_t i = 0; i < 8; ++i) splat_word(key_words_[i], st[4 + i]);
+  for (int bit = 0; bit < 32; ++bit) {
+    W s = bs::SliceTraits<W>::zero();
+    for (std::size_t j = 0; j < lanes; ++j)
+      bs::SliceTraits<W>::set_lane(
+          s, j,
+          ((next_counter_ + static_cast<std::uint32_t>(j)) >> bit) & 1u);
+    st[12][static_cast<std::size_t>(bit)] = s;
+  }
+  for (std::size_t i = 0; i < 3; ++i) splat_word(nonce_words_[i], st[13 + i]);
+
+  std::array<Word, 16> w = st;
+  for (unsigned r = 0; r < ChaCha20Ref::kRounds; r += 2) {
+    quarter_round(w[0], w[4], w[8], w[12]);
+    quarter_round(w[1], w[5], w[9], w[13]);
+    quarter_round(w[2], w[6], w[10], w[14]);
+    quarter_round(w[3], w[7], w[11], w[15]);
+    quarter_round(w[0], w[5], w[10], w[15]);
+    quarter_round(w[1], w[6], w[11], w[12]);
+    quarter_round(w[2], w[7], w[8], w[13]);
+    quarter_round(w[3], w[4], w[9], w[14]);
+  }
+  for (std::size_t i = 0; i < 16; ++i) add32(w[i], st[i]);
+
+  // Serialize in block (= counter) order: lane j's 64 bytes are bytes
+  // [64*j, 64*j+64) of the batch.
+  buf_.resize(64 * lanes);
+  buf_pos_ = 0;
+  for (std::size_t j = 0; j < lanes; ++j)
+    for (std::size_t i = 0; i < 16; ++i) {
+      std::uint32_t v = 0;
+      for (int bit = 0; bit < 32; ++bit)
+        v |= static_cast<std::uint32_t>(
+                 bs::SliceTraits<W>::get_lane(w[i][static_cast<std::size_t>(bit)], j))
+             << bit;
+      buf_[64 * j + 4 * i] = static_cast<std::uint8_t>(v);
+      buf_[64 * j + 4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+      buf_[64 * j + 4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+      buf_[64 * j + 4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+    }
+  next_counter_ += static_cast<std::uint32_t>(lanes);
+}
+
+template <typename W>
+void ChaCha20Bs<W>::fill(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    if (buf_pos_ == buf_.size()) generate_batch();
+    const std::size_t n = std::min(buf_.size() - buf_pos_, out.size() - i);
+    std::copy_n(buf_.begin() + static_cast<std::ptrdiff_t>(buf_pos_), n,
+                out.begin() + static_cast<std::ptrdiff_t>(i));
+    buf_pos_ += n;
+    i += n;
+  }
+}
+
+template class ChaCha20Bs<bs::SliceU32>;
+template class ChaCha20Bs<bs::SliceU64>;
+template class ChaCha20Bs<bs::SliceV128>;
+template class ChaCha20Bs<bs::SliceV256>;
+template class ChaCha20Bs<bs::SliceV512>;
+template class ChaCha20Bs<bs::CountingSlice>;
+
+}  // namespace bsrng::ciphers

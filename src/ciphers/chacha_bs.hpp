@@ -1,0 +1,58 @@
+// chacha_bs.hpp — bitsliced ChaCha20: the ARX counter-example.
+//
+// Lane j computes block counter0 + j of the same (key, nonce) stream, so W
+// lanes fill 64*W keystream bytes per block evaluation — structurally the
+// same CTR parallelism as AesCtrBs.  But ChaCha's additions must be built
+// from gates: a 32-bit add costs a 158-gate ripple-carry circuit where the
+// scalar CPU pays one instruction.  bench_sbox_ablation/EXPERIMENTS E9/E10
+// use the CountingSlice audit of this engine to quantify the paper's
+// implicit claim that bitslicing suits XOR/AND/shift ciphers, not ARX.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitslice/gatecount.hpp"
+#include "bitslice/slice.hpp"
+#include "ciphers/chacha_ref.hpp"
+
+namespace bsrng::ciphers {
+
+template <typename W>
+class ChaCha20Bs {
+ public:
+  static constexpr std::size_t lanes = bitslice::lane_count<W>;
+  using Word = std::array<W, 32>;  // one bitsliced 32-bit word
+
+  ChaCha20Bs(std::span<const std::uint8_t> key,
+             std::span<const std::uint8_t> nonce, std::uint32_t counter0 = 0);
+
+  // Byte-identical to ChaCha20Ref::fill for the same key/nonce/counter.
+  void fill(std::span<std::uint8_t> out);
+
+  // --- bitsliced ARX primitives (exposed for unit tests / gate audits) ---
+  static void add32(Word& a, const Word& b) noexcept;     // a += b (mod 2^32)
+  static void xor32(Word& a, const Word& b) noexcept;     // a ^= b
+  static void rotl32(Word& a, unsigned n) noexcept;       // a = rotl(a, n)
+  static void quarter_round(Word& a, Word& b, Word& c, Word& d) noexcept;
+
+ private:
+  void generate_batch();
+
+  std::array<std::uint32_t, 8> key_words_{};
+  std::array<std::uint32_t, 3> nonce_words_{};
+  std::uint32_t next_counter_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t buf_pos_ = 0;
+};
+
+extern template class ChaCha20Bs<bitslice::SliceU32>;
+extern template class ChaCha20Bs<bitslice::SliceU64>;
+extern template class ChaCha20Bs<bitslice::SliceV128>;
+extern template class ChaCha20Bs<bitslice::SliceV256>;
+extern template class ChaCha20Bs<bitslice::SliceV512>;
+extern template class ChaCha20Bs<bitslice::CountingSlice>;
+
+}  // namespace bsrng::ciphers

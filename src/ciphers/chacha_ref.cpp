@@ -1,0 +1,82 @@
+#include "ciphers/chacha_ref.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace bsrng::ciphers {
+
+namespace {
+constexpr std::array<std::uint32_t, 4> kSigma = {
+    0x61707865u, 0x3320646Eu, 0x79622D32u, 0x6B206574u};  // "expand 32-byte k"
+
+std::uint32_t load_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+}  // namespace
+
+void ChaCha20Ref::quarter_round(std::uint32_t& a, std::uint32_t& b,
+                                std::uint32_t& c, std::uint32_t& d) noexcept {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+void ChaCha20Ref::block(const std::array<std::uint32_t, 8>& key_words,
+                        const std::array<std::uint32_t, 3>& nonce_words,
+                        std::uint32_t counter, std::uint8_t out[64]) noexcept {
+  std::array<std::uint32_t, 16> st;
+  for (int i = 0; i < 4; ++i) st[static_cast<std::size_t>(i)] = kSigma[static_cast<std::size_t>(i)];
+  for (int i = 0; i < 8; ++i) st[static_cast<std::size_t>(4 + i)] = key_words[static_cast<std::size_t>(i)];
+  st[12] = counter;
+  for (int i = 0; i < 3; ++i) st[static_cast<std::size_t>(13 + i)] = nonce_words[static_cast<std::size_t>(i)];
+
+  std::array<std::uint32_t, 16> w = st;
+  for (unsigned r = 0; r < kRounds; r += 2) {
+    quarter_round(w[0], w[4], w[8], w[12]);
+    quarter_round(w[1], w[5], w[9], w[13]);
+    quarter_round(w[2], w[6], w[10], w[14]);
+    quarter_round(w[3], w[7], w[11], w[15]);
+    quarter_round(w[0], w[5], w[10], w[15]);
+    quarter_round(w[1], w[6], w[11], w[12]);
+    quarter_round(w[2], w[7], w[8], w[13]);
+    quarter_round(w[3], w[4], w[9], w[14]);
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::uint32_t v = w[i] + st[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+ChaCha20Ref::ChaCha20Ref(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> nonce,
+                         std::uint32_t counter0)
+    : counter_(counter0) {
+  if (key.size() != kKeyBytes)
+    throw std::invalid_argument("ChaCha20 key must be 32 bytes");
+  if (nonce.size() != kNonceBytes)
+    throw std::invalid_argument("ChaCha20 nonce must be 12 bytes");
+  for (std::size_t i = 0; i < 8; ++i) key_words_[i] = load_le(key.data() + 4 * i);
+  for (std::size_t i = 0; i < 3; ++i)
+    nonce_words_[i] = load_le(nonce.data() + 4 * i);
+}
+
+void ChaCha20Ref::fill(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    if (buf_pos_ == kBlockBytes) {
+      block(key_words_, nonce_words_, counter_++, buf_.data());
+      buf_pos_ = 0;
+    }
+    while (buf_pos_ < kBlockBytes && i < out.size())
+      out[i++] = buf_[buf_pos_++];
+  }
+}
+
+}  // namespace bsrng::ciphers

@@ -1,0 +1,47 @@
+// chacha_ref.hpp — scalar ChaCha20 reference (RFC 8439).
+//
+// Included as the modern ARX (add-rotate-xor) stream cipher counterpoint:
+// §4.1 argues bitslicing wins by reducing work to "hardware-friendly basic
+// bit-level operations"; ChaCha's 32-bit additions are exactly the operation
+// that does NOT reduce — the bitsliced variant (chacha_bs) needs a
+// ripple-carry adder circuit per add, quantifying why the paper's approach
+// targets LFSR-based ciphers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace bsrng::ciphers {
+
+class ChaCha20Ref {
+ public:
+  static constexpr std::size_t kKeyBytes = 32;
+  static constexpr std::size_t kNonceBytes = 12;
+  static constexpr std::size_t kBlockBytes = 64;
+  static constexpr unsigned kRounds = 20;
+
+  ChaCha20Ref(std::span<const std::uint8_t> key,
+              std::span<const std::uint8_t> nonce,
+              std::uint32_t counter0 = 0);
+
+  // The pure block function: 64 keystream bytes for block counter `counter`.
+  static void block(const std::array<std::uint32_t, 8>& key_words,
+                    const std::array<std::uint32_t, 3>& nonce_words,
+                    std::uint32_t counter, std::uint8_t out[64]) noexcept;
+
+  // Streaming interface (counter auto-increments; residue buffered).
+  void fill(std::span<std::uint8_t> out);
+
+  static void quarter_round(std::uint32_t& a, std::uint32_t& b,
+                            std::uint32_t& c, std::uint32_t& d) noexcept;
+
+ private:
+  std::array<std::uint32_t, 8> key_words_{};
+  std::array<std::uint32_t, 3> nonce_words_{};
+  std::uint32_t counter_;
+  std::array<std::uint8_t, kBlockBytes> buf_{};
+  std::size_t buf_pos_ = kBlockBytes;  // empty
+};
+
+}  // namespace bsrng::ciphers

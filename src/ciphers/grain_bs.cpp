@@ -1,0 +1,99 @@
+#include "bitslice/gatecount.hpp"
+#include "ciphers/grain_bs.hpp"
+
+#include <stdexcept>
+
+#include "lfsr/bitsliced_lfsr.hpp"  // splitmix64
+
+namespace bsrng::ciphers {
+
+namespace bs = bsrng::bitslice;
+
+template <typename W>
+GrainBs<W>::GrainBs(std::span<const KeyBytes> keys,
+                    std::span<const IvBytes> ivs) {
+  if (keys.size() != lanes || ivs.size() != lanes)
+    throw std::invalid_argument("GrainBs: need one key and IV per lane");
+  for (std::size_t i = 0; i < kRegBits; ++i) {
+    W bv = bs::SliceTraits<W>::zero();
+    W sv = i < 64 ? bs::SliceTraits<W>::zero() : bs::SliceTraits<W>::ones();
+    for (std::size_t j = 0; j < lanes; ++j) {
+      bs::SliceTraits<W>::set_lane(bv, j, (keys[j][i / 8] >> (i % 8)) & 1u);
+      if (i < 64)
+        bs::SliceTraits<W>::set_lane(sv, j, (ivs[j][i / 8] >> (i % 8)) & 1u);
+    }
+    b_[i] = bv;
+    s_[i] = sv;
+  }
+  for (std::size_t t = 0; t < GrainRef::kInitClocks; ++t) {
+    const W z = output_slice();
+    shift(lfsr_feedback() ^ z, nfsr_feedback() ^ z);
+  }
+}
+
+template <typename W>
+GrainBs<W>::GrainBs(std::uint64_t master_seed) {
+  std::vector<KeyBytes> keys(lanes);
+  std::vector<IvBytes> ivs(lanes);
+  std::uint64_t x = master_seed;
+  const auto fill = [&x](std::span<std::uint8_t> out) {
+    for (std::size_t bpos = 0; bpos < out.size(); bpos += 8) {
+      const std::uint64_t w = lfsr::splitmix64(x);
+      for (std::size_t k = 0; k < 8 && bpos + k < out.size(); ++k)
+        out[bpos + k] = static_cast<std::uint8_t>(w >> (8 * k));
+    }
+  };
+  for (std::size_t j = 0; j < lanes; ++j) {
+    fill(keys[j]);
+    fill(ivs[j]);
+  }
+  *this = GrainBs(keys, ivs);
+}
+
+template <typename W>
+W GrainBs<W>::lfsr_feedback() const noexcept {
+  return s(62) ^ s(51) ^ s(38) ^ s(23) ^ s(13) ^ s(0);
+}
+
+template <typename W>
+W GrainBs<W>::nfsr_feedback() const noexcept {
+  const W lin = b(62) ^ b(60) ^ b(52) ^ b(45) ^ b(37) ^ b(33) ^ b(28) ^
+                b(21) ^ b(14) ^ b(9) ^ b(0);
+  W g = lin;
+  g ^= b(63) & b(60);
+  g ^= b(37) & b(33);
+  g ^= b(15) & b(9);
+  g ^= b(60) & b(52) & b(45);
+  g ^= b(33) & b(28) & b(21);
+  g ^= b(63) & b(45) & b(28) & b(9);
+  g ^= b(60) & b(52) & b(37) & b(33);
+  g ^= b(63) & b(60) & b(21) & b(15);
+  g ^= b(63) & b(60) & b(52) & b(45) & b(37);
+  g ^= b(33) & b(28) & b(21) & b(15) & b(9);
+  g ^= b(52) & b(45) & b(37) & b(33) & b(28) & b(21);
+  return g ^ s(0);
+}
+
+template <typename W>
+W GrainBs<W>::output_slice() const noexcept {
+  const W x0 = s(3), x1 = s(25), x2 = s(46), x3 = s(64), x4 = b(63);
+  W h = x1 ^ x4;
+  h ^= x0 & x3;
+  h ^= x2 & x3;
+  h ^= x3 & x4;
+  h ^= x0 & x1 & x2;
+  h ^= x0 & x2 & x3;
+  h ^= x0 & x2 & x4;
+  h ^= x1 & x2 & x4;
+  h ^= x2 & x3 & x4;
+  return h ^ b(1) ^ b(2) ^ b(4) ^ b(10) ^ b(31) ^ b(43) ^ b(56);
+}
+
+template class GrainBs<bs::SliceU32>;
+template class GrainBs<bs::SliceU64>;
+template class GrainBs<bs::SliceV128>;
+template class GrainBs<bs::SliceV256>;
+template class GrainBs<bs::SliceV512>;
+template class GrainBs<bs::CountingSlice>;
+
+}  // namespace bsrng::ciphers

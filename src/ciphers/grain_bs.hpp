@@ -1,0 +1,82 @@
+// grain_bs.hpp — bitsliced Grain v1 (§2.3.3, Fig. 4).
+//
+// Two circular banks of 80 slices (LFSR + NFSR).  Both registers shift every
+// clock, so the Fig. 8 register-renaming trick applies directly: advancing
+// the shared head index replaces 2 x 80 bit shifts with zero data movement,
+// and f/g/h evaluate as full-width gates over all W lanes at once.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitslice/gatecount.hpp"
+#include "bitslice/slice.hpp"
+#include "ciphers/grain_ref.hpp"
+
+namespace bsrng::ciphers {
+
+template <typename W>
+class GrainBs {
+ public:
+  static constexpr std::size_t lanes = bitslice::lane_count<W>;
+  static constexpr std::size_t kRegBits = GrainRef::kRegBits;
+  using KeyBytes = std::array<std::uint8_t, GrainRef::kKeyBytes>;
+  using IvBytes = std::array<std::uint8_t, GrainRef::kIvBytes>;
+
+  GrainBs(std::span<const KeyBytes> keys, std::span<const IvBytes> ivs);
+  explicit GrainBs(std::uint64_t master_seed);
+
+  // One keystream slice (bit j = lane j's next keystream bit).
+  W step() noexcept {
+    const W z = output_slice();
+    shift(lfsr_feedback(), nfsr_feedback());
+    return z;
+  }
+
+  void generate(std::span<W> out) noexcept {
+    for (auto& o : out) o = step();
+  }
+
+  bool lfsr_lane_bit(std::size_t i, std::size_t lane) const {
+    return bitslice::SliceTraits<W>::get_lane(s(i), lane);
+  }
+  bool nfsr_lane_bit(std::size_t i, std::size_t lane) const {
+    return bitslice::SliceTraits<W>::get_lane(b(i), lane);
+  }
+
+ private:
+  const W& s(std::size_t i) const noexcept { return s_[pos(i)]; }
+  const W& b(std::size_t i) const noexcept { return b_[pos(i)]; }
+  std::size_t pos(std::size_t i) const noexcept {
+    std::size_t p = head_ + i;
+    if (p >= kRegBits) p -= kRegBits;
+    return p;
+  }
+
+  W output_slice() const noexcept;
+  W lfsr_feedback() const noexcept;
+  W nfsr_feedback() const noexcept;
+
+  void shift(const W& s_in, const W& b_in) noexcept {
+    // Renaming shift: stage 0 slot becomes the new stage 79 slot.
+    s_[head_] = s_in;
+    b_[head_] = b_in;
+    ++head_;
+    if (head_ == kRegBits) head_ = 0;
+  }
+
+  std::array<W, kRegBits> s_{};
+  std::array<W, kRegBits> b_{};
+  std::size_t head_ = 0;
+};
+
+extern template class GrainBs<bitslice::SliceU32>;
+extern template class GrainBs<bitslice::SliceU64>;
+extern template class GrainBs<bitslice::SliceV128>;
+extern template class GrainBs<bitslice::SliceV256>;
+extern template class GrainBs<bitslice::SliceV512>;
+extern template class GrainBs<bitslice::CountingSlice>;
+
+}  // namespace bsrng::ciphers

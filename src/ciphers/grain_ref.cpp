@@ -1,0 +1,91 @@
+#include "ciphers/grain_ref.hpp"
+
+#include <stdexcept>
+
+namespace bsrng::ciphers {
+
+GrainRef::GrainRef(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> iv) {
+  if (key.size() != kKeyBytes)
+    throw std::invalid_argument("Grain v1 key must be 80 bits");
+  if (iv.size() != kIvBytes)
+    throw std::invalid_argument("Grain v1 IV must be 64 bits");
+  for (std::size_t i = 0; i < kRegBits; ++i)
+    b_[i] = (key[i / 8] >> (i % 8)) & 1u;
+  for (std::size_t i = 0; i < 64; ++i)
+    s_[i] = (iv[i / 8] >> (i % 8)) & 1u;
+  for (std::size_t i = 64; i < kRegBits; ++i) s_[i] = true;
+  // 160 initialization clocks with the output bit fed back into both
+  // registers (spec §2.1: "the cipher is clocked 160 times without
+  // producing keystream").
+  for (std::size_t t = 0; t < kInitClocks; ++t) {
+    const bool z = output_bit();
+    shift(lfsr_feedback() != z, nfsr_feedback() != z);
+  }
+}
+
+bool GrainRef::lfsr_feedback() const noexcept {
+  // f(x) = 1 + x^18 + x^29 + x^42 + x^57 + x^67 + x^80:
+  // s_{i+80} = s_{i+62} + s_{i+51} + s_{i+38} + s_{i+23} + s_{i+13} + s_i.
+  return static_cast<bool>(s_[62] ^ s_[51] ^ s_[38] ^ s_[23] ^ s_[13] ^ s_[0]);
+}
+
+bool GrainRef::nfsr_feedback() const noexcept {
+  const auto& b = b_;
+  bool g = static_cast<bool>(b[62] ^ b[60] ^ b[52] ^ b[45] ^ b[37] ^ b[33] ^
+                            b[28] ^ b[21] ^ b[14] ^ b[9] ^ b[0]);
+  g = g != (b[63] && b[60]);
+  g = g != (b[37] && b[33]);
+  g = g != (b[15] && b[9]);
+  g = g != (b[60] && b[52] && b[45]);
+  g = g != (b[33] && b[28] && b[21]);
+  g = g != (b[63] && b[45] && b[28] && b[9]);
+  g = g != (b[60] && b[52] && b[37] && b[33]);
+  g = g != (b[63] && b[60] && b[21] && b[15]);
+  g = g != (b[63] && b[60] && b[52] && b[45] && b[37]);
+  g = g != (b[33] && b[28] && b[21] && b[15] && b[9]);
+  g = g != (b[52] && b[45] && b[37] && b[33] && b[28] && b[21]);
+  // b_{i+80} = s_i + g(...).
+  return g != s_[0];
+}
+
+bool GrainRef::output_bit() const noexcept {
+  const bool x0 = s_[3], x1 = s_[25], x2 = s_[46], x3 = s_[64], x4 = b_[63];
+  bool h = x1 != x4;
+  h = h != (x0 && x3);
+  h = h != (x2 && x3);
+  h = h != (x3 && x4);
+  h = h != (x0 && x1 && x2);
+  h = h != (x0 && x2 && x3);
+  h = h != (x0 && x2 && x4);
+  h = h != (x1 && x2 && x4);
+  h = h != (x2 && x3 && x4);
+  // z = sum_{k in A} b_{i+k} + h,  A = {1, 2, 4, 10, 31, 43, 56}.
+  bool z = h;
+  for (const std::size_t k : {1u, 2u, 4u, 10u, 31u, 43u, 56u}) z = z != b_[k];
+  return z;
+}
+
+void GrainRef::shift(bool s_in, bool b_in) noexcept {
+  for (std::size_t i = 0; i + 1 < kRegBits; ++i) {
+    s_[i] = s_[i + 1];
+    b_[i] = b_[i + 1];
+  }
+  s_[kRegBits - 1] = s_in;
+  b_[kRegBits - 1] = b_in;
+}
+
+bool GrainRef::step() noexcept {
+  const bool z = output_bit();
+  shift(lfsr_feedback(), nfsr_feedback());
+  return z;
+}
+
+std::uint32_t GrainRef::step32() noexcept {
+  std::uint32_t w = 0;
+  for (unsigned i = 0; i < 32; ++i)
+    w |= static_cast<std::uint32_t>(step()) << i;
+  return w;
+}
+
+}  // namespace bsrng::ciphers

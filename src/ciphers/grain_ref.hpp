@@ -1,0 +1,41 @@
+// grain_ref.hpp — scalar Grain v1 reference (Hell, Johansson & Meier; §2.3.3).
+//
+// 80-bit key, 64-bit IV, one keystream bit per clock after 160 blank rounds.
+// Bit-at-a-time oracle for the bitsliced engine; bytes are consumed
+// LSB-first (bit 0 of byte 0 is k_0 / iv_0).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace bsrng::ciphers {
+
+class GrainRef {
+ public:
+  static constexpr std::size_t kRegBits = 80;
+  static constexpr std::size_t kKeyBytes = 10;
+  static constexpr std::size_t kIvBytes = 8;
+  static constexpr std::size_t kInitClocks = 160;
+
+  GrainRef(std::span<const std::uint8_t> key, std::span<const std::uint8_t> iv);
+
+  // Next keystream bit.
+  bool step() noexcept;
+
+  std::uint32_t step32() noexcept;
+
+  bool lfsr_bit(std::size_t i) const noexcept { return s_[i]; }
+  bool nfsr_bit(std::size_t i) const noexcept { return b_[i]; }
+
+ private:
+  bool output_bit() const noexcept;
+  bool lfsr_feedback() const noexcept;
+  bool nfsr_feedback() const noexcept;
+  void shift(bool s_in, bool b_in) noexcept;
+
+  std::array<bool, kRegBits> s_{};  // LFSR
+  std::array<bool, kRegBits> b_{};  // NFSR
+};
+
+}  // namespace bsrng::ciphers

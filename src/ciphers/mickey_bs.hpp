@@ -1,0 +1,74 @@
+// mickey_bs.hpp — bitsliced MICKEY 2.0 (§4.4, Fig. 9).
+//
+// Column-major state: 2 x 100 slices (the paper's "200 registers, each
+// containing 32 bits" for W = 32), lane j running an independent key/IV.
+// The spec's irregular clocking — the part the designers call "not so
+// straightforward" to parallelize — becomes branch-free lane-wise boolean
+// algebra: the control bits are slices, and every conditional of CLOCK_R /
+// CLOCK_S turns into AND/XOR gates applied to all W instances at once.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitslice/gatecount.hpp"
+#include "bitslice/slice.hpp"
+#include "ciphers/mickey_tables.hpp"
+
+namespace bsrng::ciphers {
+
+template <typename W>
+class MickeyBs {
+ public:
+  static constexpr std::size_t lanes = bitslice::lane_count<W>;
+  using KeyBytes = std::array<std::uint8_t, mickey::kKeyBits / 8>;
+  using IvBytes = std::array<std::uint8_t, mickey::kMaxIvBits / 8>;
+
+  // One independent (key, IV) per lane; iv_bits of each IV are used
+  // (multiple of 8, at most 80).
+  MickeyBs(std::span<const KeyBytes> keys, std::span<const IvBytes> ivs,
+           std::size_t iv_bits);
+
+  // Convenience: derive `lanes` distinct key/IV pairs from a master seed
+  // (the paper's "non-linear function to expand a carefully selected
+  // pre-stored random number set", §4.4 — here a splitmix64 expansion).
+  explicit MickeyBs(std::uint64_t master_seed);
+
+  // One keystream slice: bit j = next keystream bit of lane j
+  // ("each thread at each clock cycle generates 32 random bits").
+  W step() noexcept {
+    const W z = r_[0] ^ s_[0];
+    clock_kg(/*mixing=*/false, bitslice::SliceTraits<W>::zero());
+    return z;
+  }
+
+  void generate(std::span<W> out) noexcept {
+    for (auto& o : out) o = step();
+  }
+
+  bool r_lane_bit(std::size_t i, std::size_t lane) const {
+    return bitslice::SliceTraits<W>::get_lane(r_[i], lane);
+  }
+  bool s_lane_bit(std::size_t i, std::size_t lane) const {
+    return bitslice::SliceTraits<W>::get_lane(s_[i], lane);
+  }
+
+ private:
+  void clock_r(const W& input, const W& control) noexcept;
+  void clock_s(const W& input, const W& control) noexcept;
+  void clock_kg(bool mixing, const W& input) noexcept;
+
+  std::array<W, mickey::kStateBits> r_{};
+  std::array<W, mickey::kStateBits> s_{};
+};
+
+extern template class MickeyBs<bitslice::SliceU32>;
+extern template class MickeyBs<bitslice::SliceU64>;
+extern template class MickeyBs<bitslice::SliceV128>;
+extern template class MickeyBs<bitslice::SliceV256>;
+extern template class MickeyBs<bitslice::SliceV512>;
+extern template class MickeyBs<bitslice::CountingSlice>;
+
+}  // namespace bsrng::ciphers

@@ -1,0 +1,70 @@
+#include "ciphers/mickey_ref.hpp"
+
+#include <stdexcept>
+
+namespace bsrng::ciphers {
+
+using namespace mickey;
+
+MickeyRef::MickeyRef(std::span<const std::uint8_t> key,
+                     std::span<const std::uint8_t> iv) {
+  if (key.size() != kKeyBits / 8)
+    throw std::invalid_argument("MICKEY 2.0 key must be 80 bits");
+  if (iv.size() * 8 > kMaxIvBits)
+    throw std::invalid_argument("MICKEY 2.0 IV must be at most 80 bits");
+  // Load IV, then key, with mixing; then 100 mixing pre-clocks (spec order).
+  for (std::size_t i = 0; i < iv.size() * 8; ++i)
+    clock_kg(/*mixing=*/true, (iv[i / 8] >> (i % 8)) & 1u);
+  for (std::size_t i = 0; i < kKeyBits; ++i)
+    clock_kg(/*mixing=*/true, (key[i / 8] >> (i % 8)) & 1u);
+  for (std::size_t i = 0; i < kPreclocks; ++i) clock_kg(/*mixing=*/true, false);
+}
+
+void MickeyRef::clock_r(bool input_bit, bool control_bit) noexcept {
+  const bool feedback = r_[99] != input_bit;
+  std::array<bool, kStateBits> next{};
+  for (std::size_t i = kStateBits - 1; i >= 1; --i) next[i] = r_[i - 1];
+  next[0] = false;
+  for (std::size_t i = 0; i < kStateBits; ++i) {
+    if (table_bit(kRMask, i) && feedback) next[i] = !next[i];
+    if (control_bit) next[i] = next[i] != r_[i];
+  }
+  r_ = next;
+}
+
+void MickeyRef::clock_s(bool input_bit, bool control_bit) noexcept {
+  const bool feedback = s_[99] != input_bit;
+  std::array<bool, kStateBits> hat{};
+  hat[0] = false;
+  for (std::size_t i = 1; i <= 98; ++i)
+    hat[i] = s_[i - 1] !=
+             ((s_[i] != table_bit(kComp0, i)) && (s_[i + 1] != table_bit(kComp1, i)));
+  hat[99] = s_[98];
+  const auto& fb = control_bit ? kFb1 : kFb0;
+  for (std::size_t i = 0; i < kStateBits; ++i)
+    s_[i] = hat[i] != (table_bit(fb, i) && feedback);
+}
+
+void MickeyRef::clock_kg(bool mixing, bool input_bit) noexcept {
+  const bool control_bit_r = s_[kCtrlR_S] != r_[kCtrlR_R];
+  const bool control_bit_s = s_[kCtrlS_S] != r_[kCtrlS_R];
+  const bool input_bit_r = mixing ? (input_bit != s_[kMixTap]) : input_bit;
+  const bool input_bit_s = input_bit;
+  clock_r(input_bit_r, control_bit_r);
+  clock_s(input_bit_s, control_bit_s);
+}
+
+bool MickeyRef::step() noexcept {
+  const bool z = r_[0] != s_[0];
+  clock_kg(/*mixing=*/false, false);
+  return z;
+}
+
+std::uint32_t MickeyRef::step32() noexcept {
+  std::uint32_t w = 0;
+  for (unsigned i = 0; i < 32; ++i)
+    w |= static_cast<std::uint32_t>(step()) << i;
+  return w;
+}
+
+}  // namespace bsrng::ciphers

@@ -1,0 +1,42 @@
+// mickey_ref.hpp — scalar (row-major) MICKEY 2.0 reference (§2.3.1).
+//
+// Bit-at-a-time implementation following the spec's CLOCK_R / CLOCK_S /
+// CLOCK_KG decomposition.  Deliberately naive: this is the oracle the
+// bitsliced engine is equivalence-tested against and the single-instance
+// baseline for the throughput ablations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "ciphers/mickey_tables.hpp"
+
+namespace bsrng::ciphers {
+
+class MickeyRef {
+ public:
+  // key: 80 bits (10 bytes, bit 0 of byte 0 = key bit 0).
+  // iv:  0..80 bits, multiples of 8 here (iv.size() bytes).
+  MickeyRef(std::span<const std::uint8_t> key, std::span<const std::uint8_t> iv);
+
+  // Next keystream bit z = r0 ^ s0.
+  bool step() noexcept;
+
+  // Next 32 keystream bits packed LSB-first.
+  std::uint32_t step32() noexcept;
+
+  // Register introspection for equivalence tests.
+  bool r_bit(std::size_t i) const noexcept { return r_[i]; }
+  bool s_bit(std::size_t i) const noexcept { return s_[i]; }
+
+ private:
+  void clock_r(bool input_bit, bool control_bit) noexcept;
+  void clock_s(bool input_bit, bool control_bit) noexcept;
+  void clock_kg(bool mixing, bool input_bit) noexcept;
+
+  std::array<bool, mickey::kStateBits> r_{};
+  std::array<bool, mickey::kStateBits> s_{};
+};
+
+}  // namespace bsrng::ciphers

@@ -1,0 +1,83 @@
+#include "bitslice/gatecount.hpp"
+#include "ciphers/trivium_bs.hpp"
+
+#include <stdexcept>
+
+#include "lfsr/bitsliced_lfsr.hpp"  // splitmix64
+
+namespace bsrng::ciphers {
+
+namespace bs = bsrng::bitslice;
+
+template <typename W>
+TriviumBs<W>::TriviumBs(std::span<const KeyBytes> keys,
+                        std::span<const IvBytes> ivs) {
+  if (keys.size() != lanes || ivs.size() != lanes)
+    throw std::invalid_argument("TriviumBs: need one key and IV per lane");
+  for (auto& x : a_) x = bs::SliceTraits<W>::zero();
+  for (auto& x : b_) x = bs::SliceTraits<W>::zero();
+  for (auto& x : c_) x = bs::SliceTraits<W>::zero();
+  for (std::size_t i = 0; i < 80; ++i) {
+    W kv = bs::SliceTraits<W>::zero(), iv = bs::SliceTraits<W>::zero();
+    for (std::size_t j = 0; j < lanes; ++j) {
+      bs::SliceTraits<W>::set_lane(kv, j, (keys[j][i / 8] >> (i % 8)) & 1u);
+      bs::SliceTraits<W>::set_lane(iv, j, (ivs[j][i / 8] >> (i % 8)) & 1u);
+    }
+    a_[i] = kv;  // s1..s80
+    b_[i] = iv;  // s94..s173
+  }
+  c_[108] = c_[109] = c_[110] = bs::SliceTraits<W>::ones();  // s286..s288
+  for (std::size_t t = 0; t < TriviumRef::kInitRounds; ++t) step();
+}
+
+template <typename W>
+TriviumBs<W>::TriviumBs(std::uint64_t master_seed) {
+  std::vector<KeyBytes> keys(lanes);
+  std::vector<IvBytes> ivs(lanes);
+  std::uint64_t x = master_seed;
+  const auto fill = [&x](std::span<std::uint8_t> out) {
+    for (std::size_t bpos = 0; bpos < out.size(); bpos += 8) {
+      const std::uint64_t w = lfsr::splitmix64(x);
+      for (std::size_t k = 0; k < 8 && bpos + k < out.size(); ++k)
+        out[bpos + k] = static_cast<std::uint8_t>(w >> (8 * k));
+    }
+  };
+  for (std::size_t j = 0; j < lanes; ++j) {
+    fill(keys[j]);
+    fill(ivs[j]);
+  }
+  *this = TriviumBs(keys, ivs);
+}
+
+template <typename W>
+void TriviumBs<W>::push(const W& into_b, const W& into_c,
+                        const W& into_a) noexcept {
+  head_a_ = head_a_ == 0 ? 93 - 1 : head_a_ - 1;
+  head_b_ = head_b_ == 0 ? 84 - 1 : head_b_ - 1;
+  head_c_ = head_c_ == 0 ? 111 - 1 : head_c_ - 1;
+  a_[head_a_] = into_a;
+  b_[head_b_] = into_b;
+  c_[head_c_] = into_c;
+}
+
+template <typename W>
+bool TriviumBs<W>::state_lane_bit(std::size_t i, std::size_t lane) const {
+  // i is the spec's 1-based global index.
+  const W* slice;
+  if (i <= 93)
+    slice = &a(i - 1);
+  else if (i <= 177)
+    slice = &b(i - 94);
+  else
+    slice = &c(i - 178);
+  return bs::SliceTraits<W>::get_lane(*slice, lane);
+}
+
+template class TriviumBs<bs::SliceU32>;
+template class TriviumBs<bs::SliceU64>;
+template class TriviumBs<bs::SliceV128>;
+template class TriviumBs<bs::SliceV256>;
+template class TriviumBs<bs::SliceV512>;
+template class TriviumBs<bs::CountingSlice>;
+
+}  // namespace bsrng::ciphers

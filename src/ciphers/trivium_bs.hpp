@@ -1,0 +1,80 @@
+// trivium_bs.hpp — bitsliced Trivium: three circular slice banks.
+//
+// Each of the three registers (93/84/111 stages) gets its own renaming head,
+// so one clock of W instances costs the spec's 9 XOR + 3 AND as full-width
+// slice operations and zero shifts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitslice/gatecount.hpp"
+#include "bitslice/slice.hpp"
+#include "ciphers/trivium_ref.hpp"
+
+namespace bsrng::ciphers {
+
+template <typename W>
+class TriviumBs {
+ public:
+  static constexpr std::size_t lanes = bitslice::lane_count<W>;
+  using KeyBytes = std::array<std::uint8_t, TriviumRef::kKeyBytes>;
+  using IvBytes = std::array<std::uint8_t, TriviumRef::kIvBytes>;
+
+  TriviumBs(std::span<const KeyBytes> keys, std::span<const IvBytes> ivs);
+  explicit TriviumBs(std::uint64_t master_seed);
+
+  // Spec taps in register-local coordinates (A = s1..s93, B = s94..s177,
+  // C = s178..s288; local stage i = global s_{base+i+1}):
+  //   t1 = s66^s93   = A65^A92     t1' = t1 ^ s91·s92 ^ s171   = A90·A91 ^ B77
+  //   t2 = s162^s177 = B68^B83     t2' = t2 ^ s175·s176 ^ s264 = B81·B82 ^ C86
+  //   t3 = s243^s288 = C65^C110    t3' = t3 ^ s286·s287 ^ s69  = C108·C109 ^ A68
+  W step() noexcept {
+    const W t1 = a(65) ^ a(92);
+    const W t2 = b(68) ^ b(83);
+    const W t3 = c(65) ^ c(110);
+    const W z = t1 ^ t2 ^ t3;
+    const W n_b = t1 ^ (a(90) & a(91)) ^ b(77);   // becomes new s94 (B stage 0)
+    const W n_c = t2 ^ (b(81) & b(82)) ^ c(86);   // becomes new s178 (C stage 0)
+    const W n_a = t3 ^ (c(108) & c(109)) ^ a(68); // becomes new s1 (A stage 0)
+    push(n_b, n_c, n_a);
+    return z;
+  }
+
+  void generate(std::span<W> out) noexcept {
+    for (auto& o : out) o = step();
+  }
+
+  // Spec-style 1-based full-state bit access for tests.
+  bool state_lane_bit(std::size_t i, std::size_t lane) const;
+
+ private:
+  // Register A = s1..s93, B = s94..s177, C = s178..s288 (0-based stages).
+  const W& a(std::size_t i) const noexcept { return a_[pos(head_a_, i, 93)]; }
+  const W& b(std::size_t i) const noexcept { return b_[pos(head_b_, i, 84)]; }
+  const W& c(std::size_t i) const noexcept { return c_[pos(head_c_, i, 111)]; }
+
+  static std::size_t pos(std::size_t head, std::size_t i, std::size_t n) noexcept {
+    std::size_t p = head + i;
+    if (p >= n) p -= n;
+    return p;
+  }
+
+  void push(const W& into_b, const W& into_c, const W& into_a) noexcept;
+
+  std::array<W, 93> a_{};
+  std::array<W, 84> b_{};
+  std::array<W, 111> c_{};
+  std::size_t head_a_ = 0, head_b_ = 0, head_c_ = 0;
+};
+
+extern template class TriviumBs<bitslice::SliceU32>;
+extern template class TriviumBs<bitslice::SliceU64>;
+extern template class TriviumBs<bitslice::SliceV128>;
+extern template class TriviumBs<bitslice::SliceV256>;
+extern template class TriviumBs<bitslice::SliceV512>;
+extern template class TriviumBs<bitslice::CountingSlice>;
+
+}  // namespace bsrng::ciphers

@@ -1,0 +1,55 @@
+#include "ciphers/trivium_ref.hpp"
+
+#include <stdexcept>
+
+namespace bsrng::ciphers {
+
+TriviumRef::TriviumRef(std::span<const std::uint8_t> key,
+                       std::span<const std::uint8_t> iv) {
+  if (key.size() != kKeyBytes)
+    throw std::invalid_argument("Trivium key must be 80 bits");
+  if (iv.size() != kIvBytes)
+    throw std::invalid_argument("Trivium IV must be 80 bits");
+  // (s1..s93)    <- (K1..K80, 0...0)
+  // (s94..s177)  <- (IV1..IV80, 0...0)
+  // (s178..s288) <- (0...0, 1, 1, 1)
+  for (std::size_t i = 0; i < 80; ++i) {
+    s_[i] = (key[i / 8] >> (i % 8)) & 1u;
+    s_[93 + i] = (iv[i / 8] >> (i % 8)) & 1u;
+  }
+  s_[285] = s_[286] = s_[287] = true;
+  for (std::size_t t = 0; t < kInitRounds; ++t) clock(false, nullptr);
+}
+
+void TriviumRef::clock(bool produce, bool* z) noexcept {
+  // Spec indices are 1-based; s_[i] here is s_{i+1}.
+  bool t1 = static_cast<bool>(s_[65] ^ s_[92]);
+  bool t2 = static_cast<bool>(s_[161] ^ s_[176]);
+  bool t3 = static_cast<bool>(s_[242] ^ s_[287]);
+  if (produce) *z = static_cast<bool>(t1 ^ t2 ^ t3);
+  t1 = static_cast<bool>(t1 ^ (s_[90] && s_[91]) ^ s_[170]);
+  t2 = static_cast<bool>(t2 ^ (s_[174] && s_[175]) ^ s_[263]);
+  t3 = static_cast<bool>(t3 ^ (s_[285] && s_[286]) ^ s_[68]);
+  // (s1..s93) <- (t3, s1..s92), etc.: shift each register up by one.
+  for (std::size_t i = 92; i >= 1; --i) s_[i] = s_[i - 1];
+  s_[0] = t3;
+  for (std::size_t i = 176; i >= 94; --i) s_[i] = s_[i - 1];
+  s_[93] = t1;
+  for (std::size_t i = 287; i >= 178; --i) s_[i] = s_[i - 1];
+  s_[177] = t2;
+}
+
+bool TriviumRef::step() noexcept {
+  bool z = false;
+  clock(true, &z);
+  return z;
+}
+
+std::uint32_t TriviumRef::step32() noexcept {
+  std::uint32_t w = 0;
+  for (unsigned i = 0; i < 32; ++i)
+    w |= static_cast<std::uint32_t>(step()) << i;
+  return w;
+}
+
+}  // namespace bsrng::ciphers

@@ -1,0 +1,37 @@
+// trivium_ref.hpp — scalar Trivium reference (De Cannière & Preneel).
+//
+// eSTREAM Profile 2 hardware portfolio member, added beyond the paper's
+// three ciphers as the scalability extension (§6 future work: "other
+// crypto-systems").  288-bit state in three shift registers, 80-bit key,
+// 80-bit IV, 1152 initialization rounds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace bsrng::ciphers {
+
+class TriviumRef {
+ public:
+  static constexpr std::size_t kStateBits = 288;
+  static constexpr std::size_t kKeyBytes = 10;
+  static constexpr std::size_t kIvBytes = 10;
+  static constexpr std::size_t kInitRounds = 4 * kStateBits;
+
+  TriviumRef(std::span<const std::uint8_t> key,
+             std::span<const std::uint8_t> iv);
+
+  bool step() noexcept;
+  std::uint32_t step32() noexcept;
+
+  // 1-based state access as in the spec (s1..s288), for tests.
+  bool state_bit(std::size_t i) const noexcept { return s_[i - 1]; }
+
+ private:
+  void clock(bool produce, bool* z) noexcept;
+
+  std::array<bool, kStateBits> s_{};
+};
+
+}  // namespace bsrng::ciphers

@@ -1,0 +1,28 @@
+#include "core/generator.hpp"
+
+#include <array>
+
+namespace bsrng::core {
+
+std::uint32_t Generator::next_u32() {
+  std::array<std::uint8_t, 4> b;
+  fill(b);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t Generator::next_u64() {
+  std::array<std::uint8_t, 8> b;
+  fill(b);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{b[static_cast<std::size_t>(i)]} << (8 * i);
+  return v;
+}
+
+double Generator::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace bsrng::core

@@ -1,0 +1,106 @@
+#include "core/multi_device.hpp"
+
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+
+#include "bitslice/slice.hpp"
+#include "ciphers/aes_bs.hpp"
+#include "ciphers/mickey_bs.hpp"
+#include "lfsr/bitsliced_lfsr.hpp"
+
+namespace bsrng::core {
+
+namespace bs = bsrng::bitslice;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+// Run one closure per device, in threads or sequentially, and time each.
+MultiDeviceReport run_devices(std::size_t devices, bool parallel,
+                              const std::function<void(std::size_t)>& work) {
+  MultiDeviceReport rep;
+  rep.devices = devices;
+  std::vector<double> secs(devices, 0.0);
+  const auto t0 = Clock::now();
+  const auto timed = [&](std::size_t d) {
+    const auto s = Clock::now();
+    work(d);
+    secs[d] = std::chrono::duration<double>(Clock::now() - s).count();
+  };
+  if (parallel) {
+    std::vector<std::thread> threads;
+    threads.reserve(devices);
+    for (std::size_t d = 0; d < devices; ++d) threads.emplace_back(timed, d);
+    for (auto& t : threads) t.join();
+  } else {
+    for (std::size_t d = 0; d < devices; ++d) timed(d);
+  }
+  rep.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  for (const double s : secs) {
+    rep.sum_device_seconds += s;
+    rep.max_device_seconds = std::max(rep.max_device_seconds, s);
+  }
+  return rep;
+}
+
+}  // namespace
+
+MultiDeviceReport multi_device_aes_ctr(std::span<const std::uint8_t> key16,
+                                       std::span<const std::uint8_t> nonce12,
+                                       std::size_t devices,
+                                       std::span<std::uint8_t> out,
+                                       bool parallel) {
+  if (devices == 0) throw std::invalid_argument("need at least one device");
+  // Chunk boundaries align to AES blocks so each device's counter range is
+  // self-contained (the paper's "different counter values ... passed to
+  // GPUs", §5.4).
+  const std::size_t blocks_total = (out.size() + 15) / 16;
+  const std::size_t blocks_per_dev = (blocks_total + devices - 1) / devices;
+  return run_devices(devices, parallel, [&](std::size_t d) {
+    const std::size_t first_block = d * blocks_per_dev;
+    if (first_block >= blocks_total) return;
+    const std::size_t first_byte = first_block * 16;
+    const std::size_t last_byte =
+        std::min(out.size(), (first_block + blocks_per_dev) * 16);
+    ciphers::AesCtrBs<bs::SliceU32> gen(
+        key16, nonce12, static_cast<std::uint32_t>(first_block));
+    gen.fill(out.subspan(first_byte, last_byte - first_byte));
+  });
+}
+
+MultiDeviceReport multi_device_mickey(std::uint64_t master_seed,
+                                      std::size_t devices,
+                                      std::span<std::uint8_t> out,
+                                      bool parallel) {
+  if (devices == 0) throw std::invalid_argument("need at least one device");
+  constexpr std::size_t kSliceBytes = 4;  // 32 lanes per device engine
+  const std::size_t stride = kSliceBytes * devices;
+  const std::size_t steps = (out.size() + stride - 1) / stride;
+  // Device d owns byte columns [d*4, d*4+4) of every stride-sized row.
+  std::vector<std::vector<std::uint8_t>> dev_out(
+      devices, std::vector<std::uint8_t>(steps * kSliceBytes));
+  const auto rep = run_devices(devices, parallel, [&](std::size_t d) {
+    // Per-device seed: disjoint splitmix substreams of the master seed.
+    std::uint64_t x = master_seed;
+    std::uint64_t seed = 0;
+    for (std::size_t i = 0; i <= d; ++i) seed = lfsr::splitmix64(x);
+    ciphers::MickeyBs<bs::SliceU32> engine(seed);
+    for (std::size_t t = 0; t < steps; ++t) {
+      const std::uint32_t z = engine.step();
+      for (std::size_t b = 0; b < kSliceBytes; ++b)
+        dev_out[d][t * kSliceBytes + b] =
+            static_cast<std::uint8_t>(z >> (8 * b));
+    }
+  });
+  // Reconstruction: interleave device columns into the global stream.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::size_t t = i / stride;
+    const std::size_t col = i % stride;
+    out[i] = dev_out[col / kSliceBytes][t * kSliceBytes + col % kSliceBytes];
+  }
+  return rep;
+}
+
+}  // namespace bsrng::core

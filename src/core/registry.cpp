@@ -1,0 +1,468 @@
+#include "core/registry.hpp"
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/middle_square.hpp"
+#include "baselines/modern.hpp"
+#include "baselines/minstd.hpp"
+#include "baselines/mt19937.hpp"
+#include "baselines/philox.hpp"
+#include "baselines/xorshift.hpp"
+#include "bitslice/gatecount.hpp"
+#include "ciphers/a51_bs.hpp"
+#include "ciphers/a51_ref.hpp"
+#include "ciphers/aes_bs.hpp"
+#include "ciphers/aes_ref.hpp"
+#include "ciphers/chacha_bs.hpp"
+#include "ciphers/chacha_ref.hpp"
+#include "ciphers/grain_bs.hpp"
+#include "ciphers/grain_ref.hpp"
+#include "ciphers/mickey_bs.hpp"
+#include "ciphers/mickey_ref.hpp"
+#include "ciphers/trivium_bs.hpp"
+#include "ciphers/trivium_ref.hpp"
+#include "lfsr/bitsliced_lfsr.hpp"
+
+namespace bsrng::core {
+
+namespace bs = bsrng::bitslice;
+
+namespace {
+
+// Serialize one slice little-endian: lane j of the slice becomes bit j of
+// the output bytes.
+template <typename W>
+void slice_to_bytes(const W& s, std::uint8_t* out) {
+  constexpr std::size_t nwords = bs::lane_count<W> / 64 + (bs::lane_count<W> < 64);
+  for (std::size_t k = 0; k < nwords; ++k) {
+    const std::uint64_t w = bs::SliceTraits<W>::word64(s, k);
+    const std::size_t nbytes = std::min<std::size_t>(8, bs::lane_count<W> / 8);
+    for (std::size_t b = 0; b < nbytes; ++b)
+      out[8 * k + b] = static_cast<std::uint8_t>(w >> (8 * b));
+  }
+}
+
+// Adapter for bitsliced stream-cipher engines (MickeyBs/GrainBs/TriviumBs).
+template <typename W, typename Engine>
+class SlicedStreamGen final : public Generator {
+ public:
+  SlicedStreamGen(std::string name, std::uint64_t seed)
+      : name_(std::move(name)), engine_(seed) {}
+
+  void fill(std::span<std::uint8_t> out) override {
+    constexpr std::size_t step_bytes = bs::lane_count<W> / 8;
+    std::size_t i = 0;
+    // Drain residue.
+    while (pos_ < buf_len_ && i < out.size()) out[i++] = buf_[pos_++];
+    // Whole steps straight into the output.
+    while (i + step_bytes <= out.size()) {
+      const W z = engine_.step();
+      slice_to_bytes(z, out.data() + i);
+      i += step_bytes;
+    }
+    // Final partial step via the residue buffer.
+    if (i < out.size()) {
+      const W z = engine_.step();
+      slice_to_bytes(z, buf_.data());
+      buf_len_ = step_bytes;
+      pos_ = 0;
+      while (i < out.size()) out[i++] = buf_[pos_++];
+    }
+  }
+
+  std::string_view name() const noexcept override { return name_; }
+  std::size_t lanes() const noexcept override { return bs::lane_count<W>; }
+
+ private:
+  std::string name_;
+  Engine engine_;
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0, pos_ = 0;
+};
+
+// Adapter for the bitsliced AES-CTR generator.
+template <typename W>
+class AesCtrGen final : public Generator {
+ public:
+  AesCtrGen(std::string name, std::uint64_t seed)
+      : name_(std::move(name)), gen_(make(seed)) {}
+
+  void fill(std::span<std::uint8_t> out) override { gen_.fill(out); }
+  std::string_view name() const noexcept override { return name_; }
+  std::size_t lanes() const noexcept override { return bs::lane_count<W>; }
+
+ private:
+  static ciphers::AesCtrBs<W> make(std::uint64_t seed) {
+    std::array<std::uint8_t, 16> key;
+    std::array<std::uint8_t, 12> nonce;
+    std::uint64_t x = seed;
+    for (std::size_t i = 0; i < 16; i += 8) {
+      const std::uint64_t w = lfsr::splitmix64(x);
+      for (std::size_t k = 0; k < 8; ++k)
+        key[i + k] = static_cast<std::uint8_t>(w >> (8 * k));
+    }
+    const std::uint64_t w0 = lfsr::splitmix64(x), w1 = lfsr::splitmix64(x);
+    for (std::size_t k = 0; k < 8; ++k)
+      nonce[k] = static_cast<std::uint8_t>(w0 >> (8 * k));
+    for (std::size_t k = 0; k < 4; ++k)
+      nonce[8 + k] = static_cast<std::uint8_t>(w1 >> (8 * k));
+    return ciphers::AesCtrBs<W>(key, nonce);
+  }
+
+  std::string name_;
+  ciphers::AesCtrBs<W> gen_;
+};
+
+// Adapter for the bitsliced ChaCha20 generator.
+template <typename W>
+class ChaChaGen final : public Generator {
+ public:
+  ChaChaGen(std::string name, std::uint64_t seed)
+      : name_(std::move(name)), gen_(make(seed)) {}
+
+  void fill(std::span<std::uint8_t> out) override { gen_.fill(out); }
+  std::string_view name() const noexcept override { return name_; }
+  std::size_t lanes() const noexcept override { return bs::lane_count<W>; }
+
+ private:
+  static ciphers::ChaCha20Bs<W> make(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    std::array<std::uint8_t, 32> key;
+    std::array<std::uint8_t, 12> nonce;
+    for (std::size_t i = 0; i < 32; i += 8) {
+      const std::uint64_t w = lfsr::splitmix64(x);
+      for (std::size_t k = 0; k < 8; ++k)
+        key[i + k] = static_cast<std::uint8_t>(w >> (8 * k));
+    }
+    const std::uint64_t w0 = lfsr::splitmix64(x), w1 = lfsr::splitmix64(x);
+    for (std::size_t k = 0; k < 8; ++k)
+      nonce[k] = static_cast<std::uint8_t>(w0 >> (8 * k));
+    for (std::size_t k = 0; k < 4; ++k)
+      nonce[8 + k] = static_cast<std::uint8_t>(w1 >> (8 * k));
+    return ciphers::ChaCha20Bs<W>(key, nonce);
+  }
+
+  std::string name_;
+  ciphers::ChaCha20Bs<W> gen_;
+};
+
+// Generic stream-continuous adapter: `Src` is any callable returning a
+// (value, nbytes) chunk per draw; partial consumption is buffered so
+// fill(a); fill(b) equals fill(a+b).
+template <typename Src>
+class ChunkStreamGen final : public Generator {
+ public:
+  ChunkStreamGen(std::string name, Src src)
+      : name_(std::move(name)), src_(std::move(src)) {}
+
+  void fill(std::span<std::uint8_t> out) override {
+    std::size_t i = 0;
+    while (pos_ < len_ && i < out.size()) out[i++] = buf_[pos_++];
+    while (i < out.size()) {
+      const auto [v, n] = src_();
+      for (std::size_t k = 0; k < n; ++k)
+        buf_[k] = static_cast<std::uint8_t>(v >> (8 * k));
+      len_ = n;
+      pos_ = 0;
+      while (pos_ < len_ && i < out.size()) out[i++] = buf_[pos_++];
+    }
+  }
+  std::string_view name() const noexcept override { return name_; }
+
+ private:
+  std::string name_;
+  Src src_;
+  std::array<std::uint8_t, 8> buf_{};
+  std::size_t len_ = 0, pos_ = 0;
+};
+
+struct Chunk {
+  std::uint64_t v;
+  std::size_t n;
+};
+
+template <typename Src>
+std::unique_ptr<Generator> make_chunk_gen(std::string name, Src src) {
+  return std::make_unique<ChunkStreamGen<Src>>(std::move(name), std::move(src));
+}
+
+// Adapter for scalar reference ciphers exposing step32().
+template <typename Ref>
+std::unique_ptr<Generator> make_scalar_cipher_gen(std::string name, Ref ref) {
+  return make_chunk_gen(std::move(name),
+                        [r = std::move(ref)]() mutable -> Chunk {
+                          return {r.step32(), 4};
+                        });
+}
+
+template <std::size_t N>
+std::array<std::uint8_t, N> derive_bytes(std::uint64_t& x) {
+  std::array<std::uint8_t, N> out{};
+  for (std::size_t i = 0; i < N; i += 8) {
+    const std::uint64_t w = lfsr::splitmix64(x);
+    for (std::size_t k = 0; k < 8 && i + k < N; ++k)
+      out[i + k] = static_cast<std::uint8_t>(w >> (8 * k));
+  }
+  return out;
+}
+
+using Factory =
+    std::function<std::unique_ptr<Generator>(std::string, std::uint64_t)>;
+
+template <typename W>
+void register_width(std::map<std::string, Factory>& f, const std::string& w) {
+  f["mickey-bs" + w] = [](std::string n, std::uint64_t s) {
+    return std::make_unique<SlicedStreamGen<W, ciphers::MickeyBs<W>>>(n, s);
+  };
+  f["grain-bs" + w] = [](std::string n, std::uint64_t s) {
+    return std::make_unique<SlicedStreamGen<W, ciphers::GrainBs<W>>>(n, s);
+  };
+  f["trivium-bs" + w] = [](std::string n, std::uint64_t s) {
+    return std::make_unique<SlicedStreamGen<W, ciphers::TriviumBs<W>>>(n, s);
+  };
+  f["aes-ctr-bs" + w] = [](std::string n, std::uint64_t s) {
+    return std::make_unique<AesCtrGen<W>>(n, s);
+  };
+  f["a51-bs" + w] = [](std::string n, std::uint64_t s) {
+    return std::make_unique<SlicedStreamGen<W, ciphers::A51Bs<W>>>(n, s);
+  };
+  f["chacha20-bs" + w] = [](std::string n, std::uint64_t s) {
+    return std::make_unique<ChaChaGen<W>>(n, s);
+  };
+}
+
+const std::map<std::string, Factory>& factories() {
+  static const std::map<std::string, Factory> f = [] {
+    std::map<std::string, Factory> m;
+    register_width<bs::SliceU32>(m, "32");
+    register_width<bs::SliceU64>(m, "64");
+    register_width<bs::SliceV128>(m, "128");
+    register_width<bs::SliceV256>(m, "256");
+    register_width<bs::SliceV512>(m, "512");
+    m["mickey-ref"] = [](std::string n, std::uint64_t s) {
+      std::uint64_t x = s;
+      const auto key = derive_bytes<10>(x);
+      const auto iv = derive_bytes<10>(x);
+      return make_scalar_cipher_gen(n, ciphers::MickeyRef(key, iv));
+    };
+    m["grain-ref"] = [](std::string n, std::uint64_t s) {
+      std::uint64_t x = s;
+      const auto key = derive_bytes<10>(x);
+      const auto iv = derive_bytes<8>(x);
+      return make_scalar_cipher_gen(n, ciphers::GrainRef(key, iv));
+    };
+    m["trivium-ref"] = [](std::string n, std::uint64_t s) {
+      std::uint64_t x = s;
+      const auto key = derive_bytes<10>(x);
+      const auto iv = derive_bytes<10>(x);
+      return make_scalar_cipher_gen(n, ciphers::TriviumRef(key, iv));
+    };
+    m["aes-ctr-ref"] = [](std::string n, std::uint64_t s) {
+      // Scalar CTR oracle wrapped as a Generator.
+      class AesRefGen final : public Generator {
+       public:
+        AesRefGen(std::string name, std::uint64_t seed)
+            : name_(std::move(name)), cipher_(make_key(seed)) {
+          std::uint64_t x = seed + 1;
+          nonce_ = derive_bytes<12>(x);
+        }
+        void fill(std::span<std::uint8_t> out) override {
+          // Continue the CTR stream across calls via a byte offset.
+          std::vector<std::uint8_t> tmp(offset_ % 16 + out.size());
+          ciphers::aes_ctr_fill(cipher_, nonce_,
+                                static_cast<std::uint32_t>(offset_ / 16), tmp);
+          std::copy(tmp.begin() + static_cast<std::ptrdiff_t>(offset_ % 16),
+                    tmp.end(), out.begin());
+          offset_ += out.size();
+        }
+        std::string_view name() const noexcept override { return name_; }
+
+       private:
+        static std::array<std::uint8_t, 16> make_key(std::uint64_t seed) {
+          std::uint64_t x = seed;
+          return derive_bytes<16>(x);
+        }
+        std::string name_;
+        ciphers::Aes128 cipher_;
+        std::array<std::uint8_t, 12> nonce_{};
+        std::size_t offset_ = 0;
+      };
+      return std::make_unique<AesRefGen>(n, s);
+    };
+    m["a51-ref"] = [](std::string n, std::uint64_t s) {
+      std::uint64_t x = s;
+      const auto key = derive_bytes<8>(x);
+      const std::uint32_t frame =
+          static_cast<std::uint32_t>(lfsr::splitmix64(x)) & 0x3FFFFFu;
+      return make_scalar_cipher_gen(n, ciphers::A51Ref(key, frame));
+    };
+    m["chacha20-ref"] = [](std::string n, std::uint64_t s) {
+      class ChaChaRefGen final : public Generator {
+       public:
+        ChaChaRefGen(std::string name, std::uint64_t seed)
+            : name_(std::move(name)), g_(make(seed)) {}
+        void fill(std::span<std::uint8_t> out) override { g_.fill(out); }
+        std::string_view name() const noexcept override { return name_; }
+
+       private:
+        static ciphers::ChaCha20Ref make(std::uint64_t seed) {
+          std::uint64_t x = seed;
+          const auto key = derive_bytes<32>(x);
+          const auto nonce = derive_bytes<12>(x);
+          return ciphers::ChaCha20Ref(key, nonce);
+        }
+        std::string name_;
+        ciphers::ChaCha20Ref g_;
+      };
+      return std::make_unique<ChaChaRefGen>(n, s);
+    };
+    m["rc4"] = [](std::string n, std::uint64_t s) {
+      std::uint64_t x = s;
+      const auto key = derive_bytes<16>(x);
+      return make_chunk_gen(n, [g = baselines::Rc4(key)]() mutable -> Chunk {
+        return {g.next_byte(), 1};
+      });
+    };
+    m["pcg32"] = [](std::string n, std::uint64_t s) {
+      return make_chunk_gen(n, [g = baselines::Pcg32(s)]() mutable -> Chunk {
+        return {g.next(), 4};
+      });
+    };
+    m["xoshiro256pp"] = [](std::string n, std::uint64_t s) {
+      return make_chunk_gen(
+          n, [g = baselines::Xoshiro256pp(s)]() mutable -> Chunk {
+            return {g.next(), 8};
+          });
+    };
+    m["mt19937"] = [](std::string n, std::uint64_t s) {
+      return make_chunk_gen(
+          n, [g = baselines::Mt19937(static_cast<std::uint32_t>(s))]() mutable
+                 -> Chunk { return {g.next(), 4}; });
+    };
+    m["xorwow"] = [](std::string n, std::uint64_t s) {
+      return make_chunk_gen(
+          n, [g = baselines::Xorwow(static_cast<std::uint32_t>(s))]() mutable
+                 -> Chunk { return {g.next(), 4}; });
+    };
+    m["philox"] = [](std::string n, std::uint64_t s) {
+      return make_chunk_gen(
+          n, [g = baselines::Philox4x32({static_cast<std::uint32_t>(s),
+                                         static_cast<std::uint32_t>(s >> 32)})]() mutable
+                 -> Chunk { return {g.next(), 4}; });
+    };
+    m["minstd"] = [](std::string n, std::uint64_t s) {
+      return make_chunk_gen(
+          n, [g = baselines::Minstd(static_cast<std::uint32_t>(s | 1))]() mutable
+                 -> Chunk { return {g.next(), 3}; });
+    };
+    m["xorshift128"] = [](std::string n, std::uint64_t s) {
+      std::uint64_t x = s;
+      const std::uint64_t a = lfsr::splitmix64(x), b = lfsr::splitmix64(x);
+      baselines::Xorshift128 g(static_cast<std::uint32_t>(a) | 1u,
+                               static_cast<std::uint32_t>(a >> 32),
+                               static_cast<std::uint32_t>(b),
+                               static_cast<std::uint32_t>(b >> 32));
+      return make_chunk_gen(n, [g]() mutable -> Chunk { return {g.next(), 4}; });
+    };
+    m["middle-square"] = [](std::string n, std::uint64_t s) {
+      return make_chunk_gen(
+          n,
+          [g = baselines::MiddleSquare(
+               static_cast<std::uint32_t>(s % 99999989))]() mutable -> Chunk {
+            return {g.next(), 3};  // 8 decimal digits ~ 26.5 bits: emit 3 bytes
+          });
+    };
+    return m;
+  }();
+  return f;
+}
+
+}  // namespace
+
+std::unique_ptr<Generator> make_generator(std::string_view name,
+                                          std::uint64_t seed) {
+  const auto& f = factories();
+  const auto it = f.find(std::string(name));
+  if (it == f.end())
+    throw std::invalid_argument("unknown generator: " + std::string(name));
+  return it->second(it->first, seed);
+}
+
+double gate_ops_per_step(std::string_view cipher) {
+  using C = bs::CountingSlice;
+  constexpr int kSteps = 256;
+  C::reset();
+  if (cipher == "mickey") {
+    ciphers::MickeyBs<C> e(1);
+    C::reset();
+    for (int i = 0; i < kSteps; ++i) (void)e.step();
+  } else if (cipher == "grain") {
+    ciphers::GrainBs<C> e(1);
+    C::reset();
+    for (int i = 0; i < kSteps; ++i) (void)e.step();
+  } else if (cipher == "trivium") {
+    ciphers::TriviumBs<C> e(1);
+    C::reset();
+    for (int i = 0; i < kSteps; ++i) (void)e.step();
+  } else if (cipher == "aes-ctr") {
+    std::array<std::uint8_t, 16> key{};
+    ciphers::AesBs<C> e(key);
+    typename ciphers::AesBs<C>::State st{};
+    C::reset();
+    for (int i = 0; i < kSteps; ++i) e.encrypt_slices(st);
+  } else if (cipher == "a51") {
+    ciphers::A51Bs<C> e(1);
+    C::reset();
+    for (int i = 0; i < kSteps; ++i) (void)e.step();
+  } else if (cipher == "chacha20") {
+    std::array<std::uint8_t, 32> key{};
+    std::array<std::uint8_t, 12> nonce{};
+    ciphers::ChaCha20Bs<C> e(key, nonce);
+    std::vector<std::uint8_t> out(64 * kSteps);  // kSteps batches at 1 lane
+    C::reset();
+    e.fill(out);
+  } else if (cipher.starts_with("lfsr")) {
+    const unsigned degree =
+        static_cast<unsigned>(std::stoul(std::string(cipher.substr(4))));
+    lfsr::BitslicedLfsr<C> e(lfsr::primitive_polynomial(degree), 7u);
+    C::reset();
+    for (int i = 0; i < kSteps; ++i) (void)e.step();
+  } else {
+    throw std::invalid_argument("gate_ops_per_step: unknown cipher " +
+                                std::string(cipher));
+  }
+  return static_cast<double>(C::ops) / kSteps;
+}
+
+std::vector<AlgorithmInfo> list_algorithms() {
+  std::vector<AlgorithmInfo> out;
+  const double mickey = gate_ops_per_step("mickey");
+  const double grain = gate_ops_per_step("grain");
+  const double trivium = gate_ops_per_step("trivium");
+  const double aes = gate_ops_per_step("aes-ctr");  // per block = 128 bits
+  const double a51 = gate_ops_per_step("a51");
+  const double chacha = gate_ops_per_step("chacha20");  // per block = 512 bits
+  for (const std::size_t w : {32u, 64u, 128u, 256u, 512u}) {
+    const auto ws = std::to_string(w);
+    const double dw = static_cast<double>(w);
+    out.push_back({"mickey-bs" + ws, "bitsliced", w, true, mickey / dw});
+    out.push_back({"grain-bs" + ws, "bitsliced", w, true, grain / dw});
+    out.push_back({"trivium-bs" + ws, "bitsliced", w, true, trivium / dw});
+    out.push_back({"aes-ctr-bs" + ws, "bitsliced", w, true, aes / (128.0 * dw)});
+    out.push_back({"a51-bs" + ws, "bitsliced", w, false, a51 / dw});
+    out.push_back(
+        {"chacha20-bs" + ws, "bitsliced", w, true, chacha / (512.0 * dw)});
+  }
+  for (const char* n : {"mickey-ref", "grain-ref", "trivium-ref",
+                        "aes-ctr-ref", "a51-ref", "chacha20-ref"})
+    out.push_back({n, "reference", 1, true, 0.0});
+  for (const char* n : {"mt19937", "xorwow", "philox", "minstd", "xorshift128",
+                        "middle-square", "rc4", "pcg32", "xoshiro256pp"})
+    out.push_back({n, "baseline", 1, false, 0.0});
+  return out;
+}
+
+}  // namespace bsrng::core

@@ -1,0 +1,45 @@
+// registry.hpp — algorithm registry and factory: every PRNG this library
+// implements, constructible by name with a 64-bit seed.
+//
+// Naming scheme:
+//   Bitsliced CSPRNGs (the paper's contribution): "<cipher>-bs<width>",
+//     cipher in {mickey, grain, trivium, aes-ctr}, width in {32, 64, 128,
+//     256, 512} (32 = the paper's per-GPU-thread configuration, 512 = the
+//     host's full AVX-512 datapath).
+//   Scalar cipher references: "mickey-ref", "grain-ref", "trivium-ref",
+//     "aes-ctr-ref".
+//   Conventional baselines: "mt19937" (cuRAND's default algorithm),
+//     "xorwow", "philox", "minstd", "xorshift128", "middle-square".
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/generator.hpp"
+
+namespace bsrng::core {
+
+struct AlgorithmInfo {
+  std::string name;
+  std::string family;      // "bitsliced", "reference", "baseline"
+  std::size_t lanes;       // parallel instances per generator
+  bool cryptographic;      // CSPRNG vs statistical PRNG
+  double gate_ops_per_bit; // exact gate count per output bit (0 if n/a)
+};
+
+// All registered algorithms with their measured gate costs.
+std::vector<AlgorithmInfo> list_algorithms();
+
+// Construct by name; throws std::invalid_argument for unknown names.
+std::unique_ptr<Generator> make_generator(std::string_view name,
+                                          std::uint64_t seed);
+
+// Exact boolean-gate cost of one bitsliced clock of `cipher` (one of
+// "mickey", "grain", "trivium", "aes-ctr", "lfsr<n>"), measured by running
+// the engine over the CountingSlice; per *slice*, i.e. divide by the lane
+// count for per-bit cost.
+double gate_ops_per_step(std::string_view cipher);
+
+}  // namespace bsrng::core

@@ -1,0 +1,24 @@
+// throughput.hpp — measurement utilities for the evaluation harness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/generator.hpp"
+
+namespace bsrng::core {
+
+struct ThroughputResult {
+  std::uint64_t bytes = 0;
+  double seconds = 0.0;
+  double gbps() const {  // gigabits per second
+    return seconds > 0 ? static_cast<double>(bytes) * 8.0 / seconds / 1e9
+                       : 0.0;
+  }
+};
+
+// Generate `total_bytes` in `chunk_bytes` chunks and time it.
+ThroughputResult measure_throughput(Generator& gen, std::uint64_t total_bytes,
+                                    std::size_t chunk_bytes = 1 << 16);
+
+}  // namespace bsrng::core

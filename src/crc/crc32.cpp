@@ -1,0 +1,36 @@
+#include "crc/crc32.hpp"
+
+namespace bsrng::crc {
+
+std::uint32_t crc32_bitwise(std::span<const std::uint8_t> data) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) {
+    for (int bit = 0; bit < 8; ++bit) {
+      const std::uint32_t fb = (crc ^ (static_cast<std::uint32_t>(byte) >> bit)) & 1u;
+      crc >>= 1;
+      if (fb) crc ^= kCrc32Poly;
+    }
+  }
+  return ~crc;
+}
+
+std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t v = 0; v < 256; ++v) {
+    std::uint32_t crc = v;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1u) ? kCrc32Poly : 0u);
+    table[v] = crc;
+  }
+  return table;
+}
+
+std::uint32_t crc32_table(std::span<const std::uint8_t> data) {
+  static const auto table = make_crc32_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data)
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFFu];
+  return ~crc;
+}
+
+}  // namespace bsrng::crc

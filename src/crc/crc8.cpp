@@ -1,0 +1,38 @@
+#include "crc/crc8.hpp"
+
+namespace bsrng::crc {
+
+std::uint8_t crc8_bitwise(std::span<const std::uint8_t> data,
+                          std::uint8_t poly, std::uint8_t init) {
+  std::uint8_t crc = init;
+  for (const std::uint8_t byte : data) {
+    for (int bit = 7; bit >= 0; --bit) {
+      const bool in = (byte >> bit) & 1u;
+      const bool fb = ((crc >> 7) & 1u) != in;
+      crc = static_cast<std::uint8_t>(crc << 1);
+      if (fb) crc ^= poly;
+    }
+  }
+  return crc;
+}
+
+std::array<std::uint8_t, 256> make_crc8_table(std::uint8_t poly) {
+  std::array<std::uint8_t, 256> table{};
+  for (unsigned v = 0; v < 256; ++v) {
+    std::uint8_t crc = static_cast<std::uint8_t>(v);
+    for (int bit = 0; bit < 8; ++bit)
+      crc = static_cast<std::uint8_t>((crc << 1) ^ (((crc >> 7) & 1u) ? poly : 0u));
+    table[v] = crc;
+  }
+  return table;
+}
+
+std::uint8_t crc8_table(std::span<const std::uint8_t> data, std::uint8_t poly,
+                        std::uint8_t init) {
+  const auto table = make_crc8_table(poly);
+  std::uint8_t crc = init;
+  for (const std::uint8_t byte : data) crc = table[crc ^ byte];
+  return crc;
+}
+
+}  // namespace bsrng::crc

@@ -1,0 +1,78 @@
+// crc8.hpp — the paper's CRC-8 worked example (§4.2, Fig. 5/6).
+//
+// Three implementations of the same MSB-first (non-reflected) CRC-8:
+//   * crc8_bitwise  — the naive shift+mask register of Fig. 5,
+//   * crc8_table    — conventional byte-at-a-time lookup (software practice),
+//   * Crc8Sliced<W> — Fig. 6: W independent streams checksummed in lockstep,
+//                     shift/mask replaced by slice renaming.
+// Default polynomial 0x07 (CRC-8/SMBUS, x^8+x^2+x+1); any 8-bit poly works.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "bitslice/slice.hpp"
+
+namespace bsrng::crc {
+
+inline constexpr std::uint8_t kCrc8DefaultPoly = 0x07;
+
+// Bit-serial MSB-first CRC-8 over a bit stream (bits consumed MSB-of-byte
+// first when fed from bytes).
+std::uint8_t crc8_bitwise(std::span<const std::uint8_t> data,
+                          std::uint8_t poly = kCrc8DefaultPoly,
+                          std::uint8_t init = 0x00);
+
+// Table-driven equivalent.
+std::uint8_t crc8_table(std::span<const std::uint8_t> data,
+                        std::uint8_t poly = kCrc8DefaultPoly,
+                        std::uint8_t init = 0x00);
+
+std::array<std::uint8_t, 256> make_crc8_table(std::uint8_t poly);
+
+// Bitsliced CRC-8: lane j checks stream j.  Feed one input slice per clock
+// (bit t of all W streams), read out per-lane CRCs at the end.
+template <typename W>
+class Crc8Sliced {
+ public:
+  static constexpr std::size_t lanes = bitslice::lane_count<W>;
+
+  explicit Crc8Sliced(std::uint8_t poly = kCrc8DefaultPoly,
+                      std::uint8_t init = 0x00) noexcept
+      : poly_(poly) {
+    for (int i = 0; i < 8; ++i)
+      reg_[static_cast<std::size_t>(i)] =
+          bitslice::splat<W>((init >> i) & 1u);
+  }
+
+  // Clock in one bit of every stream.  The register "shift" is the circular
+  // head_ decrement — reference swapping, no data movement (Fig. 6).
+  void step(const W& in) noexcept {
+    const W fb = in ^ reg_[idx(7)];
+    head_ = (head_ + 7) % 8;  // shift left by renaming: stage i+1 := stage i
+    reg_[idx(0)] = bitslice::SliceTraits<W>::zero();
+    for (int i = 0; i < 8; ++i)
+      if ((poly_ >> i) & 1u) reg_[idx(static_cast<std::size_t>(i))] ^= fb;
+  }
+
+  // CRC of lane j (call after the final input bit).
+  std::uint8_t lane_crc(std::size_t lane) const noexcept {
+    std::uint8_t c = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+      c |= static_cast<std::uint8_t>(
+          bitslice::SliceTraits<W>::get_lane(reg_[idx(i)], lane) << i);
+    return c;
+  }
+
+ private:
+  std::size_t idx(std::size_t stage) const noexcept {
+    return (head_ + stage) % 8;
+  }
+
+  std::uint8_t poly_;
+  std::size_t head_ = 0;
+  std::array<W, 8> reg_{};
+};
+
+}  // namespace bsrng::crc

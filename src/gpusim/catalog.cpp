@@ -1,0 +1,47 @@
+#include "gpusim/catalog.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace bsrng::gpusim {
+
+namespace {
+// Table 2 of the paper, verbatim.
+const std::array<GpuSpec, 6> kCatalog = {{
+    {"GTX 480", 1344, 168, 177},
+    {"GTX 980 Ti", 5632, 176, 337},
+    {"GTX 1050 Ti", 1981, 62, 112},
+    {"GTX 1080 Ti", 10609, 332, 484},
+    {"Tesla V100", 14028, 7014, 900},
+    {"GTX 2080 Ti", 11750, 367, 616},
+}};
+}  // namespace
+
+std::span<const GpuSpec> device_catalog() { return kCatalog; }
+
+const GpuSpec& find_device(const std::string& name) {
+  const auto it =
+      std::find_if(kCatalog.begin(), kCatalog.end(),
+                   [&](const GpuSpec& g) { return g.name == name; });
+  if (it == kCatalog.end())
+    throw std::out_of_range("unknown GPU: " + name);
+  return *it;
+}
+
+double project_throughput_gbps(const GpuSpec& gpu, const ProjectionParams& p) {
+  if (p.gate_ops_per_bit <= 0.0)
+    throw std::invalid_argument("gate_ops_per_bit must be positive");
+  // Integer/boolean throughput ~ one op per FMA lane per cycle = SP peak / 2.
+  const double giga_ops = gpu.sp_gflops / 2.0;
+  const double compute_gbps = giga_ops / p.gate_ops_per_bit;
+  // GB/s of write bandwidth sustains (GB/s / bytes-per-bit) Gbit/s.
+  const double memory_gbps = gpu.mem_bw_gbs / p.bytes_per_bit;
+  return p.utilization * std::min(compute_gbps, memory_gbps);
+}
+
+double normalized_gbps_per_gflops(const GpuSpec& gpu, double gbps) {
+  return gbps / gpu.sp_gflops;
+}
+
+}  // namespace bsrng::gpusim

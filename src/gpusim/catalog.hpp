@@ -1,0 +1,42 @@
+// catalog.hpp — the paper's GPU platforms (Table 2) and the throughput
+// projection model used to regenerate Fig. 10/11 shapes without the silicon.
+//
+// Projection model (documented in DESIGN.md/EXPERIMENTS.md): a bitsliced
+// generator is compute-bound at `gate_ops_per_bit` boolean register
+// operations per produced bit; a GPU retires roughly one 32-bit logical op
+// per FMA lane per cycle, i.e. ~ (SP GFLOPS / 2) billion ops/s.  The memory
+// side needs `bytes_per_bit` of write bandwidth.  Projected throughput is
+// the binding minimum, scaled by an empirical utilization factor.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace bsrng::gpusim {
+
+struct GpuSpec {
+  std::string name;
+  double sp_gflops;   // single-precision peak (Table 2)
+  double dp_gflops;   // double-precision peak (Table 2)
+  double mem_bw_gbs;  // memory bandwidth GB/s (Table 2)
+};
+
+// The six GPUs of Table 2, in the paper's order.
+std::span<const GpuSpec> device_catalog();
+
+// Look up by name; throws std::out_of_range if absent.
+const GpuSpec& find_device(const std::string& name);
+
+struct ProjectionParams {
+  double gate_ops_per_bit;  // measured: boolean slice ops per output bit
+  double bytes_per_bit = 0.125;  // one output bit must be written once
+  double utilization = 0.75;     // achieved fraction of peak (empirical)
+};
+
+// Projected generation throughput in Gbit/s on `gpu`.
+double project_throughput_gbps(const GpuSpec& gpu, const ProjectionParams& p);
+
+// Gbps per GFLOPS — the normalized metric of Table 1 / Fig. 11.
+double normalized_gbps_per_gflops(const GpuSpec& gpu, double gbps);
+
+}  // namespace bsrng::gpusim

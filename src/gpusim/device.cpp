@@ -1,0 +1,86 @@
+#include "gpusim/device.hpp"
+
+#include <barrier>
+#include <deque>
+#include <stdexcept>
+#include <thread>
+
+namespace bsrng::gpusim {
+
+std::uint32_t ThreadCtx::shared_load(std::size_t idx) {
+  warp_.record_shared(1);
+  return shared_[idx];
+}
+
+void ThreadCtx::shared_store(std::size_t idx, std::uint32_t v) {
+  warp_.record_shared(1);
+  shared_[idx] = v;
+}
+
+std::uint32_t ThreadCtx::global_load(std::size_t word_idx) {
+  warp_.record(op_slot_++, word_idx * 4, 4);
+  return dev_.global_[word_idx];
+}
+
+void ThreadCtx::global_store(std::size_t word_idx, std::uint32_t v) {
+  warp_.record(op_slot_++, word_idx * 4, 4);
+  dev_.global_[word_idx] = v;
+}
+
+void ThreadCtx::sync_block() {
+  if (barrier_ == nullptr)
+    throw std::logic_error(
+        "sync_block() requires LaunchConfig::barriers = true");
+  static_cast<std::barrier<>*>(barrier_)->arrive_and_wait();
+}
+
+Device::Device(std::size_t global_words) : global_(global_words, 0) {}
+
+MemStats Device::launch(const LaunchConfig& cfg, const Kernel& kernel) {
+  if (cfg.threads_per_block == 0 || cfg.blocks == 0)
+    throw std::invalid_argument("launch: empty grid");
+  MemStats launch_stats;
+
+  const std::size_t warps_per_block =
+      (cfg.threads_per_block + kWarpSize - 1) / kWarpSize;
+
+  for (std::size_t b = 0; b < cfg.blocks; ++b) {
+    std::vector<std::uint32_t> shared((cfg.shared_bytes + 3) / 4, 0);
+    std::deque<WarpAccessRecorder> warps;  // deque: recorders are immovable
+    for (std::size_t w = 0; w < warps_per_block; ++w) {
+      const std::size_t first = w * kWarpSize;
+      const std::size_t active =
+          std::min(kWarpSize, cfg.threads_per_block - first);
+      warps.emplace_back(active);
+    }
+
+    if (!cfg.barriers) {
+      for (std::size_t t = 0; t < cfg.threads_per_block; ++t) {
+        ThreadCtx ctx(*this, b, t, cfg.threads_per_block, cfg.blocks,
+                      shared, warps[t / kWarpSize], nullptr);
+        kernel(ctx);
+      }
+    } else {
+      std::barrier<> bar(static_cast<std::ptrdiff_t>(cfg.threads_per_block));
+      std::vector<std::thread> threads;
+      threads.reserve(cfg.threads_per_block);
+      for (std::size_t t = 0; t < cfg.threads_per_block; ++t) {
+        threads.emplace_back([&, t] {
+          ThreadCtx ctx(*this, b, t, cfg.threads_per_block, cfg.blocks,
+                        shared, warps[t / kWarpSize], &bar);
+          kernel(ctx);
+        });
+      }
+      for (auto& th : threads) th.join();
+    }
+
+    for (auto& w : warps) {
+      w.finalize();
+      launch_stats += w.stats();
+    }
+  }
+  total_ += launch_stats;
+  return launch_stats;
+}
+
+}  // namespace bsrng::gpusim

@@ -1,0 +1,103 @@
+// device.hpp — SIMT virtual GPU: the execution substrate substituting for
+// CUDA in this reproduction (see DESIGN.md §2).
+//
+// Model: a grid of `blocks` thread blocks, each of `threads_per_block`
+// threads; per-block shared memory; a global memory array; block-level
+// barrier.  Kernels are callables receiving a ThreadCtx, mirroring the
+// structure of the paper's CUDA kernels (threadIdx/blockIdx, __shared__
+// staging buffers, coalesced global stores), and all global/shared traffic
+// is recorded in the MemModel cost counters.
+//
+// Execution: blocks are distributed over a host worker pool.  Within a
+// block, threads run sequentially unless the kernel needs barrier semantics,
+// in which case `barriers = true` runs each block's threads as real OS
+// threads synchronized with std::barrier (use small configs).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gpusim/memmodel.hpp"
+
+namespace bsrng::gpusim {
+
+struct LaunchConfig {
+  std::size_t blocks = 1;
+  std::size_t threads_per_block = 32;
+  std::size_t shared_bytes = 0;  // per-block shared memory
+  bool barriers = false;         // real-thread execution with sync_block()
+};
+
+class Device;
+
+// Per-thread view handed to the kernel.
+class ThreadCtx {
+ public:
+  std::size_t thread_idx() const noexcept { return thread_idx_; }
+  std::size_t block_idx() const noexcept { return block_idx_; }
+  std::size_t block_dim() const noexcept { return block_dim_; }
+  std::size_t grid_dim() const noexcept { return grid_dim_; }
+  std::size_t global_thread_id() const noexcept {
+    return block_idx_ * block_dim_ + thread_idx_;
+  }
+  std::size_t lane() const noexcept { return thread_idx_ % kWarpSize; }
+
+  // Per-block shared memory (uint32 granularity, like the paper's staging
+  // buffers).  Accesses are counted in the cost model.
+  std::uint32_t shared_load(std::size_t idx);
+  void shared_store(std::size_t idx, std::uint32_t v);
+
+  // Global memory (word-addressed).  Counted and coalesce-modeled.
+  std::uint32_t global_load(std::size_t word_idx);
+  void global_store(std::size_t word_idx, std::uint32_t v);
+
+  // Block-wide barrier; only valid when LaunchConfig::barriers is set.
+  void sync_block();
+
+ private:
+  friend class Device;
+  ThreadCtx(Device& dev, std::size_t block, std::size_t thread,
+            std::size_t block_dim, std::size_t grid_dim,
+            std::span<std::uint32_t> shared, WarpAccessRecorder& warp,
+            void* barrier)
+      : dev_(dev), block_idx_(block), thread_idx_(thread),
+        block_dim_(block_dim), grid_dim_(grid_dim), shared_(shared),
+        warp_(warp), barrier_(barrier) {}
+
+  Device& dev_;
+  std::size_t block_idx_, thread_idx_, block_dim_, grid_dim_;
+  std::span<std::uint32_t> shared_;
+  WarpAccessRecorder& warp_;
+  void* barrier_;
+  std::uint64_t op_slot_ = 0;  // lockstep sequence number for coalescing
+};
+
+using Kernel = std::function<void(ThreadCtx&)>;
+
+class Device {
+ public:
+  // `global_words`: size of the device's global memory array.
+  explicit Device(std::size_t global_words = 0);
+
+  std::span<std::uint32_t> global_memory() noexcept { return global_; }
+  std::span<const std::uint32_t> global_memory() const noexcept {
+    return global_;
+  }
+
+  // Run a grid to completion; returns aggregated memory statistics for the
+  // launch (also accumulated into total_stats()).
+  MemStats launch(const LaunchConfig& cfg, const Kernel& kernel);
+
+  const MemStats& total_stats() const noexcept { return total_; }
+  void reset_stats() noexcept { total_ = {}; }
+
+ private:
+  friend class ThreadCtx;
+
+  std::vector<std::uint32_t> global_;
+  MemStats total_;
+};
+
+}  // namespace bsrng::gpusim

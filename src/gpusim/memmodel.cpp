@@ -1,0 +1,37 @@
+#include "gpusim/memmodel.hpp"
+
+#include <algorithm>
+
+namespace bsrng::gpusim {
+
+void WarpAccessRecorder::record(std::uint64_t slot, std::uint64_t addr,
+                                std::uint32_t bytes) {
+  std::scoped_lock lock(mu_);
+  if (slot >= slots_.size()) slots_.resize(slot + 1);
+  slots_[slot].push_back({addr, bytes});
+  ++stats_.global_requests;
+  stats_.global_bytes += bytes;
+}
+
+void WarpAccessRecorder::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  for (auto& slot : slots_) {
+    if (slot.empty()) continue;
+    // Count distinct 128-byte segments touched by this lockstep access.
+    std::vector<std::uint64_t> segs;
+    segs.reserve(slot.size() * 2);
+    for (const auto& a : slot) {
+      const std::uint64_t first = a.addr / kSegmentBytes;
+      const std::uint64_t last = (a.addr + a.bytes - 1) / kSegmentBytes;
+      for (std::uint64_t s = first; s <= last; ++s) segs.push_back(s);
+    }
+    std::sort(segs.begin(), segs.end());
+    segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
+    stats_.global_transactions += segs.size();
+    slot.clear();
+  }
+  slots_.clear();
+}
+
+}  // namespace bsrng::gpusim

@@ -1,0 +1,85 @@
+// memmodel.hpp — memory-transaction cost model for the virtual GPU.
+//
+// The paper's §4.5 performance engineering (shared-memory staging, coalesced
+// global writes) cannot be timed on a CPU host, but it can be *counted*: a
+// warp's simultaneous global accesses cost one transaction per distinct
+// 128-byte segment they touch (the NVIDIA L1-line rule), while shared-memory
+// accesses are on-chip and cost a flat unit.  bench_memory_ablation (E8)
+// reproduces the §4.5 effects from these counters.
+//
+// Grouping rule: our kernels are branch-free SIMT code, so the k-th global
+// access executed by each thread of a warp is assumed to issue in lockstep
+// with the k-th access of its warp-mates (the standard coalescing model).
+// The simulator executes threads sequentially and tags each access with its
+// per-thread sequence number ("slot"); accesses sharing a slot coalesce.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace bsrng::gpusim {
+
+inline constexpr std::uint64_t kSegmentBytes = 128;
+inline constexpr std::size_t kWarpSize = 32;
+
+struct MemStats {
+  std::uint64_t global_requests = 0;      // individual per-thread accesses
+  std::uint64_t global_transactions = 0;  // coalesced 128B segments
+  std::uint64_t global_bytes = 0;
+  std::uint64_t shared_accesses = 0;
+
+  // Transaction efficiency: 1.0 means the warp's bytes were moved in the
+  // minimum possible number of segments.
+  double coalescing_efficiency() const {
+    if (global_transactions == 0) return 1.0;
+    const std::uint64_t ideal =
+        (global_bytes + kSegmentBytes - 1) / kSegmentBytes;
+    return static_cast<double>(ideal) /
+           static_cast<double>(global_transactions);
+  }
+
+  MemStats& operator+=(const MemStats& o) {
+    global_requests += o.global_requests;
+    global_transactions += o.global_transactions;
+    global_bytes += o.global_bytes;
+    shared_accesses += o.shared_accesses;
+    return *this;
+  }
+};
+
+// Collects the global accesses of one warp, grouped by lockstep slot, and
+// coalesces each completed slot into transactions.
+class WarpAccessRecorder {
+ public:
+  explicit WarpAccessRecorder(std::size_t active_lanes)
+      : active_lanes_(active_lanes) {}
+
+  // Lane access in lockstep slot `slot` touching [addr, addr+bytes).
+  // Thread-safe: in barrier mode a warp's threads report concurrently.
+  void record(std::uint64_t slot, std::uint64_t addr, std::uint32_t bytes);
+
+  void record_shared(std::uint32_t n) {
+    std::scoped_lock lock(mu_);
+    stats_.shared_accesses += n;
+  }
+
+  // Coalesce all slots (call once the warp's threads have all finished).
+  void finalize();
+
+  const MemStats& stats() const { return stats_; }
+
+ private:
+  struct Access {
+    std::uint64_t addr;
+    std::uint32_t bytes;
+  };
+
+  std::size_t active_lanes_;
+  std::vector<std::vector<Access>> slots_;
+  MemStats stats_;
+  bool finalized_ = false;
+  std::mutex mu_;
+};
+
+}  // namespace bsrng::gpusim

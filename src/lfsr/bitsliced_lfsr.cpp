@@ -1,0 +1,65 @@
+#include "lfsr/bitsliced_lfsr.hpp"
+
+#include "bitslice/gatecount.hpp"
+
+#include <stdexcept>
+
+namespace bsrng::lfsr {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+std::uint64_t degree_mask(unsigned degree) {
+  return degree == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << degree) - 1;
+}
+}  // namespace
+
+template <typename W>
+BitslicedLfsr<W>::BitslicedLfsr(const Gf2Poly& poly,
+                                std::span<const std::uint64_t> seeds)
+    : poly_(poly),
+      degree_(poly.degree),
+      taps_(poly.tap_positions()),
+      state_(poly.degree, bitslice::SliceTraits<W>::zero()) {
+  if (poly.degree == 0 || poly.degree > 64)
+    throw std::invalid_argument("BitslicedLfsr: degree must be in [1,64]");
+  if ((poly.taps & 1u) == 0)
+    throw std::invalid_argument("BitslicedLfsr: polynomial needs a_0 = 1");
+  if (seeds.size() != lanes)
+    throw std::invalid_argument("BitslicedLfsr: need one seed per lane");
+  const std::uint64_t mask = degree_mask(poly.degree);
+  for (std::size_t j = 0; j < lanes; ++j) {
+    const std::uint64_t s = seeds[j] & mask;
+    if (s == 0)
+      throw std::invalid_argument("BitslicedLfsr: lane seed must be nonzero");
+    for (std::size_t i = 0; i < degree_; ++i)
+      bitslice::SliceTraits<W>::set_lane(state_[i], j, (s >> i) & 1u);
+  }
+}
+
+template <typename W>
+BitslicedLfsr<W>::BitslicedLfsr(const Gf2Poly& poly, std::uint64_t master_seed)
+    : BitslicedLfsr(poly, [&] {
+        std::vector<std::uint64_t> seeds(lanes);
+        const std::uint64_t mask = degree_mask(poly.degree);
+        std::uint64_t x = master_seed;
+        for (auto& s : seeds)
+          do s = splitmix64(x) & mask;
+          while (s == 0);
+        return seeds;
+      }()) {}
+
+template class BitslicedLfsr<bitslice::SliceU32>;
+template class BitslicedLfsr<bitslice::SliceU64>;
+template class BitslicedLfsr<bitslice::SliceV128>;
+template class BitslicedLfsr<bitslice::SliceV256>;
+template class BitslicedLfsr<bitslice::SliceV512>;
+template class BitslicedLfsr<bitslice::CountingSlice>;
+
+}  // namespace bsrng::lfsr

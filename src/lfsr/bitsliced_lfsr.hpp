@@ -1,0 +1,104 @@
+// bitsliced_lfsr.hpp — the paper's core construction (§4.3, Fig. 8).
+//
+// State is held column-major: slice i carries stage i of W independent LFSRs
+// with identical feedback polynomial but uncorrelated seeds.  One clock of
+// all W instances costs
+//     k        full-width XORs (k = tap count)      [vs 32 x k bit-XORs]
+//     0        shift/mask operations                 [vs W shift+masks]
+// because "shifting" is a circular renaming of slice indices — exactly the
+// register reference swapping of Fig. 8.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitslice/gatecount.hpp"
+#include "bitslice/slice.hpp"
+#include "lfsr/polynomial.hpp"
+
+namespace bsrng::lfsr {
+
+template <typename W>
+class BitslicedLfsr {
+ public:
+  static constexpr std::size_t lanes = bitslice::lane_count<W>;
+
+  // Seeds one LFSR per lane; seeds[j] must be nonzero in the low n bits.
+  BitslicedLfsr(const Gf2Poly& poly, std::span<const std::uint64_t> seeds);
+
+  // Convenience: expand a single master seed into `lanes` distinct nonzero
+  // lane seeds (splitmix64 stream, §4.3's "carefully initialized to
+  // eliminate statistical correlation").
+  BitslicedLfsr(const Gf2Poly& poly, std::uint64_t master_seed);
+
+  // One clock of all W instances; returns the output slice (stage 0 of every
+  // lane, i.e. W output bits — "each thread generates 32 random bits").
+  W step() noexcept {
+    const std::size_t n = degree_;
+    const W out = state_[head_];
+    W fb = bitslice::SliceTraits<W>::zero();
+    for (const unsigned t : taps_) {
+      std::size_t idx = head_ + t;
+      if (idx >= n) idx -= n;
+      fb ^= state_[idx];
+    }
+    state_[head_] = fb;  // the vacated stage-0 slot becomes stage n-1
+    ++head_;
+    if (head_ == n) head_ = 0;
+    return out;
+  }
+
+  // Generate `out.size()` output slices.
+  void generate(std::span<W> out) noexcept {
+    for (auto& s : out) s = step();
+  }
+
+  // Stage s of lane j (test/introspection; not on the hot path).
+  bool stage_bit(std::size_t stage, std::size_t lane) const {
+    std::size_t idx = head_ + stage;
+    if (idx >= degree_) idx -= degree_;
+    return bitslice::SliceTraits<W>::get_lane(state_[idx], lane);
+  }
+
+  std::uint64_t lane_state(std::size_t lane) const {
+    std::uint64_t s = 0;
+    for (std::size_t i = 0; i < degree_; ++i)
+      s |= std::uint64_t{stage_bit(i, lane)} << i;
+    return s;
+  }
+
+  const Gf2Poly& poly() const noexcept { return poly_; }
+
+  // Stage-ordered state access for jump-ahead: element i = stage i slice.
+  void copy_stages(std::span<W> out) const {
+    for (std::size_t i = 0; i < degree_; ++i) {
+      std::size_t idx = head_ + i;
+      if (idx >= degree_) idx -= degree_;
+      out[i] = state_[idx];
+    }
+  }
+  void set_stages(std::span<const W> in) {
+    for (std::size_t i = 0; i < degree_; ++i) state_[i] = in[i];
+    head_ = 0;
+  }
+
+ private:
+  Gf2Poly poly_;
+  std::size_t degree_;
+  std::vector<unsigned> taps_;
+  std::vector<W> state_;  // circular: stage i lives at (head_ + i) mod degree_
+  std::size_t head_ = 0;
+};
+
+// splitmix64 — the seed-expansion stream used for lane initialization.
+std::uint64_t splitmix64(std::uint64_t& x) noexcept;
+
+extern template class BitslicedLfsr<bitslice::SliceU32>;
+extern template class BitslicedLfsr<bitslice::SliceU64>;
+extern template class BitslicedLfsr<bitslice::SliceV128>;
+extern template class BitslicedLfsr<bitslice::SliceV256>;
+extern template class BitslicedLfsr<bitslice::SliceV512>;
+extern template class BitslicedLfsr<bitslice::CountingSlice>;
+
+}  // namespace bsrng::lfsr

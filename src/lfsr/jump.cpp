@@ -1,0 +1,90 @@
+#include "lfsr/jump.hpp"
+
+#include <bit>
+#include <vector>
+
+namespace bsrng::lfsr {
+
+TransitionMatrix TransitionMatrix::identity(unsigned degree) {
+  TransitionMatrix m;
+  m.degree_ = degree;
+  for (unsigned i = 0; i < degree; ++i) m.rows_[i] = std::uint64_t{1} << i;
+  return m;
+}
+
+TransitionMatrix TransitionMatrix::companion(const Gf2Poly& poly) {
+  // One Fibonacci clock: new stage i = stage i+1 (i < n-1); new stage n-1 =
+  // parity(state & taps).
+  TransitionMatrix m;
+  m.degree_ = poly.degree;
+  for (unsigned i = 0; i + 1 < poly.degree; ++i)
+    m.rows_[i] = std::uint64_t{1} << (i + 1);
+  m.rows_[poly.degree - 1] = poly.taps;
+  return m;
+}
+
+TransitionMatrix TransitionMatrix::multiply(const TransitionMatrix& other) const {
+  // (this * other): row i of the product = XOR of other's rows selected by
+  // row i of this (row-vector convention: state' = M * state with
+  // state'_i = parity(rows_[i] & state)).
+  TransitionMatrix out;
+  out.degree_ = degree_;
+  for (std::size_t i = 0; i < degree_; ++i) {
+    std::uint64_t acc = 0;
+    std::uint64_t sel = rows_[i];
+    while (sel) {
+      const int j = std::countr_zero(sel);
+      sel &= sel - 1;
+      acc ^= other.rows_[static_cast<std::size_t>(j)];
+    }
+    out.rows_[i] = acc;
+  }
+  return out;
+}
+
+TransitionMatrix::TransitionMatrix(const Gf2Poly& poly, std::uint64_t steps) {
+  TransitionMatrix result = identity(poly.degree);
+  TransitionMatrix base = companion(poly);
+  while (steps) {
+    if (steps & 1) result = result.multiply(base);
+    base = base.multiply(base);
+    steps >>= 1;
+  }
+  *this = result;
+}
+
+std::uint64_t TransitionMatrix::apply(std::uint64_t state) const noexcept {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < degree_; ++i)
+    out |= static_cast<std::uint64_t>(std::popcount(rows_[i] & state) & 1)
+           << i;
+  return out;
+}
+
+void jump(FibonacciLfsr& lfsr, std::uint64_t steps) {
+  const TransitionMatrix m(lfsr.poly(), steps);
+  lfsr.set_state(m.apply(lfsr.state()));
+}
+
+template <typename W>
+void jump(BitslicedLfsr<W>& lfsr, std::uint64_t steps) {
+  const TransitionMatrix m(lfsr.poly(), steps);
+  const unsigned n = lfsr.poly().degree;
+  std::vector<W> in(n), out(n);
+  lfsr.copy_stages(in);
+  m.apply_slices(in.data(), out.data());
+  lfsr.set_stages(out);
+}
+
+template void jump<bitslice::SliceU32>(BitslicedLfsr<bitslice::SliceU32>&,
+                                       std::uint64_t);
+template void jump<bitslice::SliceU64>(BitslicedLfsr<bitslice::SliceU64>&,
+                                       std::uint64_t);
+template void jump<bitslice::SliceV128>(BitslicedLfsr<bitslice::SliceV128>&,
+                                        std::uint64_t);
+template void jump<bitslice::SliceV256>(BitslicedLfsr<bitslice::SliceV256>&,
+                                        std::uint64_t);
+template void jump<bitslice::SliceV512>(BitslicedLfsr<bitslice::SliceV512>&,
+                                        std::uint64_t);
+
+}  // namespace bsrng::lfsr

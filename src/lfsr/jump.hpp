@@ -1,0 +1,75 @@
+// jump.hpp — O(n^3 log N) jump-ahead for LFSRs.
+//
+// §2.2 lists "high-performance counters" among LFSR applications, and the
+// multi-device scheme of §5.4 needs disjoint substreams.  For linear
+// generators both reduce to computing M^N over GF(2), where M is the
+// recurrence's companion matrix: jumping a 64-bit LFSR by 2^40 steps costs
+// ~40 bit-matrix squarings instead of 2^40 clocks.
+//
+// The same matrix power advances the *bitsliced* LFSR: because every lane
+// shares the polynomial, row i of M^N turns into an XOR of whole slices —
+// one more place the column-major representation pays off.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "lfsr/bitsliced_lfsr.hpp"
+#include "lfsr/polynomial.hpp"
+#include "lfsr/scalar_lfsr.hpp"
+
+namespace bsrng::lfsr {
+
+// Dense n x n bit matrix, row-major, n <= 64; row i bit j = M[i][j].
+class TransitionMatrix {
+ public:
+  TransitionMatrix(const Gf2Poly& poly, std::uint64_t steps);
+
+  unsigned degree() const noexcept { return degree_; }
+  std::uint64_t row(std::size_t i) const noexcept { return rows_[i]; }
+
+  // Apply to a packed scalar state (bit i = stage i).
+  std::uint64_t apply(std::uint64_t state) const noexcept;
+
+  // Apply to a bank of slices in stage order (slices[i] = stage i): the
+  // bitsliced jump.  `out` and `in` must not alias.
+  template <typename W>
+  void apply_slices(const W* in, W* out) const noexcept {
+    for (std::size_t i = 0; i < degree_; ++i) {
+      W acc = bitslice::SliceTraits<W>::zero();
+      const std::uint64_t r = rows_[i];
+      for (std::size_t j = 0; j < degree_; ++j)
+        if ((r >> j) & 1u) acc ^= in[j];
+      out[i] = acc;
+    }
+  }
+
+ private:
+  static TransitionMatrix identity(unsigned degree);
+  static TransitionMatrix companion(const Gf2Poly& poly);
+  TransitionMatrix() = default;
+  TransitionMatrix multiply(const TransitionMatrix& other) const;
+
+  unsigned degree_ = 0;
+  std::array<std::uint64_t, 64> rows_{};
+};
+
+// Advance a scalar LFSR by `steps` clocks in O(log steps) matrix work.
+void jump(FibonacciLfsr& lfsr, std::uint64_t steps);
+
+// Advance every lane of a bitsliced LFSR by `steps` clocks.
+template <typename W>
+void jump(BitslicedLfsr<W>& lfsr, std::uint64_t steps);
+
+extern template void jump<bitslice::SliceU32>(BitslicedLfsr<bitslice::SliceU32>&,
+                                              std::uint64_t);
+extern template void jump<bitslice::SliceU64>(BitslicedLfsr<bitslice::SliceU64>&,
+                                              std::uint64_t);
+extern template void jump<bitslice::SliceV128>(
+    BitslicedLfsr<bitslice::SliceV128>&, std::uint64_t);
+extern template void jump<bitslice::SliceV256>(
+    BitslicedLfsr<bitslice::SliceV256>&, std::uint64_t);
+extern template void jump<bitslice::SliceV512>(
+    BitslicedLfsr<bitslice::SliceV512>&, std::uint64_t);
+
+}  // namespace bsrng::lfsr

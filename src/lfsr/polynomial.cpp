@@ -1,0 +1,207 @@
+#include "lfsr/polynomial.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+
+namespace bsrng::lfsr {
+
+namespace {
+
+using u128 = uint128_t;
+
+// Full polynomial value including the implicit leading x^n term.
+u128 full_poly(const Gf2Poly& p) {
+  return (u128{1} << p.degree) | p.taps;
+}
+
+unsigned deg128(u128 v) {
+  unsigned d = 0;
+  while (v >> (d + 1)) ++d;
+  return d;
+}
+
+u128 gf2_gcd(u128 a, u128 b) {
+  while (b != 0) {
+    // Reduce a mod b (polynomial division by repeated aligned XOR), then swap.
+    while (a != 0 && deg128(a) >= deg128(b))
+      a ^= b << (deg128(a) - deg128(b));
+    std::swap(a, b);
+  }
+  return a;
+}
+
+// ---- integer primality / factoring (for 2^n - 1) --------------------------
+
+std::uint64_t mulmod_u64(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(u128{a} * b % m);
+}
+
+std::uint64_t powmod_u64(std::uint64_t a, std::uint64_t e, std::uint64_t m) {
+  std::uint64_t r = 1 % m;
+  a %= m;
+  while (e) {
+    if (e & 1) r = mulmod_u64(r, a, m);
+    a = mulmod_u64(a, a, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+bool is_prime_u64(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2u, 3u, 5u, 7u, 11u, 13u, 17u, 19u, 23u, 29u, 31u, 37u}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  unsigned r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // Deterministic Miller-Rabin bases for all n < 2^64.
+  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    std::uint64_t x = powmod_u64(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (unsigned i = 1; i < r; ++i) {
+      x = mulmod_u64(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+std::uint64_t pollard_rho(std::uint64_t n) {
+  if (n % 2 == 0) return 2;
+  // Brent's cycle-finding variant; deterministic seed sweep keeps the
+  // function reproducible.
+  for (std::uint64_t c = 1;; ++c) {
+    std::uint64_t x = 2, y = 2, d = 1;
+    auto f = [&](std::uint64_t v) { return (mulmod_u64(v, v, n) + c) % n; };
+    while (d == 1) {
+      x = f(x);
+      y = f(f(y));
+      const std::uint64_t diff = x > y ? x - y : y - x;
+      if (diff == 0) break;  // cycle without factor: retry with next c
+      d = std::gcd(diff, n);
+    }
+    if (d != 1 && d != n) return d;
+  }
+}
+
+void factor_rec(std::uint64_t n, std::vector<std::uint64_t>& out) {
+  if (n == 1) return;
+  if (is_prime_u64(n)) {
+    out.push_back(n);
+    return;
+  }
+  const std::uint64_t d = pollard_rho(n);
+  factor_rec(d, out);
+  factor_rec(n / d, out);
+}
+
+}  // namespace
+
+std::vector<unsigned> Gf2Poly::tap_positions() const {
+  std::vector<unsigned> pos;
+  for (unsigned i = 0; i < degree; ++i)
+    if ((taps >> i) & 1u) pos.push_back(i);
+  return pos;
+}
+
+unsigned Gf2Poly::tap_count() const {
+  return static_cast<unsigned>(std::popcount(taps & (degree == 64
+                                                         ? ~std::uint64_t{0}
+                                                         : (std::uint64_t{1} << degree) - 1)));
+}
+
+std::uint64_t gf2_mulmod(std::uint64_t a, std::uint64_t b, const Gf2Poly& p) {
+  // Carry-less multiply (result degree <= 2n-2), then reduce by p.
+  u128 prod = 0;
+  for (unsigned i = 0; i < p.degree; ++i)
+    if ((b >> i) & 1u) prod ^= u128{a} << i;
+  const u128 fp = full_poly(p);
+  for (int i = 2 * static_cast<int>(p.degree) - 2; i >= static_cast<int>(p.degree); --i)
+    if ((prod >> i) & 1u) prod ^= fp << (static_cast<unsigned>(i) - p.degree);
+  return static_cast<std::uint64_t>(prod);
+}
+
+std::uint64_t gf2_powmod(std::uint64_t a, uint128_t e, const Gf2Poly& p) {
+  std::uint64_t r = 1;
+  while (e) {
+    if (e & 1) r = gf2_mulmod(r, a, p);
+    a = gf2_mulmod(a, a, p);
+    e >>= 1;
+  }
+  return r;
+}
+
+bool is_irreducible(const Gf2Poly& p) {
+  if (p.degree == 0 || (p.taps & 1u) == 0) return false;  // x | p(x)
+  if (p.degree == 1) return true;
+  // x^(2^n) == x (mod p) ...
+  std::uint64_t t = 2;  // the polynomial "x"
+  for (unsigned i = 0; i < p.degree; ++i) t = gf2_mulmod(t, t, p);
+  if (t != 2) return false;
+  // ... and gcd(x^(2^(n/q)) - x, p) = 1 for every prime q | n.
+  for (std::uint64_t q : prime_factors(p.degree)) {
+    std::uint64_t s = 2;
+    for (unsigned i = 0; i < p.degree / q; ++i) s = gf2_mulmod(s, s, p);
+    if (gf2_gcd(u128{s} ^ 2u, full_poly(p)) != 1) return false;
+  }
+  return true;
+}
+
+bool is_primitive(const Gf2Poly& p) {
+  if (!is_irreducible(p)) return false;
+  const std::uint64_t order =
+      p.degree == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << p.degree) - 1;
+  for (std::uint64_t q : prime_factors(order))
+    if (gf2_powmod(2 /* x */, order / q, p) == 1) return false;
+  return true;
+}
+
+std::vector<std::uint64_t> prime_factors(std::uint64_t m) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t d : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull}) {
+    if (m % d == 0) {
+      out.push_back(d);
+      while (m % d == 0) m /= d;
+    }
+  }
+  factor_rec(m, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Gf2Poly primitive_polynomial(unsigned degree) {
+  if (degree < 3 || degree > 64)
+    throw std::invalid_argument("primitive_polynomial: degree must be in [3,64]");
+  static std::array<Gf2Poly, 65> cache{};
+  static std::mutex mu;
+  std::scoped_lock lock(mu);
+  if (cache[degree].degree != 0) return cache[degree];
+  // Search tap masks in increasing value order.  a_0 must be 1, and p(1) != 0
+  // requires an odd total term count, i.e. an even tap-mask popcount
+  // (e.g. the classic x^20 + x^17 + 1 has taps {17, 0}).
+  for (std::uint64_t taps = 1;; taps += 2) {
+    if (std::popcount(taps) % 2 != 0) continue;
+    const Gf2Poly cand{taps, degree};
+    if (is_primitive(cand)) {
+      cache[degree] = cand;
+      return cand;
+    }
+  }
+}
+
+}  // namespace bsrng::lfsr

@@ -1,0 +1,54 @@
+// polynomial.hpp — GF(2) feedback polynomials for LFSRs (§2.2).
+//
+// A degree-n feedback polynomial p(x) = x^n + a_{n-1}x^{n-1} + ... + a_1 x + 1
+// is stored as the tap mask of its low n coefficients (bit i = a_i); the
+// leading x^n term is implicit.  a_0 = 1 is required for an invertible LFSR.
+//
+// Primitivity (period 2^n - 1, §2.2 "maximize the LFSR period") is decided
+// exactly for n <= 64: p is primitive iff p is irreducible and
+// x^((2^n-1)/q) != 1 (mod p) for every prime factor q of 2^n - 1.  The prime
+// factors are found at runtime with Pollard's rho, so no factor table is
+// trusted from memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace bsrng::lfsr {
+
+// 128-bit exponent type for gf2_powmod (GCC/Clang extension).
+__extension__ typedef unsigned __int128 uint128_t;
+
+struct Gf2Poly {
+  std::uint64_t taps = 0;  // coefficients a_0 .. a_{n-1}
+  unsigned degree = 0;     // n (1 <= n <= 64)
+
+  friend constexpr bool operator==(const Gf2Poly&, const Gf2Poly&) = default;
+
+  // Positions i with a_i = 1 (the feedback tap indices of Fig. 1).
+  std::vector<unsigned> tap_positions() const;
+  // Number of feedback taps k = |A| (Eq. 2 of the paper).
+  unsigned tap_count() const;
+};
+
+// Polynomial arithmetic mod p (operands/results are degree < n bit masks).
+std::uint64_t gf2_mulmod(std::uint64_t a, std::uint64_t b, const Gf2Poly& p);
+std::uint64_t gf2_powmod(std::uint64_t a, uint128_t e, const Gf2Poly& p);
+
+// True iff p is irreducible over GF(2).
+bool is_irreducible(const Gf2Poly& p);
+
+// True iff p is primitive (irreducible with x a generator of GF(2^n)^*).
+bool is_primitive(const Gf2Poly& p);
+
+// Prime factorization of m (Pollard rho + trial division); factors sorted,
+// with multiplicity collapsed (each prime appears once).
+std::vector<std::uint64_t> prime_factors(std::uint64_t m);
+
+// A known primitive polynomial of the requested degree (3 <= n <= 64), e.g.
+// the degree-20 entry is the paper's "simple 20-bit LFSR" example.  Every
+// entry is verified primitive by the test suite using is_primitive().
+Gf2Poly primitive_polynomial(unsigned degree);
+
+}  // namespace bsrng::lfsr

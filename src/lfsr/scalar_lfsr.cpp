@@ -1,0 +1,83 @@
+#include "lfsr/scalar_lfsr.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace bsrng::lfsr {
+
+namespace {
+std::uint64_t degree_mask(unsigned degree) {
+  return degree == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << degree) - 1;
+}
+
+void check(const Gf2Poly& poly, std::uint64_t seed, std::uint64_t mask) {
+  if (poly.degree == 0 || poly.degree > 64)
+    throw std::invalid_argument("LFSR degree must be in [1,64]");
+  if ((poly.taps & 1u) == 0)
+    throw std::invalid_argument("LFSR polynomial needs a_0 = 1");
+  if ((seed & mask) == 0)
+    throw std::invalid_argument("LFSR seed must be nonzero");
+}
+}  // namespace
+
+FibonacciLfsr::FibonacciLfsr(const Gf2Poly& poly, std::uint64_t seed)
+    : poly_(poly), state_(seed), mask_(degree_mask(poly.degree)) {
+  check(poly_, seed, mask_);
+  state_ &= mask_;
+}
+
+void FibonacciLfsr::set_state(std::uint64_t s) {
+  check(poly_, s, mask_);
+  state_ = s & mask_;
+}
+
+bool FibonacciLfsr::step() noexcept {
+  const bool out = state_ & 1u;
+  // Feedback = parity of the tapped stages: this is the "32 x k bit-level
+  // XOR" cost the paper ascribes to the naive form (here k taps, plus the
+  // shift+mask the bitsliced version eliminates).
+  const std::uint64_t fb =
+      static_cast<std::uint64_t>(std::popcount(state_ & poly_.taps) & 1);
+  state_ = (state_ >> 1) | (fb << (poly_.degree - 1));
+  return out;
+}
+
+std::uint64_t FibonacciLfsr::step64() noexcept {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < 64; ++i)
+    out |= static_cast<std::uint64_t>(step()) << i;
+  return out;
+}
+
+GaloisLfsr::GaloisLfsr(const Gf2Poly& poly, std::uint64_t seed)
+    : poly_(poly), state_(seed), mask_(degree_mask(poly.degree)) {
+  check(poly_, seed, mask_);
+  state_ &= mask_;
+}
+
+bool GaloisLfsr::step() noexcept {
+  const bool out = state_ & 1u;
+  state_ >>= 1;
+  if (out) state_ ^= (poly_.taps >> 1) | (std::uint64_t{1} << (poly_.degree - 1));
+  return out;
+}
+
+std::uint64_t GaloisLfsr::step64() noexcept {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < 64; ++i)
+    out |= static_cast<std::uint64_t>(step()) << i;
+  return out;
+}
+
+std::uint64_t cycle_length(const Gf2Poly& poly, std::uint64_t seed) {
+  FibonacciLfsr l(poly, seed);
+  const std::uint64_t start = l.state();
+  std::uint64_t n = 0;
+  do {
+    l.step();
+    ++n;
+  } while (l.state() != start);
+  return n;
+}
+
+}  // namespace bsrng::lfsr

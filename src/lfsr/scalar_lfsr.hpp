@@ -1,0 +1,64 @@
+// scalar_lfsr.hpp — conventional row-major LFSRs (the paper's baseline).
+//
+// These are the "naive implementation" of §4.3/Fig. 7: one register word per
+// LFSR instance, costly shift+mask every clock.  They serve three roles:
+//   1. the ablation baseline for bench_lfsr_ablation (E6),
+//   2. the per-lane oracle the bitsliced LFSR is equivalence-tested against,
+//   3. period/property-test subjects (period 2^n - 1 for primitive p).
+#pragma once
+
+#include <cstdint>
+
+#include "lfsr/polynomial.hpp"
+
+namespace bsrng::lfsr {
+
+// Fibonacci (many-to-one) configuration of Fig. 1: the output bit is taken
+// from stage 0; the linear combination of the tap stages re-enters at stage
+// n-1 as the register shifts down.
+class FibonacciLfsr {
+ public:
+  FibonacciLfsr(const Gf2Poly& poly, std::uint64_t seed);
+
+  // Advance one clock; returns the output bit (stage 0 before the shift).
+  bool step() noexcept;
+
+  // Advance 64 clocks, packing outputs LSB-first.
+  std::uint64_t step64() noexcept;
+
+  std::uint64_t state() const noexcept { return state_; }
+  // Overwrite the register (used by jump-ahead); must be nonzero.
+  void set_state(std::uint64_t s);
+  const Gf2Poly& poly() const noexcept { return poly_; }
+
+ private:
+  Gf2Poly poly_;
+  std::uint64_t state_;  // bit i = stage i
+  std::uint64_t mask_;   // low `degree` bits
+};
+
+// Galois (one-to-many) configuration: the output bit is XORed into the tap
+// stages as it leaves.  Produces the same sequence as the Fibonacci form for
+// the same polynomial when seeded compatibly; kept as an independent
+// implementation for cross-checks and because hardware specs (e.g. the
+// MICKEY R register) are written in Galois form.
+class GaloisLfsr {
+ public:
+  GaloisLfsr(const Gf2Poly& poly, std::uint64_t seed);
+
+  bool step() noexcept;
+  std::uint64_t step64() noexcept;
+
+  std::uint64_t state() const noexcept { return state_; }
+
+ private:
+  Gf2Poly poly_;
+  std::uint64_t state_;
+  std::uint64_t mask_;
+};
+
+// Multiplicative order of the state cycle containing `seed` (counts clocks
+// until the state first recurs).  Intended for n small enough to enumerate.
+std::uint64_t cycle_length(const Gf2Poly& poly, std::uint64_t seed);
+
+}  // namespace bsrng::lfsr

@@ -1,0 +1,55 @@
+// SP 800-22 §2.10 Linear Complexity.
+#include <cmath>
+#include <vector>
+
+#include "nist/suite.hpp"
+#include "stats/berlekamp_massey.hpp"
+#include "stats/special.hpp"
+
+namespace bsrng::nist {
+
+TestResult linear_complexity_test(const BitBuf& bits, std::size_t M) {
+  constexpr std::size_t K = 6;
+  static constexpr double kPi[K + 1] = {0.010417, 0.03125, 0.125,   0.5,
+                                        0.25,     0.0625,  0.020833};
+  const std::size_t N = bits.size() / M;
+  if (N == 0) return {"LinearComplexity", {}, /*applicable=*/false};
+
+  const double Md = static_cast<double>(M);
+  const double sign_m = (M % 2 == 0) ? 1.0 : -1.0;          // (-1)^M
+  const double mu = Md / 2.0 + (9.0 - sign_m) / 36.0 -
+                    (Md / 3.0 + 2.0 / 9.0) / std::exp2(Md);
+
+  std::vector<double> v(K + 1, 0.0);
+  std::vector<std::uint8_t> block(M);
+  for (std::size_t b = 0; b < N; ++b) {
+    for (std::size_t i = 0; i < M; ++i) block[i] = bits.get(b * M + i);
+    const double L = static_cast<double>(stats::berlekamp_massey(block));
+    const double t = sign_m * (L - mu) + 2.0 / 9.0;
+    std::size_t cat;
+    if (t <= -2.5)
+      cat = 0;
+    else if (t <= -1.5)
+      cat = 1;
+    else if (t <= -0.5)
+      cat = 2;
+    else if (t <= 0.5)
+      cat = 3;
+    else if (t <= 1.5)
+      cat = 4;
+    else if (t <= 2.5)
+      cat = 5;
+    else
+      cat = 6;
+    v[cat] += 1.0;
+  }
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i <= K; ++i) {
+    const double expect = static_cast<double>(N) * kPi[i];
+    chi2 += (v[i] - expect) * (v[i] - expect) / expect;
+  }
+  return {"LinearComplexity",
+          {stats::igamc(static_cast<double>(K) / 2.0, chi2 / 2.0)}};
+}
+
+}  // namespace bsrng::nist

@@ -1,0 +1,81 @@
+// SP 800-22 §2.11 Serial, §2.12 Approximate Entropy.
+#include <cmath>
+#include <vector>
+
+#include "nist/suite.hpp"
+#include "stats/special.hpp"
+
+namespace bsrng::nist {
+
+namespace {
+
+// psi^2_m statistic: counts of all overlapping m-bit patterns with
+// wraparound (§2.11.4 / §2.12.4).
+double psi_squared(const BitBuf& bits, std::size_t m) {
+  if (m == 0) return 0.0;
+  const std::size_t n = bits.size();
+  std::vector<std::uint32_t> counts(std::size_t{1} << m, 0);
+  std::uint32_t pattern = 0;
+  const std::uint32_t mask = static_cast<std::uint32_t>((1u << m) - 1);
+  // Prime the first m-1 bits.
+  for (std::size_t i = 0; i < m - 1; ++i)
+    pattern = ((pattern << 1) | bits.get(i)) & mask;
+  for (std::size_t i = m - 1; i < n + m - 1; ++i) {
+    pattern = ((pattern << 1) | bits.get(i % n)) & mask;
+    ++counts[pattern];
+  }
+  double sum = 0.0;
+  for (const auto c : counts)
+    sum += static_cast<double>(c) * static_cast<double>(c);
+  return sum * std::exp2(static_cast<double>(m)) / static_cast<double>(n) -
+         static_cast<double>(n);
+}
+
+// phi_m for the approximate-entropy statistic (§2.12.4 step 4).
+double phi(const BitBuf& bits, std::size_t m) {
+  if (m == 0) return 0.0;
+  const std::size_t n = bits.size();
+  std::vector<std::uint32_t> counts(std::size_t{1} << m, 0);
+  std::uint32_t pattern = 0;
+  const std::uint32_t mask = static_cast<std::uint32_t>((1u << m) - 1);
+  for (std::size_t i = 0; i < m - 1; ++i)
+    pattern = ((pattern << 1) | bits.get(i)) & mask;
+  for (std::size_t i = m - 1; i < n + m - 1; ++i) {
+    pattern = ((pattern << 1) | bits.get(i % n)) & mask;
+    ++counts[pattern];
+  }
+  double sum = 0.0;
+  for (const auto c : counts) {
+    if (c == 0) continue;
+    const double pi = static_cast<double>(c) / static_cast<double>(n);
+    sum += pi * std::log(pi);
+  }
+  return sum;
+}
+
+}  // namespace
+
+TestResult serial_test(const BitBuf& bits, std::size_t m) {
+  const double psi_m = psi_squared(bits, m);
+  const double psi_m1 = psi_squared(bits, m - 1);
+  const double psi_m2 = psi_squared(bits, m - 2);
+  const double d1 = psi_m - psi_m1;
+  const double d2 = psi_m - 2.0 * psi_m1 + psi_m2;
+  TestResult r{"Serial", {}};
+  r.p_values.push_back(
+      stats::igamc(std::exp2(static_cast<double>(m) - 2.0), d1 / 2.0));
+  r.p_values.push_back(
+      stats::igamc(std::exp2(static_cast<double>(m) - 3.0), d2 / 2.0));
+  return r;
+}
+
+TestResult approximate_entropy_test(const BitBuf& bits, std::size_t m) {
+  const std::size_t n = bits.size();
+  const double ap_en = phi(bits, m) - phi(bits, m + 1);
+  const double chi2 =
+      2.0 * static_cast<double>(n) * (std::log(2.0) - ap_en);
+  return {"ApproximateEntropy",
+          {stats::igamc(std::exp2(static_cast<double>(m) - 1.0), chi2 / 2.0)}};
+}
+
+}  // namespace bsrng::nist

@@ -1,0 +1,115 @@
+// SP 800-22 §2.14 Random Excursions, §2.15 Random Excursions Variant.
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "nist/suite.hpp"
+#include "stats/special.hpp"
+
+namespace bsrng::nist {
+
+namespace {
+
+// Split the +/-1 partial-sum walk into zero-to-zero cycles; returns the walk
+// values and the indices where cycles end.
+struct Walk {
+  std::vector<long> s;                 // partial sums S_1..S_n
+  std::vector<std::size_t> zero_pos;   // positions with S_k = 0
+};
+
+Walk build_walk(const BitBuf& bits) {
+  Walk w;
+  w.s.resize(bits.size());
+  long sum = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    sum += bits.get(i) ? 1 : -1;
+    w.s[i] = sum;
+    if (sum == 0) w.zero_pos.push_back(i);
+  }
+  return w;
+}
+
+// pi_k(x): probability a cycle visits state x exactly k times (§2.14.4).
+double pi_visits(std::size_t k, long x) {
+  const double ax = std::abs(static_cast<double>(x));
+  if (k == 0) return 1.0 - 1.0 / (2.0 * ax);
+  if (k >= 5) {
+    const double b = 1.0 - 1.0 / (2.0 * ax);
+    return (1.0 / (2.0 * ax)) * std::pow(b, 4.0);
+  }
+  const double b = 1.0 - 1.0 / (2.0 * ax);
+  return (1.0 / (4.0 * ax * ax)) * std::pow(b, static_cast<double>(k) - 1.0);
+}
+
+}  // namespace
+
+TestResult random_excursions_test(const BitBuf& bits) {
+  const Walk w = build_walk(bits);
+  // Number of cycles J: each return to zero closes one; the tail after the
+  // last zero (if any) closes the final cycle.
+  std::size_t J = w.zero_pos.size();
+  if (w.zero_pos.empty() || w.zero_pos.back() != bits.size() - 1) ++J;
+  // Applicability: NIST requires J >= max(0.005 sqrt(n), 500).
+  const double min_j =
+      std::max(0.005 * std::sqrt(static_cast<double>(bits.size())), 500.0);
+  if (static_cast<double>(J) < min_j)
+    return {"RandomExcursions", {}, /*applicable=*/false};
+
+  static constexpr std::array<long, 8> kStates = {-4, -3, -2, -1, 1, 2, 3, 4};
+  // visits[state][k] = number of cycles visiting `state` exactly k (cap 5).
+  std::array<std::array<double, 6>, 8> v{};
+  std::array<std::size_t, 8> in_cycle{};
+  std::size_t cycle_start = 0;
+  const auto close_cycle = [&] {
+    for (std::size_t si = 0; si < 8; ++si) {
+      v[si][std::min<std::size_t>(in_cycle[si], 5)] += 1.0;
+      in_cycle[si] = 0;
+    }
+  };
+  for (std::size_t i = 0; i < w.s.size(); ++i) {
+    for (std::size_t si = 0; si < 8; ++si)
+      if (w.s[i] == kStates[si]) ++in_cycle[si];
+    if (w.s[i] == 0) {
+      close_cycle();
+      cycle_start = i + 1;
+    }
+  }
+  if (cycle_start < w.s.size()) close_cycle();  // trailing open cycle
+
+  TestResult r{"RandomExcursions", {}};
+  for (std::size_t si = 0; si < 8; ++si) {
+    double chi2 = 0.0;
+    for (std::size_t k = 0; k <= 5; ++k) {
+      const double expect =
+          static_cast<double>(J) * pi_visits(k, kStates[si]);
+      chi2 += (v[si][k] - expect) * (v[si][k] - expect) / expect;
+    }
+    r.p_values.push_back(stats::igamc(5.0 / 2.0, chi2 / 2.0));
+  }
+  return r;
+}
+
+TestResult random_excursions_variant_test(const BitBuf& bits) {
+  const Walk w = build_walk(bits);
+  std::size_t J = w.zero_pos.size();
+  if (w.zero_pos.empty() || w.zero_pos.back() != bits.size() - 1) ++J;
+  const double min_j =
+      std::max(0.005 * std::sqrt(static_cast<double>(bits.size())), 500.0);
+  if (static_cast<double>(J) < min_j)
+    return {"RandomExcursionsVariant", {}, /*applicable=*/false};
+
+  TestResult r{"RandomExcursionsVariant", {}};
+  for (long x = -9; x <= 9; ++x) {
+    if (x == 0) continue;
+    double xi = 0.0;
+    for (const long s : w.s) xi += s == x;
+    const double jd = static_cast<double>(J);
+    const double p = stats::erfc(
+        std::abs(xi - jd) /
+        std::sqrt(2.0 * jd * (4.0 * std::abs(static_cast<double>(x)) - 2.0)));
+    r.p_values.push_back(p);
+  }
+  return r;
+}
+
+}  // namespace bsrng::nist

@@ -1,0 +1,74 @@
+#include "nist/fips140.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace bsrng::nist {
+
+std::string Fips140Result::summary() const {
+  std::string s;
+  s += monobit ? "monobit:PASS " : "monobit:FAIL ";
+  s += poker ? "poker:PASS " : "poker:FAIL ";
+  s += runs ? "runs:PASS " : "runs:FAIL ";
+  s += long_run ? "longrun:PASS" : "longrun:FAIL";
+  return s;
+}
+
+Fips140Result fips140_2(const bitslice::BitBuf& bits) {
+  if (bits.size() != kFips140SampleBits)
+    throw std::invalid_argument("fips140_2: sample must be 20000 bits");
+  Fips140Result r;
+
+  // 1. Monobit: 9725 < ones < 10275.
+  const std::size_t ones = bits.count();
+  r.monobit = ones > 9725 && ones < 10275;
+
+  // 2. Poker: 5000 consecutive 4-bit values; X = (16/5000) sum f_i^2 - 5000;
+  //    2.16 < X < 46.17.
+  std::array<std::uint32_t, 16> f{};
+  for (std::size_t i = 0; i < kFips140SampleBits; i += 4) {
+    unsigned v = 0;
+    for (std::size_t k = 0; k < 4; ++k) v = (v << 1) | bits.get(i + k);
+    ++f[v];
+  }
+  double sum_sq = 0;
+  for (const auto c : f) sum_sq += static_cast<double>(c) * c;
+  const double x = 16.0 / 5000.0 * sum_sq - 5000.0;
+  r.poker = x > 2.16 && x < 46.17;
+
+  // 3. Runs: counts of runs of each length (1..5, 6+) for zeros and ones
+  //    must lie in the specified intervals.
+  struct Bounds {
+    std::uint32_t lo, hi;
+  };
+  static constexpr std::array<Bounds, 6> kBounds = {{{2315, 2685},
+                                                     {1114, 1386},
+                                                     {527, 723},
+                                                     {240, 384},
+                                                     {103, 209},
+                                                     {103, 209}}};
+  std::array<std::array<std::uint32_t, 6>, 2> run_counts{};  // [bit][len-1]
+  std::size_t longest = 0;
+  std::size_t run_len = 1;
+  for (std::size_t i = 1; i <= kFips140SampleBits; ++i) {
+    if (i < kFips140SampleBits && bits.get(i) == bits.get(i - 1)) {
+      ++run_len;
+    } else {
+      const std::size_t bit = bits.get(i - 1);
+      ++run_counts[bit][std::min<std::size_t>(run_len, 6) - 1];
+      longest = std::max(longest, run_len);
+      run_len = 1;
+    }
+  }
+  r.runs = true;
+  for (std::size_t b = 0; b < 2; ++b)
+    for (std::size_t l = 0; l < 6; ++l)
+      r.runs &= run_counts[b][l] >= kBounds[l].lo &&
+                run_counts[b][l] <= kBounds[l].hi;
+
+  // 4. Long run: no run of 26 or more identical bits.
+  r.long_run = longest < 26;
+  return r;
+}
+
+}  // namespace bsrng::nist

@@ -1,0 +1,31 @@
+// fips140.hpp — the FIPS 140-2 statistical battery (monobit, poker, runs,
+// long-run) over a 20000-bit sample.
+//
+// Complements SP 800-22: these are the fast accept/reject gates hardware
+// RNGs self-test with, and the thresholds are specified as hard count
+// bounds rather than P-values — a useful smoke battery for CI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bitslice/bitbuf.hpp"
+
+namespace bsrng::nist {
+
+inline constexpr std::size_t kFips140SampleBits = 20000;
+
+struct Fips140Result {
+  bool monobit = false;
+  bool poker = false;
+  bool runs = false;
+  bool long_run = false;
+
+  bool all_passed() const { return monobit && poker && runs && long_run; }
+  std::string summary() const;
+};
+
+// `bits` must hold exactly 20000 bits.
+Fips140Result fips140_2(const bitslice::BitBuf& bits);
+
+}  // namespace bsrng::nist

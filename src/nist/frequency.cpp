@@ -1,0 +1,74 @@
+// SP 800-22 §2.1 Frequency (monobit), §2.2 Block Frequency, §2.13 Cumulative
+// Sums.
+#include <cmath>
+
+#include "nist/suite.hpp"
+#include "stats/special.hpp"
+
+namespace bsrng::nist {
+
+TestResult frequency_test(const BitBuf& bits) {
+  const auto n = static_cast<double>(bits.size());
+  // S_n = sum of (2 eps_i - 1) = 2 * ones - n.
+  const double s =
+      2.0 * static_cast<double>(bits.count()) - n;
+  const double s_obs = std::abs(s) / std::sqrt(n);
+  return {"Frequency", {stats::erfc(s_obs / std::sqrt(2.0))}};
+}
+
+TestResult block_frequency_test(const BitBuf& bits, std::size_t M) {
+  const std::size_t N = bits.size() / M;  // discard the tail
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < N; ++i) {
+    std::size_t ones = 0;
+    for (std::size_t j = 0; j < M; ++j) ones += bits.get(i * M + j);
+    const double pi = static_cast<double>(ones) / static_cast<double>(M);
+    chi2 += (pi - 0.5) * (pi - 0.5);
+  }
+  chi2 *= 4.0 * static_cast<double>(M);
+  return {"BlockFrequency",
+          {stats::igamc(static_cast<double>(N) / 2.0, chi2 / 2.0)}};
+}
+
+namespace {
+double cusum_p_value(std::size_t n_sz, long z_max) {
+  const double n = static_cast<double>(n_sz);
+  const double z = static_cast<double>(z_max);
+  const double sqrt_n = std::sqrt(n);
+  double sum1 = 0.0;
+  for (long k = static_cast<long>((-n / z + 1) / 4);
+       k <= static_cast<long>((n / z - 1) / 4); ++k) {
+    sum1 += stats::normal_cdf((4.0 * static_cast<double>(k) + 1.0) * z / sqrt_n) -
+            stats::normal_cdf((4.0 * static_cast<double>(k) - 1.0) * z / sqrt_n);
+  }
+  double sum2 = 0.0;
+  for (long k = static_cast<long>((-n / z - 3) / 4);
+       k <= static_cast<long>((n / z - 1) / 4); ++k) {
+    sum2 += stats::normal_cdf((4.0 * static_cast<double>(k) + 3.0) * z / sqrt_n) -
+            stats::normal_cdf((4.0 * static_cast<double>(k) + 1.0) * z / sqrt_n);
+  }
+  return 1.0 - sum1 + sum2;
+}
+}  // namespace
+
+TestResult cusum_test(const BitBuf& bits) {
+  const std::size_t n = bits.size();
+  // Forward and backward maximum partial sums of the +/-1 walk.
+  long s = 0, max_fwd = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s += bits.get(i) ? 1 : -1;
+    max_fwd = std::max(max_fwd, std::labs(s));
+  }
+  s = 0;
+  long max_bwd = 0;
+  for (std::size_t i = n; i-- > 0;) {
+    s += bits.get(i) ? 1 : -1;
+    max_bwd = std::max(max_bwd, std::labs(s));
+  }
+  TestResult r{"CumulativeSums", {}};
+  r.p_values.push_back(cusum_p_value(n, std::max(max_fwd, 1l)));
+  r.p_values.push_back(cusum_p_value(n, std::max(max_bwd, 1l)));
+  return r;
+}
+
+}  // namespace bsrng::nist

@@ -1,0 +1,37 @@
+// SP 800-22 §2.5 Binary Matrix Rank.
+#include <cmath>
+
+#include "nist/suite.hpp"
+#include "stats/gf2matrix.hpp"
+#include "stats/special.hpp"
+
+namespace bsrng::nist {
+
+TestResult rank_test(const BitBuf& bits) {
+  constexpr std::size_t M = 32, Q = 32;
+  const std::size_t N = bits.size() / (M * Q);
+  if (N == 0) return {"Rank", {}, /*applicable=*/false};
+
+  const double p32 = stats::gf2_rank_probability(M, Q, 32);
+  const double p31 = stats::gf2_rank_probability(M, Q, 31);
+  const double prest = 1.0 - p32 - p31;
+
+  double f32 = 0, f31 = 0;
+  for (std::size_t k = 0; k < N; ++k) {
+    stats::Gf2Matrix m(M, Q);
+    for (std::size_t r = 0; r < M; ++r)
+      for (std::size_t c = 0; c < Q; ++c)
+        m.set(r, c, bits.get(k * M * Q + r * Q + c));
+    const std::size_t rank = m.rank();
+    f32 += rank == 32;
+    f31 += rank == 31;
+  }
+  const double nN = static_cast<double>(N);
+  const double frest = nN - f32 - f31;
+  const double chi2 = (f32 - p32 * nN) * (f32 - p32 * nN) / (p32 * nN) +
+                      (f31 - p31 * nN) * (f31 - p31 * nN) / (p31 * nN) +
+                      (frest - prest * nN) * (frest - prest * nN) / (prest * nN);
+  return {"Rank", {std::exp(-chi2 / 2.0)}};  // igamc(1, x/2) = e^{-x/2}
+}
+
+}  // namespace bsrng::nist

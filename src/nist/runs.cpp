@@ -1,0 +1,68 @@
+// SP 800-22 §2.3 Runs, §2.4 Longest Run of Ones in a Block.
+#include <array>
+#include <cmath>
+
+#include "nist/suite.hpp"
+#include "stats/special.hpp"
+
+namespace bsrng::nist {
+
+TestResult runs_test(const BitBuf& bits) {
+  const std::size_t n = bits.size();
+  const double pi =
+      static_cast<double>(bits.count()) / static_cast<double>(n);
+  // Prerequisite frequency check (§2.3.4 step 2).
+  if (std::abs(pi - 0.5) >= 2.0 / std::sqrt(static_cast<double>(n)))
+    return {"Runs", {0.0}};
+  std::size_t v = 1;
+  for (std::size_t i = 1; i < n; ++i) v += bits.get(i) != bits.get(i - 1);
+  const double nn = static_cast<double>(n);
+  const double num = std::abs(static_cast<double>(v) - 2.0 * nn * pi * (1.0 - pi));
+  const double den = 2.0 * std::sqrt(2.0 * nn) * pi * (1.0 - pi);
+  return {"Runs", {stats::erfc(num / den)}};
+}
+
+TestResult longest_run_test(const BitBuf& bits) {
+  const std::size_t n = bits.size();
+  // Parameterization per §2.4.2 / §2.4.4.
+  std::size_t M, K;
+  std::vector<double> pi;
+  std::size_t vmin;
+  if (n < 6272) {
+    M = 8;
+    K = 3;
+    vmin = 1;
+    pi = {0.2148, 0.3672, 0.2305, 0.1875};
+  } else if (n < 750000) {
+    M = 128;
+    K = 5;
+    vmin = 4;
+    pi = {0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124};
+  } else {
+    M = 10000;
+    K = 6;
+    vmin = 10;
+    pi = {0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727};
+  }
+  const std::size_t N = n / M;
+  std::vector<double> v(K + 1, 0.0);
+  for (std::size_t b = 0; b < N; ++b) {
+    std::size_t longest = 0, run = 0;
+    for (std::size_t j = 0; j < M; ++j) {
+      run = bits.get(b * M + j) ? run + 1 : 0;
+      longest = std::max(longest, run);
+    }
+    const std::size_t cat =
+        longest <= vmin ? 0 : std::min(longest - vmin, K);
+    v[cat] += 1.0;
+  }
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i <= K; ++i) {
+    const double expect = static_cast<double>(N) * pi[i];
+    chi2 += (v[i] - expect) * (v[i] - expect) / expect;
+  }
+  return {"LongestRun",
+          {stats::igamc(static_cast<double>(K) / 2.0, chi2 / 2.0)}};
+}
+
+}  // namespace bsrng::nist

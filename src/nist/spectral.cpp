@@ -1,0 +1,27 @@
+// SP 800-22 §2.6 Discrete Fourier Transform (Spectral).
+#include <cmath>
+
+#include "nist/suite.hpp"
+#include "stats/fft.hpp"
+#include "stats/special.hpp"
+
+namespace bsrng::nist {
+
+TestResult spectral_test(const BitBuf& bits) {
+  const std::size_t n = bits.size();
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = bits.get(i) ? 1.0 : -1.0;
+  const std::vector<double> mags = stats::half_spectrum_magnitudes(x);
+
+  // 95% peak threshold T = sqrt(n ln(1/0.05)).
+  const double T =
+      std::sqrt(static_cast<double>(n) * std::log(1.0 / 0.05));
+  const double n0 = 0.95 * static_cast<double>(n) / 2.0;
+  double n1 = 0.0;
+  for (const double m : mags) n1 += m < T;
+  const double d = (n1 - n0) /
+                   std::sqrt(static_cast<double>(n) * 0.95 * 0.05 / 4.0);
+  return {"FFT", {stats::erfc(std::abs(d) / std::sqrt(2.0))}};
+}
+
+}  // namespace bsrng::nist

@@ -1,0 +1,165 @@
+// Suite driver: the paper's Table 3 protocol (many streams, mean P-value,
+// pass proportion at alpha = 0.01, NIST uniformity check).
+#include "nist/suite.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "stats/special.hpp"
+
+namespace bsrng::nist {
+
+double min_pass_proportion(std::size_t num_streams, double alpha) {
+  const double p = 1.0 - alpha;
+  return p - 3.0 * std::sqrt(p * (1.0 - p) / static_cast<double>(num_streams));
+}
+
+namespace {
+
+struct Accum {
+  double p_sum = 0.0;
+  std::size_t p_count = 0;
+  std::size_t trials_passed = 0;
+  std::size_t streams_applicable = 0;
+  std::array<std::size_t, 10> hist{};  // P-value decile histogram
+
+  void add(const TestResult& r, double alpha) {
+    if (!r.applicable) return;
+    ++streams_applicable;
+    // NIST counts every statistic separately (e.g. each of the 148
+    // non-overlapping templates is its own trial), so the pass proportion is
+    // over P-values, not over whole streams.
+    for (const double p : r.p_values) {
+      p_sum += p;
+      ++p_count;
+      trials_passed += p >= alpha;
+      const auto bin = std::min<std::size_t>(
+          static_cast<std::size_t>(p * 10.0), 9);
+      ++hist[bin];
+    }
+  }
+
+  SuiteRow row(const std::string& name, std::size_t num_streams,
+               double alpha) const {
+    SuiteRow r;
+    r.name = name;
+    if (p_count == 0) {
+      // Test was inapplicable on every stream (e.g. Random Excursions on
+      // short streams): nothing failed, report a vacuous pass.
+      r.success = true;
+      r.proportion = 1.0;
+      return r;
+    }
+    r.streams = streams_applicable;
+    r.mean_p = p_sum / static_cast<double>(p_count);
+    // NIST §4.2.2 uniformity: chi^2 over 10 bins of the P-value histogram.
+    const double expect = static_cast<double>(p_count) / 10.0;
+    double chi2 = 0.0;
+    for (const auto h : hist)
+      chi2 += (static_cast<double>(h) - expect) *
+              (static_cast<double>(h) - expect) / expect;
+    r.uniformity_p = stats::igamc(4.5, chi2 / 2.0);
+    r.proportion =
+        static_cast<double>(trials_passed) / static_cast<double>(p_count);
+    // Acceptance bound uses the trial count (streams x statistics).
+    r.success =
+        r.proportion >= min_pass_proportion(std::max<std::size_t>(p_count, num_streams), alpha);
+    return r;
+  }
+};
+
+}  // namespace
+
+std::vector<SuiteRow> run_suite(const StreamSource& source,
+                                const SuiteConfig& cfg) {
+  struct Entry {
+    std::string name;
+    std::function<TestResult(const BitBuf&)> fn;
+    bool slow;
+  };
+  const std::vector<Entry> tests = {
+      {"Frequency", [](const BitBuf& b) { return frequency_test(b); }, false},
+      {"BlockFrequency",
+       [](const BitBuf& b) { return block_frequency_test(b); }, false},
+      {"CumulativeSums", [](const BitBuf& b) { return cusum_test(b); }, false},
+      {"Runs", [](const BitBuf& b) { return runs_test(b); }, false},
+      {"LongestRun", [](const BitBuf& b) { return longest_run_test(b); },
+       false},
+      {"Rank", [](const BitBuf& b) { return rank_test(b); }, false},
+      {"FFT", [](const BitBuf& b) { return spectral_test(b); }, true},
+      {"NonOverlappingTemplate",
+       [](const BitBuf& b) { return non_overlapping_template_test(b); }, true},
+      {"OverlappingTemplate",
+       [](const BitBuf& b) { return overlapping_template_test(b); }, false},
+      {"Universal", [](const BitBuf& b) { return universal_test(b); }, false},
+      // SP 800-22 input-size guidance: ApEn needs m < log2(n) - 5 and Serial
+      // m < log2(n) - 2; clamp the defaults so short calibration streams stay
+      // within the tests' validity region.
+      {"ApproximateEntropy",
+       [](const BitBuf& b) {
+         const auto lg = static_cast<std::size_t>(std::log2(
+             static_cast<double>(std::max<std::size_t>(b.size(), 64))));
+         return approximate_entropy_test(b, std::min<std::size_t>(10, lg - 6));
+       },
+       false},
+      {"Serial",
+       [](const BitBuf& b) {
+         const auto lg = static_cast<std::size_t>(std::log2(
+             static_cast<double>(std::max<std::size_t>(b.size(), 64))));
+         return serial_test(b, std::min<std::size_t>(16, lg - 3));
+       },
+       false},
+      {"LinearComplexity",
+       [](const BitBuf& b) { return linear_complexity_test(b); }, true},
+      {"RandomExcursions",
+       [](const BitBuf& b) { return random_excursions_test(b); }, false},
+      {"RandomExcursionsVariant",
+       [](const BitBuf& b) { return random_excursions_variant_test(b); },
+       false},
+  };
+
+  std::vector<Accum> acc(tests.size());
+  std::vector<std::uint8_t> bytes(cfg.stream_bits / 8);
+  for (std::size_t s = 0; s < cfg.num_streams; ++s) {
+    source(bytes);
+    BitBuf bits;
+    bits.reserve(cfg.stream_bits);
+    bits.append_bytes(bytes);
+    for (std::size_t t = 0; t < tests.size(); ++t) {
+      if (tests[t].slow && !cfg.run_slow_tests) continue;
+      acc[t].add(tests[t].fn(bits), cfg.alpha);
+    }
+  }
+
+  std::vector<SuiteRow> rows;
+  for (std::size_t t = 0; t < tests.size(); ++t) {
+    if (tests[t].slow && !cfg.run_slow_tests) continue;
+    rows.push_back(acc[t].row(tests[t].name, cfg.num_streams, cfg.alpha));
+  }
+  return rows;
+}
+
+std::string format_table3(const std::vector<SuiteRow>& rows) {
+  std::ostringstream os;
+  os << "Test                        P-value    Uniformity  Proportion  Result\n";
+  os << "---------------------------------------------------------------------\n";
+  for (const auto& r : rows) {
+    os.setf(std::ios::fixed);
+    os.precision(6);
+    os.width(0);
+    std::string name = r.name;
+    name.resize(27, ' ');
+    if (r.streams == 0) {
+      os << name << " (not applicable at this stream length)\n";
+      continue;
+    }
+    os << name << " " << r.mean_p << "   " << r.uniformity_p << "    "
+       << r.proportion << "    " << (r.success ? "Success" : "FAILURE")
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bsrng::nist

@@ -1,0 +1,97 @@
+// suite.hpp — NIST SP 800-22 rev. 1a statistical test suite (paper §5.5,
+// Table 3).
+//
+// From-scratch implementation of the fifteen tests.  Each test consumes a
+// packed bit stream (bitslice::BitBuf) and returns one or more P-values; the
+// SuiteRunner reproduces the paper's Table 3 protocol: many streams, per-test
+// pass proportion at significance alpha = 0.01, plus the P-value-of-P-values
+// uniformity check NIST performs across streams.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bitslice/bitbuf.hpp"
+
+namespace bsrng::nist {
+
+using bitslice::BitBuf;
+
+// Result of one test applied to one stream.  Tests that compute several
+// statistics (Serial, CUSUM, excursions, templates) return several P-values;
+// NIST counts each against the significance level.
+struct TestResult {
+  std::string name;
+  std::vector<double> p_values;
+  bool applicable = true;  // e.g. Random Excursions needs enough cycles
+
+  // True iff every P-value clears alpha.
+  bool passed(double alpha = 0.01) const {
+    if (!applicable) return true;
+    for (double p : p_values)
+      if (p < alpha) return false;
+    return !p_values.empty();
+  }
+};
+
+// --- the fifteen tests (SP 800-22 section numbers in comments) -------------
+
+TestResult frequency_test(const BitBuf& bits);                        // 2.1
+TestResult block_frequency_test(const BitBuf& bits, std::size_t M = 128);  // 2.2
+TestResult runs_test(const BitBuf& bits);                             // 2.3
+TestResult longest_run_test(const BitBuf& bits);                      // 2.4
+TestResult rank_test(const BitBuf& bits);                             // 2.5
+TestResult spectral_test(const BitBuf& bits);                         // 2.6
+TestResult non_overlapping_template_test(const BitBuf& bits,
+                                         std::size_t m = 9);          // 2.7
+TestResult overlapping_template_test(const BitBuf& bits,
+                                     std::size_t m = 9);              // 2.8
+TestResult universal_test(const BitBuf& bits);                        // 2.9
+TestResult linear_complexity_test(const BitBuf& bits,
+                                  std::size_t M = 500);               // 2.10
+TestResult serial_test(const BitBuf& bits, std::size_t m = 16);       // 2.11
+TestResult approximate_entropy_test(const BitBuf& bits,
+                                    std::size_t m = 10);              // 2.12
+TestResult cusum_test(const BitBuf& bits);                            // 2.13
+TestResult random_excursions_test(const BitBuf& bits);                // 2.14
+TestResult random_excursions_variant_test(const BitBuf& bits);        // 2.15
+
+// All aperiodic templates of length m (the non-overlapping test's template
+// set; SP 800-22 ships 148 of them for m = 9).
+std::vector<std::uint32_t> aperiodic_templates(std::size_t m);
+
+// --- suite driver -----------------------------------------------------------
+
+struct SuiteRow {
+  std::string name;
+  double mean_p = 0.0;        // average P-value across streams (Table 3 col 2)
+  double uniformity_p = 0.0;  // P-value of the chi^2 over the P-value histogram
+  double proportion = 0.0;    // fraction of streams passing (Table 3 col 3)
+  bool success = false;       // proportion above the NIST acceptance bound
+  std::size_t streams = 0;    // streams on which the test was applicable
+};
+
+struct SuiteConfig {
+  std::size_t stream_bits = 1u << 20;  // paper: 1 Mbit per stream
+  std::size_t num_streams = 100;       // paper: 1000 (configurable for time)
+  double alpha = 0.01;
+  bool run_slow_tests = true;  // spectral/complexity/universal are O(n log n)+
+};
+
+// A generator callback fills `out` with the next bytes of one stream.
+using StreamSource = std::function<void(std::span<std::uint8_t> out)>;
+
+std::vector<SuiteRow> run_suite(const StreamSource& source,
+                                const SuiteConfig& cfg);
+
+// The NIST minimum pass proportion for the given stream count and alpha:
+// p_hat - 3 sqrt(p_hat (1 - p_hat) / n) with p_hat = 1 - alpha.
+double min_pass_proportion(std::size_t num_streams, double alpha = 0.01);
+
+// Render rows in the paper's Table 3 layout.
+std::string format_table3(const std::vector<SuiteRow>& rows);
+
+}  // namespace bsrng::nist

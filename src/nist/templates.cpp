@@ -1,0 +1,101 @@
+// SP 800-22 §2.7 Non-overlapping Template Matching, §2.8 Overlapping
+// Template Matching.
+#include <cmath>
+
+#include "nist/suite.hpp"
+#include "stats/special.hpp"
+
+namespace bsrng::nist {
+
+std::vector<std::uint32_t> aperiodic_templates(std::size_t m) {
+  // Template B (bit i = B_i) is aperiodic iff no proper shift of B matches
+  // its own prefix: for all 1 <= k < m, B[k..m-1] != B[0..m-1-k].
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t b = 0; b < (1u << m); ++b) {
+    bool aperiodic = true;
+    for (std::size_t k = 1; k < m && aperiodic; ++k) {
+      bool overlap = true;
+      for (std::size_t i = 0; i + k < m; ++i)
+        if (((b >> (i + k)) & 1u) != ((b >> i) & 1u)) {
+          overlap = false;
+          break;
+        }
+      if (overlap) aperiodic = false;
+    }
+    if (aperiodic) out.push_back(b);
+  }
+  return out;
+}
+
+TestResult non_overlapping_template_test(const BitBuf& bits, std::size_t m) {
+  constexpr std::size_t N = 8;  // SP 800-22 fixed block count
+  const std::size_t M = bits.size() / N;
+  const double mm = static_cast<double>(m);
+  const double mu =
+      (static_cast<double>(M) - mm + 1.0) / std::exp2(mm);
+  const double sigma2 =
+      static_cast<double>(M) *
+      (1.0 / std::exp2(mm) - (2.0 * mm - 1.0) / std::exp2(2.0 * mm));
+
+  TestResult r{"NonOverlappingTemplate", {}};
+  for (const std::uint32_t tmpl : aperiodic_templates(m)) {
+    double chi2 = 0.0;
+    for (std::size_t blk = 0; blk < N; ++blk) {
+      std::size_t w = 0;
+      std::size_t i = 0;
+      while (i + m <= M) {
+        bool match = true;
+        for (std::size_t j = 0; j < m; ++j)
+          if (bits.get(blk * M + i + j) != (((tmpl >> j) & 1u) != 0)) {
+            match = false;
+            break;
+          }
+        if (match) {
+          ++w;
+          i += m;  // non-overlapping: skip past the match
+        } else {
+          ++i;
+        }
+      }
+      chi2 += (static_cast<double>(w) - mu) * (static_cast<double>(w) - mu) /
+              sigma2;
+    }
+    r.p_values.push_back(
+        stats::igamc(static_cast<double>(N) / 2.0, chi2 / 2.0));
+  }
+  return r;
+}
+
+TestResult overlapping_template_test(const BitBuf& bits, std::size_t m) {
+  constexpr std::size_t M = 1032;  // SP 800-22 recommended block length
+  constexpr std::size_t K = 5;
+  // Reference distribution for m = 9, M = 1032 (sts-2.1.2 constants).
+  static constexpr double kPi[K + 1] = {0.364091, 0.185659, 0.139381,
+                                        0.100571, 0.070432, 0.139865};
+  const std::size_t N = bits.size() / M;
+  if (N == 0) return {"OverlappingTemplate", {}, /*applicable=*/false};
+
+  std::vector<double> v(K + 1, 0.0);
+  for (std::size_t blk = 0; blk < N; ++blk) {
+    std::size_t w = 0;
+    for (std::size_t i = 0; i + m <= M; ++i) {
+      bool match = true;
+      for (std::size_t j = 0; j < m; ++j)
+        if (!bits.get(blk * M + i + j)) {  // template is all-ones
+          match = false;
+          break;
+        }
+      w += match;
+    }
+    v[std::min(w, K)] += 1.0;
+  }
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i <= K; ++i) {
+    const double expect = static_cast<double>(N) * kPi[i];
+    chi2 += (v[i] - expect) * (v[i] - expect) / expect;
+  }
+  return {"OverlappingTemplate",
+          {stats::igamc(static_cast<double>(K) / 2.0, chi2 / 2.0)}};
+}
+
+}  // namespace bsrng::nist

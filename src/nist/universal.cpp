@@ -1,0 +1,71 @@
+// SP 800-22 §2.9 Maurer's "Universal Statistical" test.
+#include <cmath>
+#include <vector>
+
+#include "nist/suite.hpp"
+#include "stats/special.hpp"
+
+namespace bsrng::nist {
+
+TestResult universal_test(const BitBuf& bits) {
+  const std::size_t n = bits.size();
+  // Choose L from the SP 800-22 §2.9.7 table (n >= 387840 gives L >= 6).
+  static constexpr struct {
+    std::size_t min_n;
+    std::size_t L;
+  } kTable[] = {{1059061760, 16}, {496435200, 15}, {231669760, 14},
+                {107560960, 13},  {49643520, 12},  {22753280, 11},
+                {10342400, 10},   {4654080, 9},    {2068480, 8},
+                {904960, 7},      {387840, 6}};
+  std::size_t L = 0;
+  for (const auto& e : kTable)
+    if (n >= e.min_n) {
+      L = e.L;
+      break;
+    }
+  if (L == 0) return {"Universal", {}, /*applicable=*/false};
+
+  // Expected value / variance of the per-block statistic (§2.9.8 table).
+  static constexpr double kExpected[] = {0, 0,         0,         0,
+                                         0, 0,         5.2177052, 6.1962507,
+                                         7.1836656,    8.1764248, 9.1723243,
+                                         10.170032,    11.168765, 12.168070,
+                                         13.167693,    14.167488, 15.167379};
+  static constexpr double kVariance[] = {0, 0,     0,     0,     0,     0,
+                                         2.954, 3.125, 3.238, 3.311, 3.356,
+                                         3.384, 3.401, 3.410, 3.416, 3.419,
+                                         3.421};
+
+  const std::size_t Q = 10 * (std::size_t{1} << L);  // init segment blocks
+  const std::size_t K = n / L - Q;                   // test segment blocks
+  if (K == 0) return {"Universal", {}, /*applicable=*/false};
+
+  std::vector<std::size_t> last(std::size_t{1} << L, 0);
+  const auto block_at = [&](std::size_t i) {
+    std::size_t v = 0;
+    for (std::size_t j = 0; j < L; ++j)
+      v = (v << 1) | bits.get(i * L + j);
+    return v;
+  };
+  for (std::size_t i = 1; i <= Q; ++i) last[block_at(i - 1)] = i;
+  double sum = 0.0;
+  for (std::size_t i = Q + 1; i <= Q + K; ++i) {
+    const std::size_t b = block_at(i - 1);
+    sum += std::log2(static_cast<double>(i - last[b]));
+    last[b] = i;
+  }
+  const double fn = sum / static_cast<double>(K);
+
+  const double c = 0.7 - 0.8 / static_cast<double>(L) +
+                   (4.0 + 32.0 / static_cast<double>(L)) *
+                       std::pow(static_cast<double>(K),
+                                -3.0 / static_cast<double>(L)) /
+                       15.0;
+  const double sigma =
+      c * std::sqrt(kVariance[L] / static_cast<double>(K));
+  const double p =
+      stats::erfc(std::abs(fn - kExpected[L]) / (std::sqrt(2.0) * sigma));
+  return {"Universal", {p}};
+}
+
+}  // namespace bsrng::nist

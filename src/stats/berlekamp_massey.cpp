@@ -1,0 +1,30 @@
+#include "stats/berlekamp_massey.hpp"
+
+namespace bsrng::stats {
+
+std::size_t berlekamp_massey(std::span<const std::uint8_t> bits) {
+  const std::size_t n = bits.size();
+  std::vector<std::uint8_t> c(n + 1, 0), b(n + 1, 0), t;
+  c[0] = b[0] = 1;
+  std::size_t L = 0, m = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Discrepancy d = s_i + sum_{j=1..L} c_j s_{i-j} (mod 2).
+    std::uint8_t d = bits[i] & 1u;
+    for (std::size_t j = 1; j <= L; ++j) d ^= c[j] & bits[i - j] & 1u;
+    if (d == 0) {
+      ++m;
+    } else if (2 * L <= i) {
+      t = c;
+      for (std::size_t j = 0; j + m <= n; ++j) c[j + m] ^= b[j];
+      L = i + 1 - L;
+      b = t;
+      m = 1;
+    } else {
+      for (std::size_t j = 0; j + m <= n; ++j) c[j + m] ^= b[j];
+      ++m;
+    }
+  }
+  return L;
+}
+
+}  // namespace bsrng::stats

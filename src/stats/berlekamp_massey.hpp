@@ -1,0 +1,16 @@
+// berlekamp_massey.hpp — linear complexity of a binary sequence (the
+// shortest LFSR reproducing it), for the NIST linear-complexity test and for
+// validating LFSR constructions (an n-bit maximal LFSR stream must have
+// complexity exactly n).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bsrng::stats {
+
+// Returns L = linear complexity of `bits` (bits[i] in {0,1}).
+std::size_t berlekamp_massey(std::span<const std::uint8_t> bits);
+
+}  // namespace bsrng::stats

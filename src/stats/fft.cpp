@@ -1,0 +1,80 @@
+#include "stats/fft.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace bsrng::stats {
+
+void fft_pow2(std::vector<cplx>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0)
+    throw std::invalid_argument("fft_pow2: length must be a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = data[i + k];
+        const cplx v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<cplx> dft(const std::vector<cplx>& in) {
+  const std::size_t n = in.size();
+  if (n == 0) return {};
+  if ((n & (n - 1)) == 0) {
+    std::vector<cplx> out = in;
+    fft_pow2(out);
+    return out;
+  }
+  // Bluestein: X_k = b*_k (a conv b)_k with a_j = x_j b*_j,
+  // b_j = exp(i pi j^2 / n); convolution via power-of-two FFT.
+  std::size_t m = 1;
+  while (m < 2 * n - 1) m <<= 1;
+  std::vector<cplx> a(m, 0.0), b(m, 0.0), chirp(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // j^2 mod 2n avoids precision loss for large j.
+    const auto jj = static_cast<double>((static_cast<unsigned long long>(j) * j) %
+                                        (2 * n));
+    const double ang = std::numbers::pi * jj / static_cast<double>(n);
+    chirp[j] = cplx(std::cos(ang), std::sin(ang));
+    a[j] = in[j] * std::conj(chirp[j]);
+    b[j] = chirp[j];
+    if (j != 0) b[m - j] = chirp[j];
+  }
+  fft_pow2(a);
+  fft_pow2(b);
+  for (std::size_t i = 0; i < m; ++i) a[i] *= b[i];
+  fft_pow2(a, /*inverse=*/true);
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k)
+    out[k] = std::conj(chirp[k]) * a[k] / static_cast<double>(m);
+  return out;
+}
+
+std::vector<double> half_spectrum_magnitudes(const std::vector<double>& x) {
+  std::vector<cplx> in(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) in[i] = cplx(x[i], 0.0);
+  const std::vector<cplx> spec = dft(in);
+  std::vector<double> mags(x.size() / 2);
+  for (std::size_t k = 0; k < mags.size(); ++k) mags[k] = std::abs(spec[k]);
+  return mags;
+}
+
+}  // namespace bsrng::stats

@@ -1,0 +1,26 @@
+// fft.hpp — FFT for the NIST spectral (DFT) test.
+//
+// Radix-2 iterative Cooley-Tukey for power-of-two lengths, plus Bluestein's
+// chirp-z algorithm so arbitrary lengths (e.g. the suite's 10^6-bit streams)
+// are exact DFTs rather than zero-padded approximations.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace bsrng::stats {
+
+using cplx = std::complex<double>;
+
+// In-place radix-2 FFT; data.size() must be a power of two.
+// inverse = true computes the unscaled inverse transform (caller divides).
+void fft_pow2(std::vector<cplx>& data, bool inverse = false);
+
+// DFT of arbitrary length via Bluestein (exact, O(n log n)).
+std::vector<cplx> dft(const std::vector<cplx>& in);
+
+// Moduli |X_k| for k = 0 .. n/2 - 1 of the real sequence `x` — the quantity
+// the NIST spectral test thresholds.
+std::vector<double> half_spectrum_magnitudes(const std::vector<double>& x);
+
+}  // namespace bsrng::stats

@@ -1,0 +1,46 @@
+#include "stats/gf2matrix.hpp"
+
+#include <cmath>
+
+namespace bsrng::stats {
+
+std::size_t Gf2Matrix::rank() const {
+  std::vector<std::uint64_t> m = data_;
+  const std::size_t w = words_per_row_;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
+    const std::size_t word = col / 64;
+    const std::uint64_t bit = std::uint64_t{1} << (col % 64);
+    // Find a pivot row at or below `rank` with this column set.
+    std::size_t pivot = rank;
+    while (pivot < rows_ && !(m[pivot * w + word] & bit)) ++pivot;
+    if (pivot == rows_) continue;
+    for (std::size_t k = 0; k < w; ++k)
+      std::swap(m[rank * w + k], m[pivot * w + k]);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r != rank && (m[r * w + word] & bit))
+        for (std::size_t k = 0; k < w; ++k) m[r * w + k] ^= m[rank * w + k];
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+double gf2_rank_probability(std::size_t m, std::size_t q, std::size_t r) {
+  if (r > m || r > q) return 0.0;
+  // NIST SP 800-22 §3.5: P(rank = r) =
+  //   2^{r(Q+M-r) - MQ} * prod_{i=0}^{r-1} (1-2^{i-Q})(1-2^{i-M}) / (1-2^{i-r})
+  double log2p = static_cast<double>(r) *
+                     (static_cast<double>(q) + static_cast<double>(m) -
+                      static_cast<double>(r)) -
+                 static_cast<double>(m) * static_cast<double>(q);
+  double prod = 1.0;
+  for (std::size_t i = 0; i < r; ++i) {
+    prod *= (1.0 - std::exp2(static_cast<double>(i) - static_cast<double>(q))) *
+            (1.0 - std::exp2(static_cast<double>(i) - static_cast<double>(m))) /
+            (1.0 - std::exp2(static_cast<double>(i) - static_cast<double>(r)));
+  }
+  return std::exp2(log2p) * prod;
+}
+
+}  // namespace bsrng::stats

@@ -1,0 +1,43 @@
+// gf2matrix.hpp — binary matrix rank over GF(2) for the NIST rank test.
+//
+// Rows are packed in 64-bit words; rank is computed by forward elimination.
+// Also provides the exact probability that a random M x Q binary matrix has
+// a given rank (the NIST test's reference distribution).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bsrng::stats {
+
+class Gf2Matrix {
+ public:
+  Gf2Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), words_per_row_((cols + 63) / 64),
+        data_(rows * words_per_row_, 0) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  bool get(std::size_t r, std::size_t c) const noexcept {
+    return (data_[r * words_per_row_ + c / 64] >> (c % 64)) & 1u;
+  }
+  void set(std::size_t r, std::size_t c, bool v) noexcept {
+    const std::uint64_t m = std::uint64_t{1} << (c % 64);
+    auto& w = data_[r * words_per_row_ + c / 64];
+    w = (w & ~m) | (v ? m : 0u);
+  }
+
+  // Rank over GF(2); non-destructive.
+  std::size_t rank() const;
+
+ private:
+  std::size_t rows_, cols_, words_per_row_;
+  std::vector<std::uint64_t> data_;
+};
+
+// P[rank(M x Q random binary matrix) = r].
+double gf2_rank_probability(std::size_t m, std::size_t q, std::size_t r);
+
+}  // namespace bsrng::stats

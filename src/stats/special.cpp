@@ -1,0 +1,66 @@
+#include "stats/special.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace bsrng::stats {
+
+namespace {
+constexpr double kEps = 1e-15;
+constexpr int kMaxIter = 10000;
+
+// Series expansion for P(a, x), valid/fast for x < a + 1.
+double igam_series(double a, double x) {
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int n = 1; n < kMaxIter; ++n) {
+    term *= x / (a + n);
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued fraction (modified Lentz) for Q(a, x), valid/fast for x >= a + 1.
+double igamc_cf(double a, double x) {
+  const double tiny = std::numeric_limits<double>::min() / kEps;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < kMaxIter; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < kEps) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+}  // namespace
+
+double igam(double a, double x) {
+  if (a <= 0.0 || x < 0.0)
+    throw std::invalid_argument("igam: require a > 0, x >= 0");
+  if (x == 0.0) return 0.0;
+  return x < a + 1.0 ? igam_series(a, x) : 1.0 - igamc_cf(a, x);
+}
+
+double igamc(double a, double x) {
+  if (a <= 0.0 || x < 0.0)
+    throw std::invalid_argument("igamc: require a > 0, x >= 0");
+  if (x == 0.0) return 1.0;
+  return x < a + 1.0 ? 1.0 - igam_series(a, x) : igamc_cf(a, x);
+}
+
+double erfc(double x) { return std::erfc(x); }
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace bsrng::stats

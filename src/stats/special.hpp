@@ -1,0 +1,22 @@
+// special.hpp — special functions required by NIST SP 800-22: the
+// complementary error function and the regularized incomplete gamma
+// functions.  Self-contained (series + continued-fraction, Numerical
+// Recipes-style) so the suite does not depend on any external stats library.
+#pragma once
+
+namespace bsrng::stats {
+
+// Regularized lower incomplete gamma P(a, x) = gamma(a,x) / Gamma(a).
+double igam(double a, double x);
+
+// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x); the function the
+// NIST tests call `igamc`.
+double igamc(double a, double x);
+
+// erfc wrapper (kept here so every NIST test draws from one header).
+double erfc(double x);
+
+// Standard normal CDF.
+double normal_cdf(double x);
+
+}  // namespace bsrng::stats

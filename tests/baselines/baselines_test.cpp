@@ -1,0 +1,225 @@
+// Baseline PRNGs: bit-exact pins against the C++ standard library engines,
+// published known-answer vectors, and structural properties.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "baselines/middle_square.hpp"
+#include "baselines/minstd.hpp"
+#include "baselines/modern.hpp"
+#include "baselines/mt19937.hpp"
+#include "baselines/philox.hpp"
+#include "baselines/xorshift.hpp"
+
+namespace bl = bsrng::baselines;
+
+TEST(Mt19937, MatchesStdMt19937) {
+  bl::Mt19937 ours(5489u);
+  std::mt19937 theirs(5489u);
+  for (int i = 0; i < 10000; ++i) ASSERT_EQ(ours.next(), theirs());
+}
+
+TEST(Mt19937, TenThousandthOutputIsTheClassicValue) {
+  // The C++ standard (and the original MT paper) pin the 10000th output of
+  // the default-seeded engine.
+  bl::Mt19937 g(5489u);
+  std::uint32_t last = 0;
+  for (int i = 0; i < 10000; ++i) last = g.next();
+  EXPECT_EQ(last, 4123659995u);
+}
+
+TEST(Mt19937, SeedsProduceDifferentStreams) {
+  bl::Mt19937 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Mt19937, FillMatchesNextLittleEndian) {
+  bl::Mt19937 a(77), b(77);
+  std::vector<std::uint8_t> bytes(13);
+  a.fill(bytes);
+  const std::uint32_t w0 = b.next(), w1 = b.next(), w2 = b.next(),
+                      w3 = b.next();
+  EXPECT_EQ(bytes[0], static_cast<std::uint8_t>(w0));
+  EXPECT_EQ(bytes[3], static_cast<std::uint8_t>(w0 >> 24));
+  EXPECT_EQ(bytes[4], static_cast<std::uint8_t>(w1));
+  EXPECT_EQ(bytes[11], static_cast<std::uint8_t>(w2 >> 24));
+  EXPECT_EQ(bytes[12], static_cast<std::uint8_t>(w3));
+}
+
+TEST(Minstd, MatchesStdMinstdRand) {
+  bl::Minstd ours(1);
+  std::minstd_rand theirs(1);
+  for (int i = 0; i < 10000; ++i) ASSERT_EQ(ours.next(), theirs());
+}
+
+TEST(Minstd, TenThousandthOutputIsTheStandardValue) {
+  // std::minstd_rand's pinned 10000th value.
+  bl::Minstd g(1);
+  std::uint32_t last = 0;
+  for (int i = 0; i < 10000; ++i) last = g.next();
+  EXPECT_EQ(last, 399268537u);
+}
+
+TEST(Minstd, ZeroSeedIsCoercedOffTheFixedPoint) {
+  bl::Minstd g(0);
+  EXPECT_NE(g.next(), 0u);
+}
+
+TEST(Xorshift32, FullPeriodOverSample) {
+  // xorshift32 is a permutation of nonzero 32-bit values: no value repeats
+  // within a short window, and zero never appears.
+  bl::Xorshift32 g(1);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint32_t v = g.next();
+    EXPECT_NE(v, 0u);
+    EXPECT_TRUE(seen.insert(v).second) << "value repeated at i=" << i;
+  }
+}
+
+TEST(Xorshift64, NonzeroAndDeterministic) {
+  bl::Xorshift64 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = a.next();
+    EXPECT_NE(v, 0u);
+    EXPECT_EQ(v, b.next());
+  }
+}
+
+TEST(Xorshift128, MarsagliaDefaultsAreBalanced) {
+  bl::Xorshift128 g;
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ones += std::popcount(g.next());
+  const double mean = 16.0 * n;
+  EXPECT_NEAR(ones, mean, 5 * std::sqrt(8.0 * n));
+}
+
+TEST(Xorwow, DistinctSeedsDiverge) {
+  bl::Xorwow a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Xorwow, WeylSequenceBreaksXorshiftZeroTrap) {
+  // Even from the degenerate all-equal state the Weyl counter keeps the
+  // output moving.
+  bl::Xorwow g(0);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(g.next());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Philox, BlockIsAPureFunction) {
+  const bl::Philox4x32::Counter c{1, 2, 3, 4};
+  const bl::Philox4x32::Key k{5, 6};
+  EXPECT_EQ(bl::Philox4x32::block(c, k), bl::Philox4x32::block(c, k));
+}
+
+TEST(Philox, KnownAnswerZeroKeyZeroCounter) {
+  // Random123 known-answers file, philox4x32-10, ctr = 0, key = 0.
+  const auto out = bl::Philox4x32::block({0, 0, 0, 0}, {0, 0});
+  EXPECT_EQ(out[0], 0x6627e8d5u);
+  EXPECT_EQ(out[1], 0xe169c58du);
+  EXPECT_EQ(out[2], 0xbc57ac4cu);
+  EXPECT_EQ(out[3], 0x9b00dbd8u);
+}
+
+TEST(Philox, CounterIncrementsLittleEndianAcrossWords) {
+  bl::Philox4x32 g({0, 0}, {0xFFFFFFFFu, 0, 0, 0});
+  for (int i = 0; i < 4; ++i) g.next();  // consume block at ctr
+  // Next block must be at counter {0, 1, 0, 0}.
+  const auto expect = bl::Philox4x32::block({0, 1, 0, 0}, {0, 0});
+  EXPECT_EQ(g.next(), expect[0]);
+}
+
+TEST(Philox, SetCounterJumpsTheStream) {
+  bl::Philox4x32 a({9, 9}, {0, 0, 0, 0});
+  for (int i = 0; i < 12; ++i) a.next();  // 3 blocks consumed
+  bl::Philox4x32 b({9, 9}, {0, 0, 0, 0});
+  b.set_counter({3, 0, 0, 0});
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(MiddleSquare, ReproducesVonNeumannDynamics) {
+  bl::MiddleSquare a(675248), b(675248);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.next(), b.next());
+  // The all-zero absorbing state: squaring zero stays zero.
+  bl::MiddleSquare z(0);
+  EXPECT_EQ(z.next(), 0u);
+  EXPECT_EQ(z.next(), 0u);
+}
+
+TEST(MiddleSquare, EntersAShortCycleQuickly) {
+  // The method's famous failure mode (§2.1): Floyd cycle detection finds a
+  // cycle well within 10^6 steps from an arbitrary seed.
+  bl::MiddleSquare slow(12345), fast(12345);
+  bool cycled = false;
+  for (int i = 0; i < 1000000; ++i) {
+    const std::uint32_t s = slow.next();
+    fast.next();
+    const std::uint32_t f = fast.next();
+    if (s == f) {
+      cycled = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(cycled);
+}
+
+// --- RC4 / PCG32 / xoshiro256++ ----------------------------------------------
+
+TEST(Rc4, WikipediaTestVectors) {
+  // Key "Key" -> keystream EB9F7781B734CA72A719...
+  const std::string k1 = "Key";
+  bl::Rc4 a({reinterpret_cast<const std::uint8_t*>(k1.data()), k1.size()});
+  const std::uint8_t expect1[] = {0xEB, 0x9F, 0x77, 0x81, 0xB7,
+                                  0x34, 0xCA, 0x72, 0xA7, 0x19};
+  for (const auto e : expect1) EXPECT_EQ(a.next_byte(), e);
+  // Key "Wiki" -> keystream 6044DB6D41B7...
+  const std::string k2 = "Wiki";
+  bl::Rc4 b({reinterpret_cast<const std::uint8_t*>(k2.data()), k2.size()});
+  const std::uint8_t expect2[] = {0x60, 0x44, 0xDB, 0x6D, 0x41, 0xB7};
+  for (const auto e : expect2) EXPECT_EQ(b.next_byte(), e);
+}
+
+TEST(Rc4, RejectsBadKeySizes) {
+  const std::span<const std::uint8_t> empty;
+  EXPECT_THROW(bl::Rc4 r(empty), std::invalid_argument);
+  std::vector<std::uint8_t> big(257, 1);
+  EXPECT_THROW(bl::Rc4 r(big), std::invalid_argument);
+}
+
+TEST(Pcg32, ReferenceDemoOutputs) {
+  // pcg32_srandom(42, 54): the first outputs of the canonical pcg32 demo.
+  bl::Pcg32 g(42u, 54u);
+  EXPECT_EQ(g.next(), 0xa15c02b7u);
+  EXPECT_EQ(g.next(), 0x7b47f409u);
+  EXPECT_EQ(g.next(), 0xba1d3330u);
+  EXPECT_EQ(g.next(), 0x83d2f293u);
+  EXPECT_EQ(g.next(), 0xbfa4784bu);
+  EXPECT_EQ(g.next(), 0xcbed606eu);
+}
+
+TEST(Pcg32, StreamsAreIndependent) {
+  bl::Pcg32 a(1, 1), b(1, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Xoshiro256pp, DeterministicAndBalanced) {
+  bl::Xoshiro256pp a(7), b(7);
+  long ones = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = a.next();
+    ASSERT_EQ(v, b.next());
+    ones += std::popcount(v);
+  }
+  EXPECT_NEAR(static_cast<double>(ones), 32.0 * n, 5 * std::sqrt(16.0 * n));
+}

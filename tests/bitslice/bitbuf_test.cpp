@@ -1,0 +1,92 @@
+#include "bitslice/bitbuf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using bsrng::bitslice::BitBuf;
+
+TEST(BitBuf, StartsEmpty) {
+  BitBuf b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(BitBuf, PushBackAndGet) {
+  BitBuf b;
+  const bool pattern[] = {true, false, true, true, false, false, true};
+  for (bool v : pattern) b.push_back(v);
+  ASSERT_EQ(b.size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_EQ(b.get(i), pattern[i]);
+  EXPECT_EQ(b.count(), 4u);
+}
+
+TEST(BitBuf, PushAcrossWordBoundary) {
+  BitBuf b;
+  for (int i = 0; i < 130; ++i) b.push_back(i % 3 == 0);
+  ASSERT_EQ(b.size(), 130u);
+  for (int i = 0; i < 130; ++i) EXPECT_EQ(b.get(static_cast<std::size_t>(i)), i % 3 == 0);
+}
+
+TEST(BitBuf, AppendWordLsbFirst) {
+  BitBuf b;
+  b.append_word(0b1011, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_TRUE(b.get(0));
+  EXPECT_TRUE(b.get(1));
+  EXPECT_FALSE(b.get(2));
+  EXPECT_TRUE(b.get(3));
+}
+
+TEST(BitBuf, AppendBytesAndToBytesRoundTrip) {
+  std::mt19937_64 rng(11);
+  std::vector<std::uint8_t> bytes(37);
+  for (auto& x : bytes) x = static_cast<std::uint8_t>(rng());
+  BitBuf b;
+  b.append_bytes(bytes);
+  ASSERT_EQ(b.size(), bytes.size() * 8);
+  EXPECT_EQ(b.to_bytes(), bytes);
+}
+
+TEST(BitBuf, SetClearsAndSets) {
+  BitBuf b(100);
+  EXPECT_EQ(b.count(), 0u);
+  b.set(99, true);
+  b.set(0, true);
+  EXPECT_EQ(b.count(), 2u);
+  b.set(99, false);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_TRUE(b.get(0));
+  EXPECT_FALSE(b.get(99));
+}
+
+TEST(BitBuf, ResizeMasksTail) {
+  BitBuf b;
+  for (int i = 0; i < 70; ++i) b.push_back(true);
+  b.resize(65);
+  EXPECT_EQ(b.size(), 65u);
+  EXPECT_EQ(b.count(), 65u);
+  b.resize(70);
+  // Newly exposed bits must be zero, not stale ones.
+  EXPECT_EQ(b.count(), 65u);
+}
+
+TEST(BitBuf, SliceExtractsRange) {
+  BitBuf b;
+  for (int i = 0; i < 200; ++i) b.push_back(i % 5 == 0);
+  const BitBuf s = b.slice(63, 70);
+  ASSERT_EQ(s.size(), 70u);
+  for (std::size_t i = 0; i < 70; ++i) EXPECT_EQ(s.get(i), (63 + i) % 5 == 0);
+}
+
+TEST(BitBuf, EqualityComparesContentAndLength) {
+  BitBuf a, b;
+  for (int i = 0; i < 10; ++i) {
+    a.push_back(i & 1);
+    b.push_back(i & 1);
+  }
+  EXPECT_EQ(a, b);
+  b.push_back(false);
+  EXPECT_FALSE(a == b);
+}

@@ -1,0 +1,111 @@
+// Unit and property tests for the slice abstraction: every lane width must
+// behave as W independent 1-bit processors (the bitslicing invariant, §4.1).
+#include "bitslice/slice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace bs = bsrng::bitslice;
+
+template <typename W>
+class SliceTypes : public ::testing::Test {};
+
+using AllWidths = ::testing::Types<bs::SliceU32, bs::SliceU64, bs::SliceV128,
+                                   bs::SliceV256, bs::SliceV512>;
+TYPED_TEST_SUITE(SliceTypes, AllWidths);
+
+template <typename W>
+W random_slice(std::mt19937_64& rng) {
+  W s = bs::SliceTraits<W>::zero();
+  for (std::size_t j = 0; j < bs::lane_count<W>; ++j)
+    bs::SliceTraits<W>::set_lane(s, j, rng() & 1u);
+  return s;
+}
+
+TYPED_TEST(SliceTypes, ZeroAndOnesLanes) {
+  using T = bs::SliceTraits<TypeParam>;
+  const TypeParam z = T::zero();
+  const TypeParam o = T::ones();
+  for (std::size_t j = 0; j < bs::lane_count<TypeParam>; ++j) {
+    EXPECT_FALSE(T::get_lane(z, j));
+    EXPECT_TRUE(T::get_lane(o, j));
+  }
+}
+
+TYPED_TEST(SliceTypes, SplatMatchesLaneBroadcast) {
+  using T = bs::SliceTraits<TypeParam>;
+  EXPECT_EQ(bs::splat<TypeParam>(false), T::zero());
+  EXPECT_EQ(bs::splat<TypeParam>(true), T::ones());
+}
+
+TYPED_TEST(SliceTypes, SetGetLaneRoundTrip) {
+  using T = bs::SliceTraits<TypeParam>;
+  TypeParam s = T::zero();
+  for (std::size_t j = 0; j < bs::lane_count<TypeParam>; ++j) {
+    T::set_lane(s, j, true);
+    EXPECT_TRUE(T::get_lane(s, j));
+    // Setting one lane must not disturb the others.
+    for (std::size_t k = 0; k < bs::lane_count<TypeParam>; ++k)
+      EXPECT_EQ(T::get_lane(s, k), k <= j) << "lane " << k;
+  }
+  for (std::size_t j = 0; j < bs::lane_count<TypeParam>; ++j) {
+    T::set_lane(s, j, false);
+    EXPECT_FALSE(T::get_lane(s, j));
+  }
+}
+
+// Property: bulk boolean operators equal the lane-by-lane scalar computation.
+TYPED_TEST(SliceTypes, OperatorsAreLaneWise) {
+  using T = bs::SliceTraits<TypeParam>;
+  std::mt19937_64 rng(42);
+  for (int iter = 0; iter < 50; ++iter) {
+    const TypeParam a = random_slice<TypeParam>(rng);
+    const TypeParam b = random_slice<TypeParam>(rng);
+    const TypeParam c = random_slice<TypeParam>(rng);
+    const TypeParam x = a ^ b, n = a & b, o = a | b, inv = ~a;
+    const TypeParam m = bs::mux(c, a, b);
+    const TypeParam an = bs::andnot(a, b);
+    for (std::size_t j = 0; j < bs::lane_count<TypeParam>; ++j) {
+      const bool la = T::get_lane(a, j), lb = T::get_lane(b, j),
+                 lc = T::get_lane(c, j);
+      EXPECT_EQ(T::get_lane(x, j), la != lb);
+      EXPECT_EQ(T::get_lane(n, j), la && lb);
+      EXPECT_EQ(T::get_lane(o, j), la || lb);
+      EXPECT_EQ(T::get_lane(inv, j), !la);
+      EXPECT_EQ(T::get_lane(m, j), lc ? la : lb);
+      EXPECT_EQ(T::get_lane(an, j), la && !lb);
+    }
+  }
+}
+
+TYPED_TEST(SliceTypes, PopcountMatchesLanes) {
+  std::mt19937_64 rng(7);
+  for (int iter = 0; iter < 20; ++iter) {
+    const TypeParam a = random_slice<TypeParam>(rng);
+    std::size_t expected = 0;
+    for (std::size_t j = 0; j < bs::lane_count<TypeParam>; ++j)
+      expected += bs::SliceTraits<TypeParam>::get_lane(a, j);
+    EXPECT_EQ(bs::popcount(a), expected);
+  }
+}
+
+TYPED_TEST(SliceTypes, XorIsInvolutionAndDeMorgan) {
+  std::mt19937_64 rng(9);
+  for (int iter = 0; iter < 20; ++iter) {
+    const TypeParam a = random_slice<TypeParam>(rng);
+    const TypeParam b = random_slice<TypeParam>(rng);
+    EXPECT_EQ((a ^ b) ^ b, a);
+    EXPECT_EQ(~(a & b), ~a | ~b);
+    EXPECT_EQ(~(a | b), ~a & ~b);
+  }
+}
+
+TEST(SliceLaneCount, MatchesAdvertisedWidths) {
+  static_assert(bs::lane_count<bs::SliceU32> == 32);
+  static_assert(bs::lane_count<bs::SliceU64> == 64);
+  static_assert(bs::lane_count<bs::SliceV128> == 128);
+  static_assert(bs::lane_count<bs::SliceV256> == 256);
+  static_assert(bs::lane_count<bs::SliceV512> == 512);
+  SUCCEED();
+}

@@ -1,0 +1,123 @@
+#include "bitslice/transpose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace bs = bsrng::bitslice;
+
+namespace {
+
+template <typename T, std::size_t N>
+void naive_transpose(T (&m)[N]) {
+  T out[N] = {};
+  for (std::size_t i = 0; i < N; ++i)
+    for (std::size_t j = 0; j < N; ++j)
+      if ((m[i] >> j) & 1u) out[j] |= T{1} << i;
+  for (std::size_t i = 0; i < N; ++i) m[i] = out[i];
+}
+
+}  // namespace
+
+TEST(Transpose8, MatchesNaiveOnRandomMatrices) {
+  std::mt19937_64 rng(1);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::uint8_t a[8], b[8];
+    for (int i = 0; i < 8; ++i) a[i] = b[i] = static_cast<std::uint8_t>(rng());
+    bs::transpose8x8(a);
+    naive_transpose(b);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(a[i], b[i]) << "row " << i;
+  }
+}
+
+TEST(Transpose32, MatchesNaiveOnRandomMatrices) {
+  std::mt19937_64 rng(2);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::uint32_t a[32], b[32];
+    for (int i = 0; i < 32; ++i)
+      a[i] = b[i] = static_cast<std::uint32_t>(rng());
+    bs::transpose32x32(a);
+    naive_transpose(b);
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(a[i], b[i]) << "row " << i;
+  }
+}
+
+TEST(Transpose64, MatchesNaiveOnRandomMatrices) {
+  std::mt19937_64 rng(3);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::uint64_t a[64], b[64];
+    for (int i = 0; i < 64; ++i) a[i] = b[i] = rng();
+    bs::transpose64x64(a);
+    naive_transpose(b);
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(a[i], b[i]) << "row " << i;
+  }
+}
+
+TEST(Transpose64, IsInvolution) {
+  std::mt19937_64 rng(4);
+  std::uint64_t a[64], orig[64];
+  for (int i = 0; i < 64; ++i) orig[i] = a[i] = rng();
+  bs::transpose64x64(a);
+  bs::transpose64x64(a);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a[i], orig[i]);
+}
+
+TEST(Transpose32, SingleBitLandsTransposed) {
+  for (int i = 0; i < 32; ++i)
+    for (int j = 0; j < 32; j += 7) {
+      std::uint32_t m[32] = {};
+      m[i] = 1u << j;
+      bs::transpose32x32(m);
+      for (int r = 0; r < 32; ++r)
+        EXPECT_EQ(m[r], r == j ? (1u << i) : 0u);
+    }
+}
+
+template <typename W>
+class InterleaveTypes : public ::testing::Test {};
+using AllWidths = ::testing::Types<bs::SliceU32, bs::SliceU64, bs::SliceV128,
+                                   bs::SliceV256, bs::SliceV512>;
+TYPED_TEST_SUITE(InterleaveTypes, AllWidths);
+
+// Property: interleave then deinterleave returns the original streams, for
+// stream lengths that do and do not divide the 64-bit block size.
+TYPED_TEST(InterleaveTypes, RoundTripAtAwkwardLengths) {
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  std::mt19937_64 rng(5);
+  for (std::size_t nbits : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                            std::size_t{65}, std::size_t{200}, std::size_t{512}}) {
+    std::vector<std::vector<std::uint64_t>> rows(
+        L, std::vector<std::uint64_t>((nbits + 63) / 64));
+    for (auto& r : rows) {
+      for (auto& w : r) w = rng();
+      if (nbits % 64 != 0) r.back() &= (std::uint64_t{1} << (nbits % 64)) - 1;
+    }
+    std::vector<TypeParam> slices;
+    bs::interleave<TypeParam>(rows, nbits, slices);
+    ASSERT_EQ(slices.size(), nbits);
+    std::vector<std::vector<std::uint64_t>> back;
+    bs::deinterleave<TypeParam>(slices, nbits, back);
+    EXPECT_EQ(back, rows) << "nbits=" << nbits;
+  }
+}
+
+// Property: slice t lane j equals bit t of stream j (the definition of the
+// column-major representation).
+TYPED_TEST(InterleaveTypes, SliceLaneSemantics) {
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  const std::size_t nbits = 100;
+  std::mt19937_64 rng(6);
+  std::vector<std::vector<std::uint64_t>> rows(
+      L, std::vector<std::uint64_t>((nbits + 63) / 64));
+  for (auto& r : rows) {
+    for (auto& w : r) w = rng();
+    r.back() &= (std::uint64_t{1} << (nbits % 64)) - 1;
+  }
+  std::vector<TypeParam> slices;
+  bs::interleave<TypeParam>(rows, nbits, slices);
+  for (std::size_t t = 0; t < nbits; ++t)
+    for (std::size_t j = 0; j < L; ++j)
+      EXPECT_EQ(bs::SliceTraits<TypeParam>::get_lane(slices[t], j),
+                (rows[j][t / 64] >> (t % 64)) & 1u)
+          << "t=" << t << " lane=" << j;
+}

@@ -1,0 +1,296 @@
+// AES-128: FIPS-197 conformance for the scalar reference, exhaustive
+// algebraic checks of the bitsliced GF(2^8) circuits, and bit-exact
+// equivalence of the bitsliced cipher with the reference at all lane widths.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ciphers/aes_bs.hpp"
+#include "ciphers/aes_ref.hpp"
+
+namespace ci = bsrng::ciphers;
+namespace bs = bsrng::bitslice;
+
+namespace {
+std::vector<std::uint8_t> from_hex(std::string_view hex) {
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2)
+    out.push_back(static_cast<std::uint8_t>(
+        std::stoul(std::string(hex.substr(i, 2)), nullptr, 16)));
+  return out;
+}
+}  // namespace
+
+TEST(AesSbox, KnownEntries) {
+  // Spot values from the FIPS-197 S-box table.
+  EXPECT_EQ(ci::aes::kSbox[0x00], 0x63);
+  EXPECT_EQ(ci::aes::kSbox[0x01], 0x7C);
+  EXPECT_EQ(ci::aes::kSbox[0x53], 0xED);
+  EXPECT_EQ(ci::aes::kSbox[0xFF], 0x16);
+}
+
+TEST(AesSbox, IsAPermutationWithNoFixedPoints) {
+  std::array<bool, 256> seen{};
+  for (unsigned v = 0; v < 256; ++v) {
+    EXPECT_FALSE(seen[ci::aes::kSbox[v]]);
+    seen[ci::aes::kSbox[v]] = true;
+    EXPECT_NE(ci::aes::kSbox[v], v);
+  }
+}
+
+TEST(AesGf, MulMatchesKnownIdentities) {
+  EXPECT_EQ(ci::aes::gf_mul(0x57, 0x83), 0xC1);  // FIPS-197 §4.2 example
+  EXPECT_EQ(ci::aes::gf_mul(0x57, 0x13), 0xFE);
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto inv = ci::aes::gf_inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(ci::aes::gf_mul(static_cast<std::uint8_t>(a), inv), 1u) << a;
+  }
+}
+
+TEST(Aes128Ref, Fips197AppendixB) {
+  const auto key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto pt = from_hex("3243f6a8885a308d313198a2e0370734");
+  const auto expect = from_hex("3925841d02dc09fbdc118597196a0b32");
+  ci::Aes128 aes(key);
+  std::uint8_t out[16];
+  aes.encrypt_block(pt.data(), out);
+  EXPECT_TRUE(std::equal(expect.begin(), expect.end(), out));
+}
+
+TEST(Aes128Ref, Fips197AppendixC) {
+  const auto key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const auto pt = from_hex("00112233445566778899aabbccddeeff");
+  const auto expect = from_hex("69c4e0d86a7b0430d8cdb78070b4c55a");
+  ci::Aes128 aes(key);
+  std::uint8_t out[16];
+  aes.encrypt_block(pt.data(), out);
+  EXPECT_TRUE(std::equal(expect.begin(), expect.end(), out));
+}
+
+TEST(Aes128Ref, CtrIsDeterministicAndCounterDisjoint) {
+  const auto key = from_hex("000102030405060708090a0b0c0d0e0f");
+  ci::Aes128 aes(key);
+  std::vector<std::uint8_t> nonce(12, 0xAB);
+  std::vector<std::uint8_t> a(64), b(64);
+  ci::aes_ctr_fill(aes, nonce, 0, a);
+  ci::aes_ctr_fill(aes, nonce, 0, b);
+  EXPECT_EQ(a, b);
+  // Starting at counter 1 must reproduce the stream shifted by one block.
+  std::vector<std::uint8_t> c(48);
+  ci::aes_ctr_fill(aes, nonce, 1, c);
+  EXPECT_TRUE(std::equal(c.begin(), c.end(), a.begin() + 16));
+}
+
+// ---------------------------------------------------------------------------
+// Bitsliced circuits
+// ---------------------------------------------------------------------------
+template <typename W>
+class AesBitsliced : public ::testing::Test {};
+using AllWidths = ::testing::Types<bs::SliceU32, bs::SliceU64, bs::SliceV128,
+                                   bs::SliceV256, bs::SliceV512>;
+TYPED_TEST_SUITE(AesBitsliced, AllWidths);
+
+namespace {
+// Pack one byte per lane into 8 slices.
+template <typename W>
+void pack_bytes(const std::vector<std::uint8_t>& lane_bytes, W out[8]) {
+  for (int bit = 0; bit < 8; ++bit) {
+    out[bit] = bs::SliceTraits<W>::zero();
+    for (std::size_t j = 0; j < bs::lane_count<W>; ++j)
+      bs::SliceTraits<W>::set_lane(out[bit], j, (lane_bytes[j] >> bit) & 1u);
+  }
+}
+template <typename W>
+std::uint8_t unpack_lane(const W in[8], std::size_t j) {
+  std::uint8_t v = 0;
+  for (int bit = 0; bit < 8; ++bit)
+    v |= static_cast<std::uint8_t>(bs::SliceTraits<W>::get_lane(in[bit], j)
+                                   << bit);
+  return v;
+}
+}  // namespace
+
+TYPED_TEST(AesBitsliced, GfMul8MatchesScalarExhaustively) {
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  // Sweep all 65536 (a, b) pairs, L at a time.
+  std::vector<std::uint8_t> av(L), bv(L);
+  for (unsigned base = 0; base < 65536; base += L) {
+    for (std::size_t j = 0; j < L; ++j) {
+      av[j] = static_cast<std::uint8_t>((base + j) >> 8);
+      bv[j] = static_cast<std::uint8_t>(base + j);
+    }
+    TypeParam a[8], b[8], out[8];
+    pack_bytes<TypeParam>(av, a);
+    pack_bytes<TypeParam>(bv, b);
+    ci::AesBs<TypeParam>::gf_mul8(a, b, out);
+    for (std::size_t j = 0; j < L; ++j)
+      ASSERT_EQ(unpack_lane<TypeParam>(out, j), ci::aes::gf_mul(av[j], bv[j]))
+          << "a=" << int{av[j]} << " b=" << int{bv[j]};
+  }
+}
+
+TYPED_TEST(AesBitsliced, SboxCircuitMatchesTableExhaustively) {
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  std::vector<std::uint8_t> v(L);
+  for (unsigned base = 0; base < 256; base += L) {
+    for (std::size_t j = 0; j < L; ++j)
+      v[j] = static_cast<std::uint8_t>((base + j) % 256);
+    TypeParam s[8];
+    pack_bytes<TypeParam>(v, s);
+    ci::AesBs<TypeParam>::sbox8(s);
+    for (std::size_t j = 0; j < L; ++j)
+      ASSERT_EQ(unpack_lane<TypeParam>(s, j), ci::aes::kSbox[v[j]]);
+  }
+}
+
+TYPED_TEST(AesBitsliced, SquareMatchesScalar) {
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  std::vector<std::uint8_t> v(L);
+  for (unsigned base = 0; base < 256; base += L) {
+    for (std::size_t j = 0; j < L; ++j)
+      v[j] = static_cast<std::uint8_t>((base + j) % 256);
+    TypeParam s[8], out[8];
+    pack_bytes<TypeParam>(v, s);
+    ci::AesBs<TypeParam>::gf_sq8(s, out);
+    for (std::size_t j = 0; j < L; ++j)
+      ASSERT_EQ(unpack_lane<TypeParam>(out, j), ci::aes::gf_mul(v[j], v[j]));
+  }
+}
+
+TYPED_TEST(AesBitsliced, EncryptBlocksMatchesReference) {
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  std::mt19937_64 rng(99);
+  // Shared key across lanes, random plaintext per lane.
+  std::vector<std::uint8_t> key(16);
+  for (auto& k : key) k = static_cast<std::uint8_t>(rng());
+  ci::Aes128 ref(key);
+  ci::AesBs<TypeParam> sliced(key);
+  std::vector<typename ci::AesBs<TypeParam>::Block> in(L), out(L);
+  for (auto& blk : in)
+    for (auto& b : blk) b = static_cast<std::uint8_t>(rng());
+  sliced.encrypt_blocks(in, out);
+  for (std::size_t j = 0; j < L; ++j) {
+    std::uint8_t expect[16];
+    ref.encrypt_block(in[j].data(), expect);
+    EXPECT_TRUE(std::equal(out[j].begin(), out[j].end(), expect))
+        << "lane " << j;
+  }
+}
+
+TYPED_TEST(AesBitsliced, PerLaneKeysAreIndependent) {
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  std::mt19937_64 rng(7);
+  std::vector<typename ci::AesBs<TypeParam>::Block> keys(L), in(L), out(L);
+  for (auto& k : keys)
+    for (auto& b : k) b = static_cast<std::uint8_t>(rng());
+  for (auto& blk : in)
+    for (auto& b : blk) b = static_cast<std::uint8_t>(rng());
+  ci::AesBs<TypeParam> sliced{
+      std::span<const typename ci::AesBs<TypeParam>::Block>(keys)};
+  sliced.encrypt_blocks(in, out);
+  for (std::size_t j = 0; j < L; ++j) {
+    ci::Aes128 ref(keys[j]);
+    std::uint8_t expect[16];
+    ref.encrypt_block(in[j].data(), expect);
+    EXPECT_TRUE(std::equal(out[j].begin(), out[j].end(), expect))
+        << "lane " << j;
+  }
+}
+
+TYPED_TEST(AesBitsliced, CtrStreamMatchesScalarOracle) {
+  const auto key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  std::vector<std::uint8_t> nonce(12);
+  for (std::size_t i = 0; i < 12; ++i) nonce[i] = static_cast<std::uint8_t>(i);
+  ci::Aes128 ref(key);
+  ci::AesCtrBs<TypeParam> gen(key, nonce, /*counter0=*/5);
+
+  // Ask for an awkward length spanning several batches.
+  const std::size_t n = 16 * bs::lane_count<TypeParam> * 2 + 37;
+  std::vector<std::uint8_t> got(n), expect(n);
+  gen.fill(got);
+  ci::aes_ctr_fill(ref, nonce, 5, expect);
+  EXPECT_EQ(got, expect);
+
+  // Continuation must pick up exactly where the stream left off.
+  std::vector<std::uint8_t> got2(53), expect_all(n + 53);
+  gen.fill(got2);
+  ci::aes_ctr_fill(ref, nonce, 5, expect_all);
+  EXPECT_TRUE(std::equal(got2.begin(), got2.end(), expect_all.begin() + static_cast<std::ptrdiff_t>(n)));
+}
+
+TEST(AesBsArguments, Rejected) {
+  std::vector<std::uint8_t> short_key(15, 0);
+  EXPECT_THROW(ci::AesBs<bs::SliceU32> a(short_key), std::invalid_argument);
+  std::vector<std::uint8_t> key(16, 1), nonce(11, 0);
+  EXPECT_THROW((ci::AesCtrBs<bs::SliceU32>(key, nonce)), std::invalid_argument);
+}
+
+// --- AES-192 / AES-256 (FIPS-197 Appendix C) --------------------------------
+
+TEST(Aes192Ref, Fips197AppendixC2) {
+  const auto key = from_hex("000102030405060708090a0b0c0d0e0f1011121314151617");
+  const auto pt = from_hex("00112233445566778899aabbccddeeff");
+  const auto expect = from_hex("dda97ca4864cdfe06eaf70a0ec0d7191");
+  ci::Aes128 aes(key);
+  EXPECT_EQ(aes.rounds(), 12u);
+  std::uint8_t out[16];
+  aes.encrypt_block(pt.data(), out);
+  EXPECT_TRUE(std::equal(expect.begin(), expect.end(), out));
+}
+
+TEST(Aes256Ref, Fips197AppendixC3) {
+  const auto key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto pt = from_hex("00112233445566778899aabbccddeeff");
+  const auto expect = from_hex("8ea2b7ca516745bfeafc49904b496089");
+  ci::Aes128 aes(key);
+  EXPECT_EQ(aes.rounds(), 14u);
+  std::uint8_t out[16];
+  aes.encrypt_block(pt.data(), out);
+  EXPECT_TRUE(std::equal(expect.begin(), expect.end(), out));
+}
+
+TEST(AesRef, RejectsInvalidKeySizes) {
+  std::vector<std::uint8_t> k(20, 0);
+  EXPECT_THROW(ci::Aes128 a(k), std::invalid_argument);
+}
+
+TYPED_TEST(AesBitsliced, Aes256MatchesReference) {
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  const auto key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  ci::Aes128 ref(key);
+  ci::AesBs<TypeParam> sliced(key);
+  EXPECT_EQ(sliced.rounds(), 14u);
+  std::mt19937_64 rng(256);
+  std::vector<typename ci::AesBs<TypeParam>::Block> in(L), out(L);
+  for (auto& blk : in)
+    for (auto& b : blk) b = static_cast<std::uint8_t>(rng());
+  sliced.encrypt_blocks(in, out);
+  for (std::size_t j = 0; j < L; ++j) {
+    std::uint8_t expect[16];
+    ref.encrypt_block(in[j].data(), expect);
+    EXPECT_TRUE(std::equal(out[j].begin(), out[j].end(), expect))
+        << "lane " << j;
+  }
+}
+
+TYPED_TEST(AesBitsliced, Aes192MatchesReference) {
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  const auto key =
+      from_hex("000102030405060708090a0b0c0d0e0f1011121314151617");
+  ci::Aes128 ref(key);
+  ci::AesBs<TypeParam> sliced(key);
+  EXPECT_EQ(sliced.rounds(), 12u);
+  std::mt19937_64 rng(192);
+  std::vector<typename ci::AesBs<TypeParam>::Block> in(L), out(L);
+  for (auto& blk : in)
+    for (auto& b : blk) b = static_cast<std::uint8_t>(rng());
+  sliced.encrypt_blocks(in, out);
+  for (std::size_t j = 0; j < L; ++j) {
+    std::uint8_t expect[16];
+    ref.encrypt_block(in[j].data(), expect);
+    EXPECT_TRUE(std::equal(out[j].begin(), out[j].end(), expect))
+        << "lane " << j;
+  }
+}

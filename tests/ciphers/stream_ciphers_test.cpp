@@ -1,0 +1,271 @@
+// MICKEY 2.0, Grain v1, Trivium: structural invariants of the scalar
+// references and bit-exact reference<->bitsliced equivalence at every lane
+// width (the §4.4 correctness claim).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <set>
+
+#include "ciphers/grain_bs.hpp"
+#include "ciphers/grain_ref.hpp"
+#include "ciphers/mickey_bs.hpp"
+#include "ciphers/mickey_ref.hpp"
+#include "ciphers/trivium_bs.hpp"
+#include "ciphers/trivium_ref.hpp"
+
+namespace ci = bsrng::ciphers;
+namespace bs = bsrng::bitslice;
+
+namespace {
+template <std::size_t N>
+std::array<std::uint8_t, N> rand_bytes(std::mt19937_64& rng) {
+  std::array<std::uint8_t, N> a;
+  for (auto& b : a) b = static_cast<std::uint8_t>(rng());
+  return a;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scalar reference sanity
+// ---------------------------------------------------------------------------
+
+TEST(MickeyRef, TablesAreConsistentWithSpecTapList) {
+  // RTAPS from the MICKEY 2.0 spec prose; must equal the packed R_MASK.
+  const std::vector<unsigned> rtaps = {
+      0,  1,  3,  4,  5,  6,  9,  12, 13, 16, 19, 20, 21, 22, 25, 28, 37,
+      38, 41, 42, 45, 46, 50, 52, 54, 56, 58, 60, 61, 63, 64, 65, 66, 67,
+      71, 72, 79, 80, 81, 82, 87, 88, 89, 90, 91, 92, 94, 95, 96, 97};
+  for (std::size_t i = 0; i < 100; ++i) {
+    const bool in_list =
+        std::find(rtaps.begin(), rtaps.end(), i) != rtaps.end();
+    EXPECT_EQ(ci::mickey::table_bit(ci::mickey::kRMask, i), in_list) << i;
+  }
+}
+
+TEST(MickeyRef, RejectsBadKeyIvSizes) {
+  std::vector<std::uint8_t> key(10, 1), iv(4, 2);
+  EXPECT_NO_THROW(ci::MickeyRef(key, iv));
+  std::vector<std::uint8_t> short_key(9, 1);
+  EXPECT_THROW(ci::MickeyRef(short_key, iv), std::invalid_argument);
+  std::vector<std::uint8_t> long_iv(11, 0);
+  EXPECT_THROW(ci::MickeyRef(key, long_iv), std::invalid_argument);
+}
+
+TEST(MickeyRef, DeterministicAndKeySensitive) {
+  std::vector<std::uint8_t> key(10, 0x42), iv(10, 0x24);
+  ci::MickeyRef a(key, iv), b(key, iv);
+  for (int i = 0; i < 200; ++i) ASSERT_EQ(a.step(), b.step());
+  key[3] ^= 0x01;  // single key bit flip
+  ci::MickeyRef c(key, iv);
+  ci::MickeyRef d({std::vector<std::uint8_t>(10, 0x42)}, iv);
+  int diff = 0;
+  for (int i = 0; i < 512; ++i) diff += c.step() != d.step();
+  // Avalanche: roughly half the bits should differ.
+  EXPECT_GT(diff, 512 / 4);
+  EXPECT_LT(diff, 3 * 512 / 4);
+}
+
+TEST(MickeyRef, IvSensitive) {
+  std::vector<std::uint8_t> key(10, 0x11), iv1(8, 0), iv2(8, 0);
+  iv2[7] ^= 0x80;
+  ci::MickeyRef a(key, iv1), b(key, iv2);
+  int diff = 0;
+  for (int i = 0; i < 512; ++i) diff += a.step() != b.step();
+  EXPECT_GT(diff, 512 / 4);
+}
+
+TEST(MickeyRef, OutputIsBalanced) {
+  std::vector<std::uint8_t> key(10, 0x37), iv(10, 0x73);
+  ci::MickeyRef m(key, iv);
+  int ones = 0;
+  const int n = 1 << 14;
+  for (int i = 0; i < n; ++i) ones += m.step();
+  EXPECT_NEAR(ones, n / 2, 4 * std::sqrt(n / 4.0));  // ~4 sigma
+}
+
+TEST(GrainRef, InitializationFillsLfsrTailWithOnes) {
+  // White-box: before clocking, s64..s79 are 1.  After 160 clocks the state
+  // must have diffused: the keystream from the all-zero key/IV is not
+  // constant.
+  std::vector<std::uint8_t> key(10, 0), iv(8, 0);
+  ci::GrainRef g(key, iv);
+  int ones = 0;
+  for (int i = 0; i < 256; ++i) ones += g.step();
+  EXPECT_GT(ones, 64);
+  EXPECT_LT(ones, 192);
+}
+
+TEST(GrainRef, KeyAvalanche) {
+  std::mt19937_64 rng(5);
+  const auto key = rand_bytes<10>(rng);
+  const auto iv = rand_bytes<8>(rng);
+  auto key2 = key;
+  key2[0] ^= 1;
+  ci::GrainRef a(key, iv), b(key2, iv);
+  int diff = 0;
+  for (int i = 0; i < 512; ++i) diff += a.step() != b.step();
+  EXPECT_GT(diff, 512 / 4);
+  EXPECT_LT(diff, 3 * 512 / 4);
+}
+
+TEST(TriviumRef, StateAfterLoadMatchesSpecLayout) {
+  // White-box check of the load map via a probe cipher with 0 init rounds is
+  // not exposed; instead verify determinism + key/IV sensitivity.
+  std::mt19937_64 rng(6);
+  const auto key = rand_bytes<10>(rng);
+  const auto iv = rand_bytes<10>(rng);
+  ci::TriviumRef a(key, iv), b(key, iv);
+  for (int i = 0; i < 300; ++i) ASSERT_EQ(a.step(), b.step());
+  auto iv2 = iv;
+  iv2[9] ^= 0x40;
+  ci::TriviumRef c(key, iv2);
+  ci::TriviumRef d(key, iv);
+  int diff = 0;
+  for (int i = 0; i < 512; ++i) diff += c.step() != d.step();
+  EXPECT_GT(diff, 512 / 4);
+  EXPECT_LT(diff, 3 * 512 / 4);
+}
+
+TEST(StreamCipherRefs, Step32PacksLsbFirst) {
+  std::mt19937_64 rng(7);
+  const auto key = rand_bytes<10>(rng);
+  const auto iv = rand_bytes<8>(rng);
+  ci::GrainRef a(key, iv), b(key, iv);
+  const std::uint32_t w = a.step32();
+  for (unsigned i = 0; i < 32; ++i)
+    EXPECT_EQ((w >> i) & 1u, static_cast<std::uint32_t>(b.step()));
+}
+
+// ---------------------------------------------------------------------------
+// Reference <-> bitsliced equivalence (typed over lane widths)
+// ---------------------------------------------------------------------------
+template <typename W>
+class SlicedCiphers : public ::testing::Test {};
+using AllWidths = ::testing::Types<bs::SliceU32, bs::SliceU64, bs::SliceV128,
+                                   bs::SliceV256, bs::SliceV512>;
+TYPED_TEST_SUITE(SlicedCiphers, AllWidths);
+
+TYPED_TEST(SlicedCiphers, MickeyMatchesReferencePerLane) {
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  std::mt19937_64 rng(11);
+  std::vector<typename ci::MickeyBs<TypeParam>::KeyBytes> keys(L);
+  std::vector<typename ci::MickeyBs<TypeParam>::IvBytes> ivs(L);
+  for (auto& k : keys) k = rand_bytes<10>(rng);
+  for (auto& v : ivs) v = rand_bytes<10>(rng);
+
+  ci::MickeyBs<TypeParam> sliced(keys, ivs, 80);
+  std::vector<ci::MickeyRef> refs;
+  refs.reserve(L);
+  for (std::size_t j = 0; j < L; ++j) refs.emplace_back(keys[j], ivs[j]);
+
+  for (int t = 0; t < 256; ++t) {
+    const TypeParam z = sliced.step();
+    for (std::size_t j = 0; j < L; ++j)
+      ASSERT_EQ(bs::SliceTraits<TypeParam>::get_lane(z, j), refs[j].step())
+          << "t=" << t << " lane=" << j;
+  }
+}
+
+TYPED_TEST(SlicedCiphers, MickeyShortIvMatchesReference) {
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  std::mt19937_64 rng(12);
+  std::vector<typename ci::MickeyBs<TypeParam>::KeyBytes> keys(L);
+  std::vector<typename ci::MickeyBs<TypeParam>::IvBytes> ivs(L);
+  for (auto& k : keys) k = rand_bytes<10>(rng);
+  for (auto& v : ivs) v = rand_bytes<10>(rng);
+
+  const std::size_t iv_bits = 32;
+  ci::MickeyBs<TypeParam> sliced(keys, ivs, iv_bits);
+  std::vector<ci::MickeyRef> refs;
+  for (std::size_t j = 0; j < L; ++j)
+    refs.emplace_back(keys[j],
+                      std::span<const std::uint8_t>(ivs[j]).first(iv_bits / 8));
+  for (int t = 0; t < 128; ++t) {
+    const TypeParam z = sliced.step();
+    for (std::size_t j = 0; j < L; ++j)
+      ASSERT_EQ(bs::SliceTraits<TypeParam>::get_lane(z, j), refs[j].step());
+  }
+}
+
+TYPED_TEST(SlicedCiphers, GrainMatchesReferencePerLane) {
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  std::mt19937_64 rng(13);
+  std::vector<typename ci::GrainBs<TypeParam>::KeyBytes> keys(L);
+  std::vector<typename ci::GrainBs<TypeParam>::IvBytes> ivs(L);
+  for (auto& k : keys) k = rand_bytes<10>(rng);
+  for (auto& v : ivs) v = rand_bytes<8>(rng);
+
+  ci::GrainBs<TypeParam> sliced(keys, ivs);
+  std::vector<ci::GrainRef> refs;
+  refs.reserve(L);
+  for (std::size_t j = 0; j < L; ++j) refs.emplace_back(keys[j], ivs[j]);
+
+  for (int t = 0; t < 256; ++t) {
+    const TypeParam z = sliced.step();
+    for (std::size_t j = 0; j < L; ++j)
+      ASSERT_EQ(bs::SliceTraits<TypeParam>::get_lane(z, j), refs[j].step())
+          << "t=" << t << " lane=" << j;
+  }
+}
+
+TYPED_TEST(SlicedCiphers, TriviumMatchesReferencePerLane) {
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  std::mt19937_64 rng(14);
+  std::vector<typename ci::TriviumBs<TypeParam>::KeyBytes> keys(L);
+  std::vector<typename ci::TriviumBs<TypeParam>::IvBytes> ivs(L);
+  for (auto& k : keys) k = rand_bytes<10>(rng);
+  for (auto& v : ivs) v = rand_bytes<10>(rng);
+
+  ci::TriviumBs<TypeParam> sliced(keys, ivs);
+  std::vector<ci::TriviumRef> refs;
+  refs.reserve(L);
+  for (std::size_t j = 0; j < L; ++j) refs.emplace_back(keys[j], ivs[j]);
+
+  for (int t = 0; t < 256; ++t) {
+    const TypeParam z = sliced.step();
+    for (std::size_t j = 0; j < L; ++j)
+      ASSERT_EQ(bs::SliceTraits<TypeParam>::get_lane(z, j), refs[j].step())
+          << "t=" << t << " lane=" << j;
+  }
+}
+
+TYPED_TEST(SlicedCiphers, MasterSeedEnginesAreDeterministic) {
+  ci::MickeyBs<TypeParam> a(12345), b(12345);
+  ci::GrainBs<TypeParam> c(999), d(999);
+  ci::TriviumBs<TypeParam> e(7), f(7);
+  for (int t = 0; t < 64; ++t) {
+    ASSERT_EQ(a.step(), b.step());
+    ASSERT_EQ(c.step(), d.step());
+    ASSERT_EQ(e.step(), f.step());
+  }
+}
+
+TYPED_TEST(SlicedCiphers, MasterSeedLanesAreDistinct) {
+  ci::MickeyBs<TypeParam> m(42);
+  // Collect 64 output bits per lane; all lanes must differ pairwise for the
+  // "uncorrelated parallel instances" requirement (§4.3) to be plausible.
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  std::vector<std::uint64_t> sig(L, 0);
+  for (int t = 0; t < 64; ++t) {
+    const TypeParam z = m.step();
+    for (std::size_t j = 0; j < L; ++j)
+      sig[j] |= std::uint64_t{bs::SliceTraits<TypeParam>::get_lane(z, j)} << t;
+  }
+  std::set<std::uint64_t> uniq(sig.begin(), sig.end());
+  EXPECT_EQ(uniq.size(), L);
+}
+
+TEST(SlicedCipherArguments, Rejected) {
+  std::vector<ci::MickeyBs<bs::SliceU32>::KeyBytes> keys(31);
+  std::vector<ci::MickeyBs<bs::SliceU32>::IvBytes> ivs(31);
+  EXPECT_THROW((ci::MickeyBs<bs::SliceU32>(keys, ivs, 80)),
+               std::invalid_argument);
+  std::vector<ci::MickeyBs<bs::SliceU32>::KeyBytes> keys32(32);
+  std::vector<ci::MickeyBs<bs::SliceU32>::IvBytes> ivs32(32);
+  EXPECT_THROW((ci::MickeyBs<bs::SliceU32>(keys32, ivs32, 81)),
+               std::invalid_argument);
+  EXPECT_THROW((ci::MickeyBs<bs::SliceU32>(keys32, ivs32, 88)),
+               std::invalid_argument);
+}

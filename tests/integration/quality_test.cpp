@@ -1,0 +1,124 @@
+// Cross-module integration: statistical quality of every bitsliced CSPRNG
+// through the NIST battery, inter-lane independence (§4.3: lanes must be
+// "uncorrelated"), and end-to-end avalanche of the serialized streams.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "ciphers/grain_bs.hpp"
+#include "ciphers/mickey_bs.hpp"
+#include "ciphers/trivium_bs.hpp"
+#include "core/registry.hpp"
+#include "nist/suite.hpp"
+
+namespace bs = bsrng::bitslice;
+namespace ni = bsrng::nist;
+
+namespace {
+
+bs::BitBuf stream_bits(const char* algo, std::size_t nbits,
+                       std::uint64_t seed) {
+  auto gen = bsrng::core::make_generator(algo, seed);
+  std::vector<std::uint8_t> bytes(nbits / 8);
+  gen->fill(bytes);
+  bs::BitBuf bits;
+  bits.append_bytes(bytes);
+  return bits;
+}
+
+}  // namespace
+
+// Every bitsliced CSPRNG's serialized stream passes the fast NIST battery.
+class CsprngQuality : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CsprngQuality, FastNistBatteryPasses) {
+  const auto bits = stream_bits(GetParam(), 1 << 17, 0xA11CE);
+  for (const auto& r :
+       {ni::frequency_test(bits), ni::block_frequency_test(bits),
+        ni::runs_test(bits), ni::longest_run_test(bits), ni::cusum_test(bits),
+        ni::rank_test(bits), ni::approximate_entropy_test(bits, 8),
+        ni::serial_test(bits, 11), ni::overlapping_template_test(bits)}) {
+    EXPECT_TRUE(r.passed(0.0005))
+        << GetParam() << " failed " << r.name << " p="
+        << (r.p_values.empty() ? -1.0 : r.p_values.front());
+  }
+}
+
+TEST_P(CsprngQuality, SpectralAndComplexityPass) {
+  const auto bits = stream_bits(GetParam(), 1 << 16, 0xB0B);
+  EXPECT_TRUE(ni::spectral_test(bits).passed(0.0005)) << GetParam();
+  EXPECT_TRUE(ni::linear_complexity_test(bits).passed(0.0005)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBitslicedCiphers, CsprngQuality,
+                         ::testing::Values("mickey-bs32", "mickey-bs512",
+                                           "grain-bs64", "grain-bs512",
+                                           "trivium-bs128", "trivium-bs512",
+                                           "aes-ctr-bs32", "aes-ctr-bs256"));
+
+// §4.3: lanes of one engine must be statistically independent.  Pearson
+// correlation of +/-1-mapped lane streams is ~N(0, 1/n) under independence;
+// check a grid of lane pairs stays within 5 sigma.
+template <typename Engine>
+void check_lane_independence(Engine& engine, std::size_t nsteps) {
+  constexpr std::size_t L = Engine::lanes;
+  std::vector<std::vector<int>> lanes(L, std::vector<int>(nsteps));
+  for (std::size_t t = 0; t < nsteps; ++t) {
+    const auto z = engine.step();
+    using W = std::remove_cv_t<std::remove_reference_t<decltype(z)>>;
+    for (std::size_t j = 0; j < L; ++j)
+      lanes[j][t] = bs::SliceTraits<W>::get_lane(z, j) ? 1 : -1;
+  }
+  const double bound = 5.0 / std::sqrt(static_cast<double>(nsteps));
+  for (std::size_t a = 0; a < L; a += L / 8)
+    for (std::size_t b = a + 1; b < L; b += L / 8 + 1) {
+      double corr = 0;
+      for (std::size_t t = 0; t < nsteps; ++t)
+        corr += lanes[a][t] * lanes[b][t];
+      corr /= static_cast<double>(nsteps);
+      EXPECT_LT(std::abs(corr), bound) << "lanes " << a << "," << b;
+    }
+}
+
+TEST(LaneIndependence, Mickey) {
+  bsrng::ciphers::MickeyBs<bs::SliceU32> e(42);
+  check_lane_independence(e, 1 << 14);
+}
+
+TEST(LaneIndependence, Grain) {
+  bsrng::ciphers::GrainBs<bs::SliceU32> e(42);
+  check_lane_independence(e, 1 << 14);
+}
+
+TEST(LaneIndependence, Trivium) {
+  bsrng::ciphers::TriviumBs<bs::SliceU32> e(42);
+  check_lane_independence(e, 1 << 14);
+}
+
+// End-to-end avalanche: one seed bit flip decorrelates the whole serialized
+// stream (~50% bit difference).
+TEST(SeedAvalanche, SerializedStreamsDecorrelate) {
+  for (const char* algo :
+       {"mickey-bs32", "grain-bs32", "trivium-bs32", "aes-ctr-bs32"}) {
+    const auto a = stream_bits(algo, 1 << 14, 1000);
+    const auto b = stream_bits(algo, 1 << 14, 1001);
+    std::size_t diff = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) diff += a.get(i) != b.get(i);
+    const double frac = static_cast<double>(diff) / static_cast<double>(a.size());
+    EXPECT_GT(frac, 0.47) << algo;
+    EXPECT_LT(frac, 0.53) << algo;
+  }
+}
+
+// The serialized interleaved stream of a W-lane engine is itself a valid
+// random stream at every width (width changes must not introduce structure).
+TEST(WidthSerialization, AllWidthsPassFrequencyAndRuns) {
+  for (const char* algo : {"grain-bs32", "grain-bs64", "grain-bs128",
+                           "grain-bs256", "grain-bs512"}) {
+    const auto bits = stream_bits(algo, 1 << 15, 77);
+    EXPECT_TRUE(ni::frequency_test(bits).passed(0.001)) << algo;
+    EXPECT_TRUE(ni::runs_test(bits).passed(0.001)) << algo;
+    EXPECT_TRUE(ni::serial_test(bits, 10).passed(0.001)) << algo;
+  }
+}

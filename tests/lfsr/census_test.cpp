@@ -1,0 +1,75 @@
+// Number-theoretic census tests: exhaustive counts of irreducible and
+// primitive polynomials for small degrees must match the classical formulas
+// — a whole-domain check of is_irreducible/is_primitive, far stronger than
+// spot examples.
+#include <gtest/gtest.h>
+
+#include "lfsr/polynomial.hpp"
+
+namespace lf = bsrng::lfsr;
+
+namespace {
+// Moebius function for the small arguments we need.
+int moebius(unsigned n) {
+  int m = 1;
+  for (unsigned p = 2; p * p <= n; ++p) {
+    if (n % p == 0) {
+      n /= p;
+      if (n % p == 0) return 0;  // squared factor
+      m = -m;
+    }
+  }
+  if (n > 1) m = -m;
+  return m;
+}
+
+// Number of monic irreducible polynomials of degree n over GF(2):
+//   (1/n) * sum_{d | n} mu(d) 2^{n/d}.
+long expected_irreducible(unsigned n) {
+  long sum = 0;
+  for (unsigned d = 1; d <= n; ++d)
+    if (n % d == 0) sum += moebius(d) * (1l << (n / d));
+  return sum / static_cast<long>(n);
+}
+
+// Number of primitive polynomials of degree n: phi(2^n - 1) / n.
+long expected_primitive(unsigned n) {
+  std::uint64_t m = (1ull << n) - 1;
+  std::uint64_t phi = m;
+  for (const auto p : lf::prime_factors(m)) phi = phi / p * (p - 1);
+  return static_cast<long>(phi / n);
+}
+}  // namespace
+
+class PolyCensus : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PolyCensus, IrreducibleAndPrimitiveCountsMatchTheory) {
+  const unsigned n = GetParam();
+  long irreducible = 0, primitive = 0;
+  // Enumerate every polynomial x^n + ... + a_0 (all 2^n tap masks).
+  for (std::uint64_t taps = 0; taps < (1ull << n); ++taps) {
+    const lf::Gf2Poly p{taps, n};
+    const bool irr = lf::is_irreducible(p);
+    const bool prim = lf::is_primitive(p);
+    irreducible += irr;
+    primitive += prim;
+    if (prim) {
+      EXPECT_TRUE(irr) << "primitive must imply irreducible";
+    }
+  }
+  EXPECT_EQ(irreducible, expected_irreducible(n)) << "degree " << n;
+  EXPECT_EQ(primitive, expected_primitive(n)) << "degree " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallDegrees, PolyCensus,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                           10u, 11u, 12u));
+
+TEST(PolyCensus, KnownCountsSpotCheck) {
+  // Classical values: 3 irreducible of degree 4; 6 of degree 5 (all
+  // primitive since 2^5-1 = 31 is prime); 9 of degree 6.
+  EXPECT_EQ(expected_irreducible(4), 3);
+  EXPECT_EQ(expected_irreducible(5), 6);
+  EXPECT_EQ(expected_primitive(5), 6);
+  EXPECT_EQ(expected_irreducible(6), 9);
+}

@@ -1,0 +1,112 @@
+// Jump-ahead: matrix-power advancement must equal clocking, for scalar and
+// bitsliced LFSRs, including jumps far beyond feasible clocking.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lfsr/jump.hpp"
+
+namespace lf = bsrng::lfsr;
+namespace bs = bsrng::bitslice;
+
+TEST(TransitionMatrix, ZeroStepsIsIdentity) {
+  const auto poly = lf::primitive_polynomial(20);
+  const lf::TransitionMatrix m(poly, 0);
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t s = rng() & 0xFFFFF;
+    EXPECT_EQ(m.apply(s), s);
+  }
+}
+
+TEST(TransitionMatrix, OneStepMatchesClock) {
+  for (const unsigned n : {8u, 20u, 33u, 64u}) {
+    const auto poly = lf::primitive_polynomial(n);
+    const lf::TransitionMatrix m(poly, 1);
+    lf::FibonacciLfsr l(poly, 0x1357 % ((n >= 16 ? 0xFFFFull : (1ull << n) - 1)) + 1);
+    const std::uint64_t expect_next = [&] {
+      lf::FibonacciLfsr copy = l;
+      copy.step();
+      return copy.state();
+    }();
+    EXPECT_EQ(m.apply(l.state()), expect_next) << "degree " << n;
+  }
+}
+
+class JumpSteps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JumpSteps, ScalarJumpEqualsClocking) {
+  const std::uint64_t steps = GetParam();
+  const auto poly = lf::primitive_polynomial(24);
+  lf::FibonacciLfsr jumped(poly, 0xBEEF);
+  lf::FibonacciLfsr clocked(poly, 0xBEEF);
+  lf::jump(jumped, steps);
+  for (std::uint64_t i = 0; i < steps; ++i) clocked.step();
+  EXPECT_EQ(jumped.state(), clocked.state()) << "steps=" << steps;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallCounts, JumpSteps,
+                         ::testing::Values(0, 1, 2, 7, 63, 64, 100, 1000,
+                                           12345));
+
+TEST(Jump, FullPeriodIsIdentity) {
+  const auto poly = lf::primitive_polynomial(20);
+  lf::FibonacciLfsr l(poly, 0xABCDE);
+  const std::uint64_t start = l.state();
+  lf::jump(l, (1ull << 20) - 1);
+  EXPECT_EQ(l.state(), start);
+}
+
+TEST(Jump, HugeJumpsComposeAdditively) {
+  // jump(a) then jump(b) == jump(a + b), with a + b ~ 2^50 (unclockable).
+  const auto poly = lf::primitive_polynomial(48);
+  lf::FibonacciLfsr x(poly, 0x123456789ull), y(poly, 0x123456789ull);
+  const std::uint64_t a = (1ull << 49) + 12345, b = (1ull << 50) + 999;
+  lf::jump(x, a);
+  lf::jump(x, b);
+  lf::jump(y, a + b);
+  EXPECT_EQ(x.state(), y.state());
+}
+
+template <typename W>
+class BitslicedJump : public ::testing::Test {};
+using AllWidths = ::testing::Types<bs::SliceU32, bs::SliceU64, bs::SliceV128,
+                                   bs::SliceV256, bs::SliceV512>;
+TYPED_TEST_SUITE(BitslicedJump, AllWidths);
+
+TYPED_TEST(BitslicedJump, JumpMatchesClockingEveryLane) {
+  const auto poly = lf::primitive_polynomial(31);
+  lf::BitslicedLfsr<TypeParam> jumped(poly, 505u);
+  lf::BitslicedLfsr<TypeParam> clocked(poly, 505u);
+  const std::uint64_t steps = 777;
+  lf::jump(jumped, steps);
+  for (std::uint64_t i = 0; i < steps; ++i) clocked.step();
+  for (std::size_t lane = 0; lane < bs::lane_count<TypeParam>; ++lane)
+    ASSERT_EQ(jumped.lane_state(lane), clocked.lane_state(lane))
+        << "lane " << lane;
+}
+
+TYPED_TEST(BitslicedJump, JumpedEngineContinuesCorrectly) {
+  // After a jump the engine must keep stepping in sync with a clocked twin.
+  const auto poly = lf::primitive_polynomial(20);
+  lf::BitslicedLfsr<TypeParam> jumped(poly, 9u), clocked(poly, 9u);
+  lf::jump(jumped, 500);
+  for (int i = 0; i < 500; ++i) clocked.step();
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(jumped.step(), clocked.step());
+}
+
+TEST(Jump, DisjointSubstreamPartitioning) {
+  // The §5.4 use case: D devices each jump to their own offset; device d's
+  // first outputs equal the global stream at offset d * chunk.
+  const auto poly = lf::primitive_polynomial(33);
+  const std::uint64_t chunk = 10000;
+  lf::FibonacciLfsr global(poly, 0xACE);
+  std::vector<bool> stream;
+  for (std::uint64_t i = 0; i < 4 * chunk; ++i) stream.push_back(global.step());
+  for (std::uint64_t d = 0; d < 4; ++d) {
+    lf::FibonacciLfsr dev(poly, 0xACE);
+    lf::jump(dev, d * chunk);
+    for (std::uint64_t i = 0; i < 32; ++i)
+      ASSERT_EQ(dev.step(), stream[d * chunk + i]) << "device " << d;
+  }
+}

@@ -1,0 +1,163 @@
+// Scalar and bitsliced LFSR behaviour: maximal periods, cross-form
+// consistency, and the central bitslicing equivalence property (§4.3).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "lfsr/bitsliced_lfsr.hpp"
+#include "lfsr/polynomial.hpp"
+#include "lfsr/scalar_lfsr.hpp"
+
+namespace lf = bsrng::lfsr;
+namespace bs = bsrng::bitslice;
+
+TEST(FibonacciLfsr, RejectsBadArguments) {
+  const lf::Gf2Poly p = lf::primitive_polynomial(8);
+  EXPECT_THROW(lf::FibonacciLfsr(p, 0), std::invalid_argument);
+  EXPECT_THROW(lf::FibonacciLfsr({0b10, 3}, 1), std::invalid_argument);
+}
+
+// Property: a primitive polynomial gives the full period 2^n - 1 (§2.2).
+class MaximalPeriod : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MaximalPeriod, PrimitivePolyHitsFullCycle) {
+  const unsigned n = GetParam();
+  const lf::Gf2Poly p = lf::primitive_polynomial(n);
+  EXPECT_EQ(lf::cycle_length(p, 1), (std::uint64_t{1} << n) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallDegrees, MaximalPeriod,
+                         ::testing::Values(3u, 5u, 8u, 11u, 16u, 18u, 20u));
+
+TEST(MaximalPeriodNegative, NonPrimitiveIrreducibleFallsShort) {
+  // AES poly: irreducible, order of x is 51, so the cycle is shorter.
+  const lf::Gf2Poly aes{0b00011011, 8};
+  EXPECT_LT(lf::cycle_length(aes, 1), 255u);
+  EXPECT_EQ(255u % lf::cycle_length(aes, 1), 0u);  // divides 2^n - 1
+}
+
+TEST(GaloisLfsr, MaximalPeriodStateCycle) {
+  const lf::Gf2Poly p = lf::primitive_polynomial(10);
+  lf::GaloisLfsr g(p, 1);
+  const std::uint64_t start = g.state();
+  std::uint64_t n = 0;
+  do {
+    g.step();
+    ++n;
+  } while (g.state() != start);
+  EXPECT_EQ(n, (1u << 10) - 1u);
+}
+
+TEST(FibonacciLfsr, OutputIsStageZero) {
+  const lf::Gf2Poly p = lf::primitive_polynomial(12);
+  lf::FibonacciLfsr l(p, 0xABC);
+  for (int i = 0; i < 100; ++i) {
+    const bool expect = l.state() & 1u;
+    EXPECT_EQ(l.step(), expect);
+  }
+}
+
+TEST(FibonacciLfsr, Step64PacksLsbFirst) {
+  const lf::Gf2Poly p = lf::primitive_polynomial(20);
+  lf::FibonacciLfsr a(p, 0x1234);
+  lf::FibonacciLfsr b(p, 0x1234);
+  const std::uint64_t w = a.step64();
+  for (unsigned i = 0; i < 64; ++i)
+    EXPECT_EQ((w >> i) & 1u, static_cast<std::uint64_t>(b.step())) << i;
+}
+
+// ---------------------------------------------------------------------------
+// The core §4.3 claim: the bitsliced LFSR is bit-exact with W independent
+// scalar LFSRs, at every lane width.
+// ---------------------------------------------------------------------------
+template <typename W>
+class BitslicedEquivalence : public ::testing::Test {};
+
+using AllWidths = ::testing::Types<bs::SliceU32, bs::SliceU64, bs::SliceV128,
+                                   bs::SliceV256, bs::SliceV512>;
+TYPED_TEST_SUITE(BitslicedEquivalence, AllWidths);
+
+TYPED_TEST(BitslicedEquivalence, MatchesScalarLanes) {
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  for (const unsigned degree : {20u, 33u, 64u}) {
+    const lf::Gf2Poly p = lf::primitive_polynomial(degree);
+    std::mt19937_64 rng(degree);
+    std::vector<std::uint64_t> seeds(L);
+    const std::uint64_t mask =
+        degree == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << degree) - 1;
+    for (auto& s : seeds)
+      do s = rng() & mask;
+      while (s == 0);
+
+    lf::BitslicedLfsr<TypeParam> sliced(p, seeds);
+    std::vector<lf::FibonacciLfsr> scalar;
+    scalar.reserve(L);
+    for (auto s : seeds) scalar.emplace_back(p, s);
+
+    for (int t = 0; t < 300; ++t) {
+      const TypeParam out = sliced.step();
+      for (std::size_t j = 0; j < L; ++j)
+        ASSERT_EQ(bs::SliceTraits<TypeParam>::get_lane(out, j),
+                  scalar[j].step())
+            << "degree " << degree << " t=" << t << " lane=" << j;
+    }
+  }
+}
+
+TYPED_TEST(BitslicedEquivalence, LaneStateTracksScalarState) {
+  const lf::Gf2Poly p = lf::primitive_polynomial(24);
+  lf::BitslicedLfsr<TypeParam> sliced(p, 0xDEADBEEFull);
+  std::vector<lf::FibonacciLfsr> scalar;
+  for (std::size_t j = 0; j < bs::lane_count<TypeParam>; ++j)
+    scalar.emplace_back(p, sliced.lane_state(j));
+  for (int t = 0; t < 100; ++t) {
+    sliced.step();
+    for (auto& s : scalar) s.step();
+  }
+  for (std::size_t j = 0; j < bs::lane_count<TypeParam>; ++j)
+    EXPECT_EQ(sliced.lane_state(j), scalar[j].state()) << "lane " << j;
+}
+
+TEST(BitslicedLfsr, MasterSeedGivesDistinctNonzeroLanes) {
+  const lf::Gf2Poly p = lf::primitive_polynomial(20);
+  lf::BitslicedLfsr<bs::SliceU32> sliced(p, 42);
+  std::set<std::uint64_t> states;
+  for (std::size_t j = 0; j < 32; ++j) {
+    const std::uint64_t s = sliced.lane_state(j);
+    EXPECT_NE(s, 0u);
+    states.insert(s);
+  }
+  EXPECT_EQ(states.size(), 32u) << "lane seeds must be uncorrelated/distinct";
+}
+
+TEST(BitslicedLfsr, RejectsBadSeeds) {
+  const lf::Gf2Poly p = lf::primitive_polynomial(16);
+  std::vector<std::uint64_t> seeds(32, 1);
+  seeds[5] = 0;
+  EXPECT_THROW((lf::BitslicedLfsr<bs::SliceU32>(p, seeds)),
+               std::invalid_argument);
+  seeds[5] = 1;
+  seeds.pop_back();
+  EXPECT_THROW((lf::BitslicedLfsr<bs::SliceU32>(p, seeds)),
+               std::invalid_argument);
+}
+
+TEST(BitslicedLfsr, GenerateFillsSpan) {
+  const lf::Gf2Poly p = lf::primitive_polynomial(20);
+  lf::BitslicedLfsr<bs::SliceU32> a(p, 7), b(p, 7);
+  std::vector<bs::SliceU32> block(257);
+  a.generate(block);
+  for (auto& s : block) EXPECT_EQ(s, b.step());
+}
+
+TEST(Splitmix64, KnownStreamIsDeterministic) {
+  std::uint64_t s1 = 123, s2 = 123;
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(lf::splitmix64(s1), lf::splitmix64(s2));
+  std::uint64_t s3 = 124;
+  EXPECT_NE(lf::splitmix64(s3), [] {
+    std::uint64_t s = 123;
+    return lf::splitmix64(s);
+  }());
+}

@@ -1,0 +1,92 @@
+#include "lfsr/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lf = bsrng::lfsr;
+
+TEST(PrimeFactors, SmallNumbers) {
+  EXPECT_EQ(lf::prime_factors(1), (std::vector<std::uint64_t>{}));
+  EXPECT_EQ(lf::prime_factors(2), (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(lf::prime_factors(12), (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(lf::prime_factors(255), (std::vector<std::uint64_t>{3, 5, 17}));
+}
+
+TEST(PrimeFactors, MersenneNumbers) {
+  // 2^11 - 1 = 23 * 89 (the classic non-prime Mersenne).
+  EXPECT_EQ(lf::prime_factors((1u << 11) - 1),
+            (std::vector<std::uint64_t>{23, 89}));
+  // 2^31 - 1 is prime.
+  EXPECT_EQ(lf::prime_factors((1ull << 31) - 1),
+            (std::vector<std::uint64_t>{2147483647ull}));
+  // 2^64 - 1 = 3 * 5 * 17 * 257 * 641 * 65537 * 6700417.
+  EXPECT_EQ(lf::prime_factors(~std::uint64_t{0}),
+            (std::vector<std::uint64_t>{3, 5, 17, 257, 641, 65537, 6700417}));
+}
+
+TEST(Gf2Arithmetic, MulmodKnownValues) {
+  // In GF(2^3) mod x^3 + x + 1: x * x^2 = x^3 = x + 1 = 0b011.
+  const lf::Gf2Poly p{0b011, 3};
+  EXPECT_EQ(lf::gf2_mulmod(0b010, 0b100, p), 0b011u);
+  // (x+1)(x^2+1) = x^3 + x^2 + x + 1 = (x+1) + x^2 + x + 1 = x^2.
+  EXPECT_EQ(lf::gf2_mulmod(0b011, 0b101, p), 0b100u);
+}
+
+TEST(Gf2Arithmetic, PowmodFermat) {
+  // a^(2^n - 1) = 1 for all nonzero a in GF(2^n) when p is irreducible.
+  const lf::Gf2Poly p{0b011011, 6};  // x^6+x^4+x^3+x+1 (irreducible)
+  ASSERT_TRUE(lf::is_irreducible(p));
+  for (std::uint64_t a = 1; a < 64; ++a)
+    EXPECT_EQ(lf::gf2_powmod(a, 63, p), 1u) << "a=" << a;
+}
+
+TEST(Irreducibility, KnownPolys) {
+  EXPECT_TRUE(lf::is_irreducible({0b011, 3}));    // x^3+x+1
+  EXPECT_TRUE(lf::is_irreducible({0b101, 3}));    // x^3+x^2+1
+  EXPECT_FALSE(lf::is_irreducible({0b001, 3}));   // x^3+1 = (x+1)(x^2+x+1)
+  EXPECT_FALSE(lf::is_irreducible({0b111, 3}));   // x^3+x^2+x+1, p(1)=0
+  EXPECT_TRUE(lf::is_irreducible({0b00011011, 8}));  // AES poly x^8+x^4+x^3+x+1
+}
+
+TEST(Primitivity, AesPolyIsIrreducibleButNotPrimitive) {
+  // The AES field polynomial is irreducible but x has order 51, not 255.
+  const lf::Gf2Poly aes{0b00011011, 8};
+  EXPECT_TRUE(lf::is_irreducible(aes));
+  EXPECT_FALSE(lf::is_primitive(aes));
+}
+
+TEST(Primitivity, ClassicPrimitives) {
+  EXPECT_TRUE(lf::is_primitive({0b011, 3}));                 // x^3+x+1
+  EXPECT_TRUE(lf::is_primitive({(1u << 17) | 1u, 20}));      // x^20+x^17+1
+  // x^16+x^15+x^13+x^4+1 (the classic maximal-length 16-bit tap set).
+  EXPECT_TRUE(lf::is_primitive({(1u << 15) | (1u << 13) | (1u << 4) | 1u, 16}));
+}
+
+TEST(Primitivity, ReciprocalOfPrimitiveIsPrimitive) {
+  // Reciprocal of x^20+x^17+1 is x^20+x^3+1.
+  EXPECT_TRUE(lf::is_primitive({(1u << 3) | 1u, 20}));
+}
+
+// Property sweep: every polynomial the library hands out must be primitive.
+class PrimitiveTable : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PrimitiveTable, GeneratedPolyIsPrimitive) {
+  const unsigned n = GetParam();
+  const lf::Gf2Poly p = lf::primitive_polynomial(n);
+  EXPECT_EQ(p.degree, n);
+  EXPECT_TRUE(p.taps & 1u) << "a_0 must be 1";
+  EXPECT_TRUE(lf::is_primitive(p)) << "degree " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDegrees, PrimitiveTable,
+                         ::testing::Range(3u, 65u));
+
+TEST(PrimitiveTable, RejectsOutOfRangeDegrees) {
+  EXPECT_THROW(lf::primitive_polynomial(2), std::invalid_argument);
+  EXPECT_THROW(lf::primitive_polynomial(65), std::invalid_argument);
+}
+
+TEST(TapPositions, MatchMask) {
+  const lf::Gf2Poly p{(1u << 17) | 1u, 20};
+  EXPECT_EQ(p.tap_positions(), (std::vector<unsigned>{0, 17}));
+  EXPECT_EQ(p.tap_count(), 2u);
+}

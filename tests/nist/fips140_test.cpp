@@ -1,0 +1,85 @@
+// FIPS 140-2 battery: calibration on good generators, rejection of
+// degenerate streams, exact threshold semantics.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/registry.hpp"
+#include "nist/fips140.hpp"
+
+namespace ni = bsrng::nist;
+using bsrng::bitslice::BitBuf;
+
+namespace {
+BitBuf sample_of(const char* algo, std::uint64_t seed) {
+  auto gen = bsrng::core::make_generator(algo, seed);
+  std::vector<std::uint8_t> bytes(ni::kFips140SampleBits / 8);
+  gen->fill(bytes);
+  BitBuf b;
+  b.append_bytes(bytes);
+  return b;
+}
+}  // namespace
+
+TEST(Fips140, RejectsWrongSampleSize) {
+  EXPECT_THROW(ni::fips140_2(BitBuf(19999)), std::invalid_argument);
+  EXPECT_THROW(ni::fips140_2(BitBuf(20001)), std::invalid_argument);
+}
+
+class Fips140Good : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Fips140Good, AllSubtestsPass) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto r = ni::fips140_2(sample_of(GetParam(), seed));
+    EXPECT_TRUE(r.all_passed())
+        << GetParam() << " seed " << seed << ": " << r.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, Fips140Good,
+                         ::testing::Values("mickey-bs512", "grain-bs256",
+                                           "trivium-bs64", "aes-ctr-bs32",
+                                           "chacha20-bs128", "a51-bs32",
+                                           "mt19937", "philox", "pcg32",
+                                           "xoshiro256pp", "rc4"));
+
+TEST(Fips140, AllZerosFailsEverything) {
+  const auto r = ni::fips140_2(BitBuf(ni::kFips140SampleBits));
+  EXPECT_FALSE(r.monobit);
+  EXPECT_FALSE(r.poker);
+  EXPECT_FALSE(r.runs);
+  EXPECT_FALSE(r.long_run);
+  EXPECT_FALSE(r.all_passed());
+  EXPECT_NE(r.summary().find("monobit:FAIL"), std::string::npos);
+}
+
+TEST(Fips140, AlternatingFailsPokerAndRuns) {
+  BitBuf b;
+  for (std::size_t i = 0; i < ni::kFips140SampleBits; ++i) b.push_back(i & 1);
+  const auto r = ni::fips140_2(b);
+  EXPECT_TRUE(r.monobit);   // perfectly balanced
+  EXPECT_TRUE(r.long_run);  // no long runs
+  EXPECT_FALSE(r.poker);    // only patterns 0101/1010 occur
+  EXPECT_FALSE(r.runs);     // all runs have length 1
+}
+
+TEST(Fips140, SingleLongRunTripsOnlyLongRunTest) {
+  // A good stream with one 26-bit run spliced in must fail long_run.
+  std::mt19937_64 rng(9);
+  BitBuf b;
+  for (std::size_t i = 0; i < ni::kFips140SampleBits; ++i)
+    b.push_back(rng() & 1);
+  for (std::size_t i = 5000; i < 5026; ++i) b.set(i, true);
+  const auto r = ni::fips140_2(b);
+  EXPECT_FALSE(r.long_run);
+}
+
+TEST(Fips140, BiasedStreamFailsMonobit) {
+  std::mt19937_64 rng(10);
+  std::uniform_real_distribution<double> u(0, 1);
+  BitBuf b;
+  for (std::size_t i = 0; i < ni::kFips140SampleBits; ++i)
+    b.push_back(u(rng) < 0.53);
+  const auto r = ni::fips140_2(b);
+  EXPECT_FALSE(r.monobit);
+}

@@ -1,0 +1,232 @@
+// NIST SP 800-22 implementation: worked examples from the specification,
+// calibration on known-good generators (P-values uniform, tests pass) and
+// known-bad inputs (hard failures), plus structural checks.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baselines/mt19937.hpp"
+#include "nist/suite.hpp"
+
+namespace ni = bsrng::nist;
+using bsrng::bitslice::BitBuf;
+
+namespace {
+BitBuf from_string(std::string_view s) {
+  BitBuf b;
+  for (const char c : s) b.push_back(c == '1');
+  return b;
+}
+
+BitBuf random_bits(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  BitBuf b;
+  b.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) b.push_back(rng() & 1u);
+  return b;
+}
+
+BitBuf zeros(std::size_t n) { return BitBuf(n); }
+
+BitBuf alternating(std::size_t n) {
+  BitBuf b;
+  for (std::size_t i = 0; i < n; ++i) b.push_back(i & 1u);
+  return b;
+}
+
+BitBuf biased(std::size_t n, double p_one, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0, 1);
+  BitBuf b;
+  for (std::size_t i = 0; i < n; ++i) b.push_back(u(rng) < p_one);
+  return b;
+}
+}  // namespace
+
+// --- worked examples from SP 800-22 -----------------------------------------
+
+TEST(NistFrequency, SpecWorkedExample) {
+  // §2.1.8: eps = 1011010101, P-value = 0.527089.
+  const auto r = ni::frequency_test(from_string("1011010101"));
+  ASSERT_EQ(r.p_values.size(), 1u);
+  EXPECT_NEAR(r.p_values[0], 0.527089, 1e-6);
+}
+
+TEST(NistBlockFrequency, SpecWorkedExample) {
+  // §2.2.8: eps = 0110011010, M = 3, P-value = 0.801252.
+  const auto r = ni::block_frequency_test(from_string("0110011010"), 3);
+  ASSERT_EQ(r.p_values.size(), 1u);
+  EXPECT_NEAR(r.p_values[0], 0.801252, 1e-6);
+}
+
+TEST(NistRuns, SpecWorkedExample) {
+  // §2.3.8: eps = 1001101011, P-value = 0.147232.
+  const auto r = ni::runs_test(from_string("1001101011"));
+  ASSERT_EQ(r.p_values.size(), 1u);
+  EXPECT_NEAR(r.p_values[0], 0.147232, 1e-6);
+}
+
+// --- calibration: good generators must pass ---------------------------------
+
+class GoodStream : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GoodStream, FastTestsPassOnMtStream) {
+  const BitBuf bits = random_bits(1 << 17, GetParam());
+  for (const auto& r :
+       {ni::frequency_test(bits), ni::block_frequency_test(bits),
+        ni::cusum_test(bits), ni::runs_test(bits), ni::longest_run_test(bits),
+        ni::rank_test(bits), ni::serial_test(bits),
+        ni::approximate_entropy_test(bits),
+        ni::overlapping_template_test(bits)}) {
+    EXPECT_TRUE(r.passed(0.001)) << r.name << " p="
+        << (r.p_values.empty() ? -1.0 : r.p_values[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GoodStream, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(NistSlowTests, PassOnMtStream) {
+  const BitBuf bits = random_bits(1 << 17, 42);
+  EXPECT_TRUE(ni::spectral_test(bits).passed(0.001));
+  EXPECT_TRUE(ni::linear_complexity_test(bits).passed(0.001));
+  const BitBuf big = random_bits(1 << 20, 43);
+  EXPECT_TRUE(ni::universal_test(big).passed(0.001));
+  EXPECT_TRUE(ni::non_overlapping_template_test(bits).passed(0.0001));
+}
+
+TEST(NistExcursions, PassOnLongMtStream) {
+  const BitBuf bits = random_bits(1 << 20, 44);
+  const auto r1 = ni::random_excursions_test(bits);
+  const auto r2 = ni::random_excursions_variant_test(bits);
+  if (r1.applicable) {
+    EXPECT_TRUE(r1.passed(0.001));
+  }
+  if (r2.applicable) {
+    ASSERT_EQ(r2.p_values.size(), 18u);
+    EXPECT_TRUE(r2.passed(0.001));
+  }
+}
+
+// --- calibration: degenerate streams must fail ------------------------------
+
+TEST(NistNegative, AllZerosFailsEverywhere) {
+  const BitBuf bits = zeros(1 << 14);
+  EXPECT_FALSE(ni::frequency_test(bits).passed());
+  EXPECT_FALSE(ni::block_frequency_test(bits).passed());
+  EXPECT_FALSE(ni::runs_test(bits).passed());
+  EXPECT_FALSE(ni::longest_run_test(bits).passed());
+  EXPECT_FALSE(ni::cusum_test(bits).passed());
+  EXPECT_FALSE(ni::rank_test(bits).passed());
+}
+
+TEST(NistNegative, AlternatingPassesFrequencyButFailsRuns) {
+  const BitBuf bits = alternating(1 << 14);
+  EXPECT_TRUE(ni::frequency_test(bits).passed());
+  EXPECT_FALSE(ni::runs_test(bits).passed());
+  EXPECT_FALSE(ni::serial_test(bits).passed());
+  EXPECT_FALSE(ni::approximate_entropy_test(bits).passed());
+}
+
+TEST(NistNegative, SlightBiasIsCaughtAtScale) {
+  // 51% ones: undetectable in 1k bits, flagrant in 128k bits.
+  EXPECT_TRUE(ni::frequency_test(biased(1000, 0.51, 9)).passed());
+  EXPECT_FALSE(ni::frequency_test(biased(1 << 17, 0.52, 9)).passed());
+}
+
+TEST(NistNegative, PeriodicPatternFailsSpectral) {
+  // Period-3 pattern has a sharp spectral line.
+  BitBuf b;
+  for (std::size_t i = 0; i < (1 << 12); ++i) b.push_back(i % 3 == 0);
+  EXPECT_FALSE(ni::spectral_test(b).passed());
+}
+
+TEST(NistNegative, LowComplexityStreamFailsLinearComplexity) {
+  // A short LFSR keystream has complexity ~16 << mu(500).
+  BitBuf b;
+  std::uint32_t lfsr = 0xACE1;
+  for (std::size_t i = 0; i < (1 << 15); ++i) {
+    const std::uint32_t bit =
+        (lfsr ^ (lfsr >> 2) ^ (lfsr >> 3) ^ (lfsr >> 5)) & 1u;
+    lfsr = (lfsr >> 1) | (bit << 15);
+    b.push_back(lfsr & 1u);
+  }
+  EXPECT_FALSE(ni::linear_complexity_test(b).passed());
+}
+
+// --- structural -------------------------------------------------------------
+
+TEST(NistTemplates, AperiodicTemplateCountsMatchSpec) {
+  // SP 800-22 ships 148 aperiodic templates for m = 9.
+  EXPECT_EQ(ni::aperiodic_templates(9).size(), 148u);
+  // Small cases, checkable by hand: m=2 -> {01, 10}; m=3 -> {001,011,100,110}.
+  EXPECT_EQ(ni::aperiodic_templates(2).size(), 2u);
+  EXPECT_EQ(ni::aperiodic_templates(3).size(), 4u);
+}
+
+TEST(NistTemplates, AperiodicityDefinition) {
+  for (const auto t : ni::aperiodic_templates(5)) {
+    for (std::size_t k = 1; k < 5; ++k) {
+      bool overlap = true;
+      for (std::size_t i = 0; i + k < 5; ++i)
+        if (((t >> (i + k)) & 1u) != ((t >> i) & 1u)) overlap = false;
+      EXPECT_FALSE(overlap) << "template " << t << " shift " << k;
+    }
+  }
+}
+
+TEST(NistResult, PassedSemantics) {
+  ni::TestResult r{"X", {0.5, 0.02}};
+  EXPECT_TRUE(r.passed(0.01));
+  EXPECT_FALSE(r.passed(0.05));
+  ni::TestResult empty{"Y", {}};
+  EXPECT_FALSE(empty.passed());
+  ni::TestResult na{"Z", {}, false};
+  EXPECT_TRUE(na.passed());
+}
+
+TEST(NistSuite, MinPassProportionMatchesNistFormula) {
+  // For 1000 streams at alpha = 0.01 NIST quotes ~0.9806.
+  EXPECT_NEAR(ni::min_pass_proportion(1000), 0.98056, 1e-4);
+  EXPECT_NEAR(ni::min_pass_proportion(100), 0.96015, 1e-4);
+}
+
+TEST(NistSuite, EndToEndSmallRunOnGoodGenerator) {
+  bsrng::baselines::Mt19937 gen(2024);
+  ni::SuiteConfig cfg;
+  cfg.stream_bits = 1 << 14;
+  cfg.num_streams = 20;
+  cfg.run_slow_tests = false;
+  const auto rows = ni::run_suite(
+      [&](std::span<std::uint8_t> out) { gen.fill(out); }, cfg);
+  ASSERT_FALSE(rows.empty());
+  for (const auto& r : rows) {
+    EXPECT_TRUE(r.success) << r.name << " proportion=" << r.proportion;
+    if (r.streams > 0) {
+      EXPECT_GT(r.mean_p, 0.1) << r.name;
+    }
+  }
+  const auto table = ni::format_table3(rows);
+  EXPECT_NE(table.find("Frequency"), std::string::npos);
+  EXPECT_NE(table.find("Success"), std::string::npos);
+}
+
+TEST(NistSuite, EndToEndFlagsBiasedGenerator) {
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> u(0, 1);
+  ni::SuiteConfig cfg;
+  cfg.stream_bits = 1 << 14;
+  cfg.num_streams = 10;
+  cfg.run_slow_tests = false;
+  const auto rows = ni::run_suite(
+      [&](std::span<std::uint8_t> out) {
+        for (auto& byte : out) {
+          byte = 0;
+          for (int k = 0; k < 8; ++k)
+            byte |= static_cast<std::uint8_t>((u(rng) < 0.54) << k);
+        }
+      },
+      cfg);
+  bool any_failure = false;
+  for (const auto& r : rows) any_failure |= !r.success;
+  EXPECT_TRUE(any_failure);
+}

@@ -1,0 +1,190 @@
+// Stats substrate: special functions against known values, FFT against naive
+// DFT, GF(2) rank, and Berlekamp-Massey linear complexity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "lfsr/polynomial.hpp"
+#include "lfsr/scalar_lfsr.hpp"
+#include "stats/berlekamp_massey.hpp"
+#include "stats/fft.hpp"
+#include "stats/gf2matrix.hpp"
+#include "stats/special.hpp"
+
+namespace st = bsrng::stats;
+
+TEST(Special, IgamcKnownValues) {
+  // Q(a, 0) = 1; Q(a, inf) -> 0.
+  EXPECT_DOUBLE_EQ(st::igamc(2.5, 0.0), 1.0);
+  EXPECT_NEAR(st::igamc(1.0, 1.0), std::exp(-1.0), 1e-12);   // Q(1,x)=e^-x
+  EXPECT_NEAR(st::igamc(1.0, 5.0), std::exp(-5.0), 1e-12);
+  // Q(1/2, x) = erfc(sqrt(x)).
+  for (double x : {0.25, 1.0, 2.0, 4.0})
+    EXPECT_NEAR(st::igamc(0.5, x), std::erfc(std::sqrt(x)), 1e-12) << x;
+  // Chi-squared with 2k dof: Q(k, x/2) is the survival function.
+  // chi2 sf at its mean is a moderate probability in (0.3, 0.7).
+  const double sf = st::igamc(3.0, 3.0);
+  EXPECT_GT(sf, 0.3);
+  EXPECT_LT(sf, 0.7);
+}
+
+TEST(Special, IgamPlusIgamcIsOne) {
+  for (double a : {0.3, 1.0, 2.5, 10.0, 100.0})
+    for (double x : {0.01, 0.5, 1.0, 3.0, 10.0, 150.0})
+      EXPECT_NEAR(st::igam(a, x) + st::igamc(a, x), 1.0, 1e-10)
+          << "a=" << a << " x=" << x;
+}
+
+TEST(Special, RejectsBadDomain) {
+  EXPECT_THROW(st::igamc(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(st::igamc(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Special, NormalCdf) {
+  EXPECT_NEAR(st::normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(st::normal_cdf(1.6448536269514722), 0.95, 1e-9);
+  EXPECT_NEAR(st::normal_cdf(-1.6448536269514722), 0.05, 1e-9);
+}
+
+namespace {
+std::vector<st::cplx> naive_dft(const std::vector<st::cplx>& in) {
+  const std::size_t n = in.size();
+  std::vector<st::cplx> out(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k * j) /
+                         static_cast<double>(n);
+      out[k] += in[j] * st::cplx(std::cos(ang), std::sin(ang));
+    }
+  return out;
+}
+}  // namespace
+
+class DftLengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DftLengths, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 rng(n);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<st::cplx> in(n);
+  for (auto& v : in) v = st::cplx(u(rng), u(rng));
+  const auto fast = st::dft(in);
+  const auto slow = naive_dft(in);
+  ASSERT_EQ(fast.size(), n);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(fast[k] - slow[k]), 0.0, 1e-8 * static_cast<double>(n))
+        << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersAndOddLengths, DftLengths,
+                         ::testing::Values(1, 2, 8, 64, 100, 127, 128, 1000));
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<st::cplx> v(12, 0.0);
+  EXPECT_THROW(st::fft_pow2(v), std::invalid_argument);
+}
+
+TEST(Fft, ParsevalHoldsOnLargeInput) {
+  const std::size_t n = 1 << 14;
+  std::mt19937_64 rng(3);
+  std::vector<st::cplx> in(n);
+  double time_energy = 0;
+  for (auto& v : in) {
+    v = st::cplx(rng() & 1 ? 1.0 : -1.0, 0.0);
+    time_energy += std::norm(v);
+  }
+  auto f = in;
+  st::fft_pow2(f);
+  double freq_energy = 0;
+  for (const auto& v : f) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-6 * time_energy);
+}
+
+TEST(Gf2Matrix, RankOfIdentityAndSingular) {
+  st::Gf2Matrix id(32, 32);
+  for (std::size_t i = 0; i < 32; ++i) id.set(i, i, true);
+  EXPECT_EQ(id.rank(), 32u);
+
+  st::Gf2Matrix dup(8, 8);
+  for (std::size_t c = 0; c < 8; ++c) {
+    dup.set(0, c, c % 2);
+    dup.set(1, c, c % 2);  // duplicate row
+    dup.set(2, c, c % 3 == 0);
+  }
+  EXPECT_EQ(dup.rank(), 2u);
+
+  st::Gf2Matrix zero(16, 16);
+  EXPECT_EQ(zero.rank(), 0u);
+}
+
+TEST(Gf2Matrix, RankIsInvariantUnderRowXor) {
+  std::mt19937_64 rng(4);
+  st::Gf2Matrix m(32, 32);
+  for (std::size_t r = 0; r < 32; ++r)
+    for (std::size_t c = 0; c < 32; ++c) m.set(r, c, rng() & 1u);
+  const std::size_t base = m.rank();
+  // XOR row 5 into row 9 — an elementary operation, rank unchanged.
+  for (std::size_t c = 0; c < 32; ++c)
+    m.set(9, c, m.get(9, c) != m.get(5, c));
+  EXPECT_EQ(m.rank(), base);
+}
+
+TEST(Gf2Matrix, RankProbabilitiesMatchNistConstants) {
+  // NIST SP 800-22 §2.5.4 for 32x32: P(rank=32)≈0.2888, P(31)≈0.5776,
+  // P(<=30)≈0.1336.
+  EXPECT_NEAR(st::gf2_rank_probability(32, 32, 32), 0.2888, 4e-4);
+  EXPECT_NEAR(st::gf2_rank_probability(32, 32, 31), 0.5776, 4e-4);
+  double le30 = 0;
+  for (std::size_t r = 0; r <= 30; ++r)
+    le30 += st::gf2_rank_probability(32, 32, r);
+  EXPECT_NEAR(le30, 0.1336, 4e-4);
+}
+
+TEST(Gf2Matrix, RankDistributionMatchesTheoryEmpirically) {
+  std::mt19937_64 rng(5);
+  const int trials = 2000;
+  int full = 0;
+  for (int t = 0; t < trials; ++t) {
+    st::Gf2Matrix m(32, 32);
+    for (std::size_t r = 0; r < 32; ++r)
+      for (std::size_t cw = 0; cw < 32; ++cw) m.set(r, cw, rng() & 1u);
+    full += m.rank() == 32;
+  }
+  EXPECT_NEAR(full / static_cast<double>(trials), 0.2888, 0.05);
+}
+
+TEST(BerlekampMassey, RecoversLfsrComplexity) {
+  // A maximal n-bit LFSR stream of length >= 2n has complexity exactly n.
+  for (const unsigned n : {8u, 16u, 20u, 24u}) {
+    const auto poly = bsrng::lfsr::primitive_polynomial(n);
+    bsrng::lfsr::FibonacciLfsr l(poly, 0xACE1u);
+    std::vector<std::uint8_t> bits(4 * n);
+    for (auto& b : bits) b = l.step();
+    EXPECT_EQ(st::berlekamp_massey(bits), n) << "degree " << n;
+  }
+}
+
+TEST(BerlekampMassey, EdgeCases) {
+  EXPECT_EQ(st::berlekamp_massey({}), 0u);
+  const std::vector<std::uint8_t> zeros(16, 0);
+  EXPECT_EQ(st::berlekamp_massey(zeros), 0u);
+  // 0001: complexity = 4 (needs the full register).
+  const std::vector<std::uint8_t> impulse = {0, 0, 0, 1};
+  EXPECT_EQ(st::berlekamp_massey(impulse), 4u);
+  // Alternating 0101...: complexity 2.
+  std::vector<std::uint8_t> alt(32);
+  for (std::size_t i = 0; i < alt.size(); ++i) alt[i] = i & 1u;
+  EXPECT_EQ(st::berlekamp_massey(alt), 2u);
+}
+
+TEST(BerlekampMassey, RandomSequenceHasNearFullComplexity) {
+  std::mt19937_64 rng(6);
+  std::vector<std::uint8_t> bits(512);
+  for (auto& b : bits) b = rng() & 1u;
+  const auto L = st::berlekamp_massey(bits);
+  // Expected complexity of random bits is ~n/2.
+  EXPECT_NEAR(static_cast<double>(L), 256.0, 10.0);
+}
