@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crc_ablation.dir/bench_crc_ablation.cpp.o"
+  "CMakeFiles/bench_crc_ablation.dir/bench_crc_ablation.cpp.o.d"
+  "bench_crc_ablation"
+  "bench_crc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_normalized.dir/bench_fig11_normalized.cpp.o"
+  "CMakeFiles/bench_fig11_normalized.dir/bench_fig11_normalized.cpp.o.d"
+  "bench_fig11_normalized"
+  "bench_fig11_normalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_normalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

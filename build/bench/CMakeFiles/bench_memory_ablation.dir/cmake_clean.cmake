@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_ablation.dir/bench_memory_ablation.cpp.o"
+  "CMakeFiles/bench_memory_ablation.dir/bench_memory_ablation.cpp.o.d"
+  "bench_memory_ablation"
+  "bench_memory_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

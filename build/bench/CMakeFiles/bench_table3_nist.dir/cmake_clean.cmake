@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_nist.dir/bench_table3_nist.cpp.o"
+  "CMakeFiles/bench_table3_nist.dir/bench_table3_nist.cpp.o.d"
+  "bench_table3_nist"
+  "bench_table3_nist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_nist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

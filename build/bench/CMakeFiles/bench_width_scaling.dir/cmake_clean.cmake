@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_width_scaling.dir/bench_width_scaling.cpp.o"
+  "CMakeFiles/bench_width_scaling.dir/bench_width_scaling.cpp.o.d"
+  "bench_width_scaling"
+  "bench_width_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_width_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/bsrng_cli.cpp" "examples/CMakeFiles/bsrng_cli.dir/bsrng_cli.cpp.o" "gcc" "examples/CMakeFiles/bsrng_cli.dir/bsrng_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bsrng_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bsrng_crc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bsrng_ciphers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bsrng_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bsrng_lfsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bsrng_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bsrng_nist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bsrng_bitslice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bsrng_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsrng_cli.dir/bsrng_cli.cpp.o"
+  "CMakeFiles/bsrng_cli.dir/bsrng_cli.cpp.o.d"
+  "bsrng_cli"
+  "bsrng_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsrng_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

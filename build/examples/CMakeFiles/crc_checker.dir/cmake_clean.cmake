@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crc_checker.dir/crc_checker.cpp.o"
+  "CMakeFiles/crc_checker.dir/crc_checker.cpp.o.d"
+  "crc_checker"
+  "crc_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crc_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nist_assessment.dir/nist_assessment.cpp.o"
+  "CMakeFiles/nist_assessment.dir/nist_assessment.cpp.o.d"
+  "nist_assessment"
+  "nist_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nist_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

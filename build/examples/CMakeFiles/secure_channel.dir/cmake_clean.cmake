@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_channel.dir/secure_channel.cpp.o"
+  "CMakeFiles/secure_channel.dir/secure_channel.cpp.o.d"
+  "secure_channel"
+  "secure_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

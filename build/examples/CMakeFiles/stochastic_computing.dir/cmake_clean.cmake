@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stochastic_computing.dir/stochastic_computing.cpp.o"
+  "CMakeFiles/stochastic_computing.dir/stochastic_computing.cpp.o.d"
+  "stochastic_computing"
+  "stochastic_computing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stochastic_computing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stochastic_computing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/middle_square.cpp" "src/CMakeFiles/bsrng_baselines.dir/baselines/middle_square.cpp.o" "gcc" "src/CMakeFiles/bsrng_baselines.dir/baselines/middle_square.cpp.o.d"
+  "/root/repo/src/baselines/minstd.cpp" "src/CMakeFiles/bsrng_baselines.dir/baselines/minstd.cpp.o" "gcc" "src/CMakeFiles/bsrng_baselines.dir/baselines/minstd.cpp.o.d"
+  "/root/repo/src/baselines/modern.cpp" "src/CMakeFiles/bsrng_baselines.dir/baselines/modern.cpp.o" "gcc" "src/CMakeFiles/bsrng_baselines.dir/baselines/modern.cpp.o.d"
+  "/root/repo/src/baselines/mt19937.cpp" "src/CMakeFiles/bsrng_baselines.dir/baselines/mt19937.cpp.o" "gcc" "src/CMakeFiles/bsrng_baselines.dir/baselines/mt19937.cpp.o.d"
+  "/root/repo/src/baselines/philox.cpp" "src/CMakeFiles/bsrng_baselines.dir/baselines/philox.cpp.o" "gcc" "src/CMakeFiles/bsrng_baselines.dir/baselines/philox.cpp.o.d"
+  "/root/repo/src/baselines/xorshift.cpp" "src/CMakeFiles/bsrng_baselines.dir/baselines/xorshift.cpp.o" "gcc" "src/CMakeFiles/bsrng_baselines.dir/baselines/xorshift.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bsrng_lfsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bsrng_bitslice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

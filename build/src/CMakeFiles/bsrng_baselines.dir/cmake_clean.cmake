@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsrng_baselines.dir/baselines/middle_square.cpp.o"
+  "CMakeFiles/bsrng_baselines.dir/baselines/middle_square.cpp.o.d"
+  "CMakeFiles/bsrng_baselines.dir/baselines/minstd.cpp.o"
+  "CMakeFiles/bsrng_baselines.dir/baselines/minstd.cpp.o.d"
+  "CMakeFiles/bsrng_baselines.dir/baselines/modern.cpp.o"
+  "CMakeFiles/bsrng_baselines.dir/baselines/modern.cpp.o.d"
+  "CMakeFiles/bsrng_baselines.dir/baselines/mt19937.cpp.o"
+  "CMakeFiles/bsrng_baselines.dir/baselines/mt19937.cpp.o.d"
+  "CMakeFiles/bsrng_baselines.dir/baselines/philox.cpp.o"
+  "CMakeFiles/bsrng_baselines.dir/baselines/philox.cpp.o.d"
+  "CMakeFiles/bsrng_baselines.dir/baselines/xorshift.cpp.o"
+  "CMakeFiles/bsrng_baselines.dir/baselines/xorshift.cpp.o.d"
+  "libbsrng_baselines.a"
+  "libbsrng_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsrng_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbsrng_baselines.a"
+)

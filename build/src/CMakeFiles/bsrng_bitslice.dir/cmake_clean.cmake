@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsrng_bitslice.dir/bitslice/bitbuf.cpp.o"
+  "CMakeFiles/bsrng_bitslice.dir/bitslice/bitbuf.cpp.o.d"
+  "CMakeFiles/bsrng_bitslice.dir/bitslice/transpose.cpp.o"
+  "CMakeFiles/bsrng_bitslice.dir/bitslice/transpose.cpp.o.d"
+  "libbsrng_bitslice.a"
+  "libbsrng_bitslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsrng_bitslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

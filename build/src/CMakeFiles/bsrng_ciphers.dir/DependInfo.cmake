@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ciphers/a51_bs.cpp" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/a51_bs.cpp.o" "gcc" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/a51_bs.cpp.o.d"
+  "/root/repo/src/ciphers/a51_ref.cpp" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/a51_ref.cpp.o" "gcc" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/a51_ref.cpp.o.d"
+  "/root/repo/src/ciphers/aes_bs.cpp" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/aes_bs.cpp.o" "gcc" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/aes_bs.cpp.o.d"
+  "/root/repo/src/ciphers/aes_ref.cpp" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/aes_ref.cpp.o" "gcc" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/aes_ref.cpp.o.d"
+  "/root/repo/src/ciphers/chacha_bs.cpp" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/chacha_bs.cpp.o" "gcc" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/chacha_bs.cpp.o.d"
+  "/root/repo/src/ciphers/chacha_ref.cpp" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/chacha_ref.cpp.o" "gcc" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/chacha_ref.cpp.o.d"
+  "/root/repo/src/ciphers/grain_bs.cpp" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/grain_bs.cpp.o" "gcc" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/grain_bs.cpp.o.d"
+  "/root/repo/src/ciphers/grain_ref.cpp" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/grain_ref.cpp.o" "gcc" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/grain_ref.cpp.o.d"
+  "/root/repo/src/ciphers/mickey_bs.cpp" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/mickey_bs.cpp.o" "gcc" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/mickey_bs.cpp.o.d"
+  "/root/repo/src/ciphers/mickey_ref.cpp" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/mickey_ref.cpp.o" "gcc" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/mickey_ref.cpp.o.d"
+  "/root/repo/src/ciphers/trivium_bs.cpp" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/trivium_bs.cpp.o" "gcc" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/trivium_bs.cpp.o.d"
+  "/root/repo/src/ciphers/trivium_ref.cpp" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/trivium_ref.cpp.o" "gcc" "src/CMakeFiles/bsrng_ciphers.dir/ciphers/trivium_ref.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bsrng_bitslice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bsrng_lfsr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/a51_bs.cpp.o"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/a51_bs.cpp.o.d"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/a51_ref.cpp.o"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/a51_ref.cpp.o.d"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/aes_bs.cpp.o"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/aes_bs.cpp.o.d"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/aes_ref.cpp.o"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/aes_ref.cpp.o.d"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/chacha_bs.cpp.o"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/chacha_bs.cpp.o.d"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/chacha_ref.cpp.o"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/chacha_ref.cpp.o.d"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/grain_bs.cpp.o"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/grain_bs.cpp.o.d"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/grain_ref.cpp.o"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/grain_ref.cpp.o.d"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/mickey_bs.cpp.o"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/mickey_bs.cpp.o.d"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/mickey_ref.cpp.o"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/mickey_ref.cpp.o.d"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/trivium_bs.cpp.o"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/trivium_bs.cpp.o.d"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/trivium_ref.cpp.o"
+  "CMakeFiles/bsrng_ciphers.dir/ciphers/trivium_ref.cpp.o.d"
+  "libbsrng_ciphers.a"
+  "libbsrng_ciphers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsrng_ciphers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

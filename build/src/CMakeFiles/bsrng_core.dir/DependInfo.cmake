@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/generator.cpp" "src/CMakeFiles/bsrng_core.dir/core/generator.cpp.o" "gcc" "src/CMakeFiles/bsrng_core.dir/core/generator.cpp.o.d"
+  "/root/repo/src/core/gpu_kernel.cpp" "src/CMakeFiles/bsrng_core.dir/core/gpu_kernel.cpp.o" "gcc" "src/CMakeFiles/bsrng_core.dir/core/gpu_kernel.cpp.o.d"
+  "/root/repo/src/core/multi_device.cpp" "src/CMakeFiles/bsrng_core.dir/core/multi_device.cpp.o" "gcc" "src/CMakeFiles/bsrng_core.dir/core/multi_device.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/CMakeFiles/bsrng_core.dir/core/registry.cpp.o" "gcc" "src/CMakeFiles/bsrng_core.dir/core/registry.cpp.o.d"
+  "/root/repo/src/core/throughput.cpp" "src/CMakeFiles/bsrng_core.dir/core/throughput.cpp.o" "gcc" "src/CMakeFiles/bsrng_core.dir/core/throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bsrng_bitslice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bsrng_lfsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bsrng_crc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bsrng_ciphers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bsrng_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bsrng_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

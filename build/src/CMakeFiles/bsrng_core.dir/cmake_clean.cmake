@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsrng_core.dir/core/generator.cpp.o"
+  "CMakeFiles/bsrng_core.dir/core/generator.cpp.o.d"
+  "CMakeFiles/bsrng_core.dir/core/gpu_kernel.cpp.o"
+  "CMakeFiles/bsrng_core.dir/core/gpu_kernel.cpp.o.d"
+  "CMakeFiles/bsrng_core.dir/core/multi_device.cpp.o"
+  "CMakeFiles/bsrng_core.dir/core/multi_device.cpp.o.d"
+  "CMakeFiles/bsrng_core.dir/core/registry.cpp.o"
+  "CMakeFiles/bsrng_core.dir/core/registry.cpp.o.d"
+  "CMakeFiles/bsrng_core.dir/core/throughput.cpp.o"
+  "CMakeFiles/bsrng_core.dir/core/throughput.cpp.o.d"
+  "libbsrng_core.a"
+  "libbsrng_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsrng_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsrng_crc.dir/crc/crc32.cpp.o"
+  "CMakeFiles/bsrng_crc.dir/crc/crc32.cpp.o.d"
+  "CMakeFiles/bsrng_crc.dir/crc/crc8.cpp.o"
+  "CMakeFiles/bsrng_crc.dir/crc/crc8.cpp.o.d"
+  "libbsrng_crc.a"
+  "libbsrng_crc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsrng_crc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

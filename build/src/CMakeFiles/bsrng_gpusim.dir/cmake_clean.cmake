@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsrng_gpusim.dir/gpusim/catalog.cpp.o"
+  "CMakeFiles/bsrng_gpusim.dir/gpusim/catalog.cpp.o.d"
+  "CMakeFiles/bsrng_gpusim.dir/gpusim/device.cpp.o"
+  "CMakeFiles/bsrng_gpusim.dir/gpusim/device.cpp.o.d"
+  "CMakeFiles/bsrng_gpusim.dir/gpusim/memmodel.cpp.o"
+  "CMakeFiles/bsrng_gpusim.dir/gpusim/memmodel.cpp.o.d"
+  "libbsrng_gpusim.a"
+  "libbsrng_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsrng_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

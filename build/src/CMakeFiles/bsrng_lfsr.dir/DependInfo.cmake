@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lfsr/bitsliced_lfsr.cpp" "src/CMakeFiles/bsrng_lfsr.dir/lfsr/bitsliced_lfsr.cpp.o" "gcc" "src/CMakeFiles/bsrng_lfsr.dir/lfsr/bitsliced_lfsr.cpp.o.d"
+  "/root/repo/src/lfsr/jump.cpp" "src/CMakeFiles/bsrng_lfsr.dir/lfsr/jump.cpp.o" "gcc" "src/CMakeFiles/bsrng_lfsr.dir/lfsr/jump.cpp.o.d"
+  "/root/repo/src/lfsr/polynomial.cpp" "src/CMakeFiles/bsrng_lfsr.dir/lfsr/polynomial.cpp.o" "gcc" "src/CMakeFiles/bsrng_lfsr.dir/lfsr/polynomial.cpp.o.d"
+  "/root/repo/src/lfsr/scalar_lfsr.cpp" "src/CMakeFiles/bsrng_lfsr.dir/lfsr/scalar_lfsr.cpp.o" "gcc" "src/CMakeFiles/bsrng_lfsr.dir/lfsr/scalar_lfsr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bsrng_bitslice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsrng_lfsr.dir/lfsr/bitsliced_lfsr.cpp.o"
+  "CMakeFiles/bsrng_lfsr.dir/lfsr/bitsliced_lfsr.cpp.o.d"
+  "CMakeFiles/bsrng_lfsr.dir/lfsr/jump.cpp.o"
+  "CMakeFiles/bsrng_lfsr.dir/lfsr/jump.cpp.o.d"
+  "CMakeFiles/bsrng_lfsr.dir/lfsr/polynomial.cpp.o"
+  "CMakeFiles/bsrng_lfsr.dir/lfsr/polynomial.cpp.o.d"
+  "CMakeFiles/bsrng_lfsr.dir/lfsr/scalar_lfsr.cpp.o"
+  "CMakeFiles/bsrng_lfsr.dir/lfsr/scalar_lfsr.cpp.o.d"
+  "libbsrng_lfsr.a"
+  "libbsrng_lfsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsrng_lfsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsrng_nist.dir/nist/complexity.cpp.o"
+  "CMakeFiles/bsrng_nist.dir/nist/complexity.cpp.o.d"
+  "CMakeFiles/bsrng_nist.dir/nist/entropy.cpp.o"
+  "CMakeFiles/bsrng_nist.dir/nist/entropy.cpp.o.d"
+  "CMakeFiles/bsrng_nist.dir/nist/excursions.cpp.o"
+  "CMakeFiles/bsrng_nist.dir/nist/excursions.cpp.o.d"
+  "CMakeFiles/bsrng_nist.dir/nist/fips140.cpp.o"
+  "CMakeFiles/bsrng_nist.dir/nist/fips140.cpp.o.d"
+  "CMakeFiles/bsrng_nist.dir/nist/frequency.cpp.o"
+  "CMakeFiles/bsrng_nist.dir/nist/frequency.cpp.o.d"
+  "CMakeFiles/bsrng_nist.dir/nist/rank.cpp.o"
+  "CMakeFiles/bsrng_nist.dir/nist/rank.cpp.o.d"
+  "CMakeFiles/bsrng_nist.dir/nist/runs.cpp.o"
+  "CMakeFiles/bsrng_nist.dir/nist/runs.cpp.o.d"
+  "CMakeFiles/bsrng_nist.dir/nist/spectral.cpp.o"
+  "CMakeFiles/bsrng_nist.dir/nist/spectral.cpp.o.d"
+  "CMakeFiles/bsrng_nist.dir/nist/suite.cpp.o"
+  "CMakeFiles/bsrng_nist.dir/nist/suite.cpp.o.d"
+  "CMakeFiles/bsrng_nist.dir/nist/templates.cpp.o"
+  "CMakeFiles/bsrng_nist.dir/nist/templates.cpp.o.d"
+  "CMakeFiles/bsrng_nist.dir/nist/universal.cpp.o"
+  "CMakeFiles/bsrng_nist.dir/nist/universal.cpp.o.d"
+  "libbsrng_nist.a"
+  "libbsrng_nist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsrng_nist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/berlekamp_massey.cpp" "src/CMakeFiles/bsrng_stats.dir/stats/berlekamp_massey.cpp.o" "gcc" "src/CMakeFiles/bsrng_stats.dir/stats/berlekamp_massey.cpp.o.d"
+  "/root/repo/src/stats/fft.cpp" "src/CMakeFiles/bsrng_stats.dir/stats/fft.cpp.o" "gcc" "src/CMakeFiles/bsrng_stats.dir/stats/fft.cpp.o.d"
+  "/root/repo/src/stats/gf2matrix.cpp" "src/CMakeFiles/bsrng_stats.dir/stats/gf2matrix.cpp.o" "gcc" "src/CMakeFiles/bsrng_stats.dir/stats/gf2matrix.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/CMakeFiles/bsrng_stats.dir/stats/special.cpp.o" "gcc" "src/CMakeFiles/bsrng_stats.dir/stats/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsrng_stats.dir/stats/berlekamp_massey.cpp.o"
+  "CMakeFiles/bsrng_stats.dir/stats/berlekamp_massey.cpp.o.d"
+  "CMakeFiles/bsrng_stats.dir/stats/fft.cpp.o"
+  "CMakeFiles/bsrng_stats.dir/stats/fft.cpp.o.d"
+  "CMakeFiles/bsrng_stats.dir/stats/gf2matrix.cpp.o"
+  "CMakeFiles/bsrng_stats.dir/stats/gf2matrix.cpp.o.d"
+  "CMakeFiles/bsrng_stats.dir/stats/special.cpp.o"
+  "CMakeFiles/bsrng_stats.dir/stats/special.cpp.o.d"
+  "libbsrng_stats.a"
+  "libbsrng_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsrng_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitslice.dir/bitslice/bitbuf_test.cpp.o"
+  "CMakeFiles/test_bitslice.dir/bitslice/bitbuf_test.cpp.o.d"
+  "CMakeFiles/test_bitslice.dir/bitslice/slice_test.cpp.o"
+  "CMakeFiles/test_bitslice.dir/bitslice/slice_test.cpp.o.d"
+  "CMakeFiles/test_bitslice.dir/bitslice/transpose_test.cpp.o"
+  "CMakeFiles/test_bitslice.dir/bitslice/transpose_test.cpp.o.d"
+  "test_bitslice"
+  "test_bitslice.pdb"
+  "test_bitslice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ciphers.dir/ciphers/aes_test.cpp.o"
+  "CMakeFiles/test_ciphers.dir/ciphers/aes_test.cpp.o.d"
+  "CMakeFiles/test_ciphers.dir/ciphers/extension_ciphers_test.cpp.o"
+  "CMakeFiles/test_ciphers.dir/ciphers/extension_ciphers_test.cpp.o.d"
+  "CMakeFiles/test_ciphers.dir/ciphers/stream_ciphers_test.cpp.o"
+  "CMakeFiles/test_ciphers.dir/ciphers/stream_ciphers_test.cpp.o.d"
+  "test_ciphers"
+  "test_ciphers.pdb"
+  "test_ciphers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ciphers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

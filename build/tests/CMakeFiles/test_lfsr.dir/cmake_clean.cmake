@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lfsr.dir/lfsr/census_test.cpp.o"
+  "CMakeFiles/test_lfsr.dir/lfsr/census_test.cpp.o.d"
+  "CMakeFiles/test_lfsr.dir/lfsr/jump_test.cpp.o"
+  "CMakeFiles/test_lfsr.dir/lfsr/jump_test.cpp.o.d"
+  "CMakeFiles/test_lfsr.dir/lfsr/lfsr_test.cpp.o"
+  "CMakeFiles/test_lfsr.dir/lfsr/lfsr_test.cpp.o.d"
+  "CMakeFiles/test_lfsr.dir/lfsr/polynomial_test.cpp.o"
+  "CMakeFiles/test_lfsr.dir/lfsr/polynomial_test.cpp.o.d"
+  "test_lfsr"
+  "test_lfsr.pdb"
+  "test_lfsr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lfsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

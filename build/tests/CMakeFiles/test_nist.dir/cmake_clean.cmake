@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nist.dir/nist/fips140_test.cpp.o"
+  "CMakeFiles/test_nist.dir/nist/fips140_test.cpp.o.d"
+  "CMakeFiles/test_nist.dir/nist/nist_test.cpp.o"
+  "CMakeFiles/test_nist.dir/nist/nist_test.cpp.o.d"
+  "test_nist"
+  "test_nist.pdb"
+  "test_nist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_nist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bitslice[1]_include.cmake")
+include("/root/repo/build/tests/test_lfsr[1]_include.cmake")
+include("/root/repo/build/tests/test_crc[1]_include.cmake")
+include("/root/repo/build/tests/test_ciphers[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_nist[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
