@@ -23,6 +23,13 @@ constexpr std::size_t kSteps = 256;   // words produced per thread
 
 std::size_t total_words() { return kBlocks * kThreads * kSteps; }
 
+// With BSRNG_GPUSIM_CHECK set, every launch above ran under the sanitizer;
+// surface any findings next to the ablation numbers they would invalidate.
+void print_check_reports(const gs::Device& dev, const char* label) {
+  for (const auto& r : dev.check_reports())
+    std::printf("  !! %s: %s\n", label, r.to_string().c_str());
+}
+
 // (a) Naive: each thread owns a contiguous region; at every step the warp's
 // 32 stores are kSteps*4 bytes apart — worst-case scatter.
 gs::MemStats run_strided(gs::Device& dev) {
@@ -87,6 +94,7 @@ void print_ablation() {
                 static_cast<unsigned long long>(s.global_transactions),
                 s.coalescing_efficiency(),
                 static_cast<unsigned long long>(s.shared_accesses));
+    print_check_reports(dev, "strided");
   }
   {
     gs::Device dev(total_words());
@@ -95,6 +103,7 @@ void print_ablation() {
                 static_cast<unsigned long long>(s.global_transactions),
                 s.coalescing_efficiency(),
                 static_cast<unsigned long long>(s.shared_accesses));
+    print_check_reports(dev, "coalesced");
   }
   for (const std::size_t staging : {4u, 16u, 64u, 256u}) {
     gs::Device dev(total_words());
@@ -103,6 +112,7 @@ void print_ablation() {
                 staging, static_cast<unsigned long long>(s.global_transactions),
                 s.coalescing_efficiency(),
                 static_cast<unsigned long long>(s.shared_accesses));
+    print_check_reports(dev, "staged");
   }
   // The same ablation on the real §4.4 kernel (each simulated thread runs a
   // 32-lane bitsliced MICKEY engine).
@@ -121,6 +131,7 @@ void print_ablation() {
                 static_cast<unsigned long long>(r.stats.global_transactions),
                 r.stats.coalescing_efficiency(),
                 static_cast<unsigned long long>(r.stats.shared_accesses));
+    print_check_reports(dev, label);
   };
   row("staged + coalesced (paper §4.5)");
   cfg.use_shared_staging = false;

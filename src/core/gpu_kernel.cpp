@@ -39,7 +39,8 @@ GpuKernelResult run_mickey_gpu_kernel(gpusim::Device& dev,
       {.blocks = cfg.blocks, .threads_per_block = cfg.threads_per_block,
        .shared_bytes = cfg.use_shared_staging
                            ? cfg.threads_per_block * cfg.staging_words * 4
-                           : 0},
+                           : 0,
+       .check = cfg.check, .kernel_name = "mickey_gpu_kernel"},
       [&](gs::ThreadCtx& ctx) {
         const std::size_t t = ctx.global_thread_id();
         ciphers::MickeyBs<bs::SliceU32> engine(thread_seed(cfg.seed, t));

@@ -23,11 +23,14 @@ struct GpuKernelConfig {
   std::size_t staging_words = 16;      // shared-memory words per thread
   bool use_shared_staging = true;      // §4.5 on/off (ablation switch)
   bool coalesced_layout = true;        // coalesced vs per-thread regions
+  bool check = false;  // run under the gpusim sanitizer (also enabled
+                       // process-wide by BSRNG_GPUSIM_CHECK)
   std::uint64_t seed = 1;
 };
 
 struct GpuKernelResult {
-  gpusim::MemStats stats;
+  gpusim::MemStats stats;  // stats.check_findings > 0 => sanitizer findings;
+                           // details via Device::check_reports()
   std::uint64_t bytes = 0;  // keystream bytes landed in global memory
 };
 

@@ -3,6 +3,7 @@
 #include <functional>
 #include <map>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "baselines/middle_square.hpp"
@@ -215,22 +216,22 @@ using Factory =
 template <typename W>
 void register_width(std::map<std::string, Factory>& f, const std::string& w) {
   f["mickey-bs" + w] = [](std::string n, std::uint64_t s) {
-    return std::make_unique<SlicedStreamGen<W, ciphers::MickeyBs<W>>>(n, s);
+    return std::make_unique<SlicedStreamGen<W, ciphers::MickeyBs<W>>>(std::move(n), s);
   };
   f["grain-bs" + w] = [](std::string n, std::uint64_t s) {
-    return std::make_unique<SlicedStreamGen<W, ciphers::GrainBs<W>>>(n, s);
+    return std::make_unique<SlicedStreamGen<W, ciphers::GrainBs<W>>>(std::move(n), s);
   };
   f["trivium-bs" + w] = [](std::string n, std::uint64_t s) {
-    return std::make_unique<SlicedStreamGen<W, ciphers::TriviumBs<W>>>(n, s);
+    return std::make_unique<SlicedStreamGen<W, ciphers::TriviumBs<W>>>(std::move(n), s);
   };
   f["aes-ctr-bs" + w] = [](std::string n, std::uint64_t s) {
-    return std::make_unique<AesCtrGen<W>>(n, s);
+    return std::make_unique<AesCtrGen<W>>(std::move(n), s);
   };
   f["a51-bs" + w] = [](std::string n, std::uint64_t s) {
-    return std::make_unique<SlicedStreamGen<W, ciphers::A51Bs<W>>>(n, s);
+    return std::make_unique<SlicedStreamGen<W, ciphers::A51Bs<W>>>(std::move(n), s);
   };
   f["chacha20-bs" + w] = [](std::string n, std::uint64_t s) {
-    return std::make_unique<ChaChaGen<W>>(n, s);
+    return std::make_unique<ChaChaGen<W>>(std::move(n), s);
   };
 }
 
@@ -246,19 +247,19 @@ const std::map<std::string, Factory>& factories() {
       std::uint64_t x = s;
       const auto key = derive_bytes<10>(x);
       const auto iv = derive_bytes<10>(x);
-      return make_scalar_cipher_gen(n, ciphers::MickeyRef(key, iv));
+      return make_scalar_cipher_gen(std::move(n), ciphers::MickeyRef(key, iv));
     };
     m["grain-ref"] = [](std::string n, std::uint64_t s) {
       std::uint64_t x = s;
       const auto key = derive_bytes<10>(x);
       const auto iv = derive_bytes<8>(x);
-      return make_scalar_cipher_gen(n, ciphers::GrainRef(key, iv));
+      return make_scalar_cipher_gen(std::move(n), ciphers::GrainRef(key, iv));
     };
     m["trivium-ref"] = [](std::string n, std::uint64_t s) {
       std::uint64_t x = s;
       const auto key = derive_bytes<10>(x);
       const auto iv = derive_bytes<10>(x);
-      return make_scalar_cipher_gen(n, ciphers::TriviumRef(key, iv));
+      return make_scalar_cipher_gen(std::move(n), ciphers::TriviumRef(key, iv));
     };
     m["aes-ctr-ref"] = [](std::string n, std::uint64_t s) {
       // Scalar CTR oracle wrapped as a Generator.
@@ -290,14 +291,14 @@ const std::map<std::string, Factory>& factories() {
         std::array<std::uint8_t, 12> nonce_{};
         std::size_t offset_ = 0;
       };
-      return std::make_unique<AesRefGen>(n, s);
+      return std::make_unique<AesRefGen>(std::move(n), s);
     };
     m["a51-ref"] = [](std::string n, std::uint64_t s) {
       std::uint64_t x = s;
       const auto key = derive_bytes<8>(x);
       const std::uint32_t frame =
           static_cast<std::uint32_t>(lfsr::splitmix64(x)) & 0x3FFFFFu;
-      return make_scalar_cipher_gen(n, ciphers::A51Ref(key, frame));
+      return make_scalar_cipher_gen(std::move(n), ciphers::A51Ref(key, frame));
     };
     m["chacha20-ref"] = [](std::string n, std::uint64_t s) {
       class ChaChaRefGen final : public Generator {
@@ -317,45 +318,45 @@ const std::map<std::string, Factory>& factories() {
         std::string name_;
         ciphers::ChaCha20Ref g_;
       };
-      return std::make_unique<ChaChaRefGen>(n, s);
+      return std::make_unique<ChaChaRefGen>(std::move(n), s);
     };
     m["rc4"] = [](std::string n, std::uint64_t s) {
       std::uint64_t x = s;
       const auto key = derive_bytes<16>(x);
-      return make_chunk_gen(n, [g = baselines::Rc4(key)]() mutable -> Chunk {
+      return make_chunk_gen(std::move(n), [g = baselines::Rc4(key)]() mutable -> Chunk {
         return {g.next_byte(), 1};
       });
     };
     m["pcg32"] = [](std::string n, std::uint64_t s) {
-      return make_chunk_gen(n, [g = baselines::Pcg32(s)]() mutable -> Chunk {
+      return make_chunk_gen(std::move(n), [g = baselines::Pcg32(s)]() mutable -> Chunk {
         return {g.next(), 4};
       });
     };
     m["xoshiro256pp"] = [](std::string n, std::uint64_t s) {
       return make_chunk_gen(
-          n, [g = baselines::Xoshiro256pp(s)]() mutable -> Chunk {
+          std::move(n), [g = baselines::Xoshiro256pp(s)]() mutable -> Chunk {
             return {g.next(), 8};
           });
     };
     m["mt19937"] = [](std::string n, std::uint64_t s) {
       return make_chunk_gen(
-          n, [g = baselines::Mt19937(static_cast<std::uint32_t>(s))]() mutable
+          std::move(n), [g = baselines::Mt19937(static_cast<std::uint32_t>(s))]() mutable
                  -> Chunk { return {g.next(), 4}; });
     };
     m["xorwow"] = [](std::string n, std::uint64_t s) {
       return make_chunk_gen(
-          n, [g = baselines::Xorwow(static_cast<std::uint32_t>(s))]() mutable
+          std::move(n), [g = baselines::Xorwow(static_cast<std::uint32_t>(s))]() mutable
                  -> Chunk { return {g.next(), 4}; });
     };
     m["philox"] = [](std::string n, std::uint64_t s) {
       return make_chunk_gen(
-          n, [g = baselines::Philox4x32({static_cast<std::uint32_t>(s),
+          std::move(n), [g = baselines::Philox4x32({static_cast<std::uint32_t>(s),
                                          static_cast<std::uint32_t>(s >> 32)})]() mutable
                  -> Chunk { return {g.next(), 4}; });
     };
     m["minstd"] = [](std::string n, std::uint64_t s) {
       return make_chunk_gen(
-          n, [g = baselines::Minstd(static_cast<std::uint32_t>(s | 1))]() mutable
+          std::move(n), [g = baselines::Minstd(static_cast<std::uint32_t>(s | 1))]() mutable
                  -> Chunk { return {g.next(), 3}; });
     };
     m["xorshift128"] = [](std::string n, std::uint64_t s) {
@@ -365,11 +366,11 @@ const std::map<std::string, Factory>& factories() {
                                static_cast<std::uint32_t>(a >> 32),
                                static_cast<std::uint32_t>(b),
                                static_cast<std::uint32_t>(b >> 32));
-      return make_chunk_gen(n, [g]() mutable -> Chunk { return {g.next(), 4}; });
+      return make_chunk_gen(std::move(n), [g]() mutable -> Chunk { return {g.next(), 4}; });
     };
     m["middle-square"] = [](std::string n, std::uint64_t s) {
       return make_chunk_gen(
-          n,
+          std::move(n),
           [g = baselines::MiddleSquare(
                static_cast<std::uint32_t>(s % 99999989))]() mutable -> Chunk {
             return {g.next(), 3};  // 8 decimal digits ~ 26.5 bits: emit 3 bytes

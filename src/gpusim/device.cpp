@@ -2,28 +2,67 @@
 
 #include <barrier>
 #include <deque>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 
 namespace bsrng::gpusim {
 
+namespace {
+
+// Checked-mode accesses go through relaxed atomics: a kernel under the
+// sanitizer may contain a *deliberate* data race (that is what the checker
+// is for), and the shadow report must not come with host-level UB attached.
+// On x86 these compile to plain loads/stores; the unchecked path is
+// untouched.
+std::uint32_t relaxed_load(const std::uint32_t* p) noexcept {
+  return __atomic_load_n(p, __ATOMIC_RELAXED);
+}
+void relaxed_store(std::uint32_t* p, std::uint32_t v) noexcept {
+  __atomic_store_n(p, v, __ATOMIC_RELAXED);
+}
+
+}  // namespace
+
 std::uint32_t ThreadCtx::shared_load(std::size_t idx) {
   warp_.record_shared(1);
+  if (sanitizer_ != nullptr) {
+    if (!sanitizer_->on_shared_load(thread_idx_, epoch_, idx, op_seq_++))
+      return 0;  // out of bounds: suppressed
+    return relaxed_load(&shared_[idx]);
+  }
   return shared_[idx];
 }
 
 void ThreadCtx::shared_store(std::size_t idx, std::uint32_t v) {
   warp_.record_shared(1);
+  if (sanitizer_ != nullptr) {
+    if (!sanitizer_->on_shared_store(thread_idx_, epoch_, idx, op_seq_++))
+      return;  // out of bounds: suppressed
+    relaxed_store(&shared_[idx], v);
+    return;
+  }
   shared_[idx] = v;
 }
 
 std::uint32_t ThreadCtx::global_load(std::size_t word_idx) {
   warp_.record(op_slot_++, word_idx * 4, 4);
+  if (sanitizer_ != nullptr) {
+    if (!sanitizer_->on_global_load(thread_idx_, epoch_, word_idx, op_seq_++))
+      return 0;  // out of bounds: suppressed
+    return relaxed_load(&dev_.global_[word_idx]);
+  }
   return dev_.global_[word_idx];
 }
 
 void ThreadCtx::global_store(std::size_t word_idx, std::uint32_t v) {
   warp_.record(op_slot_++, word_idx * 4, 4);
+  if (sanitizer_ != nullptr) {
+    if (!sanitizer_->on_global_store(thread_idx_, epoch_, word_idx, op_seq_++))
+      return;  // out of bounds: suppressed
+    relaxed_store(&dev_.global_[word_idx], v);
+    return;
+  }
   dev_.global_[word_idx] = v;
 }
 
@@ -32,6 +71,7 @@ void ThreadCtx::sync_block() {
     throw std::logic_error(
         "sync_block() requires LaunchConfig::barriers = true");
   static_cast<std::barrier<>*>(barrier_)->arrive_and_wait();
+  ++epoch_;
 }
 
 Device::Device(std::size_t global_words) : global_(global_words, 0) {}
@@ -39,13 +79,15 @@ Device::Device(std::size_t global_words) : global_(global_words, 0) {}
 MemStats Device::launch(const LaunchConfig& cfg, const Kernel& kernel) {
   if (cfg.threads_per_block == 0 || cfg.blocks == 0)
     throw std::invalid_argument("launch: empty grid");
+  const bool check = cfg.check || check_env_enabled();
   MemStats launch_stats;
 
   const std::size_t warps_per_block =
       (cfg.threads_per_block + kWarpSize - 1) / kWarpSize;
+  const std::size_t shared_words = (cfg.shared_bytes + 3) / 4;
 
   for (std::size_t b = 0; b < cfg.blocks; ++b) {
-    std::vector<std::uint32_t> shared((cfg.shared_bytes + 3) / 4, 0);
+    std::vector<std::uint32_t> shared(shared_words, 0);
     std::deque<WarpAccessRecorder> warps;  // deque: recorders are immovable
     for (std::size_t w = 0; w < warps_per_block; ++w) {
       const std::size_t first = w * kWarpSize;
@@ -53,12 +95,18 @@ MemStats Device::launch(const LaunchConfig& cfg, const Kernel& kernel) {
           std::min(kWarpSize, cfg.threads_per_block - first);
       warps.emplace_back(active);
     }
+    std::unique_ptr<BlockSanitizer> san;
+    if (check)
+      san = std::make_unique<BlockSanitizer>(
+          std::string(cfg.kernel_name), b, cfg.threads_per_block,
+          shared_words, global_.size(), cfg.max_check_reports);
 
     if (!cfg.barriers) {
       for (std::size_t t = 0; t < cfg.threads_per_block; ++t) {
         ThreadCtx ctx(*this, b, t, cfg.threads_per_block, cfg.blocks,
-                      shared, warps[t / kWarpSize], nullptr);
+                      shared, warps[t / kWarpSize], nullptr, san.get());
         kernel(ctx);
+        if (san) san->on_thread_exit(t, ctx.epoch_);
       }
     } else {
       std::barrier<> bar(static_cast<std::ptrdiff_t>(cfg.threads_per_block));
@@ -67,8 +115,13 @@ MemStats Device::launch(const LaunchConfig& cfg, const Kernel& kernel) {
       for (std::size_t t = 0; t < cfg.threads_per_block; ++t) {
         threads.emplace_back([&, t] {
           ThreadCtx ctx(*this, b, t, cfg.threads_per_block, cfg.blocks,
-                        shared, warps[t / kWarpSize], &bar);
+                        shared, warps[t / kWarpSize], &bar, san.get());
           kernel(ctx);
+          if (san) san->on_thread_exit(t, ctx.epoch_);
+          // Leave the barrier's participant set so a divergent kernel (a
+          // thread exiting while block-mates still sync) terminates and is
+          // reported instead of deadlocking the launch.
+          bar.arrive_and_drop();
         });
       }
       for (auto& th : threads) th.join();
@@ -77,6 +130,14 @@ MemStats Device::launch(const LaunchConfig& cfg, const Kernel& kernel) {
     for (auto& w : warps) {
       w.finalize();
       launch_stats += w.stats();
+    }
+    if (san) {
+      san->finalize();
+      launch_stats.check_findings += san->total_findings();
+      auto reports = san->take_reports();
+      check_reports_.insert(check_reports_.end(),
+                            std::make_move_iterator(reports.begin()),
+                            std::make_move_iterator(reports.end()));
     }
   }
   total_ += launch_stats;

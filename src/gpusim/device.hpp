@@ -17,9 +17,11 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "gpusim/memmodel.hpp"
+#include "gpusim/sanitizer.hpp"
 
 namespace bsrng::gpusim {
 
@@ -28,6 +30,13 @@ struct LaunchConfig {
   std::size_t threads_per_block = 32;
   std::size_t shared_bytes = 0;  // per-block shared memory
   bool barriers = false;         // real-thread execution with sync_block()
+  // Sanitizer (sanitizer.hpp): when `check` is set — or the
+  // BSRNG_GPUSIM_CHECK environment variable is truthy — every access is
+  // shadowed by race/bounds/divergence/uninit checking and findings are
+  // queryable from Device::check_reports() after the launch.
+  bool check = false;
+  std::string_view kernel_name = "kernel";  // label used in CheckReports
+  std::size_t max_check_reports = 64;       // stored per block (all counted)
 };
 
 class Device;
@@ -61,17 +70,20 @@ class ThreadCtx {
   ThreadCtx(Device& dev, std::size_t block, std::size_t thread,
             std::size_t block_dim, std::size_t grid_dim,
             std::span<std::uint32_t> shared, WarpAccessRecorder& warp,
-            void* barrier)
+            void* barrier, BlockSanitizer* sanitizer)
       : dev_(dev), block_idx_(block), thread_idx_(thread),
         block_dim_(block_dim), grid_dim_(grid_dim), shared_(shared),
-        warp_(warp), barrier_(barrier) {}
+        warp_(warp), barrier_(barrier), sanitizer_(sanitizer) {}
 
   Device& dev_;
   std::size_t block_idx_, thread_idx_, block_dim_, grid_dim_;
   std::span<std::uint32_t> shared_;
   WarpAccessRecorder& warp_;
   void* barrier_;
+  BlockSanitizer* sanitizer_;  // null when checking is off
   std::uint64_t op_slot_ = 0;  // lockstep sequence number for coalescing
+  std::uint64_t op_seq_ = 0;   // all memory ops, for sanitizer reports
+  std::uint64_t epoch_ = 0;    // barrier arrivals so far
 };
 
 using Kernel = std::function<void(ThreadCtx&)>;
@@ -93,11 +105,21 @@ class Device {
   const MemStats& total_stats() const noexcept { return total_; }
   void reset_stats() noexcept { total_ = {}; }
 
+  // Sanitizer findings accumulated across launches run with checking on
+  // (LaunchConfig::check or BSRNG_GPUSIM_CHECK).  Per-block storage is
+  // capped at LaunchConfig::max_check_reports; MemStats::check_findings
+  // counts every finding including dropped ones.
+  const std::vector<CheckReport>& check_reports() const noexcept {
+    return check_reports_;
+  }
+  void clear_check_reports() noexcept { check_reports_.clear(); }
+
  private:
   friend class ThreadCtx;
 
   std::vector<std::uint32_t> global_;
   MemStats total_;
+  std::vector<CheckReport> check_reports_;
 };
 
 }  // namespace bsrng::gpusim

@@ -28,6 +28,7 @@ struct MemStats {
   std::uint64_t global_transactions = 0;  // coalesced 128B segments
   std::uint64_t global_bytes = 0;
   std::uint64_t shared_accesses = 0;
+  std::uint64_t check_findings = 0;  // sanitizer findings (0 when check off)
 
   // Transaction efficiency: 1.0 means the warp's bytes were moved in the
   // minimum possible number of segments.
@@ -44,6 +45,7 @@ struct MemStats {
     global_transactions += o.global_transactions;
     global_bytes += o.global_bytes;
     shared_accesses += o.shared_accesses;
+    check_findings += o.check_findings;
     return *this;
   }
 };

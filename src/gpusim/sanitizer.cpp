@@ -1,0 +1,202 @@
+#include "gpusim/sanitizer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace bsrng::gpusim {
+
+namespace {
+
+// Per-epoch dedup bits: report each hazard kind once per (word, epoch) so a
+// racy loop yields one report per word, not one per iteration.  Bounds
+// violations are counted per occurrence (each touches a different address
+// in the typical off-by-one loop) and rely on the max_reports cap.
+constexpr std::uint8_t kBitRaw = 1u << 0;
+constexpr std::uint8_t kBitWar = 1u << 1;
+constexpr std::uint8_t kBitWaw = 1u << 2;
+constexpr std::uint8_t kBitUninit = 1u << 3;
+
+}  // namespace
+
+const char* check_kind_name(CheckKind kind) noexcept {
+  switch (kind) {
+    case CheckKind::kSharedRaceRaw: return "shared-race-raw";
+    case CheckKind::kSharedRaceWar: return "shared-race-war";
+    case CheckKind::kSharedRaceWaw: return "shared-race-waw";
+    case CheckKind::kSharedOutOfBounds: return "shared-out-of-bounds";
+    case CheckKind::kGlobalOutOfBounds: return "global-out-of-bounds";
+    case CheckKind::kBarrierDivergence: return "barrier-divergence";
+    case CheckKind::kUninitSharedRead: return "uninit-shared-read";
+  }
+  return "unknown";
+}
+
+std::string CheckReport::to_string() const {
+  std::ostringstream os;
+  os << "[gpusim-check] " << check_kind_name(kind) << ": kernel '" << kernel
+     << "' block " << block << " thread " << thread;
+  if (other_thread >= 0) os << " (vs thread " << other_thread << ")";
+  if (kind == CheckKind::kBarrierDivergence) {
+    os << " exited after " << epoch << " barrier arrival(s), block-mates"
+       << " reached " << address;
+  } else {
+    os << (kind == CheckKind::kGlobalOutOfBounds ? " global" : " shared")
+       << " word " << address << ", epoch " << epoch << ", op " << slot;
+  }
+  return os.str();
+}
+
+bool check_env_enabled() {
+  const char* v = std::getenv("BSRNG_GPUSIM_CHECK");
+  if (v == nullptr) return false;
+  std::string s(v);
+  for (char& c : s)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return !(s.empty() || s == "0" || s == "false" || s == "off" || s == "no");
+}
+
+BlockSanitizer::BlockSanitizer(std::string kernel, std::size_t block,
+                               std::size_t threads_per_block,
+                               std::size_t shared_words,
+                               std::size_t global_words,
+                               std::size_t max_reports)
+    : kernel_(std::move(kernel)),
+      block_(block),
+      shared_words_(shared_words),
+      global_words_(global_words),
+      max_reports_(max_reports),
+      words_(shared_words),
+      exit_arrivals_(threads_per_block, -1) {}
+
+void BlockSanitizer::roll_epoch(WordState& w, std::uint64_t epoch) {
+  // Epochs only advance: all live threads of a block sit between the same
+  // pair of full-block barriers (an exited thread makes no more accesses),
+  // so a later-epoch access means every earlier-epoch access of this word
+  // is barrier-separated from it.
+  if (epoch > w.epoch) {
+    w.epoch = epoch;
+    w.writer = -1;
+    w.reader1 = -1;
+    w.reader2 = -1;
+    w.reported = 0;
+  }
+}
+
+void BlockSanitizer::add_report(CheckKind kind, std::size_t thread,
+                                std::ptrdiff_t other_thread,
+                                std::uint64_t epoch, std::uint64_t address,
+                                std::uint64_t slot) {
+  ++findings_;
+  if (reports_.size() >= max_reports_) return;  // counted but not stored
+  CheckReport r;
+  r.kind = kind;
+  r.kernel = kernel_;
+  r.block = block_;
+  r.thread = thread;
+  r.other_thread = other_thread;
+  r.epoch = epoch;
+  r.address = address;
+  r.slot = slot;
+  reports_.push_back(std::move(r));
+}
+
+bool BlockSanitizer::on_shared_load(std::size_t thread, std::uint64_t epoch,
+                                    std::size_t idx, std::uint64_t slot) {
+  std::scoped_lock lock(mu_);
+  if (idx >= shared_words_) {
+    add_report(CheckKind::kSharedOutOfBounds, thread, -1, epoch, idx, slot);
+    return false;
+  }
+  WordState& w = words_[idx];
+  roll_epoch(w, epoch);
+  if (!w.ever_written && (w.reported & kBitUninit) == 0) {
+    w.reported |= kBitUninit;
+    add_report(CheckKind::kUninitSharedRead, thread, -1, epoch, idx, slot);
+  }
+  if (w.writer >= 0 && w.writer != static_cast<std::ptrdiff_t>(thread) &&
+      (w.reported & kBitRaw) == 0) {
+    w.reported |= kBitRaw;
+    add_report(CheckKind::kSharedRaceRaw, thread, w.writer, epoch, idx, slot);
+  }
+  const auto t = static_cast<std::ptrdiff_t>(thread);
+  if (w.reader1 < 0) {
+    w.reader1 = t;
+  } else if (w.reader1 != t && w.reader2 < 0) {
+    w.reader2 = t;
+  }
+  return true;
+}
+
+bool BlockSanitizer::on_shared_store(std::size_t thread, std::uint64_t epoch,
+                                     std::size_t idx, std::uint64_t slot) {
+  std::scoped_lock lock(mu_);
+  if (idx >= shared_words_) {
+    add_report(CheckKind::kSharedOutOfBounds, thread, -1, epoch, idx, slot);
+    return false;
+  }
+  WordState& w = words_[idx];
+  roll_epoch(w, epoch);
+  const auto t = static_cast<std::ptrdiff_t>(thread);
+  if (w.writer >= 0 && w.writer != t && (w.reported & kBitWaw) == 0) {
+    w.reported |= kBitWaw;
+    add_report(CheckKind::kSharedRaceWaw, thread, w.writer, epoch, idx, slot);
+  } else {
+    const std::ptrdiff_t other =
+        (w.reader1 >= 0 && w.reader1 != t) ? w.reader1
+        : (w.reader2 >= 0 && w.reader2 != t) ? w.reader2
+                                             : -1;
+    if (other >= 0 && (w.reported & kBitWar) == 0) {
+      w.reported |= kBitWar;
+      add_report(CheckKind::kSharedRaceWar, thread, other, epoch, idx, slot);
+    }
+  }
+  w.writer = t;
+  w.ever_written = true;
+  return true;
+}
+
+bool BlockSanitizer::on_global_load(std::size_t thread, std::uint64_t epoch,
+                                    std::size_t word, std::uint64_t slot) {
+  if (word < global_words_) return true;
+  std::scoped_lock lock(mu_);
+  add_report(CheckKind::kGlobalOutOfBounds, thread, -1, epoch, word, slot);
+  return false;
+}
+
+bool BlockSanitizer::on_global_store(std::size_t thread, std::uint64_t epoch,
+                                     std::size_t word, std::uint64_t slot) {
+  if (word < global_words_) return true;
+  std::scoped_lock lock(mu_);
+  add_report(CheckKind::kGlobalOutOfBounds, thread, -1, epoch, word, slot);
+  return false;
+}
+
+void BlockSanitizer::on_thread_exit(std::size_t thread,
+                                    std::uint64_t barrier_arrivals) {
+  std::scoped_lock lock(mu_);
+  exit_arrivals_[thread] = static_cast<std::ptrdiff_t>(barrier_arrivals);
+}
+
+void BlockSanitizer::finalize() {
+  std::scoped_lock lock(mu_);
+  const auto most = std::max_element(exit_arrivals_.begin(),
+                                     exit_arrivals_.end());
+  if (most == exit_arrivals_.end() || *most <= 0) return;
+  for (std::size_t t = 0; t < exit_arrivals_.size(); ++t) {
+    if (exit_arrivals_[t] >= *most) continue;
+    // address carries the block's max arrival count, epoch the thread's own.
+    add_report(CheckKind::kBarrierDivergence, t, -1,
+               static_cast<std::uint64_t>(std::max<std::ptrdiff_t>(
+                   exit_arrivals_[t], 0)),
+               static_cast<std::uint64_t>(*most), 0);
+  }
+}
+
+std::vector<CheckReport> BlockSanitizer::take_reports() {
+  std::scoped_lock lock(mu_);
+  return std::move(reports_);
+}
+
+}  // namespace bsrng::gpusim

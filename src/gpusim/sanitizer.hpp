@@ -1,0 +1,127 @@
+// sanitizer.hpp — compute-sanitizer-style checker for the virtual GPU.
+//
+// The paper's §4.5 engineering (shared-memory staging, coalesced flushes,
+// __syncthreads barriers) is exactly the code most prone to silent data
+// races and off-by-one staging indices.  This module shadows every
+// shared/global access of a launch with a per-block checker that detects:
+//
+//   * shared-memory hazards — RAW/WAR/WAW conflicts between distinct
+//     threads of a block with no intervening sync_block(), tracked per
+//     32-bit word per *barrier epoch* (a thread's epoch is the number of
+//     barriers it has passed; a full-block barrier separates epochs, so two
+//     same-word accesses by different threads race iff they share an epoch);
+//   * out-of-bounds shared and global word indices (the faulting access is
+//     suppressed and reported instead of touching memory);
+//   * barrier divergence — a thread exiting with fewer barrier arrivals
+//     than its block-mates (e.g. a divergent early return);
+//   * uninitialised shared reads — a load of a staging word never stored
+//     since launch (zero in the simulator, garbage on real silicon).
+//
+// Checking is opt-in per launch (LaunchConfig::check) or process-wide via
+// the BSRNG_GPUSIM_CHECK environment variable; reports are queryable from
+// Device::check_reports() after the launch.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bsrng::gpusim {
+
+enum class CheckKind : std::uint8_t {
+  kSharedRaceRaw,      // read-after-write by another thread, same epoch
+  kSharedRaceWar,      // write-after-read by another thread, same epoch
+  kSharedRaceWaw,      // write-after-write by another thread, same epoch
+  kSharedOutOfBounds,  // shared word index >= configured shared words
+  kGlobalOutOfBounds,  // global word index >= device global words
+  kBarrierDivergence,  // thread exited with fewer barrier arrivals
+  kUninitSharedRead,   // load of a shared word never stored this launch
+};
+
+const char* check_kind_name(CheckKind kind) noexcept;
+
+// One finding.  `address` is a word index in the shared or global space;
+// `slot` is the offending thread's per-thread memory-op sequence number;
+// `other_thread` is the conflicting thread for races (-1 when n/a).
+struct CheckReport {
+  CheckKind kind = CheckKind::kSharedRaceRaw;
+  std::string kernel;
+  std::size_t block = 0;
+  std::size_t thread = 0;
+  std::ptrdiff_t other_thread = -1;
+  std::uint64_t epoch = 0;
+  std::uint64_t address = 0;
+  std::uint64_t slot = 0;
+
+  std::string to_string() const;
+};
+
+// True when BSRNG_GPUSIM_CHECK is set to anything but 0/false/off/no/"".
+bool check_env_enabled();
+
+// Shadow state for one thread block of one launch.  Thread-safe: in
+// barrier mode a block's threads report concurrently.
+class BlockSanitizer {
+ public:
+  BlockSanitizer(std::string kernel, std::size_t block,
+                 std::size_t threads_per_block, std::size_t shared_words,
+                 std::size_t global_words, std::size_t max_reports);
+
+  // Access hooks, called before the memory is touched.  Return false when
+  // the access is out of bounds and must be suppressed.
+  bool on_shared_load(std::size_t thread, std::uint64_t epoch,
+                      std::size_t idx, std::uint64_t slot);
+  bool on_shared_store(std::size_t thread, std::uint64_t epoch,
+                       std::size_t idx, std::uint64_t slot);
+  bool on_global_load(std::size_t thread, std::uint64_t epoch,
+                      std::size_t word, std::uint64_t slot);
+  bool on_global_store(std::size_t thread, std::uint64_t epoch,
+                       std::size_t word, std::uint64_t slot);
+
+  // Called once per thread when its kernel body returns.
+  void on_thread_exit(std::size_t thread, std::uint64_t barrier_arrivals);
+
+  // Block-completion checks (barrier divergence); call after all threads
+  // of the block have exited.
+  void finalize();
+
+  // Total findings, including ones dropped past max_reports.
+  std::uint64_t total_findings() const noexcept { return findings_; }
+  std::vector<CheckReport> take_reports();
+
+ private:
+  // Per-word shadow state for the current barrier epoch.  Epochs advance
+  // monotonically (all live threads of a block share an epoch between two
+  // full-block barriers), so one record per word suffices.  Two reader
+  // slots hold *distinct* thread ids: if only reader1 is set, every reader
+  // this epoch was reader1, so a WAR conflict with a storing thread T
+  // exists iff reader1 != T or reader2 != T.
+  struct WordState {
+    std::uint64_t epoch = 0;
+    std::ptrdiff_t writer = -1;  // last writer this epoch
+    std::ptrdiff_t reader1 = -1;
+    std::ptrdiff_t reader2 = -1;
+    std::uint8_t reported = 0;  // per-epoch CheckKind dedup bitmask
+    bool ever_written = false;  // since launch (persists across epochs)
+  };
+
+  void roll_epoch(WordState& w, std::uint64_t epoch);
+  // Returns true when the report was counted as a fresh finding.
+  void add_report(CheckKind kind, std::size_t thread,
+                  std::ptrdiff_t other_thread, std::uint64_t epoch,
+                  std::uint64_t address, std::uint64_t slot);
+
+  std::string kernel_;
+  std::size_t block_;
+  std::size_t shared_words_;
+  std::size_t global_words_;
+  std::size_t max_reports_;
+  std::vector<WordState> words_;
+  std::vector<std::ptrdiff_t> exit_arrivals_;  // -1 until the thread exits
+  std::vector<CheckReport> reports_;
+  std::uint64_t findings_ = 0;
+  std::mutex mu_;
+};
+
+}  // namespace bsrng::gpusim

@@ -1,0 +1,357 @@
+// gpusim sanitizer: seeded-bug kernels (missing-barrier race, off-by-one
+// staging index, divergent early return, uninitialised shared read) must
+// each be caught with a precise (block, thread, address, epoch) report, and
+// every shipped kernel must come back clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/gpu_kernel.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/sanitizer.hpp"
+
+namespace gs = bsrng::gpusim;
+namespace co = bsrng::core;
+
+namespace {
+
+std::size_t count_kind(const std::vector<gs::CheckReport>& reports,
+                       gs::CheckKind kind) {
+  return static_cast<std::size_t>(
+      std::count_if(reports.begin(), reports.end(),
+                    [&](const gs::CheckReport& r) { return r.kind == kind; }));
+}
+
+const gs::CheckReport* find_kind(const std::vector<gs::CheckReport>& reports,
+                                 gs::CheckKind kind) {
+  const auto it =
+      std::find_if(reports.begin(), reports.end(),
+                   [&](const gs::CheckReport& r) { return r.kind == kind; });
+  return it == reports.end() ? nullptr : &*it;
+}
+
+}  // namespace
+
+// --- seeded bug 1: missing-barrier race --------------------------------------
+
+// Each thread publishes to its own staging slot, then — with no sync_block()
+// in between — reads its neighbour's slot.  Sequential execution makes the
+// detection deterministic: the neighbour load sees either a same-epoch
+// foreign write (RAW) or is later overwritten by the slot's owner (WAR).
+TEST(Sanitizer, MissingBarrierRaceIsFlagged) {
+  gs::Device dev(8);
+  const auto stats = dev.launch(
+      {.blocks = 1, .threads_per_block = 8, .shared_bytes = 32,
+       .check = true, .kernel_name = "missing_barrier"},
+      [](gs::ThreadCtx& ctx) {
+        ctx.shared_store(ctx.thread_idx(), 1);
+        const std::size_t neighbor = (ctx.thread_idx() + 1) % ctx.block_dim();
+        ctx.global_store(ctx.global_thread_id(), ctx.shared_load(neighbor));
+      });
+  const auto& reports = dev.check_reports();
+  EXPECT_EQ(stats.check_findings, reports.size());
+  // Threads 0..6 read slot t+1 before its owner writes it (an uninit read,
+  // then a WAR when thread t+1 finally stores); thread 7 wraps to slot 0,
+  // already written by thread 0 (RAW).
+  EXPECT_EQ(count_kind(reports, gs::CheckKind::kUninitSharedRead), 7u);
+  EXPECT_EQ(count_kind(reports, gs::CheckKind::kSharedRaceWar), 7u);
+  ASSERT_EQ(count_kind(reports, gs::CheckKind::kSharedRaceRaw), 1u);
+  const auto* raw = find_kind(reports, gs::CheckKind::kSharedRaceRaw);
+  EXPECT_EQ(raw->kernel, "missing_barrier");
+  EXPECT_EQ(raw->block, 0u);
+  EXPECT_EQ(raw->thread, 7u);
+  EXPECT_EQ(raw->other_thread, 0);
+  EXPECT_EQ(raw->address, 0u);
+  EXPECT_EQ(raw->epoch, 0u);
+}
+
+// The corrected kernel — same access pattern with a barrier between publish
+// and read — must be clean, including in real-thread barrier mode.
+TEST(Sanitizer, BarrierSeparatedNeighborExchangeIsClean) {
+  gs::Device dev(8);
+  const auto stats = dev.launch(
+      {.blocks = 1, .threads_per_block = 8, .shared_bytes = 32,
+       .barriers = true, .check = true, .kernel_name = "with_barrier"},
+      [](gs::ThreadCtx& ctx) {
+        ctx.shared_store(ctx.thread_idx(), 1);
+        ctx.sync_block();
+        const std::size_t neighbor = (ctx.thread_idx() + 1) % ctx.block_dim();
+        ctx.global_store(ctx.global_thread_id(), ctx.shared_load(neighbor));
+      });
+  EXPECT_EQ(stats.check_findings, 0u);
+  EXPECT_TRUE(dev.check_reports().empty());
+}
+
+// A genuinely concurrent unsynchronized publish/read must still be flagged
+// (kind depends on interleaving, but some same-epoch shared race surfaces).
+TEST(Sanitizer, ConcurrentRaceInBarrierModeIsFlagged) {
+  gs::Device dev(8);
+  const auto stats = dev.launch(
+      {.blocks = 1, .threads_per_block = 8, .shared_bytes = 32,
+       .barriers = true, .check = true, .kernel_name = "hot_race"},
+      [](gs::ThreadCtx& ctx) {
+        ctx.shared_store(ctx.thread_idx(), 1);
+        const std::size_t neighbor = (ctx.thread_idx() + 1) % ctx.block_dim();
+        ctx.global_store(ctx.global_thread_id(), ctx.shared_load(neighbor));
+      });
+  EXPECT_GT(stats.check_findings, 0u);
+  std::size_t races = 0;
+  for (const auto& r : dev.check_reports())
+    races += (r.kind == gs::CheckKind::kSharedRaceRaw ||
+              r.kind == gs::CheckKind::kSharedRaceWar ||
+              r.kind == gs::CheckKind::kSharedRaceWaw ||
+              r.kind == gs::CheckKind::kUninitSharedRead);
+  EXPECT_EQ(races, stats.check_findings);
+}
+
+TEST(Sanitizer, SameThreadReuseAcrossEpochsIsClean) {
+  gs::Device dev(4);
+  const auto stats = dev.launch(
+      {.blocks = 1, .threads_per_block = 4, .shared_bytes = 16,
+       .barriers = true, .check = true, .kernel_name = "private_reuse"},
+      [](gs::ThreadCtx& ctx) {
+        for (std::uint32_t round = 0; round < 3; ++round) {
+          ctx.shared_store(ctx.thread_idx(), round);
+          (void)ctx.shared_load(ctx.thread_idx());
+          ctx.sync_block();
+        }
+      });
+  EXPECT_EQ(stats.check_findings, 0u);
+}
+
+// --- seeded bug 2: off-by-one staging index ----------------------------------
+
+TEST(Sanitizer, OffByOneStagingIndexIsFlagged) {
+  gs::Device dev(16);
+  constexpr std::size_t kStagingWords = 4;
+  const auto stats = dev.launch(
+      {.blocks = 2, .threads_per_block = 4,
+       .shared_bytes = kStagingWords * 4, .check = true,
+       .kernel_name = "off_by_one"},
+      [](gs::ThreadCtx& ctx) {
+        // <= instead of <: the last store lands one past the buffer.
+        for (std::size_t i = ctx.thread_idx(); i <= kStagingWords;
+             i += ctx.block_dim())
+          ctx.shared_store(i, 7);
+      });
+  const auto& reports = dev.check_reports();
+  // Exactly one overflowing store per block, by the thread owning index 4.
+  ASSERT_EQ(stats.check_findings, 2u);
+  for (const auto& r : reports) {
+    EXPECT_EQ(r.kind, gs::CheckKind::kSharedOutOfBounds);
+    EXPECT_EQ(r.kernel, "off_by_one");
+    EXPECT_EQ(r.thread, 0u);  // 0, 4 stride: thread 0 reaches index 4
+    EXPECT_EQ(r.address, kStagingWords);
+  }
+  EXPECT_EQ(reports[0].block, 0u);
+  EXPECT_EQ(reports[1].block, 1u);
+}
+
+TEST(Sanitizer, GlobalOutOfBoundsIsFlaggedAndSuppressed) {
+  gs::Device dev(4);
+  const auto stats = dev.launch(
+      {.blocks = 1, .threads_per_block = 4, .check = true,
+       .kernel_name = "global_oob"},
+      [](gs::ThreadCtx& ctx) {
+        // Thread 3 stores past the 4-word device memory; the load of the
+        // same bogus word must also be suppressed (and return 0).
+        const std::size_t w = ctx.thread_idx() + 1;
+        ctx.global_store(w, 1 + static_cast<std::uint32_t>(w));
+        EXPECT_EQ(ctx.global_load(w), w < 4 ? 1 + w : 0);
+      });
+  ASSERT_EQ(stats.check_findings, 2u);  // one store + one load, thread 3
+  for (const auto& r : dev.check_reports()) {
+    EXPECT_EQ(r.kind, gs::CheckKind::kGlobalOutOfBounds);
+    EXPECT_EQ(r.thread, 3u);
+    EXPECT_EQ(r.address, 4u);
+  }
+}
+
+// --- seeded bug 3: divergent early return ------------------------------------
+
+TEST(Sanitizer, DivergentEarlyReturnIsFlaggedNotDeadlocked) {
+  gs::Device dev(8);
+  const auto stats = dev.launch(
+      {.blocks = 1, .threads_per_block = 8, .shared_bytes = 32,
+       .barriers = true, .check = true, .kernel_name = "early_return"},
+      [](gs::ThreadCtx& ctx) {
+        if (ctx.thread_idx() == 2) return;  // skips the barrier
+        ctx.shared_store(ctx.thread_idx(), 1);
+        ctx.sync_block();
+      });
+  ASSERT_EQ(stats.check_findings, 1u);
+  const auto& r = dev.check_reports().front();
+  EXPECT_EQ(r.kind, gs::CheckKind::kBarrierDivergence);
+  EXPECT_EQ(r.kernel, "early_return");
+  EXPECT_EQ(r.block, 0u);
+  EXPECT_EQ(r.thread, 2u);
+  EXPECT_EQ(r.epoch, 0u);    // the divergent thread's arrivals
+  EXPECT_EQ(r.address, 1u);  // block-mates' arrival count
+}
+
+TEST(Sanitizer, MismatchedBarrierCountsAreFlagged) {
+  gs::Device dev(4);
+  const auto stats = dev.launch(
+      {.blocks = 1, .threads_per_block = 4, .barriers = true, .check = true,
+       .kernel_name = "extra_sync"},
+      [](gs::ThreadCtx& ctx) {
+        ctx.sync_block();
+        if (ctx.thread_idx() % 2 == 0) ctx.sync_block();
+      });
+  // Threads 1 and 3 stop at one arrival while 0 and 2 reach two.
+  ASSERT_EQ(stats.check_findings, 2u);
+  for (const auto& r : dev.check_reports()) {
+    EXPECT_EQ(r.kind, gs::CheckKind::kBarrierDivergence);
+    EXPECT_EQ(r.thread % 2, 1u);
+    EXPECT_EQ(r.epoch, 1u);
+    EXPECT_EQ(r.address, 2u);
+  }
+}
+
+// --- seeded bug 4: uninitialised shared read ---------------------------------
+
+TEST(Sanitizer, UninitializedSharedReadIsFlagged) {
+  gs::Device dev(4);
+  const auto stats = dev.launch(
+      {.blocks = 1, .threads_per_block = 4, .shared_bytes = 32,
+       .check = true, .kernel_name = "uninit_read"},
+      [](gs::ThreadCtx& ctx) {
+        // Bug: reads staging slot block_dim()+t, but only slot t was written.
+        ctx.shared_store(ctx.thread_idx(), 5);
+        ctx.global_store(ctx.global_thread_id(),
+                         ctx.shared_load(ctx.block_dim() + ctx.thread_idx()));
+      });
+  ASSERT_EQ(stats.check_findings, 4u);
+  for (const auto& r : dev.check_reports()) {
+    EXPECT_EQ(r.kind, gs::CheckKind::kUninitSharedRead);
+    EXPECT_EQ(r.kernel, "uninit_read");
+    EXPECT_EQ(r.address, 4 + r.thread);
+  }
+}
+
+// --- report plumbing ---------------------------------------------------------
+
+TEST(Sanitizer, ReportStorageIsCappedButFindingsAreCounted) {
+  gs::Device dev(1);
+  const auto stats = dev.launch(
+      {.blocks = 1, .threads_per_block = 1, .check = true,
+       .kernel_name = "oob_flood", .max_check_reports = 8},
+      [](gs::ThreadCtx& ctx) {
+        for (std::size_t i = 0; i < 100; ++i) ctx.global_store(1 + i, 0);
+      });
+  EXPECT_EQ(stats.check_findings, 100u);
+  EXPECT_EQ(dev.check_reports().size(), 8u);
+}
+
+TEST(Sanitizer, ReportsAccumulateAcrossLaunchesAndClear) {
+  gs::Device dev(1);
+  const gs::LaunchConfig cfg{.blocks = 1, .threads_per_block = 1,
+                             .check = true, .kernel_name = "oob_once"};
+  const auto racy = [](gs::ThreadCtx& ctx) { ctx.global_store(9, 0); };
+  dev.launch(cfg, racy);
+  dev.launch(cfg, racy);
+  EXPECT_EQ(dev.check_reports().size(), 2u);
+  EXPECT_EQ(dev.total_stats().check_findings, 2u);
+  dev.clear_check_reports();
+  EXPECT_TRUE(dev.check_reports().empty());
+}
+
+TEST(Sanitizer, ToStringNamesTheHazard) {
+  gs::Device dev(1);
+  dev.launch({.blocks = 1, .threads_per_block = 1, .check = true,
+              .kernel_name = "pretty"},
+             [](gs::ThreadCtx& ctx) { (void)ctx.global_load(42); });
+  ASSERT_EQ(dev.check_reports().size(), 1u);
+  const std::string s = dev.check_reports().front().to_string();
+  EXPECT_NE(s.find("global-out-of-bounds"), std::string::npos);
+  EXPECT_NE(s.find("'pretty'"), std::string::npos);
+  EXPECT_NE(s.find("word 42"), std::string::npos);
+}
+
+TEST(Sanitizer, EnvFlagEnablesCheckingWithoutConfig) {
+  ASSERT_EQ(setenv("BSRNG_GPUSIM_CHECK", "1", 1), 0);
+  EXPECT_TRUE(gs::check_env_enabled());
+  gs::Device dev(1);
+  const auto stats =
+      dev.launch({.blocks = 1, .threads_per_block = 1},
+                 [](gs::ThreadCtx& ctx) { ctx.global_store(5, 0); });
+  EXPECT_EQ(stats.check_findings, 1u);
+  ASSERT_EQ(setenv("BSRNG_GPUSIM_CHECK", "off", 1), 0);
+  EXPECT_FALSE(gs::check_env_enabled());
+  ASSERT_EQ(unsetenv("BSRNG_GPUSIM_CHECK"), 0);
+  gs::Device quiet(1);
+  const auto off =
+      quiet.launch({.blocks = 1, .threads_per_block = 1},
+                   [](gs::ThreadCtx& ctx) { (void)ctx.global_load(0); });
+  EXPECT_EQ(off.check_findings, 0u);
+  EXPECT_TRUE(quiet.check_reports().empty());
+}
+
+// --- shipped kernels must be clean -------------------------------------------
+
+TEST(Sanitizer, ShippedMickeyKernelReportsZeroFindings) {
+  for (const bool staging : {true, false}) {
+    for (const bool coalesced : {true, false}) {
+      co::GpuKernelConfig cfg;
+      cfg.blocks = 2;
+      cfg.threads_per_block = 32;
+      cfg.words_per_thread = 16;
+      cfg.staging_words = 4;
+      cfg.use_shared_staging = staging;
+      cfg.coalesced_layout = coalesced;
+      cfg.check = true;
+      gs::Device dev(cfg.blocks * cfg.threads_per_block *
+                     cfg.words_per_thread);
+      const auto res = co::run_mickey_gpu_kernel(dev, cfg);
+      EXPECT_EQ(res.stats.check_findings, 0u)
+          << "staging=" << staging << " coalesced=" << coalesced;
+      for (const auto& r : dev.check_reports()) ADD_FAILURE() << r.to_string();
+    }
+  }
+}
+
+// The bench_memory_ablation staging kernel (shared round-robin staging plus
+// coalesced burst flush), checked across the staging depths the bench runs.
+TEST(Sanitizer, MemoryAblationStagingConfigsReportZeroFindings) {
+  constexpr std::size_t kBlocks = 2;
+  constexpr std::size_t kThreads = 32;
+  constexpr std::size_t kSteps = 64;
+  for (const std::size_t staging : {4u, 16u, 64u}) {
+    gs::Device dev(kBlocks * kThreads * kSteps);
+    const auto stats = dev.launch(
+        {.blocks = kBlocks, .threads_per_block = kThreads,
+         .shared_bytes = kThreads * staging * 4, .check = true,
+         .kernel_name = "ablation_staged"},
+        [staging](gs::ThreadCtx& ctx) {
+          const std::size_t stride = kBlocks * kThreads;
+          for (std::size_t round = 0; round < kSteps / staging; ++round) {
+            for (std::size_t i = 0; i < staging; ++i)
+              ctx.shared_store(i * ctx.block_dim() + ctx.thread_idx(),
+                               static_cast<std::uint32_t>(i));
+            for (std::size_t b = 0; b < staging; ++b)
+              ctx.global_store(
+                  (round * staging + b) * stride + ctx.global_thread_id(),
+                  ctx.shared_load(b * ctx.block_dim() + ctx.thread_idx()));
+          }
+        });
+    EXPECT_EQ(stats.check_findings, 0u) << "staging=" << staging;
+  }
+}
+
+// Checking must not perturb the keystream: same output with check on/off.
+TEST(Sanitizer, CheckedLaunchProducesIdenticalKeystream) {
+  co::GpuKernelConfig cfg;
+  cfg.blocks = 2;
+  cfg.threads_per_block = 32;
+  cfg.words_per_thread = 16;
+  cfg.staging_words = 4;
+  const std::size_t words =
+      cfg.blocks * cfg.threads_per_block * cfg.words_per_thread;
+  gs::Device plain(words), checked(words);
+  co::run_mickey_gpu_kernel(plain, cfg);
+  cfg.check = true;
+  co::run_mickey_gpu_kernel(checked, cfg);
+  for (std::size_t i = 0; i < words; ++i)
+    ASSERT_EQ(plain.global_memory()[i], checked.global_memory()[i]) << i;
+}
