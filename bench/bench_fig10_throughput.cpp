@@ -5,10 +5,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/registry.hpp"
+#include "core/stream_engine.hpp"
 #include "core/throughput.hpp"
 #include "gpusim/catalog.hpp"
 
@@ -29,7 +31,18 @@ void BM_Fill(benchmark::State& state, const std::string& algo) {
                           static_cast<std::int64_t>(buf.size()));
 }
 
+// All CPU measurements below run through one shared StreamEngine (single
+// worker: the column is per-device throughput) instead of each row spinning
+// up its own measurement loop.
+double measured_gbps(co::StreamEngine& engine, const std::string& algo,
+                     std::span<std::uint8_t> buf) {
+  engine.generate(algo, 1, buf);  // warm-up: page in the buffer, init tables
+  return engine.generate(algo, 1, buf).gbps();
+}
+
 void print_figure10() {
+  co::StreamEngine engine({.workers = 1});
+  std::vector<std::uint8_t> buf(8u << 20);
   // Per-bit gate cost at the paper's W = 32 (one GPU thread = 32 lanes).
   struct Algo {
     const char* label;
@@ -69,9 +82,7 @@ void print_figure10() {
           g, gs::ProjectionParams{.gate_ops_per_bit = ops_bit});
       std::printf(" %12.1f", gbps);
     }
-    auto gen = co::make_generator(a.cpu_name, 1);
-    const auto m = co::measure_throughput(*gen, 8ull << 20);
-    std::printf(" %12.2f\n", m.gbps());
+    std::printf(" %12.2f\n", measured_gbps(engine, a.cpu_name, buf));
   }
 
   // cuRAND-class baseline: empirically memory-utilization-bound; the paper's
@@ -79,11 +90,7 @@ void print_figure10() {
   std::printf("%-22s", "cuRAND-class (mem-bound)");
   for (const auto& g : gs::device_catalog())
     std::printf(" %12.1f", 0.40 * g.mem_bw_gbs * 8.0);
-  {
-    auto gen = co::make_generator("mt19937", 1);
-    const auto m = co::measure_throughput(*gen, 8ull << 20);
-    std::printf(" %12.2f\n", m.gbps());
-  }
+  std::printf(" %12.2f\n", measured_gbps(engine, "mt19937", buf));
 
   std::printf(
       "\npaper anchors: MICKEY 2.72 Tb/s on GTX 2080 Ti, 2.90 Tb/s on V100;\n"

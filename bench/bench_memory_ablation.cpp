@@ -8,9 +8,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "baselines/xorshift.hpp"
 #include "core/gpu_kernel.hpp"
+#include "core/thread_pool.hpp"
 #include "gpusim/device.hpp"
 
 namespace gs = bsrng::gpusim;
@@ -86,33 +90,42 @@ void print_ablation() {
               kBlocks, kThreads, kSteps, total_words() * 4 / 1024);
   std::printf("%-34s %14s %12s %12s\n", "variant", "transactions",
               "efficiency", "shared ops");
-  {
-    gs::Device dev(total_words());
-    const auto s = run_strided(dev);
-    std::printf("%-34s %14llu %12.3f %12llu\n",
-                "naive per-thread regions (strided)",
-                static_cast<unsigned long long>(s.global_transactions),
-                s.coalescing_efficiency(),
-                static_cast<unsigned long long>(s.shared_accesses));
-    print_check_reports(dev, "strided");
-  }
-  {
-    gs::Device dev(total_words());
-    const auto s = run_coalesced(dev);
-    std::printf("%-34s %14llu %12.3f %12llu\n", "coalesced direct store",
-                static_cast<unsigned long long>(s.global_transactions),
-                s.coalescing_efficiency(),
-                static_cast<unsigned long long>(s.shared_accesses));
-    print_check_reports(dev, "coalesced");
-  }
+  // Each variant owns its Device, so the sweep runs on the shared pool
+  // (bsrng::core::ThreadPool) and the rows print in order afterwards.
+  struct Variant {
+    std::string label;
+    std::function<gs::MemStats(gs::Device&)> run;
+    gs::MemStats stats;
+    std::vector<std::string> findings;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"naive per-thread regions (strided)", run_strided, {}, {}});
+  variants.push_back({"coalesced direct store", run_coalesced, {}, {}});
   for (const std::size_t staging : {4u, 16u, 64u, 256u}) {
+    char label[64];
+    std::snprintf(label, sizeof label, "shared staging, %3zu words/thread",
+                  staging);
+    variants.push_back({label,
+                        [staging](gs::Device& dev) {
+                          return run_staged(dev, staging);
+                        },
+                        {},
+                        {}});
+  }
+  bsrng::core::ThreadPool pool(bsrng::core::ThreadPool::default_workers());
+  pool.run_indexed(variants.size(), [&](std::size_t, std::size_t i) {
     gs::Device dev(total_words());
-    const auto s = run_staged(dev, staging);
-    std::printf("shared staging, %3zu words/thread    %14llu %12.3f %12llu\n",
-                staging, static_cast<unsigned long long>(s.global_transactions),
-                s.coalescing_efficiency(),
-                static_cast<unsigned long long>(s.shared_accesses));
-    print_check_reports(dev, "staged");
+    variants[i].stats = variants[i].run(dev);
+    for (const auto& r : dev.check_reports())
+      variants[i].findings.push_back(r.to_string());
+  });
+  for (const auto& v : variants) {
+    std::printf("%-34s %14llu %12.3f %12llu\n", v.label.c_str(),
+                static_cast<unsigned long long>(v.stats.global_transactions),
+                v.stats.coalescing_efficiency(),
+                static_cast<unsigned long long>(v.stats.shared_accesses));
+    for (const auto& f : v.findings)
+      std::printf("  !! %s: %s\n", v.label.c_str(), f.c_str());
   }
   // The same ablation on the real §4.4 kernel (each simulated thread runs a
   // 32-lane bitsliced MICKEY engine).

@@ -27,7 +27,7 @@ int main() {
   const auto rep =
       bsrng::core::multi_device_aes_ctr(key, nonce, 4, ks_sender);
   std::printf("sender: keystream from %zu devices (modeled speedup %.2fx)\n",
-              rep.devices, rep.modeled_speedup());
+              rep.workers, rep.modeled_speedup());
 
   std::vector<std::uint8_t> ciphertext(plaintext.size());
   for (std::size_t i = 0; i < plaintext.size(); ++i)

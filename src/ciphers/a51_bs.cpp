@@ -41,18 +41,25 @@ A51Bs<W>::A51Bs(std::span<const KeyBytes> keys,
   for (std::size_t i = 0; i < A51Ref::kMixClocks; ++i) clock_majority();
 }
 
-template <typename W>
-A51Bs<W>::A51Bs(std::uint64_t master_seed) {
-  std::vector<KeyBytes> keys(lanes);
-  std::vector<std::uint32_t> frames(lanes);
+void derive_a51_lane_params(
+    std::uint64_t master_seed,
+    std::span<std::array<std::uint8_t, A51Ref::kKeyBytes>> keys,
+    std::span<std::uint32_t> frames) {
   std::uint64_t x = master_seed;
-  for (std::size_t j = 0; j < lanes; ++j) {
+  for (std::size_t j = 0; j < keys.size(); ++j) {
     const std::uint64_t k = lfsr::splitmix64(x);
     for (std::size_t b = 0; b < 8; ++b)
       keys[j][b] = static_cast<std::uint8_t>(k >> (8 * b));
     frames[j] = static_cast<std::uint32_t>(lfsr::splitmix64(x)) &
                 ((1u << A51Ref::kFrameBits) - 1);
   }
+}
+
+template <typename W>
+A51Bs<W>::A51Bs(std::uint64_t master_seed) {
+  std::vector<KeyBytes> keys(lanes);
+  std::vector<std::uint32_t> frames(lanes);
+  derive_a51_lane_params(master_seed, keys, frames);
   *this = A51Bs(keys, frames);
 }
 

@@ -64,6 +64,14 @@ class A51Bs {
   std::array<W, A51Ref::kR3Bits> r3_{};
 };
 
+// Per-lane (key, frame) derivation of the master-seed constructor (lane j:
+// one splitmix64 word as the 8-byte key, one masked to kFrameBits as the
+// frame number), exposed for the registry's lane-range PartitionSpec shards.
+void derive_a51_lane_params(
+    std::uint64_t master_seed,
+    std::span<std::array<std::uint8_t, A51Ref::kKeyBytes>> keys,
+    std::span<std::uint32_t> frames);
+
 extern template class A51Bs<bitslice::SliceU32>;
 extern template class A51Bs<bitslice::SliceU64>;
 extern template class A51Bs<bitslice::SliceV128>;

@@ -31,10 +31,10 @@ GrainBs<W>::GrainBs(std::span<const KeyBytes> keys,
   }
 }
 
-template <typename W>
-GrainBs<W>::GrainBs(std::uint64_t master_seed) {
-  std::vector<KeyBytes> keys(lanes);
-  std::vector<IvBytes> ivs(lanes);
+void derive_grain_lane_params(
+    std::uint64_t master_seed,
+    std::span<std::array<std::uint8_t, GrainRef::kKeyBytes>> keys,
+    std::span<std::array<std::uint8_t, GrainRef::kIvBytes>> ivs) {
   std::uint64_t x = master_seed;
   const auto fill = [&x](std::span<std::uint8_t> out) {
     for (std::size_t bpos = 0; bpos < out.size(); bpos += 8) {
@@ -43,10 +43,17 @@ GrainBs<W>::GrainBs(std::uint64_t master_seed) {
         out[bpos + k] = static_cast<std::uint8_t>(w >> (8 * k));
     }
   };
-  for (std::size_t j = 0; j < lanes; ++j) {
+  for (std::size_t j = 0; j < keys.size(); ++j) {
     fill(keys[j]);
     fill(ivs[j]);
   }
+}
+
+template <typename W>
+GrainBs<W>::GrainBs(std::uint64_t master_seed) {
+  std::vector<KeyBytes> keys(lanes);
+  std::vector<IvBytes> ivs(lanes);
+  derive_grain_lane_params(master_seed, keys, ivs);
   *this = GrainBs(keys, ivs);
 }
 

@@ -72,6 +72,14 @@ class GrainBs {
   std::size_t head_ = 0;
 };
 
+// Per-lane (key, IV) derivation of the master-seed constructor (lane j: 10
+// key bytes then 8 IV bytes off the splitmix64 stream, in lane order),
+// exposed for the registry's lane-range PartitionSpec shards.
+void derive_grain_lane_params(
+    std::uint64_t master_seed,
+    std::span<std::array<std::uint8_t, GrainRef::kKeyBytes>> keys,
+    std::span<std::array<std::uint8_t, GrainRef::kIvBytes>> ivs);
+
 extern template class GrainBs<bitslice::SliceU32>;
 extern template class GrainBs<bitslice::SliceU64>;
 extern template class GrainBs<bitslice::SliceV128>;

@@ -38,10 +38,10 @@ MickeyBs<W>::MickeyBs(std::span<const KeyBytes> keys,
     clock_kg(/*mixing=*/true, bs::SliceTraits<W>::zero());
 }
 
-template <typename W>
-MickeyBs<W>::MickeyBs(std::uint64_t master_seed) {
-  std::vector<KeyBytes> keys(lanes);
-  std::vector<IvBytes> ivs(lanes);
+void derive_mickey_lane_params(
+    std::uint64_t master_seed,
+    std::span<std::array<std::uint8_t, kKeyBits / 8>> keys,
+    std::span<std::array<std::uint8_t, kMaxIvBits / 8>> ivs) {
   std::uint64_t x = master_seed;
   const auto fill = [&x](std::span<std::uint8_t> out) {
     for (std::size_t b = 0; b < out.size(); b += 8) {
@@ -50,10 +50,17 @@ MickeyBs<W>::MickeyBs(std::uint64_t master_seed) {
         out[b + k] = static_cast<std::uint8_t>(w >> (8 * k));
     }
   };
-  for (std::size_t j = 0; j < lanes; ++j) {
+  for (std::size_t j = 0; j < keys.size(); ++j) {
     fill(keys[j]);
     fill(ivs[j]);
   }
+}
+
+template <typename W>
+MickeyBs<W>::MickeyBs(std::uint64_t master_seed) {
+  std::vector<KeyBytes> keys(lanes);
+  std::vector<IvBytes> ivs(lanes);
+  derive_mickey_lane_params(master_seed, keys, ivs);
   *this = MickeyBs(keys, ivs, kMaxIvBits);
 }
 

@@ -64,6 +64,15 @@ class MickeyBs {
   std::array<W, mickey::kStateBits> s_{};
 };
 
+// Per-lane (key, IV) derivation used by the master-seed constructor: lane j
+// draws 10 key bytes then 10 IV bytes from the splitmix64 stream, in lane
+// order.  Exposed so the registry's PartitionSpec can rebuild any lane
+// range's parameters and shard the stream bit-identically (§5.4).
+void derive_mickey_lane_params(
+    std::uint64_t master_seed,
+    std::span<std::array<std::uint8_t, mickey::kKeyBits / 8>> keys,
+    std::span<std::array<std::uint8_t, mickey::kMaxIvBits / 8>> ivs);
+
 extern template class MickeyBs<bitslice::SliceU32>;
 extern template class MickeyBs<bitslice::SliceU64>;
 extern template class MickeyBs<bitslice::SliceV128>;

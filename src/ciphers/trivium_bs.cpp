@@ -30,10 +30,10 @@ TriviumBs<W>::TriviumBs(std::span<const KeyBytes> keys,
   for (std::size_t t = 0; t < TriviumRef::kInitRounds; ++t) step();
 }
 
-template <typename W>
-TriviumBs<W>::TriviumBs(std::uint64_t master_seed) {
-  std::vector<KeyBytes> keys(lanes);
-  std::vector<IvBytes> ivs(lanes);
+void derive_trivium_lane_params(
+    std::uint64_t master_seed,
+    std::span<std::array<std::uint8_t, TriviumRef::kKeyBytes>> keys,
+    std::span<std::array<std::uint8_t, TriviumRef::kIvBytes>> ivs) {
   std::uint64_t x = master_seed;
   const auto fill = [&x](std::span<std::uint8_t> out) {
     for (std::size_t bpos = 0; bpos < out.size(); bpos += 8) {
@@ -42,10 +42,17 @@ TriviumBs<W>::TriviumBs(std::uint64_t master_seed) {
         out[bpos + k] = static_cast<std::uint8_t>(w >> (8 * k));
     }
   };
-  for (std::size_t j = 0; j < lanes; ++j) {
+  for (std::size_t j = 0; j < keys.size(); ++j) {
     fill(keys[j]);
     fill(ivs[j]);
   }
+}
+
+template <typename W>
+TriviumBs<W>::TriviumBs(std::uint64_t master_seed) {
+  std::vector<KeyBytes> keys(lanes);
+  std::vector<IvBytes> ivs(lanes);
+  derive_trivium_lane_params(master_seed, keys, ivs);
   *this = TriviumBs(keys, ivs);
 }
 

@@ -70,6 +70,14 @@ class TriviumBs {
   std::size_t head_a_ = 0, head_b_ = 0, head_c_ = 0;
 };
 
+// Per-lane (key, IV) derivation of the master-seed constructor (lane j: 10
+// key bytes then 10 IV bytes off the splitmix64 stream, in lane order),
+// exposed for the registry's lane-range PartitionSpec shards.
+void derive_trivium_lane_params(
+    std::uint64_t master_seed,
+    std::span<std::array<std::uint8_t, TriviumRef::kKeyBytes>> keys,
+    std::span<std::array<std::uint8_t, TriviumRef::kIvBytes>> ivs);
+
 extern template class TriviumBs<bitslice::SliceU32>;
 extern template class TriviumBs<bitslice::SliceU64>;
 extern template class TriviumBs<bitslice::SliceV128>;

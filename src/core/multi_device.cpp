@@ -1,48 +1,71 @@
 #include "core/multi_device.hpp"
 
-#include <chrono>
-#include <functional>
+#include <algorithm>
+#include <array>
+#include <memory>
 #include <stdexcept>
-#include <thread>
 
 #include "bitslice/slice.hpp"
 #include "ciphers/aes_bs.hpp"
 #include "ciphers/mickey_bs.hpp"
+#include "core/stream_engine.hpp"
 #include "lfsr/bitsliced_lfsr.hpp"
 
 namespace bsrng::core {
 
 namespace bs = bsrng::bitslice;
-using Clock = std::chrono::steady_clock;
 
 namespace {
 
-// Run one closure per device, in threads or sequentially, and time each.
-MultiDeviceReport run_devices(std::size_t devices, bool parallel,
-                              const std::function<void(std::size_t)>& work) {
-  MultiDeviceReport rep;
-  rep.devices = devices;
-  std::vector<double> secs(devices, 0.0);
-  const auto t0 = Clock::now();
-  const auto timed = [&](std::size_t d) {
-    const auto s = Clock::now();
-    work(d);
-    secs[d] = std::chrono::duration<double>(Clock::now() - s).count();
-  };
-  if (parallel) {
-    std::vector<std::thread> threads;
-    threads.reserve(devices);
-    for (std::size_t d = 0; d < devices; ++d) threads.emplace_back(timed, d);
-    for (auto& t : threads) t.join();
-  } else {
-    for (std::size_t d = 0; d < devices; ++d) timed(d);
+// 32-lane AES-CTR shard seeked to a counter offset; the engine concatenates
+// these per-device chunks back into the canonical stream.
+class AesCtrShard final : public Generator {
+ public:
+  AesCtrShard(std::span<const std::uint8_t> key16,
+              std::span<const std::uint8_t> nonce12, std::uint32_t counter0)
+      : gen_(key16, nonce12, counter0) {}
+
+  void fill(std::span<std::uint8_t> out) override { gen_.fill(out); }
+  std::string_view name() const noexcept override {
+    return "aes-ctr-bs32-shard";
   }
-  rep.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
-  for (const double s : secs) {
-    rep.sum_device_seconds += s;
-    rep.max_device_seconds = std::max(rep.max_device_seconds, s);
+  std::size_t lanes() const noexcept override { return 32; }
+
+ private:
+  ciphers::AesCtrBs<bs::SliceU32> gen_;
+};
+
+// One device's 32-lane MICKEY engine as a column stream: each step yields
+// 4 keystream bytes (bit j = lane j, little-endian within the word).
+class MickeyShard final : public Generator {
+ public:
+  explicit MickeyShard(std::uint64_t seed) : gen_(seed) {}
+
+  void fill(std::span<std::uint8_t> out) override {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (have_ == 0) {
+        word_ = gen_.step();
+        have_ = 4;
+      }
+      out[i] = static_cast<std::uint8_t>(word_ >> (8 * (4 - have_)));
+      --have_;
+    }
   }
-  return rep;
+  std::string_view name() const noexcept override { return "mickey-bs32-shard"; }
+  std::size_t lanes() const noexcept override { return 32; }
+
+ private:
+  ciphers::MickeyBs<bs::SliceU32> gen_;
+  std::uint32_t word_ = 0;
+  std::size_t have_ = 0;
+};
+
+StreamEngine make_device_engine(std::size_t devices, bool parallel) {
+  StreamEngineConfig cfg;
+  cfg.workers = devices;
+  cfg.chunk_bytes = 0;  // one contiguous chunk per device (§5.4 layout)
+  cfg.parallel = parallel;
+  return StreamEngine(cfg);
 }
 
 }  // namespace
@@ -53,21 +76,18 @@ MultiDeviceReport multi_device_aes_ctr(std::span<const std::uint8_t> key16,
                                        std::span<std::uint8_t> out,
                                        bool parallel) {
   if (devices == 0) throw std::invalid_argument("need at least one device");
-  // Chunk boundaries align to AES blocks so each device's counter range is
-  // self-contained (the paper's "different counter values ... passed to
-  // GPUs", §5.4).
-  const std::size_t blocks_total = (out.size() + 15) / 16;
-  const std::size_t blocks_per_dev = (blocks_total + devices - 1) / devices;
-  return run_devices(devices, parallel, [&](std::size_t d) {
-    const std::size_t first_block = d * blocks_per_dev;
-    if (first_block >= blocks_total) return;
-    const std::size_t first_byte = first_block * 16;
-    const std::size_t last_byte =
-        std::min(out.size(), (first_block + blocks_per_dev) * 16);
-    ciphers::AesCtrBs<bs::SliceU32> gen(
-        key16, nonce12, static_cast<std::uint32_t>(first_block));
-    gen.fill(out.subspan(first_byte, last_byte - first_byte));
-  });
+  std::array<std::uint8_t, 16> key{};
+  std::array<std::uint8_t, 12> nonce{};
+  std::copy(key16.begin(), key16.end(), key.begin());
+  std::copy(nonce12.begin(), nonce12.end(), nonce.begin());
+  PartitionSpec spec;
+  spec.kind = PartitionKind::kCounter;
+  spec.block_bytes = 16;
+  spec.make_at_block = [key, nonce](std::uint64_t b) {
+    return std::unique_ptr<Generator>(std::make_unique<AesCtrShard>(
+        std::span(key), std::span(nonce), static_cast<std::uint32_t>(b)));
+  };
+  return make_device_engine(devices, parallel).generate(spec, out);
 }
 
 MultiDeviceReport multi_device_mickey(std::uint64_t master_seed,
@@ -75,32 +95,18 @@ MultiDeviceReport multi_device_mickey(std::uint64_t master_seed,
                                       std::span<std::uint8_t> out,
                                       bool parallel) {
   if (devices == 0) throw std::invalid_argument("need at least one device");
-  constexpr std::size_t kSliceBytes = 4;  // 32 lanes per device engine
-  const std::size_t stride = kSliceBytes * devices;
-  const std::size_t steps = (out.size() + stride - 1) / stride;
-  // Device d owns byte columns [d*4, d*4+4) of every stride-sized row.
-  std::vector<std::vector<std::uint8_t>> dev_out(
-      devices, std::vector<std::uint8_t>(steps * kSliceBytes));
-  const auto rep = run_devices(devices, parallel, [&](std::size_t d) {
+  PartitionSpec spec;
+  spec.kind = PartitionKind::kLaneSlice;
+  spec.lane_blocks = devices;
+  spec.lane_block_bytes = 4;  // 32 lanes per device engine
+  spec.make_lane_block = [master_seed](std::size_t d) {
     // Per-device seed: disjoint splitmix substreams of the master seed.
     std::uint64_t x = master_seed;
     std::uint64_t seed = 0;
     for (std::size_t i = 0; i <= d; ++i) seed = lfsr::splitmix64(x);
-    ciphers::MickeyBs<bs::SliceU32> engine(seed);
-    for (std::size_t t = 0; t < steps; ++t) {
-      const std::uint32_t z = engine.step();
-      for (std::size_t b = 0; b < kSliceBytes; ++b)
-        dev_out[d][t * kSliceBytes + b] =
-            static_cast<std::uint8_t>(z >> (8 * b));
-    }
-  });
-  // Reconstruction: interleave device columns into the global stream.
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const std::size_t t = i / stride;
-    const std::size_t col = i % stride;
-    out[i] = dev_out[col / kSliceBytes][t * kSliceBytes + col % kSliceBytes];
-  }
-  return rep;
+    return std::unique_ptr<Generator>(std::make_unique<MickeyShard>(seed));
+  };
+  return make_device_engine(devices, parallel).generate(spec, out);
 }
 
 }  // namespace bsrng::core

@@ -1,38 +1,34 @@
-// multi_device.hpp — §5.4 multi-GPU generation.
+// multi_device.hpp — §5.4 multi-GPU generation, as StreamEngine wrappers.
 //
 // The paper partitions the input parameters (seed/nonce/counter) across D
 // devices, generates in parallel, and reconstructs the sequence — with the
 // property that "the same output sequence of random bits could be generated
-// identically in a single GPU sequentially".  We reproduce both halves:
+// identically in a single GPU sequentially".  Both entry points below are
+// now thin wrappers over core::StreamEngine (one worker per device,
+// contiguous per-device chunks):
 //
-//   * counter-partitioned AES-CTR: device d owns the contiguous counter
-//     range of its chunk; reconstruction is concatenation.
-//   * lane-partitioned stream ciphers: device d runs lanes
-//     [d*W, (d+1)*W) of a (D*W)-lane logical generator; reconstruction
-//     re-interleaves the slices.
+//   * multi_device_aes_ctr — a kCounter PartitionSpec: device d owns the
+//     contiguous counter range of its chunk; reconstruction is
+//     concatenation.
+//   * multi_device_mickey — a kLaneSlice PartitionSpec: device d runs its
+//     own 32-lane engine (seed = d-th splitmix64 substream of the master
+//     seed); reconstruction re-interleaves the 4-byte device columns.
 //
-// "Devices" are host threads here (the paper itself drives its GPUs from
+// "Devices" are pool workers here (the paper itself drives its GPUs from
 // one OpenMP thread each, §5.4).
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <vector>
+
+#include "core/throughput.hpp"
 
 namespace bsrng::core {
 
-struct MultiDeviceReport {
-  std::size_t devices = 0;
-  double wall_seconds = 0;          // end-to-end
-  double max_device_seconds = 0;    // slowest device (parallel wall time)
-  double sum_device_seconds = 0;    // total work (1-device-equivalent time)
-  // Modeled speedup of the D-device run over one device doing all the work,
-  // assuming devices run concurrently: sum / max.
-  double modeled_speedup() const {
-    return max_device_seconds > 0 ? sum_device_seconds / max_device_seconds
-                                  : 0.0;
-  }
-};
+// The per-device accounting is the engine's per-worker report; `workers`
+// counts devices and modeled_speedup() is the D-device-over-one-device
+// work-balance model (sum / max of per-device busy time).
+using MultiDeviceReport = ThroughputReport;
 
 // Fill `out` with the AES-128-CTR keystream for (key, nonce), counter
 // starting at 0, split across `devices` contiguous chunks.  Bit-identical to
@@ -45,9 +41,8 @@ MultiDeviceReport multi_device_aes_ctr(std::span<const std::uint8_t> key16,
 
 // Fill `out` with the serialized MICKEY 2.0 bitsliced stream of a logical
 // (devices x 32)-lane generator seeded from `master_seed`, each device
-// running its own 32-lane engine.  Reconstruction interleaves device slices
-// so the result equals the single (devices*32)-lane... see .cpp: equality is
-// against the lane-partitioned reference, validated in tests.
+// running its own 32-lane engine.  Reconstruction interleaves device slices;
+// equality is against the lane-partitioned reference, validated in tests.
 MultiDeviceReport multi_device_mickey(std::uint64_t master_seed,
                                       std::size_t devices,
                                       std::span<std::uint8_t> out,

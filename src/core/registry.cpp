@@ -53,6 +53,10 @@ class SlicedStreamGen final : public Generator {
   SlicedStreamGen(std::string name, std::uint64_t seed)
       : name_(std::move(name)), engine_(seed) {}
 
+  // Wrap an already-built engine (lane-range shards of a PartitionSpec).
+  SlicedStreamGen(std::string name, Engine engine)
+      : name_(std::move(name)), engine_(std::move(engine)) {}
+
   void fill(std::span<std::uint8_t> out) override {
     constexpr std::size_t step_bytes = bs::lane_count<W> / 8;
     std::size_t i = 0;
@@ -84,33 +88,47 @@ class SlicedStreamGen final : public Generator {
   std::size_t buf_len_ = 0, pos_ = 0;
 };
 
-// Adapter for the bitsliced AES-CTR generator.
+// Seed-derived CTR parameters, shared by the factory and partition_spec so
+// counter shards reproduce the factory stream exactly.
+template <std::size_t KeyLen>
+struct CtrParams {
+  std::array<std::uint8_t, KeyLen> key;
+  std::array<std::uint8_t, 12> nonce;
+};
+
+template <std::size_t KeyLen>
+CtrParams<KeyLen> derive_ctr_params(std::uint64_t seed) {
+  CtrParams<KeyLen> p;
+  std::uint64_t x = seed;
+  for (std::size_t i = 0; i < KeyLen; i += 8) {
+    const std::uint64_t w = lfsr::splitmix64(x);
+    for (std::size_t k = 0; k < 8; ++k)
+      p.key[i + k] = static_cast<std::uint8_t>(w >> (8 * k));
+  }
+  const std::uint64_t w0 = lfsr::splitmix64(x), w1 = lfsr::splitmix64(x);
+  for (std::size_t k = 0; k < 8; ++k)
+    p.nonce[k] = static_cast<std::uint8_t>(w0 >> (8 * k));
+  for (std::size_t k = 0; k < 4; ++k)
+    p.nonce[8 + k] = static_cast<std::uint8_t>(w1 >> (8 * k));
+  return p;
+}
+
+// Adapter for the bitsliced AES-CTR generator; counter0 selects the first
+// stream block (0 for the factory, a shard offset for PartitionSpec).
 template <typename W>
 class AesCtrGen final : public Generator {
  public:
-  AesCtrGen(std::string name, std::uint64_t seed)
-      : name_(std::move(name)), gen_(make(seed)) {}
+  AesCtrGen(std::string name, std::uint64_t seed, std::uint32_t counter0 = 0)
+      : name_(std::move(name)), gen_(make(seed, counter0)) {}
 
   void fill(std::span<std::uint8_t> out) override { gen_.fill(out); }
   std::string_view name() const noexcept override { return name_; }
   std::size_t lanes() const noexcept override { return bs::lane_count<W>; }
 
  private:
-  static ciphers::AesCtrBs<W> make(std::uint64_t seed) {
-    std::array<std::uint8_t, 16> key;
-    std::array<std::uint8_t, 12> nonce;
-    std::uint64_t x = seed;
-    for (std::size_t i = 0; i < 16; i += 8) {
-      const std::uint64_t w = lfsr::splitmix64(x);
-      for (std::size_t k = 0; k < 8; ++k)
-        key[i + k] = static_cast<std::uint8_t>(w >> (8 * k));
-    }
-    const std::uint64_t w0 = lfsr::splitmix64(x), w1 = lfsr::splitmix64(x);
-    for (std::size_t k = 0; k < 8; ++k)
-      nonce[k] = static_cast<std::uint8_t>(w0 >> (8 * k));
-    for (std::size_t k = 0; k < 4; ++k)
-      nonce[8 + k] = static_cast<std::uint8_t>(w1 >> (8 * k));
-    return ciphers::AesCtrBs<W>(key, nonce);
+  static ciphers::AesCtrBs<W> make(std::uint64_t seed, std::uint32_t counter0) {
+    const auto p = derive_ctr_params<16>(seed);
+    return ciphers::AesCtrBs<W>(p.key, p.nonce, counter0);
   }
 
   std::string name_;
@@ -121,29 +139,18 @@ class AesCtrGen final : public Generator {
 template <typename W>
 class ChaChaGen final : public Generator {
  public:
-  ChaChaGen(std::string name, std::uint64_t seed)
-      : name_(std::move(name)), gen_(make(seed)) {}
+  ChaChaGen(std::string name, std::uint64_t seed, std::uint32_t counter0 = 0)
+      : name_(std::move(name)), gen_(make(seed, counter0)) {}
 
   void fill(std::span<std::uint8_t> out) override { gen_.fill(out); }
   std::string_view name() const noexcept override { return name_; }
   std::size_t lanes() const noexcept override { return bs::lane_count<W>; }
 
  private:
-  static ciphers::ChaCha20Bs<W> make(std::uint64_t seed) {
-    std::uint64_t x = seed;
-    std::array<std::uint8_t, 32> key;
-    std::array<std::uint8_t, 12> nonce;
-    for (std::size_t i = 0; i < 32; i += 8) {
-      const std::uint64_t w = lfsr::splitmix64(x);
-      for (std::size_t k = 0; k < 8; ++k)
-        key[i + k] = static_cast<std::uint8_t>(w >> (8 * k));
-    }
-    const std::uint64_t w0 = lfsr::splitmix64(x), w1 = lfsr::splitmix64(x);
-    for (std::size_t k = 0; k < 8; ++k)
-      nonce[k] = static_cast<std::uint8_t>(w0 >> (8 * k));
-    for (std::size_t k = 0; k < 4; ++k)
-      nonce[8 + k] = static_cast<std::uint8_t>(w1 >> (8 * k));
-    return ciphers::ChaCha20Bs<W>(key, nonce);
+  static ciphers::ChaCha20Bs<W> make(std::uint64_t seed,
+                                     std::uint32_t counter0) {
+    const auto p = derive_ctr_params<32>(seed);
+    return ciphers::ChaCha20Bs<W>(p.key, p.nonce, counter0);
   }
 
   std::string name_;
@@ -198,6 +205,62 @@ std::unique_ptr<Generator> make_scalar_cipher_gen(std::string name, Ref ref) {
                           return {r.step32(), 4};
                         });
 }
+
+template <std::size_t N>
+std::array<std::uint8_t, N> derive_bytes(std::uint64_t& x);
+
+// Scalar AES-128-CTR oracle wrapped as a Generator; first_block offsets the
+// CTR stream (0 for the factory, a shard offset for PartitionSpec).
+class AesRefGen final : public Generator {
+ public:
+  AesRefGen(std::string name, std::uint64_t seed, std::uint64_t first_block = 0)
+      : name_(std::move(name)), cipher_(make_key(seed)),
+        offset_(first_block * 16) {
+    std::uint64_t x = seed + 1;
+    nonce_ = derive_bytes<12>(x);
+  }
+  void fill(std::span<std::uint8_t> out) override {
+    // Continue the CTR stream across calls via a byte offset.
+    std::vector<std::uint8_t> tmp(offset_ % 16 + out.size());
+    ciphers::aes_ctr_fill(cipher_, nonce_,
+                          static_cast<std::uint32_t>(offset_ / 16), tmp);
+    std::copy(tmp.begin() + static_cast<std::ptrdiff_t>(offset_ % 16),
+              tmp.end(), out.begin());
+    offset_ += out.size();
+  }
+  std::string_view name() const noexcept override { return name_; }
+
+ private:
+  static std::array<std::uint8_t, 16> make_key(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    return derive_bytes<16>(x);
+  }
+  std::string name_;
+  ciphers::Aes128 cipher_;
+  std::array<std::uint8_t, 12> nonce_{};
+  std::size_t offset_ = 0;
+};
+
+// Scalar ChaCha20 oracle wrapped as a Generator.
+class ChaChaRefGen final : public Generator {
+ public:
+  ChaChaRefGen(std::string name, std::uint64_t seed,
+               std::uint32_t counter0 = 0)
+      : name_(std::move(name)), g_(make(seed, counter0)) {}
+  void fill(std::span<std::uint8_t> out) override { g_.fill(out); }
+  std::string_view name() const noexcept override { return name_; }
+
+ private:
+  static ciphers::ChaCha20Ref make(std::uint64_t seed,
+                                   std::uint32_t counter0) {
+    std::uint64_t x = seed;
+    const auto key = derive_bytes<32>(x);
+    const auto nonce = derive_bytes<12>(x);
+    return ciphers::ChaCha20Ref(key, nonce, counter0);
+  }
+  std::string name_;
+  ciphers::ChaCha20Ref g_;
+};
 
 template <std::size_t N>
 std::array<std::uint8_t, N> derive_bytes(std::uint64_t& x) {
@@ -262,35 +325,6 @@ const std::map<std::string, Factory>& factories() {
       return make_scalar_cipher_gen(std::move(n), ciphers::TriviumRef(key, iv));
     };
     m["aes-ctr-ref"] = [](std::string n, std::uint64_t s) {
-      // Scalar CTR oracle wrapped as a Generator.
-      class AesRefGen final : public Generator {
-       public:
-        AesRefGen(std::string name, std::uint64_t seed)
-            : name_(std::move(name)), cipher_(make_key(seed)) {
-          std::uint64_t x = seed + 1;
-          nonce_ = derive_bytes<12>(x);
-        }
-        void fill(std::span<std::uint8_t> out) override {
-          // Continue the CTR stream across calls via a byte offset.
-          std::vector<std::uint8_t> tmp(offset_ % 16 + out.size());
-          ciphers::aes_ctr_fill(cipher_, nonce_,
-                                static_cast<std::uint32_t>(offset_ / 16), tmp);
-          std::copy(tmp.begin() + static_cast<std::ptrdiff_t>(offset_ % 16),
-                    tmp.end(), out.begin());
-          offset_ += out.size();
-        }
-        std::string_view name() const noexcept override { return name_; }
-
-       private:
-        static std::array<std::uint8_t, 16> make_key(std::uint64_t seed) {
-          std::uint64_t x = seed;
-          return derive_bytes<16>(x);
-        }
-        std::string name_;
-        ciphers::Aes128 cipher_;
-        std::array<std::uint8_t, 12> nonce_{};
-        std::size_t offset_ = 0;
-      };
       return std::make_unique<AesRefGen>(std::move(n), s);
     };
     m["a51-ref"] = [](std::string n, std::uint64_t s) {
@@ -301,23 +335,6 @@ const std::map<std::string, Factory>& factories() {
       return make_scalar_cipher_gen(std::move(n), ciphers::A51Ref(key, frame));
     };
     m["chacha20-ref"] = [](std::string n, std::uint64_t s) {
-      class ChaChaRefGen final : public Generator {
-       public:
-        ChaChaRefGen(std::string name, std::uint64_t seed)
-            : name_(std::move(name)), g_(make(seed)) {}
-        void fill(std::span<std::uint8_t> out) override { g_.fill(out); }
-        std::string_view name() const noexcept override { return name_; }
-
-       private:
-        static ciphers::ChaCha20Ref make(std::uint64_t seed) {
-          std::uint64_t x = seed;
-          const auto key = derive_bytes<32>(x);
-          const auto nonce = derive_bytes<12>(x);
-          return ciphers::ChaCha20Ref(key, nonce);
-        }
-        std::string name_;
-        ciphers::ChaCha20Ref g_;
-      };
       return std::make_unique<ChaChaRefGen>(std::move(n), s);
     };
     m["rc4"] = [](std::string n, std::uint64_t s) {
@@ -392,6 +409,171 @@ std::unique_ptr<Generator> make_generator(std::string_view name,
   return it->second(it->first, seed);
 }
 
+namespace {
+
+// Lane width encoded in a "<cipher>-bs<width>" name, 0 if `name` does not
+// start with `prefix`.
+std::size_t bs_width(std::string_view name, std::string_view prefix) {
+  if (!name.starts_with(prefix)) return 0;
+  const std::string_view rest = name.substr(prefix.size());
+  for (const std::size_t w : {32u, 64u, 128u, 256u, 512u})
+    if (rest == std::to_string(w)) return w;
+  return 0;
+}
+
+// Invoke fn.template operator()<W>() for the slice type of width w.
+template <typename Fn>
+void with_slice_width(std::size_t w, Fn&& fn) {
+  switch (w) {
+    case 32: fn.template operator()<bs::SliceU32>(); break;
+    case 64: fn.template operator()<bs::SliceU64>(); break;
+    case 128: fn.template operator()<bs::SliceV128>(); break;
+    case 256: fn.template operator()<bs::SliceV256>(); break;
+    case 512: fn.template operator()<bs::SliceV512>(); break;
+    default: throw std::invalid_argument("unsupported lane width");
+  }
+}
+
+// Lane-sliced shard granularity: one shard = one 32-lane sub-engine, the
+// paper's per-GPU-thread configuration (§5.4 runs one such engine per
+// device).
+constexpr std::size_t kLaneBlockLanes = 32;
+
+}  // namespace
+
+PartitionSpec partition_spec(std::string_view name, std::uint64_t seed) {
+  if (factories().find(std::string(name)) == factories().end())
+    throw std::invalid_argument("unknown generator: " + std::string(name));
+  PartitionSpec spec;
+  const std::string n(name);
+  spec.make = [n, seed] { return make_generator(n, seed); };
+
+  // --- counter-partitioned families -----------------------------------------
+  if (const std::size_t w = bs_width(n, "aes-ctr-bs")) {
+    spec.kind = PartitionKind::kCounter;
+    spec.block_bytes = 16;
+    with_slice_width(w, [&]<typename W>() {
+      spec.make_at_block = [n, seed](std::uint64_t first_block) {
+        return std::make_unique<AesCtrGen<W>>(
+            n, seed, static_cast<std::uint32_t>(first_block));
+      };
+    });
+    return spec;
+  }
+  if (const std::size_t w = bs_width(n, "chacha20-bs")) {
+    spec.kind = PartitionKind::kCounter;
+    spec.block_bytes = 64;
+    with_slice_width(w, [&]<typename W>() {
+      spec.make_at_block = [n, seed](std::uint64_t first_block) {
+        return std::make_unique<ChaChaGen<W>>(
+            n, seed, static_cast<std::uint32_t>(first_block));
+      };
+    });
+    return spec;
+  }
+  if (n == "aes-ctr-ref") {
+    spec.kind = PartitionKind::kCounter;
+    spec.block_bytes = 16;
+    spec.make_at_block = [n, seed](std::uint64_t first_block) {
+      return std::make_unique<AesRefGen>(n, seed, first_block);
+    };
+    return spec;
+  }
+  if (n == "chacha20-ref") {
+    spec.kind = PartitionKind::kCounter;
+    spec.block_bytes = 64;
+    spec.make_at_block = [n, seed](std::uint64_t first_block) {
+      return std::make_unique<ChaChaRefGen>(
+          n, seed, static_cast<std::uint32_t>(first_block));
+    };
+    return spec;
+  }
+  if (n == "philox") {
+    // Counter-based by construction (Salmon et al.): one 128-bit counter
+    // per 16-byte block, incremented little-endian from word 0.
+    spec.kind = PartitionKind::kCounter;
+    spec.block_bytes = 16;
+    spec.make_at_block = [n, seed](std::uint64_t first_block) {
+      baselines::Philox4x32 g({static_cast<std::uint32_t>(seed),
+                               static_cast<std::uint32_t>(seed >> 32)});
+      g.set_counter({static_cast<std::uint32_t>(first_block),
+                     static_cast<std::uint32_t>(first_block >> 32), 0, 0});
+      return make_chunk_gen(n, [g]() mutable -> Chunk {
+        return {g.next(), 4};
+      });
+    };
+    return spec;
+  }
+
+  // --- lane-sliced bitsliced stream ciphers ---------------------------------
+  // A W-lane serialized stream is rows of W/8 bytes; a 32-lane sub-engine
+  // over lanes [32b, 32b+32) — built from the same per-lane derivation as
+  // the full engine — reproduces byte columns [4b, 4b+4) of every row.
+  const auto lane_spec = [&](std::size_t width, auto&& make_block) {
+    spec.kind = PartitionKind::kLaneSlice;
+    spec.lane_blocks = width / kLaneBlockLanes;
+    spec.lane_block_bytes = kLaneBlockLanes / 8;
+    spec.make_lane_block = std::forward<decltype(make_block)>(make_block);
+  };
+  using U32 = bs::SliceU32;
+  if (const std::size_t w = bs_width(n, "mickey-bs")) {
+    lane_spec(w, [n, seed, w](std::size_t b) -> std::unique_ptr<Generator> {
+      std::vector<ciphers::MickeyBs<U32>::KeyBytes> keys(w);
+      std::vector<ciphers::MickeyBs<U32>::IvBytes> ivs(w);
+      ciphers::derive_mickey_lane_params(seed, keys, ivs);
+      ciphers::MickeyBs<U32> eng(
+          std::span{keys}.subspan(b * kLaneBlockLanes, kLaneBlockLanes),
+          std::span{ivs}.subspan(b * kLaneBlockLanes, kLaneBlockLanes),
+          ciphers::mickey::kMaxIvBits);
+      return std::make_unique<SlicedStreamGen<U32, ciphers::MickeyBs<U32>>>(
+          n, std::move(eng));
+    });
+    return spec;
+  }
+  if (const std::size_t w = bs_width(n, "grain-bs")) {
+    lane_spec(w, [n, seed, w](std::size_t b) -> std::unique_ptr<Generator> {
+      std::vector<ciphers::GrainBs<U32>::KeyBytes> keys(w);
+      std::vector<ciphers::GrainBs<U32>::IvBytes> ivs(w);
+      ciphers::derive_grain_lane_params(seed, keys, ivs);
+      ciphers::GrainBs<U32> eng(
+          std::span{keys}.subspan(b * kLaneBlockLanes, kLaneBlockLanes),
+          std::span{ivs}.subspan(b * kLaneBlockLanes, kLaneBlockLanes));
+      return std::make_unique<SlicedStreamGen<U32, ciphers::GrainBs<U32>>>(
+          n, std::move(eng));
+    });
+    return spec;
+  }
+  if (const std::size_t w = bs_width(n, "trivium-bs")) {
+    lane_spec(w, [n, seed, w](std::size_t b) -> std::unique_ptr<Generator> {
+      std::vector<ciphers::TriviumBs<U32>::KeyBytes> keys(w);
+      std::vector<ciphers::TriviumBs<U32>::IvBytes> ivs(w);
+      ciphers::derive_trivium_lane_params(seed, keys, ivs);
+      ciphers::TriviumBs<U32> eng(
+          std::span{keys}.subspan(b * kLaneBlockLanes, kLaneBlockLanes),
+          std::span{ivs}.subspan(b * kLaneBlockLanes, kLaneBlockLanes));
+      return std::make_unique<SlicedStreamGen<U32, ciphers::TriviumBs<U32>>>(
+          n, std::move(eng));
+    });
+    return spec;
+  }
+  if (const std::size_t w = bs_width(n, "a51-bs")) {
+    lane_spec(w, [n, seed, w](std::size_t b) -> std::unique_ptr<Generator> {
+      std::vector<ciphers::A51Bs<U32>::KeyBytes> keys(w);
+      std::vector<std::uint32_t> frames(w);
+      ciphers::derive_a51_lane_params(seed, keys, frames);
+      ciphers::A51Bs<U32> eng(
+          std::span{keys}.subspan(b * kLaneBlockLanes, kLaneBlockLanes),
+          std::span{frames}.subspan(b * kLaneBlockLanes, kLaneBlockLanes));
+      return std::make_unique<SlicedStreamGen<U32, ciphers::A51Bs<U32>>>(
+          n, std::move(eng));
+    });
+    return spec;
+  }
+
+  // Scalar references and classical baselines: no safe decomposition.
+  return spec;
+}
+
 double gate_ops_per_step(std::string_view cipher) {
   using C = bs::CountingSlice;
   constexpr int kSteps = 256;
@@ -446,23 +628,33 @@ std::vector<AlgorithmInfo> list_algorithms() {
   const double aes = gate_ops_per_step("aes-ctr");  // per block = 128 bits
   const double a51 = gate_ops_per_step("a51");
   const double chacha = gate_ops_per_step("chacha20");  // per block = 512 bits
+  constexpr auto kCtr = PartitionKind::kCounter;
+  constexpr auto kLane = PartitionKind::kLaneSlice;
+  constexpr auto kSeq = PartitionKind::kSequential;
   for (const std::size_t w : {32u, 64u, 128u, 256u, 512u}) {
     const auto ws = std::to_string(w);
     const double dw = static_cast<double>(w);
-    out.push_back({"mickey-bs" + ws, "bitsliced", w, true, mickey / dw});
-    out.push_back({"grain-bs" + ws, "bitsliced", w, true, grain / dw});
-    out.push_back({"trivium-bs" + ws, "bitsliced", w, true, trivium / dw});
-    out.push_back({"aes-ctr-bs" + ws, "bitsliced", w, true, aes / (128.0 * dw)});
-    out.push_back({"a51-bs" + ws, "bitsliced", w, false, a51 / dw});
+    out.push_back({"mickey-bs" + ws, "bitsliced", w, true, mickey / dw, kLane});
+    out.push_back({"grain-bs" + ws, "bitsliced", w, true, grain / dw, kLane});
     out.push_back(
-        {"chacha20-bs" + ws, "bitsliced", w, true, chacha / (512.0 * dw)});
+        {"trivium-bs" + ws, "bitsliced", w, true, trivium / dw, kLane});
+    out.push_back(
+        {"aes-ctr-bs" + ws, "bitsliced", w, true, aes / (128.0 * dw), kCtr});
+    out.push_back({"a51-bs" + ws, "bitsliced", w, false, a51 / dw, kLane});
+    out.push_back(
+        {"chacha20-bs" + ws, "bitsliced", w, true, chacha / (512.0 * dw), kCtr});
   }
   for (const char* n : {"mickey-ref", "grain-ref", "trivium-ref",
                         "aes-ctr-ref", "a51-ref", "chacha20-ref"})
-    out.push_back({n, "reference", 1, true, 0.0});
+    out.push_back({n, "reference", 1, true, 0.0,
+                   std::string_view(n).starts_with("aes-ctr") ||
+                           std::string_view(n).starts_with("chacha20")
+                       ? kCtr
+                       : kSeq});
   for (const char* n : {"mt19937", "xorwow", "philox", "minstd", "xorshift128",
                         "middle-square", "rc4", "pcg32", "xoshiro256pp"})
-    out.push_back({n, "baseline", 1, false, 0.0});
+    out.push_back({n, "baseline", 1, false, 0.0,
+                   std::string_view(n) == "philox" ? kCtr : kSeq});
   return out;
 }
 

@@ -12,6 +12,7 @@
 //     "xorwow", "philox", "minstd", "xorshift128", "middle-square".
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -21,12 +22,56 @@
 
 namespace bsrng::core {
 
+// How a generator family shards its stream across workers/devices (§5.4).
+//   kCounter    — counter-mode: block b of the stream is a pure function of
+//                 (params, b); any contiguous block range can be generated
+//                 independently (aes-ctr-*, chacha20-*, philox).
+//   kLaneSlice  — bitsliced W-lane engines: lanes are independent instances,
+//                 so a 32-lane sub-engine over lanes [32b, 32b+32) reproduces
+//                 byte columns [4b, 4b+4) of every serialized slice row
+//                 (mickey/grain/trivium/a51 bitsliced — the paper's per-GPU
+//                 device slices).
+//   kSequential — no safe decomposition is known; the stream is produced by
+//                 one worker (scalar references and classical baselines).
+enum class PartitionKind { kCounter, kLaneSlice, kSequential };
+
+// Recipe the StreamEngine uses to rebuild any byte range of an algorithm's
+// canonical single-generator stream.  Factories close over the exact same
+// seed derivation as make_generator, so shard output is bit-identical to
+// Generator::fill — a property enforced by tests/core/stream_engine_test.
+struct PartitionSpec {
+  PartitionKind kind = PartitionKind::kSequential;
+
+  // kCounter: stream bytes [b*block_bytes, ...) for any block index b.
+  std::size_t block_bytes = 0;
+  std::function<std::unique_ptr<Generator>(std::uint64_t first_block)>
+      make_at_block;
+
+  // kLaneSlice: the serialized stream is rows of
+  // lane_blocks * lane_block_bytes bytes; make_lane_block(b) yields the
+  // column sub-stream contributing bytes [b*lane_block_bytes,
+  // (b+1)*lane_block_bytes) of every row.
+  std::size_t lane_blocks = 0;
+  std::size_t lane_block_bytes = 0;
+  std::function<std::unique_ptr<Generator>(std::size_t lane_block)>
+      make_lane_block;
+
+  // Always set: the whole-stream generator (the kSequential path, and the
+  // reference every other path must reproduce).
+  std::function<std::unique_ptr<Generator>()> make;
+};
+
+// Sharding recipe for a registered algorithm; throws std::invalid_argument
+// for unknown names (same name space as make_generator).
+PartitionSpec partition_spec(std::string_view name, std::uint64_t seed);
+
 struct AlgorithmInfo {
   std::string name;
   std::string family;      // "bitsliced", "reference", "baseline"
   std::size_t lanes;       // parallel instances per generator
   bool cryptographic;      // CSPRNG vs statistical PRNG
   double gate_ops_per_bit; // exact gate count per output bit (0 if n/a)
+  PartitionKind partition; // how StreamEngine shards this family
 };
 
 // All registered algorithms with their measured gate costs.

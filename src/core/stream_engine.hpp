@@ -1,0 +1,89 @@
+// stream_engine.hpp — deterministic thread-pool sharded generation (§5.4,
+// generalized).
+//
+// The paper partitions seed/nonce/counter space across D devices and
+// reconstructs a bit-identical single-device sequence.  StreamEngine lifts
+// that per-algorithm trick into one engine: it fills an arbitrary output
+// span for ANY registered generator by partitioning work across T pool
+// workers according to the algorithm's PartitionSpec, and the result is
+// byte-identical to a direct single-generator Generator::fill for every T
+// (enforced by tests/core/stream_engine_test.cpp).
+//
+//   kCounter    — the span is cut into block-aligned chunks; each worker
+//                 claims chunks dynamically and generates them with a shard
+//                 generator seeked to the chunk's first block.
+//   kLaneSlice  — each worker claims 32-lane column sub-streams and scatters
+//                 their bytes into the interleaved row layout, double-
+//                 buffered per worker so generation and scatter alternate on
+//                 warm buffers.
+//   kSequential — one worker produces the whole stream in chunks (no safe
+//                 decomposition; determinism is trivial).
+//
+// The engine owns a persistent ThreadPool; construct once, generate many.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "core/registry.hpp"
+#include "core/thread_pool.hpp"
+#include "core/throughput.hpp"
+
+namespace bsrng::core {
+
+struct StreamEngineConfig {
+  // Pool width; 0 = hardware concurrency.
+  std::size_t workers = 0;
+  // Scheduling granularity for kCounter/kSequential chunking and the
+  // kLaneSlice scatter buffers.  0 = one contiguous chunk per worker (the
+  // §5.4 multi-device layout, used by the multi_device_* wrappers).
+  std::size_t chunk_bytes = 1u << 18;
+  // When false, tasks run inline on the calling thread in task order
+  // (attributed round-robin to "workers" for the report) — the multi-device
+  // wrappers' sequential baseline mode.
+  bool parallel = true;
+};
+
+class StreamEngine {
+ public:
+  explicit StreamEngine(StreamEngineConfig config = {});
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  std::size_t workers() const noexcept { return config_.workers; }
+
+  // Fill `out` with the canonical stream of a registered algorithm,
+  // sharded per its PartitionSpec.  Byte-identical to
+  // make_generator(algo, seed)->fill(out) for every worker count.
+  ThroughputReport generate(std::string_view algo, std::uint64_t seed,
+                            std::span<std::uint8_t> out);
+
+  // Same, from an explicit spec (the multi_device_* wrappers use this with
+  // hand-built specs).
+  ThroughputReport generate(const PartitionSpec& spec,
+                            std::span<std::uint8_t> out);
+
+ private:
+  ThroughputReport run_counter(const PartitionSpec& spec,
+                               std::span<std::uint8_t> out);
+  ThroughputReport run_lane_slice(const PartitionSpec& spec,
+                                  std::span<std::uint8_t> out);
+  ThroughputReport run_sequential(const PartitionSpec& spec,
+                                  std::span<std::uint8_t> out);
+
+  // Run task(t) for t in [0, ntasks) honoring config_.parallel; each task
+  // returns the bytes it produced.  Times every task and attributes busy
+  // time/bytes to the executing worker; returns the finalized report.
+  ThroughputReport dispatch(
+      std::size_t ntasks,
+      const std::function<std::uint64_t(std::size_t task)>& task);
+
+  StreamEngineConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace bsrng::core

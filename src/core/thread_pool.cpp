@@ -1,0 +1,91 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace bsrng::core {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers = std::max<std::size_t>(1, workers);
+  threads_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+std::size_t ThreadPool::default_workers() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::run_indexed(
+    std::size_t ntasks,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (ntasks == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &fn;
+  job_tasks_ = ntasks;
+  pending_ = ntasks;
+  first_error_ = nullptr;
+  ++generation_;
+  cursor_.store(static_cast<std::uint64_t>(generation_ & 0xFFFFFFFFu) << 32,
+                std::memory_order_release);
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(std::exchange(first_error_, nullptr));
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* fn;
+    std::size_t ntasks;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = job_;
+      ntasks = job_tasks_;
+    }
+    const std::uint64_t tag = static_cast<std::uint64_t>(seen & 0xFFFFFFFFu)
+                              << 32;
+    std::size_t done_here = 0;
+    std::exception_ptr err;
+    std::uint64_t cur = cursor_.load(std::memory_order_acquire);
+    for (;;) {
+      // Claim only while the cursor still carries this batch's tag; the CAS
+      // makes tag check and index claim one atomic step.
+      if ((cur & ~std::uint64_t{0xFFFFFFFFu}) != tag) break;
+      const std::size_t t = static_cast<std::size_t>(cur & 0xFFFFFFFFu);
+      if (t >= ntasks) break;
+      if (!cursor_.compare_exchange_weak(cur, cur + 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire))
+        continue;
+      try {
+        (*fn)(worker, t);
+      } catch (...) {
+        if (!err) err = std::current_exception();
+      }
+      ++done_here;
+      cur = cursor_.load(std::memory_order_acquire);
+    }
+    if (done_here > 0 || err) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (err && !first_error_) first_error_ = err;
+      pending_ -= done_here;
+      if (pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace bsrng::core

@@ -1,0 +1,66 @@
+// thread_pool.hpp — persistent worker pool for sharded generation.
+//
+// One pool, many runs: StreamEngine submits a batch of independent partition
+// tasks, workers claim indices from an atomic cursor (dynamic scheduling, so
+// an unlucky slow shard does not stall the fast ones), and run_indexed
+// blocks until the whole batch is drained.  The same pool backs the bench
+// harness, replacing the per-benchmark ad-hoc std::thread spawning.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bsrng::core {
+
+class ThreadPool {
+ public:
+  // Spawns `workers` threads (at least one).  Threads persist until
+  // destruction; an idle pool consumes no CPU.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return threads_.size(); }
+
+  // Execute fn(worker, task) for every task index in [0, ntasks), spread
+  // dynamically over the pool; blocks until all tasks finished.  The first
+  // exception thrown by any task is rethrown here (remaining tasks of the
+  // batch are still drained so the pool stays consistent).
+  void run_indexed(std::size_t ntasks,
+                   const std::function<void(std::size_t worker,
+                                            std::size_t task)>& fn);
+
+  // Default worker count: the hardware concurrency, at least one.
+  static std::size_t default_workers();
+
+ private:
+  void worker_loop(std::size_t worker);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a new batch
+  std::condition_variable done_cv_;  // run_indexed waits for completion
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_tasks_ = 0;
+  std::uint64_t generation_ = 0;  // bumped per batch
+  // Claim cursor: batch tag (generation mod 2^32) in the high half, next
+  // unclaimed task index in the low half.  Claims go through CAS on the
+  // whole word, so a worker that overslept a batch can observe the tag
+  // mismatch and back off without ever consuming an index of — or invoking
+  // the (dead) job of — a batch it did not sign up for.
+  std::atomic<std::uint64_t> cursor_{0};
+  std::size_t pending_ = 0;       // tasks not yet finished
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace bsrng::core

@@ -1,5 +1,6 @@
 #include "core/throughput.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <vector>
 
@@ -28,6 +29,18 @@ ThroughputResult measure_throughput(Generator& gen, std::uint64_t total_bytes,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return r;
+}
+
+void finalize_report(ThroughputReport& rep) {
+  rep.workers = rep.per_worker.size();
+  rep.bytes = 0;
+  rep.max_worker_seconds = 0.0;
+  rep.sum_worker_seconds = 0.0;
+  for (const WorkerStat& w : rep.per_worker) {
+    rep.bytes += w.bytes;
+    rep.sum_worker_seconds += w.seconds;
+    rep.max_worker_seconds = std::max(rep.max_worker_seconds, w.seconds);
+  }
 }
 
 }  // namespace bsrng::core

@@ -90,3 +90,50 @@ TEST(BitBuf, EqualityComparesContentAndLength) {
   b.push_back(false);
   EXPECT_FALSE(a == b);
 }
+
+// Partial-word edges: sizes straddling the 64-bit word boundary must mask,
+// count, slice, and round-trip through bytes correctly.
+TEST(BitBuf, PartialWordEdgeSizes) {
+  std::mt19937_64 rng(31);
+  for (const std::size_t n : {63u, 64u, 65u, 127u, 128u, 129u}) {
+    BitBuf b(n);
+    std::vector<bool> expect(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      expect[i] = rng() & 1u;
+      b.set(i, expect[i]);
+    }
+    ASSERT_EQ(b.size(), n);
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(b.get(i), expect[i]) << "n=" << n << " i=" << i;
+      ones += expect[i];
+    }
+    EXPECT_EQ(b.count(), ones) << "n=" << n;
+
+    // Bytes round-trip: re-appending to_bytes() and truncating reproduces b.
+    const auto bytes = b.to_bytes();
+    ASSERT_EQ(bytes.size(), (n + 7) / 8);
+    BitBuf back;
+    back.append_bytes(bytes);
+    back.resize(n);
+    EXPECT_EQ(back, b) << "n=" << n;
+  }
+}
+
+TEST(BitBuf, SliceAcrossWordBoundaries) {
+  std::mt19937_64 rng(32);
+  BitBuf b(300);
+  for (std::size_t i = 0; i < 300; ++i) b.set(i, rng() & 1u);
+  // Slices chosen to start/end mid-word, exactly on words, and span several.
+  const std::size_t cases[][2] = {{0, 63},   {0, 64},  {1, 64},   {63, 2},
+                                  {63, 65},  {64, 64}, {100, 129}, {191, 65},
+                                  {255, 45}};
+  for (const auto& [pos, len] : cases) {
+    const BitBuf s = b.slice(pos, len);
+    ASSERT_EQ(s.size(), len) << "pos=" << pos;
+    for (std::size_t i = 0; i < len; ++i)
+      ASSERT_EQ(s.get(i), b.get(pos + i)) << "pos=" << pos << " i=" << i;
+    // Tail past len must be masked so equality semantics hold.
+    EXPECT_EQ(s, b.slice(pos, len));
+  }
+}

@@ -121,3 +121,28 @@ TYPED_TEST(InterleaveTypes, SliceLaneSemantics) {
                 (rows[j][t / 64] >> (t % 64)) & 1u)
           << "t=" << t << " lane=" << j;
 }
+
+// Property: transpose is an involution — transpose(transpose(x)) == x — at
+// every supported block size (8x8 and 32x32; 64x64 is covered above).
+TEST(Transpose8, IsInvolution) {
+  std::mt19937_64 rng(21);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::uint8_t m[8], orig[8];
+    for (int i = 0; i < 8; ++i) m[i] = orig[i] = static_cast<std::uint8_t>(rng());
+    bs::transpose8x8(m);
+    bs::transpose8x8(m);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(m[i], orig[i]) << "row " << i;
+  }
+}
+
+TEST(Transpose32, IsInvolution) {
+  std::mt19937_64 rng(22);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::uint32_t m[32], orig[32];
+    for (int i = 0; i < 32; ++i)
+      m[i] = orig[i] = static_cast<std::uint32_t>(rng());
+    bs::transpose32x32(m);
+    bs::transpose32x32(m);
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(m[i], orig[i]) << "row " << i;
+  }
+}

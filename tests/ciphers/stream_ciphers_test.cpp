@@ -8,6 +8,10 @@
 #include <random>
 #include <set>
 
+#include "ciphers/a51_bs.hpp"
+#include "ciphers/a51_ref.hpp"
+#include "ciphers/chacha_bs.hpp"
+#include "ciphers/chacha_ref.hpp"
 #include "ciphers/grain_bs.hpp"
 #include "ciphers/grain_ref.hpp"
 #include "ciphers/mickey_bs.hpp"
@@ -255,6 +259,124 @@ TYPED_TEST(SlicedCiphers, MasterSeedLanesAreDistinct) {
   }
   std::set<std::uint64_t> uniq(sig.begin(), sig.end());
   EXPECT_EQ(uniq.size(), L);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized-seed differential: master-seed bitsliced engines vs per-lane
+// scalar references, at every width.  The per-lane parameters come from the
+// exported derive_*_lane_params helpers — the same derivation StreamEngine's
+// lane-slice sharding relies on, so these tests pin both the cipher
+// equivalence (§4.4) and the sharding contract (§5.4).
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr int kRandomSeeds = 16;
+constexpr int kDiffSteps = 64;
+
+std::uint64_t nth_seed(std::mt19937_64& rng) { return rng(); }
+}  // namespace
+
+TYPED_TEST(SlicedCiphers, MickeyRandomSeedsMatchPerLaneReferences) {
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  std::mt19937_64 rng(101);
+  for (int s = 0; s < kRandomSeeds; ++s) {
+    const std::uint64_t seed = nth_seed(rng);
+    std::vector<typename ci::MickeyBs<TypeParam>::KeyBytes> keys(L);
+    std::vector<typename ci::MickeyBs<TypeParam>::IvBytes> ivs(L);
+    ci::derive_mickey_lane_params(seed, keys, ivs);
+    ci::MickeyBs<TypeParam> sliced(seed);
+    std::vector<ci::MickeyRef> refs;
+    refs.reserve(L);
+    for (std::size_t j = 0; j < L; ++j) refs.emplace_back(keys[j], ivs[j]);
+    for (int t = 0; t < kDiffSteps; ++t) {
+      const TypeParam z = sliced.step();
+      for (std::size_t j = 0; j < L; ++j)
+        ASSERT_EQ(bs::SliceTraits<TypeParam>::get_lane(z, j), refs[j].step())
+            << "seed=" << seed << " t=" << t << " lane=" << j;
+    }
+  }
+}
+
+TYPED_TEST(SlicedCiphers, GrainRandomSeedsMatchPerLaneReferences) {
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  std::mt19937_64 rng(102);
+  for (int s = 0; s < kRandomSeeds; ++s) {
+    const std::uint64_t seed = nth_seed(rng);
+    std::vector<typename ci::GrainBs<TypeParam>::KeyBytes> keys(L);
+    std::vector<typename ci::GrainBs<TypeParam>::IvBytes> ivs(L);
+    ci::derive_grain_lane_params(seed, keys, ivs);
+    ci::GrainBs<TypeParam> sliced(seed);
+    std::vector<ci::GrainRef> refs;
+    refs.reserve(L);
+    for (std::size_t j = 0; j < L; ++j) refs.emplace_back(keys[j], ivs[j]);
+    for (int t = 0; t < kDiffSteps; ++t) {
+      const TypeParam z = sliced.step();
+      for (std::size_t j = 0; j < L; ++j)
+        ASSERT_EQ(bs::SliceTraits<TypeParam>::get_lane(z, j), refs[j].step())
+            << "seed=" << seed << " t=" << t << " lane=" << j;
+    }
+  }
+}
+
+TYPED_TEST(SlicedCiphers, TriviumRandomSeedsMatchPerLaneReferences) {
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  std::mt19937_64 rng(103);
+  for (int s = 0; s < kRandomSeeds; ++s) {
+    const std::uint64_t seed = nth_seed(rng);
+    std::vector<typename ci::TriviumBs<TypeParam>::KeyBytes> keys(L);
+    std::vector<typename ci::TriviumBs<TypeParam>::IvBytes> ivs(L);
+    ci::derive_trivium_lane_params(seed, keys, ivs);
+    ci::TriviumBs<TypeParam> sliced(seed);
+    std::vector<ci::TriviumRef> refs;
+    refs.reserve(L);
+    for (std::size_t j = 0; j < L; ++j) refs.emplace_back(keys[j], ivs[j]);
+    for (int t = 0; t < kDiffSteps; ++t) {
+      const TypeParam z = sliced.step();
+      for (std::size_t j = 0; j < L; ++j)
+        ASSERT_EQ(bs::SliceTraits<TypeParam>::get_lane(z, j), refs[j].step())
+            << "seed=" << seed << " t=" << t << " lane=" << j;
+    }
+  }
+}
+
+TYPED_TEST(SlicedCiphers, A51RandomSeedsMatchPerLaneReferences) {
+  constexpr std::size_t L = bs::lane_count<TypeParam>;
+  std::mt19937_64 rng(104);
+  for (int s = 0; s < kRandomSeeds; ++s) {
+    const std::uint64_t seed = nth_seed(rng);
+    std::vector<typename ci::A51Bs<TypeParam>::KeyBytes> keys(L);
+    std::vector<std::uint32_t> frames(L);
+    ci::derive_a51_lane_params(seed, keys, frames);
+    ci::A51Bs<TypeParam> sliced(seed);
+    std::vector<ci::A51Ref> refs;
+    refs.reserve(L);
+    for (std::size_t j = 0; j < L; ++j) refs.emplace_back(keys[j], frames[j]);
+    for (int t = 0; t < kDiffSteps; ++t) {
+      const TypeParam z = sliced.step();
+      for (std::size_t j = 0; j < L; ++j)
+        ASSERT_EQ(bs::SliceTraits<TypeParam>::get_lane(z, j), refs[j].step())
+            << "seed=" << seed << " t=" << t << " lane=" << j;
+    }
+  }
+}
+
+TYPED_TEST(SlicedCiphers, ChaChaRandomKeysMatchReferenceStream) {
+  // ChaCha's lanes are counter offsets of ONE (key, nonce) stream, so the
+  // differential is fill-vs-fill: bitsliced output at width W must equal the
+  // scalar RFC 8439 stream byte-for-byte, from a random counter origin.
+  std::mt19937_64 rng(105);
+  for (int s = 0; s < kRandomSeeds; ++s) {
+    const auto key = rand_bytes<32>(rng);
+    const auto nonce = rand_bytes<12>(rng);
+    const auto counter0 = static_cast<std::uint32_t>(rng() & 0xFFFF);
+    const std::size_t n = 512 + static_cast<std::size_t>(rng() % 997);
+    ci::ChaCha20Bs<TypeParam> sliced(key, nonce, counter0);
+    ci::ChaCha20Ref ref(key, nonce, counter0);
+    std::vector<std::uint8_t> a(n), b(n);
+    sliced.fill(a);
+    ref.fill(b);
+    ASSERT_EQ(a, b) << "chacha differential, trial " << s << " n=" << n;
+  }
 }
 
 TEST(SlicedCipherArguments, Rejected) {

@@ -161,9 +161,9 @@ TEST(MultiDevice, ReportAccountsWork) {
   std::vector<std::uint8_t> key(16, 1), nonce(12, 2);
   std::vector<std::uint8_t> out(1 << 20);
   const auto rep = co::multi_device_aes_ctr(key, nonce, 2, out);
-  EXPECT_EQ(rep.devices, 2u);
-  EXPECT_GT(rep.sum_device_seconds, 0.0);
-  EXPECT_GE(rep.sum_device_seconds, rep.max_device_seconds);
+  EXPECT_EQ(rep.workers, 2u);
+  EXPECT_GT(rep.sum_worker_seconds, 0.0);
+  EXPECT_GE(rep.sum_worker_seconds, rep.max_worker_seconds);
   // With balanced chunks the modeled speedup approaches D (the paper reports
   // 1.92x on 2 GPUs); allow generous slack on a loaded host.
   EXPECT_GT(rep.modeled_speedup(), 1.5);

@@ -110,3 +110,24 @@ TEST(Jump, DisjointSubstreamPartitioning) {
       ASSERT_EQ(dev.step(), stream[d * chunk + i]) << "device " << d;
   }
 }
+
+// Property: jump(n) == n sequential clocks for random n across many degrees
+// (the earlier parameterized test pins one degree and fixed counts).
+TEST(Jump, RandomStepCountsAcrossDegrees) {
+  std::mt19937_64 rng(77);
+  for (const unsigned degree : {8u, 17u, 24u, 33u, 48u, 64u}) {
+    const auto poly = lf::primitive_polynomial(degree);
+    const std::uint64_t mask =
+        degree == 64 ? ~0ull : (1ull << degree) - 1;
+    for (int trial = 0; trial < 8; ++trial) {
+      const std::uint64_t seed = (rng() & mask) | 1u;
+      const std::uint64_t steps = rng() % 4096;
+      lf::FibonacciLfsr jumped(poly, seed);
+      lf::FibonacciLfsr clocked(poly, seed);
+      lf::jump(jumped, steps);
+      for (std::uint64_t i = 0; i < steps; ++i) clocked.step();
+      ASSERT_EQ(jumped.state(), clocked.state())
+          << "degree=" << degree << " steps=" << steps << " seed=" << seed;
+    }
+  }
+}
