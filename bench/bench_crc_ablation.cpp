@@ -3,9 +3,11 @@
 // stream, including the boundary transpose cost).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <random>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "bitslice/transpose.hpp"
 #include "crc/crc32.hpp"
 #include "crc/crc8.hpp"
@@ -110,6 +112,36 @@ void BM_Crc8Bitsliced(benchmark::State& state) {
                           static_cast<std::int64_t>(L) * kFrameBytes);
 }
 
+// Direct timed CRC-32 over one frame set per width (transpose included, as
+// in the Google Benchmark cases above), recorded as JSON.
+template <typename W>
+void record_crc32_rate(bsrng::bench::JsonWriter& json, const char* label) {
+  using Clock = std::chrono::steady_clock;
+  constexpr std::size_t L = bs::lane_count<W>;
+  const auto frames = make_frames(L);
+  std::vector<std::vector<std::uint64_t>> rows(L);
+  for (std::size_t j = 0; j < L; ++j) {
+    rows[j].assign(kFrameBytes / 8, 0);
+    for (std::size_t b = 0; b < kFrameBytes; ++b)
+      rows[j][b / 8] |= std::uint64_t{frames[j][b]} << (8 * (b % 8));
+  }
+  constexpr std::size_t kReps = 256;
+  std::uint32_t acc = 0;
+  const auto t0 = Clock::now();
+  for (std::size_t rep = 0; rep < kReps; ++rep) {
+    std::vector<W> columns;
+    bs::interleave<W>(rows, kFrameBytes * 8, columns);
+    crc::Crc32Sliced<W> sliced;
+    for (const auto& in : columns) sliced.step(in);
+    for (std::size_t j = 0; j < L; ++j) acc ^= sliced.lane_crc(j);
+  }
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  benchmark::DoNotOptimize(acc);
+  const std::uint64_t bytes = kReps * L * kFrameBytes;
+  json.add({label, L, 1, bytes, secs,
+            secs > 0 ? static_cast<double>(bytes) * 8.0 / secs / 1e9 : 0.0});
+}
+
 }  // namespace
 
 BENCHMARK(BM_Crc32BitSerial)->Arg(64)->Arg(512);
@@ -121,4 +153,13 @@ BENCHMARK(BM_Crc8Bitwise)->Arg(64)->Arg(512);
 BENCHMARK_TEMPLATE(BM_Crc8Bitsliced, bs::SliceU32);
 BENCHMARK_TEMPLATE(BM_Crc8Bitsliced, bs::SliceV512);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bsrng::bench::JsonWriter json("bench_crc_ablation", &argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  record_crc32_rate<bs::SliceU32>(json, "crc32-bs32");
+  record_crc32_rate<bs::SliceV256>(json, "crc32-bs256");
+  record_crc32_rate<bs::SliceV512>(json, "crc32-bs512");
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/registry.hpp"
 #include "core/stream_engine.hpp"
 #include "core/throughput.hpp"
@@ -35,12 +36,16 @@ void BM_Fill(benchmark::State& state, const std::string& algo) {
 // worker: the column is per-device throughput) instead of each row spinning
 // up its own measurement loop.
 double measured_gbps(co::StreamEngine& engine, const std::string& algo,
-                     std::span<std::uint8_t> buf) {
+                     std::span<std::uint8_t> buf,
+                     bsrng::bench::JsonWriter& json) {
   engine.generate(algo, 1, buf);  // warm-up: page in the buffer, init tables
-  return engine.generate(algo, 1, buf).gbps();
+  const auto rep = engine.generate(algo, 1, buf);
+  json.add({algo, co::find_algorithm(algo)->lanes, 1, rep.bytes,
+            rep.wall_seconds, rep.gbps()});
+  return rep.gbps();
 }
 
-void print_figure10() {
+void print_figure10(bsrng::bench::JsonWriter& json) {
   co::StreamEngine engine({.workers = 1});
   std::vector<std::uint8_t> buf(8u << 20);
   // Per-bit gate cost at the paper's W = 32 (one GPU thread = 32 lanes).
@@ -82,7 +87,7 @@ void print_figure10() {
           g, gs::ProjectionParams{.gate_ops_per_bit = ops_bit});
       std::printf(" %12.1f", gbps);
     }
-    std::printf(" %12.2f\n", measured_gbps(engine, a.cpu_name, buf));
+    std::printf(" %12.2f\n", measured_gbps(engine, a.cpu_name, buf, json));
   }
 
   // cuRAND-class baseline: empirically memory-utilization-bound; the paper's
@@ -90,7 +95,7 @@ void print_figure10() {
   std::printf("%-22s", "cuRAND-class (mem-bound)");
   for (const auto& g : gs::device_catalog())
     std::printf(" %12.1f", 0.40 * g.mem_bw_gbs * 8.0);
-  std::printf(" %12.2f\n", measured_gbps(engine, "mt19937", buf));
+  std::printf(" %12.2f\n", measured_gbps(engine, "mt19937", buf, json));
 
   std::printf(
       "\npaper anchors: MICKEY 2.72 Tb/s on GTX 2080 Ti, 2.90 Tb/s on V100;\n"
@@ -109,9 +114,10 @@ BENCHMARK_CAPTURE(BM_Fill, xorwow, "xorwow");
 BENCHMARK_CAPTURE(BM_Fill, philox, "philox");
 
 int main(int argc, char** argv) {
+  bsrng::bench::JsonWriter json("bench_fig10_throughput", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print_figure10();
+  print_figure10(json);
   return 0;
 }

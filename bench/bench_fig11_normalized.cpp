@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/registry.hpp"
 #include "core/throughput.hpp"
 #include "gpusim/catalog.hpp"
@@ -32,7 +33,7 @@ void BM_NormalizedFill(benchmark::State& state, const std::string& algo) {
                           static_cast<std::int64_t>(buf.size()));
 }
 
-void print_table1_fig11() {
+void print_table1_fig11(bsrng::bench::JsonWriter& json) {
   struct PriorWork {
     const char* ref;
     int year;
@@ -89,6 +90,7 @@ void print_table1_fig11() {
     std::printf("%-26s %10.2f %16.4f   (measured, 1 CPU core @ ~%d GFLOPS)\n",
                 (std::string(algo) + " / host").c_str(), m.gbps(),
                 m.gbps() / kHostGflops, static_cast<int>(kHostGflops));
+    json.add({algo, gen->lanes(), 1, m.bytes, m.seconds, m.gbps()});
   }
   // Devices with high BW-per-FLOP favor cheap kernels most: show the best
   // normalized configuration (Trivium on the GTX 480) explicitly.
@@ -114,9 +116,10 @@ BENCHMARK_CAPTURE(BM_NormalizedFill, grain_bs512, "grain-bs512");
 BENCHMARK_CAPTURE(BM_NormalizedFill, trivium_bs512, "trivium-bs512");
 
 int main(int argc, char** argv) {
+  bsrng::bench::JsonWriter json("bench_fig11_normalized", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print_table1_fig11();
+  print_table1_fig11(json);
   return 0;
 }

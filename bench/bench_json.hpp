@@ -1,0 +1,107 @@
+// bench_json.hpp — machine-readable results for the bench_* binaries.
+//
+// Every bench accepts `--json <path>` (or `--json=<path>`) and, when given,
+// writes a JSON array of records alongside its human-readable tables:
+//
+//   [{"algorithm": "mickey-bs512", "bench": "bench_stream_engine",
+//     "bytes": 4194304, "gbps": 12.3, "seconds": 0.0027,
+//     "width": 512, "workers": 4}, ...]
+//
+// The flag is stripped from argc/argv *before* benchmark::Initialize runs
+// (Google Benchmark aborts on flags it does not know).  Records come from
+// the benches' own table measurements, so `--benchmark_filter=NONE` still
+// produces a full file — that is what the CI smoke run does.  The schema is
+// validated by tools/bench_json_check.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace bsrng::bench {
+
+// One measured configuration.  `width` is the lane count of the generator
+// (1 for scalar baselines, 0 when lanes are not meaningful for the row).
+struct JsonRecord {
+  std::string algorithm;
+  std::size_t width = 0;
+  std::size_t workers = 1;
+  std::uint64_t bytes = 0;
+  double seconds = 0.0;
+  double gbps = 0.0;
+};
+
+class JsonWriter {
+ public:
+  // Scans argv for `--json <path>` / `--json=<path>`, removes the flag, and
+  // updates *argc so benchmark::Initialize never sees it.
+  JsonWriter(std::string bench, int* argc, char** argv)
+      : bench_(std::move(bench)) {
+    int w = 1;
+    for (int r = 1; r < *argc; ++r) {
+      const std::string arg = argv[r];
+      if (arg == "--json" && r + 1 < *argc) {
+        path_ = argv[++r];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        path_ = arg.substr(7);
+      } else {
+        argv[w++] = argv[r];
+      }
+    }
+    *argc = w;
+    argv[w] = nullptr;
+  }
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  ~JsonWriter() { write(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void add(JsonRecord r) { records_.push_back(std::move(r)); }
+
+  // Serialize and write the file (idempotent; the destructor calls it too).
+  void write() {
+    if (path_.empty() || written_) return;
+    written_ = true;
+    telemetry::JsonValue::Array arr;
+    arr.reserve(records_.size());
+    for (const JsonRecord& r : records_) {
+      telemetry::JsonValue::Object o;
+      o.emplace("bench", telemetry::JsonValue(bench_));
+      o.emplace("algorithm", telemetry::JsonValue(r.algorithm));
+      o.emplace("width", telemetry::JsonValue(static_cast<double>(r.width)));
+      o.emplace("workers",
+                telemetry::JsonValue(static_cast<double>(r.workers)));
+      o.emplace("bytes", telemetry::JsonValue(static_cast<double>(r.bytes)));
+      o.emplace("seconds", telemetry::JsonValue(r.seconds));
+      o.emplace("gbps", telemetry::JsonValue(r.gbps));
+      arr.emplace_back(std::move(o));
+    }
+    const std::string text = telemetry::JsonValue(std::move(arr)).dump();
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open %s for writing\n",
+                   path_.c_str());
+      return;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "bench_json: wrote %zu records to %s\n",
+                 records_.size(), path_.c_str());
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<JsonRecord> records_;
+  bool written_ = false;
+};
+
+}  // namespace bsrng::bench

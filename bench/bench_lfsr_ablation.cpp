@@ -4,9 +4,11 @@
 // lane widths, plus the exact gate-count identity the paper argues from.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "bitslice/slice.hpp"
 #include "core/registry.hpp"
 #include "lfsr/bitsliced_lfsr.hpp"
@@ -49,7 +51,25 @@ void BM_BitslicedLfsr(benchmark::State& state) {
                           static_cast<std::int64_t>(bs::lane_count<W>));
 }
 
-void print_gate_identity() {
+// Direct timed run of the Fig. 8 column LFSR at full host width, recorded
+// as JSON alongside the gate identity (one record per degree).
+template <typename W>
+void record_bitsliced_rate(bsrng::bench::JsonWriter& json, unsigned degree,
+                           const char* label) {
+  using Clock = std::chrono::steady_clock;
+  lf::BitslicedLfsr<W> l(lf::primitive_polynomial(degree), 99u);
+  constexpr std::size_t kSteps = 1u << 16;  // bits per lane
+  W acc = bs::SliceTraits<W>::zero();
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < kSteps; ++i) acc ^= l.step();
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  benchmark::DoNotOptimize(acc);
+  const std::uint64_t bytes = kSteps * bs::lane_count<W> / 8;
+  json.add({label, bs::lane_count<W>, 1, bytes, secs,
+            secs > 0 ? static_cast<double>(bytes) * 8.0 / secs / 1e9 : 0.0});
+}
+
+void print_gate_identity(bsrng::bench::JsonWriter& json) {
   std::printf("\n=== §4.3 operation-count identity ===\n");
   std::printf("%-8s %6s %28s %24s\n", "degree", "taps k", "naive (32 x k XOR + shifts)",
               "bitsliced (k wide XOR)");
@@ -61,6 +81,9 @@ void print_gate_identity() {
     std::printf("%-8u %6u %28u %24.0f\n", n, k, 32 * k, measured);
   }
   std::printf("(measured column = CountingSlice gate audit of one clock)\n");
+  record_bitsliced_rate<bs::SliceV512>(json, 20, "lfsr20-bs512");
+  record_bitsliced_rate<bs::SliceV512>(json, 32, "lfsr32-bs512");
+  record_bitsliced_rate<bs::SliceV512>(json, 64, "lfsr64-bs512");
 }
 
 }  // namespace
@@ -75,9 +98,10 @@ BENCHMARK_TEMPLATE(BM_BitslicedLfsr, bs::SliceU32)->Arg(20)->Arg(32)->Arg(64);
 BENCHMARK_TEMPLATE(BM_BitslicedLfsr, bs::SliceV512)->Arg(20)->Arg(32)->Arg(64);
 
 int main(int argc, char** argv) {
+  bsrng::bench::JsonWriter json("bench_lfsr_ablation", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print_gate_identity();
+  print_gate_identity(json);
   return 0;
 }

@@ -7,12 +7,14 @@
 // global memory.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "baselines/xorshift.hpp"
+#include "bench_json.hpp"
 #include "core/gpu_kernel.hpp"
 #include "core/thread_pool.hpp"
 #include "gpusim/device.hpp"
@@ -84,7 +86,7 @@ gs::MemStats run_staged(gs::Device& dev, std::size_t staging) {
       });
 }
 
-void print_ablation() {
+void print_ablation(bsrng::bench::JsonWriter& json) {
   std::printf("\n=== §4.5 memory-path ablation (modeled transactions) ===\n");
   std::printf("grid: %zu blocks x %zu threads, %zu words/thread, %zu KiB total\n",
               kBlocks, kThreads, kSteps, total_words() * 4 / 1024);
@@ -138,13 +140,23 @@ void print_ablation() {
   const std::size_t words =
       cfg.blocks * cfg.threads_per_block * cfg.words_per_thread;
   const auto row = [&](const char* label) {
+    using Clock = std::chrono::steady_clock;
     gs::Device dev(words);
+    const auto t0 = Clock::now();
     const auto r = bsrng::core::run_mickey_gpu_kernel(dev, cfg);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
     std::printf("%-34s %14llu %12.3f %12llu\n", label,
                 static_cast<unsigned long long>(r.stats.global_transactions),
                 r.stats.coalescing_efficiency(),
                 static_cast<unsigned long long>(r.stats.shared_accesses));
     print_check_reports(dev, label);
+    // Simulated-GPU wall rate: one record per kernel variant; workers is
+    // the simulated thread count of the launch.
+    const std::uint64_t bytes = words * 4;
+    json.add({std::string("mickey-bs32/gpusim ") + label, 32,
+              cfg.blocks * cfg.threads_per_block, bytes, secs,
+              secs > 0 ? static_cast<double>(bytes) * 8.0 / secs / 1e9 : 0.0});
   };
   row("staged + coalesced (paper §4.5)");
   cfg.use_shared_staging = false;
@@ -180,9 +192,10 @@ BENCHMARK(BM_StridedKernel)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_StagedKernel)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  bsrng::bench::JsonWriter json("bench_memory_ablation", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print_ablation();
+  print_ablation(json);
   return 0;
 }

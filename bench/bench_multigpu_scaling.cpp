@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/multi_device.hpp"
 #include "core/registry.hpp"
 #include "core/stream_engine.hpp"
@@ -19,7 +20,7 @@ namespace {
 
 constexpr std::size_t kBytes = 4u << 20;
 
-void print_scaling() {
+void print_scaling(bsrng::bench::JsonWriter& json) {
   const std::vector<std::uint8_t> key(16, 0x42), nonce(12, 0x17);
   std::vector<std::uint8_t> reference(kBytes), out(kBytes);
   co::multi_device_aes_ctr(key, nonce, 1, reference, /*parallel=*/false);
@@ -34,6 +35,8 @@ void print_scaling() {
                 rep.wall_seconds, rep.max_worker_seconds,
                 rep.sum_worker_seconds, rep.modeled_speedup(),
                 out == reference ? "yes" : "NO");
+    json.add({"aes-ctr-bs32", 32, d, rep.bytes, rep.wall_seconds,
+              rep.gbps()});
   }
 
   std::printf("\n=== §5.4 multi-device MICKEY (lane-partitioned) ===\n");
@@ -45,6 +48,8 @@ void print_scaling() {
     const auto rep = co::multi_device_mickey(99, d, mout);
     std::printf("%-9zu %12.4f %16.2f %10s\n", d, rep.wall_seconds,
                 rep.modeled_speedup(), mout == mref ? "yes" : "NO");
+    json.add({"mickey-bs32", 32, d, rep.bytes, rep.wall_seconds,
+              rep.gbps()});
   }
   // The same partitioning through the general engine: multi_device_* are now
   // thin wrappers over StreamEngine, so this section shows the engine's
@@ -61,6 +66,8 @@ void print_scaling() {
     std::printf("%-9zu %12.4f %12.4f %16.2f %10s\n", w, rep.wall_seconds,
                 rep.sum_worker_seconds, rep.modeled_speedup(),
                 out == direct ? "yes" : "NO");
+    json.add({"aes-ctr-bs32", 32, w, rep.bytes, rep.wall_seconds,
+              rep.gbps()});
   }
 
   std::printf(
@@ -86,9 +93,10 @@ void BM_MultiDeviceAesCtr(benchmark::State& state) {
 BENCHMARK(BM_MultiDeviceAesCtr)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  bsrng::bench::JsonWriter json("bench_multigpu_scaling", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print_scaling();
+  print_scaling(json);
   return 0;
 }

@@ -4,10 +4,12 @@
 // across lane widths.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <random>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "bitslice/gatecount.hpp"
 #include "ciphers/aes_bs.hpp"
 #include "ciphers/aes_ref.hpp"
@@ -45,6 +47,28 @@ void BM_SboxBitsliced(benchmark::State& state) {
   // One sbox8 call substitutes lane_count bytes.
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(bs::lane_count<W>));
+}
+
+// Timed bitsliced S-box rate per width: one sbox8 call substitutes
+// lane_count bytes, so the byte rate is the substitution throughput.
+template <typename W>
+void record_sbox_rate(bsrng::bench::JsonWriter& json, const char* label) {
+  using Clock = std::chrono::steady_clock;
+  std::mt19937_64 rng(2);
+  W s[8];
+  for (auto& x : s) {
+    x = bs::SliceTraits<W>::zero();
+    for (std::size_t j = 0; j < bs::lane_count<W>; ++j)
+      bs::SliceTraits<W>::set_lane(x, j, rng() & 1u);
+  }
+  constexpr std::size_t kReps = 1u << 16;
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < kReps; ++i) ci::AesBs<W>::sbox8(s);
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  benchmark::DoNotOptimize(s);
+  const std::uint64_t bytes = kReps * bs::lane_count<W>;
+  json.add({label, bs::lane_count<W>, 1, bytes, secs,
+            secs > 0 ? static_cast<double>(bytes) * 8.0 / secs / 1e9 : 0.0});
 }
 
 void print_gate_audit() {
@@ -88,9 +112,13 @@ BENCHMARK_TEMPLATE(BM_SboxBitsliced, bs::SliceV256);
 BENCHMARK_TEMPLATE(BM_SboxBitsliced, bs::SliceV512);
 
 int main(int argc, char** argv) {
+  bsrng::bench::JsonWriter json("bench_sbox_ablation", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_gate_audit();
+  record_sbox_rate<bs::SliceU32>(json, "aes-sbox-bs32");
+  record_sbox_rate<bs::SliceV256>(json, "aes-sbox-bs256");
+  record_sbox_rate<bs::SliceV512>(json, "aes-sbox-bs512");
   return 0;
 }

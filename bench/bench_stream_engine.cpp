@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/registry.hpp"
 #include "core/stream_engine.hpp"
 
@@ -31,7 +32,7 @@ const char* partition_name(co::PartitionKind k) {
   return "?";
 }
 
-void print_engine_table() {
+void print_engine_table(bsrng::bench::JsonWriter& json) {
   std::printf("\n=== StreamEngine sharded generation (%zu MiB/algo) ===\n",
               kBytes >> 20);
   std::printf("%-16s %-11s %10s %10s %16s %10s\n", "algorithm", "partition",
@@ -55,6 +56,8 @@ void print_engine_table() {
     std::printf("%-16s %-11s %10.3f %10.3f %16.2f %10s\n", a.name.c_str(),
                 partition_name(a.partition), r1.gbps(), r4.gbps(),
                 r4.modeled_speedup(), ok1 && ok4 ? "yes" : "NO");
+    json.add({a.name, a.lanes, 1, r1.bytes, r1.wall_seconds, r1.gbps()});
+    json.add({a.name, a.lanes, 4, r4.bytes, r4.wall_seconds, r4.gbps()});
   }
   std::printf(
       "\nmodeled speedup is the work-balance bound (sum/max of per-worker\n"
@@ -95,9 +98,10 @@ BENCHMARK_CAPTURE(BM_EngineGenerate, trivium_bs512, "trivium-bs512")
 BENCHMARK_CAPTURE(BM_EngineGenerate, philox, "philox")->Arg(1)->Arg(4);
 
 int main(int argc, char** argv) {
+  bsrng::bench::JsonWriter json("bench_stream_engine", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print_engine_table();
+  print_engine_table(json);
   return 0;
 }

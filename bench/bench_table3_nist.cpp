@@ -8,13 +8,23 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "core/registry.hpp"
+#include "core/throughput.hpp"
 #include "nist/suite.hpp"
 
 namespace {
 
-void run_and_print(const char* algo, std::size_t streams, std::size_t bits) {
+void run_and_print(const char* algo, std::size_t streams, std::size_t bits,
+                   bsrng::bench::JsonWriter& json) {
   auto gen = bsrng::core::make_generator(algo, 0xB5F1A6);
+  // Record the keystream rate the suite consumes (generation only, not the
+  // statistical tests themselves).
+  {
+    auto rate_gen = bsrng::core::make_generator(algo, 0xB5F1A6);
+    const auto m = bsrng::core::measure_throughput(*rate_gen, 1u << 20);
+    json.add({algo, rate_gen->lanes(), 1, m.bytes, m.seconds, m.gbps()});
+  }
   bsrng::nist::SuiteConfig cfg;
   cfg.num_streams = streams;
   cfg.stream_bits = bits;
@@ -42,11 +52,12 @@ void BM_NistFrequencyThroughput(benchmark::State& state) {
 BENCHMARK(BM_NistFrequencyThroughput)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  bsrng::bench::JsonWriter json("bench_table3_nist", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  run_and_print("mickey-bs512", 24, 128 * 1024);
-  run_and_print("middle-square", 12, 128 * 1024);  // must FAIL
+  run_and_print("mickey-bs512", 24, 128 * 1024, json);
+  run_and_print("middle-square", 12, 128 * 1024, json);  // must FAIL
   std::printf(
       "\npaper anchor: Table 3 reports Success on all 12 rows for MICKEY\n"
       "(1000 x 1 Mbit, alpha = 0.01); middle-square is the §2.1 historical\n"

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/registry.hpp"
 #include "core/throughput.hpp"
 
@@ -26,7 +27,7 @@ void BM_Width(benchmark::State& state, const std::string& algo) {
                           static_cast<std::int64_t>(buf.size()));
 }
 
-void print_scaling_table() {
+void print_scaling_table(bsrng::bench::JsonWriter& json) {
   std::printf("\n=== lane-width scaling (measured Gbit/s, 1 CPU core) ===\n");
   std::printf("%-10s", "cipher");
   for (const int w : {32, 64, 128, 256, 512}) std::printf(" %8s", ("W=" + std::to_string(w)).c_str());
@@ -36,12 +37,15 @@ void print_scaling_table() {
     std::printf("%-10s", cipher);
     double first = 0, last = 0;
     for (const int w : {32, 64, 128, 256, 512}) {
-      auto gen = co::make_generator(
-          std::string(cipher) + "-bs" + std::to_string(w), 3);
+      const std::string name =
+          std::string(cipher) + "-bs" + std::to_string(w);
+      auto gen = co::make_generator(name, 3);
       const auto m = co::measure_throughput(*gen, 4ull << 20);
       if (w == 32) first = m.gbps();
       last = m.gbps();
       std::printf(" %8.3f", m.gbps());
+      json.add({name, static_cast<std::size_t>(w), 1, m.bytes, m.seconds,
+                m.gbps()});
     }
     std::printf(" %13.1fx\n", last / first);
   }
@@ -58,9 +62,10 @@ BENCHMARK_CAPTURE(BM_Width, trivium_bs32, "trivium-bs32");
 BENCHMARK_CAPTURE(BM_Width, trivium_bs512, "trivium-bs512");
 
 int main(int argc, char** argv) {
+  bsrng::bench::JsonWriter json("bench_width_scaling", &argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print_scaling_table();
+  print_scaling_table(json);
   return 0;
 }

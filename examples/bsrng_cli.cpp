@@ -11,8 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "core/registry.hpp"
-#include "nist/fips140.hpp"
+#include "bsrng.hpp"
 
 namespace {
 
@@ -25,6 +24,13 @@ int usage() {
   return 2;
 }
 
+int unknown_algorithm(const std::string& algo) {
+  std::fprintf(stderr,
+               "unknown algorithm: %s (run `bsrng_cli list` for names)\n",
+               algo.c_str());
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -32,7 +38,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
 
   if (cmd == "list") {
-    for (const auto& a : bsrng::core::list_algorithms())
+    for (const auto& a : bsrng::list_algorithms())
       std::printf("%-18s %-10s lanes=%-4zu gate-ops/bit=%.3f%s\n",
                   a.name.c_str(), a.family.c_str(), a.lanes,
                   a.gate_ops_per_bit, a.cryptographic ? " CSPRNG" : "");
@@ -47,7 +53,8 @@ int main(int argc, char** argv) {
     const std::uint64_t total = std::strtoull(argv[3], nullptr, 0);
     const std::uint64_t seed =
         argc > 4 ? std::strtoull(argv[4], nullptr, 0) : 1;
-    auto gen = bsrng::core::make_generator(algo, seed);
+    auto gen = bsrng::try_make_generator(algo, seed);
+    if (!gen) return unknown_algorithm(algo);
     std::vector<std::uint8_t> buf(1 << 16);
     std::uint64_t remaining = total;
     while (remaining > 0) {
@@ -67,7 +74,8 @@ int main(int argc, char** argv) {
   if (cmd == "fips") {
     const std::uint64_t seed =
         argc > 3 ? std::strtoull(argv[3], nullptr, 0) : 1;
-    auto gen = bsrng::core::make_generator(algo, seed);
+    auto gen = bsrng::try_make_generator(algo, seed);
+    if (!gen) return unknown_algorithm(algo);
     std::vector<std::uint8_t> bytes(bsrng::nist::kFips140SampleBits / 8);
     gen->fill(bytes);
     bsrng::bitslice::BitBuf bits;
@@ -78,16 +86,18 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "info") {
-    for (const auto& a : bsrng::core::list_algorithms())
-      if (a.name == algo) {
-        std::printf("name:          %s\nfamily:        %s\nlanes:         %zu\n"
-                    "cryptographic: %s\ngate-ops/bit:  %.4f\n",
-                    a.name.c_str(), a.family.c_str(), a.lanes,
-                    a.cryptographic ? "yes" : "no", a.gate_ops_per_bit);
-        return 0;
-      }
-    std::fprintf(stderr, "unknown algorithm: %s\n", algo.c_str());
-    return 1;
+    const auto info = bsrng::find_algorithm(algo);
+    if (!info) return unknown_algorithm(algo);
+    std::printf("name:          %s\nfamily:        %s\nlanes:         %zu\n"
+                "cryptographic: %s\ngate-ops/bit:  %.4f\npartition:     %s\n",
+                info->name.c_str(), info->family.c_str(), info->lanes,
+                info->cryptographic ? "yes" : "no", info->gate_ops_per_bit,
+                info->partition == bsrng::PartitionKind::kCounter
+                    ? "counter"
+                    : info->partition == bsrng::PartitionKind::kLaneSlice
+                          ? "lane-slice"
+                          : "sequential");
+    return 0;
   }
 
   return usage();

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/registry.hpp"
+#include "bsrng.hpp"
 #include "nist/suite.hpp"
 
 int main(int argc, char** argv) {
@@ -20,7 +20,13 @@ int main(int argc, char** argv) {
   const std::size_t kbits =
       argc > 3 ? std::strtoull(argv[3], nullptr, 0) : 256;
 
-  auto gen = bsrng::core::make_generator(algo, 0xB5F1A6);
+  auto gen = bsrng::try_make_generator(algo, 0xB5F1A6);
+  if (!gen) {
+    std::fprintf(stderr,
+                 "unknown algorithm: %s (see `bsrng_cli list` for names)\n",
+                 algo);
+    return 2;
+  }
   bsrng::nist::SuiteConfig cfg;
   cfg.num_streams = streams;
   cfg.stream_bits = kbits * 1024;

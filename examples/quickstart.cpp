@@ -3,20 +3,29 @@
 //   $ ./quickstart [algorithm] [seed]
 //
 // Creates a generator by name (default: the paper's flagship, bitsliced
-// MICKEY 2.0 at the host's widest lane count), draws some values, and
-// measures bulk throughput against the cuRAND-style baseline.
+// MICKEY 2.0 at the host's widest lane count), draws some values, measures
+// bulk throughput against the cuRAND-style baseline, and dumps the
+// telemetry the run produced.  Everything here comes from the single
+// umbrella header.
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
-#include "core/registry.hpp"
-#include "core/throughput.hpp"
+#include "bsrng.hpp"
 
 int main(int argc, char** argv) {
   const char* algo = argc > 1 ? argv[1] : "mickey-bs512";
   const std::uint64_t seed =
       argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 42;
 
-  auto gen = bsrng::core::make_generator(algo, seed);
+  auto gen = bsrng::try_make_generator(algo, seed);
+  if (!gen) {
+    std::fprintf(stderr, "unknown algorithm: %s (try one of the names "
+                 "below)\n", algo);
+    for (const auto& a : bsrng::list_algorithms())
+      std::fprintf(stderr, "  %s\n", a.name.c_str());
+    return 2;
+  }
   std::printf("generator: %s (%zu parallel lanes), seed %llu\n",
               std::string(gen->name()).c_str(), gen->lanes(),
               static_cast<unsigned long long>(seed));
@@ -35,20 +44,27 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 4; ++i) std::printf("%.6f ", gen->next_double());
   std::printf("\n");
 
-  // Bulk throughput, head-to-head with the cuRAND-default algorithm.
-  auto baseline = bsrng::core::make_generator("mt19937", seed);
-  const auto ours = bsrng::core::measure_throughput(*gen, 64ull << 20);
-  const auto ref = bsrng::core::measure_throughput(*baseline, 64ull << 20);
-  std::printf("throughput: %-14s %7.2f Gbit/s\n",
-              std::string(gen->name()).c_str(), ours.gbps());
+  // Bulk throughput, head-to-head with the cuRAND-default algorithm —
+  // generated through the StreamEngine with telemetry on, so the metrics
+  // dump below shows what the engine recorded.
+  bsrng::telemetry::metrics().set_enabled(true);
+  bsrng::StreamEngine engine({.workers = 4});
+  std::vector<std::uint8_t> buf(64u << 20);
+  const auto ours = engine.generate(algo, seed, buf);
+  const auto ref = engine.generate("mt19937", seed, buf);
+  std::printf("throughput: %-14s %7.2f Gbit/s (4 workers)\n", algo,
+              ours.gbps());
   std::printf("            %-14s %7.2f Gbit/s (conventional baseline)\n",
               "mt19937", ref.gbps());
   std::printf("speedup:    %.2fx\n", ours.gbps() / ref.gbps());
 
   std::printf("\nAvailable algorithms:\n");
-  for (const auto& a : bsrng::core::list_algorithms())
+  for (const auto& a : bsrng::list_algorithms())
     std::printf("  %-16s %-10s lanes=%-4zu%s\n", a.name.c_str(),
                 a.family.c_str(), a.lanes,
                 a.cryptographic ? "  [CSPRNG]" : "");
+
+  std::printf("\nTelemetry (JSON snapshot of this run):\n%s\n",
+              bsrng::telemetry::metrics().to_json().c_str());
   return 0;
 }

@@ -1,0 +1,70 @@
+// bsrng.hpp — the single-header public facade of the BSRNG library.
+//
+// Downstream users include this one header (cf. cuRAND's single host-API
+// header, the baseline the paper benchmarks against) and get the whole
+// public surface under the top-level `bsrng` namespace:
+//
+//   generation   Generator, make_generator / try_make_generator,
+//                algorithm_exists, list_algorithms / find_algorithm,
+//                AlgorithmInfo (with .partition_spec(seed))
+//   sharding     StreamEngine, StreamEngineConfig, PartitionSpec,
+//                PartitionKind, multi_device_aes_ctr / multi_device_mickey
+//   measurement  ThroughputReport, WorkerStat, measure_throughput
+//   telemetry    telemetry::MetricsRegistry, the process-global
+//                telemetry::metrics() registry, MetricsSnapshot JSON export
+//   self-test    nist::fips140_2 FIPS 140-2 battery (the fast accept/reject
+//                gate for generated streams)
+//
+// Error convention: make_generator and partition_spec throw
+// std::invalid_argument for unknown algorithm names; try_make_generator
+// returns nullptr and algorithm_exists/find_algorithm probe without
+// throwing.  Nothing else in this surface throws for user input.
+//
+//   #include "bsrng.hpp"
+//
+//   auto gen = bsrng::make_generator("mickey-bs512", 42);
+//   bsrng::StreamEngine engine({.workers = 4});
+//   bsrng::telemetry::metrics().set_enabled(true);
+#pragma once
+
+#include "core/generator.hpp"
+#include "core/multi_device.hpp"
+#include "core/registry.hpp"
+#include "core/stream_engine.hpp"
+#include "core/throughput.hpp"
+#include "nist/fips140.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace bsrng {
+
+// Generation.
+using core::Generator;
+using core::make_generator;
+using core::try_make_generator;
+using core::algorithm_exists;
+using core::AlgorithmInfo;
+using core::list_algorithms;
+using core::find_algorithm;
+using core::gate_ops_per_step;
+
+// Sharding.
+using core::PartitionKind;
+using core::PartitionSpec;
+using core::partition_spec;
+using core::StreamEngine;
+using core::StreamEngineConfig;
+using core::multi_device_aes_ctr;
+using core::multi_device_mickey;
+using core::MultiDeviceReport;
+
+// Measurement.
+using core::ThroughputReport;
+using core::ThroughputResult;
+using core::WorkerStat;
+using core::measure_throughput;
+
+// Telemetry lives in bsrng::telemetry (metrics(), MetricsRegistry,
+// MetricsSnapshot, Counter/Gauge/Histogram) — already a sub-namespace of
+// bsrng, re-exported here by inclusion.
+
+}  // namespace bsrng

@@ -10,12 +10,46 @@
 #include "ciphers/mickey_bs.hpp"
 #include "core/stream_engine.hpp"
 #include "lfsr/bitsliced_lfsr.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace bsrng::core {
 
 namespace bs = bsrng::bitslice;
 
 namespace {
+
+// Per-device throughput accounting for the §5.4 wrappers; the engine's own
+// metrics (stream_engine.*) cover bytes/latency, these add the device view.
+struct MultiDeviceMetrics {
+  telemetry::Counter& runs;
+  telemetry::Counter& device_tasks;
+  telemetry::Histogram& device_seconds;
+  telemetry::Gauge& last_gbps;
+  telemetry::Gauge& last_modeled_speedup;
+
+  static MultiDeviceMetrics& get() {
+    static MultiDeviceMetrics m{
+        telemetry::metrics().counter("multi_device.runs"),
+        telemetry::metrics().counter("multi_device.device_tasks"),
+        telemetry::metrics().histogram("multi_device.device_seconds"),
+        telemetry::metrics().gauge("multi_device.last_gbps"),
+        telemetry::metrics().gauge("multi_device.last_modeled_speedup"),
+    };
+    return m;
+  }
+};
+
+MultiDeviceReport record_run(MultiDeviceReport rep) {
+  MultiDeviceMetrics& mm = MultiDeviceMetrics::get();
+  mm.runs.add();
+  for (const WorkerStat& w : rep.per_worker) {
+    mm.device_tasks.add(w.tasks);
+    mm.device_seconds.observe(w.seconds);
+  }
+  mm.last_gbps.set(rep.gbps());
+  mm.last_modeled_speedup.set(rep.modeled_speedup());
+  return rep;
+}
 
 // 32-lane AES-CTR shard seeked to a counter offset; the engine concatenates
 // these per-device chunks back into the canonical stream.
@@ -87,7 +121,7 @@ MultiDeviceReport multi_device_aes_ctr(std::span<const std::uint8_t> key16,
     return std::unique_ptr<Generator>(std::make_unique<AesCtrShard>(
         std::span(key), std::span(nonce), static_cast<std::uint32_t>(b)));
   };
-  return make_device_engine(devices, parallel).generate(spec, out);
+  return record_run(make_device_engine(devices, parallel).generate(spec, out));
 }
 
 MultiDeviceReport multi_device_mickey(std::uint64_t master_seed,
@@ -106,7 +140,7 @@ MultiDeviceReport multi_device_mickey(std::uint64_t master_seed,
     for (std::size_t i = 0; i <= d; ++i) seed = lfsr::splitmix64(x);
     return std::unique_ptr<Generator>(std::make_unique<MickeyShard>(seed));
   };
-  return make_device_engine(devices, parallel).generate(spec, out);
+  return record_run(make_device_engine(devices, parallel).generate(spec, out));
 }
 
 }  // namespace bsrng::core

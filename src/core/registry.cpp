@@ -400,13 +400,34 @@ const std::map<std::string, Factory>& factories() {
 
 }  // namespace
 
-std::unique_ptr<Generator> make_generator(std::string_view name,
-                                          std::uint64_t seed) {
+std::unique_ptr<Generator> try_make_generator(std::string_view name,
+                                              std::uint64_t seed) {
   const auto& f = factories();
   const auto it = f.find(std::string(name));
-  if (it == f.end())
-    throw std::invalid_argument("unknown generator: " + std::string(name));
+  if (it == f.end()) return nullptr;
   return it->second(it->first, seed);
+}
+
+std::unique_ptr<Generator> make_generator(std::string_view name,
+                                          std::uint64_t seed) {
+  auto gen = try_make_generator(name, seed);
+  if (!gen)
+    throw std::invalid_argument("unknown generator: " + std::string(name));
+  return gen;
+}
+
+bool algorithm_exists(std::string_view name) noexcept {
+  return factories().count(std::string(name)) != 0;
+}
+
+PartitionSpec AlgorithmInfo::partition_spec(std::uint64_t seed) const {
+  return core::partition_spec(name, seed);
+}
+
+std::optional<AlgorithmInfo> find_algorithm(std::string_view name) {
+  for (auto& a : list_algorithms())
+    if (a.name == name) return std::move(a);
+  return std::nullopt;
 }
 
 namespace {

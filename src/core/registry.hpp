@@ -72,12 +72,31 @@ struct AlgorithmInfo {
   bool cryptographic;      // CSPRNG vs statistical PRNG
   double gate_ops_per_bit; // exact gate count per output bit (0 if n/a)
   PartitionKind partition; // how StreamEngine shards this family
+
+  // The sharding recipe for this algorithm — `partition` tells callers
+  // whether it decomposes, this constructs the shards.  One lookup covers
+  // discovery and construction, so the two can never use different names.
+  PartitionSpec partition_spec(std::uint64_t seed) const;
 };
 
 // All registered algorithms with their measured gate costs.
 std::vector<AlgorithmInfo> list_algorithms();
 
-// Construct by name; throws std::invalid_argument for unknown names.
+// Metadata for one algorithm; nullopt for unknown names.  The returned
+// info's partition_spec(seed) is the same-name StreamEngine sharding law.
+std::optional<AlgorithmInfo> find_algorithm(std::string_view name);
+
+// True iff `name` is a registered algorithm (the non-throwing existence
+// probe paired with try_make_generator).
+bool algorithm_exists(std::string_view name) noexcept;
+
+// Construct by name; returns nullptr for unknown names (never throws for
+// name errors — use algorithm_exists to distinguish a bad name up front).
+std::unique_ptr<Generator> try_make_generator(std::string_view name,
+                                              std::uint64_t seed);
+
+// Throwing wrapper over try_make_generator: std::invalid_argument for
+// unknown names.
 std::unique_ptr<Generator> make_generator(std::string_view name,
                                           std::uint64_t seed);
 

@@ -6,9 +6,38 @@
 #include <stdexcept>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace bsrng::core {
 
 using Clock = std::chrono::steady_clock;
+
+namespace {
+
+// Resolved once; per-job/per-task updates are relaxed atomics behind the
+// registry's enabled flag (one predictable branch when telemetry is off).
+struct EngineMetrics {
+  telemetry::Counter& jobs;
+  telemetry::Counter& bytes;
+  telemetry::Counter& tasks;
+  telemetry::Histogram& task_seconds;
+  telemetry::Histogram& job_seconds;
+  telemetry::Gauge& last_gbps;
+
+  static EngineMetrics& get() {
+    static EngineMetrics m{
+        telemetry::metrics().counter("stream_engine.jobs"),
+        telemetry::metrics().counter("stream_engine.bytes"),
+        telemetry::metrics().counter("stream_engine.tasks"),
+        telemetry::metrics().histogram("stream_engine.task_seconds"),
+        telemetry::metrics().histogram("stream_engine.job_seconds"),
+        telemetry::metrics().gauge("stream_engine.last_gbps"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 StreamEngine::StreamEngine(StreamEngineConfig config) : config_(config) {
   if (config_.workers == 0) config_.workers = ThreadPool::default_workers();
@@ -41,13 +70,18 @@ ThroughputReport StreamEngine::dispatch(
     const std::function<std::uint64_t(std::size_t)>& task) {
   ThroughputReport rep;
   rep.per_worker.resize(config_.workers);
+  EngineMetrics& em = EngineMetrics::get();
   const auto timed = [&](std::size_t worker, std::size_t t) {
     const auto t0 = Clock::now();
     const std::uint64_t bytes = task(t);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
     WorkerStat& s = rep.per_worker[worker];
-    s.seconds += std::chrono::duration<double>(Clock::now() - t0).count();
+    s.seconds += secs;
     s.bytes += bytes;
     ++s.tasks;
+    em.tasks.add();
+    em.task_seconds.observe(secs);
   };
   const auto w0 = Clock::now();
   if (config_.parallel) {
@@ -57,6 +91,10 @@ ThroughputReport StreamEngine::dispatch(
   }
   rep.wall_seconds = std::chrono::duration<double>(Clock::now() - w0).count();
   finalize_report(rep);
+  em.jobs.add();
+  em.bytes.add(rep.bytes);
+  em.job_seconds.observe(rep.wall_seconds);
+  em.last_gbps.set(rep.gbps());
   return rep;
 }
 

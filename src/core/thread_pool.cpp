@@ -3,7 +3,35 @@
 #include <algorithm>
 #include <utility>
 
+#include "telemetry/metrics.hpp"
+
 namespace bsrng::core {
+
+namespace {
+
+// Metric handles resolved once (name lookup takes the registry mutex); the
+// hot claim loop then costs one relaxed load + branch per touch when
+// telemetry is disabled.
+struct PoolMetrics {
+  telemetry::Counter& batches;
+  telemetry::Counter& claims;
+  telemetry::Counter& cas_retries;
+  telemetry::Counter& stale_batch_backoffs;
+  telemetry::Gauge& queue_depth;
+
+  static PoolMetrics& get() {
+    static PoolMetrics m{
+        telemetry::metrics().counter("thread_pool.batches"),
+        telemetry::metrics().counter("thread_pool.claims"),
+        telemetry::metrics().counter("thread_pool.claim_cas_retries"),
+        telemetry::metrics().counter("thread_pool.stale_batch_backoffs"),
+        telemetry::metrics().gauge("thread_pool.queue_depth"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   workers = std::max<std::size_t>(1, workers);
@@ -29,6 +57,9 @@ void ThreadPool::run_indexed(
     std::size_t ntasks,
     const std::function<void(std::size_t, std::size_t)>& fn) {
   if (ntasks == 0) return;
+  PoolMetrics& pm = PoolMetrics::get();
+  pm.batches.add();
+  pm.queue_depth.set(static_cast<double>(ntasks));
   std::unique_lock<std::mutex> lock(mu_);
   job_ = &fn;
   job_tasks_ = ntasks;
@@ -40,6 +71,7 @@ void ThreadPool::run_indexed(
   work_cv_.notify_all();
   done_cv_.wait(lock, [this] { return pending_ == 0; });
   job_ = nullptr;
+  pm.queue_depth.set(0.0);
   if (first_error_) std::rethrow_exception(std::exchange(first_error_, nullptr));
 }
 
@@ -56,6 +88,7 @@ void ThreadPool::worker_loop(std::size_t worker) {
       fn = job_;
       ntasks = job_tasks_;
     }
+    PoolMetrics& pm = PoolMetrics::get();
     const std::uint64_t tag = static_cast<std::uint64_t>(seen & 0xFFFFFFFFu)
                               << 32;
     std::size_t done_here = 0;
@@ -64,13 +97,19 @@ void ThreadPool::worker_loop(std::size_t worker) {
     for (;;) {
       // Claim only while the cursor still carries this batch's tag; the CAS
       // makes tag check and index claim one atomic step.
-      if ((cur & ~std::uint64_t{0xFFFFFFFFu}) != tag) break;
+      if ((cur & ~std::uint64_t{0xFFFFFFFFu}) != tag) {
+        pm.stale_batch_backoffs.add();
+        break;
+      }
       const std::size_t t = static_cast<std::size_t>(cur & 0xFFFFFFFFu);
       if (t >= ntasks) break;
       if (!cursor_.compare_exchange_weak(cur, cur + 1,
                                          std::memory_order_acq_rel,
-                                         std::memory_order_acquire))
+                                         std::memory_order_acquire)) {
+        pm.cas_retries.add();
         continue;
+      }
+      pm.claims.add();
       try {
         (*fn)(worker, t);
       } catch (...) {

@@ -6,9 +6,36 @@
 #include <stdexcept>
 #include <thread>
 
+#include "telemetry/metrics.hpp"
+
 namespace bsrng::gpusim {
 
 namespace {
+
+// Launch-granularity telemetry (one update set per launch, not per memory
+// access — the virtual GPU's hot loops stay untouched).
+struct DeviceMetrics {
+  telemetry::Counter& launches;
+  telemetry::Counter& blocks;
+  telemetry::Counter& threads;
+  telemetry::Counter& barrier_arrivals;
+  telemetry::Counter& global_transactions;
+  telemetry::Counter& shared_accesses;
+  telemetry::Counter& check_findings;
+
+  static DeviceMetrics& get() {
+    static DeviceMetrics m{
+        telemetry::metrics().counter("gpusim.launches"),
+        telemetry::metrics().counter("gpusim.blocks"),
+        telemetry::metrics().counter("gpusim.threads"),
+        telemetry::metrics().counter("gpusim.barrier_arrivals"),
+        telemetry::metrics().counter("gpusim.global_transactions"),
+        telemetry::metrics().counter("gpusim.shared_accesses"),
+        telemetry::metrics().counter("gpusim.check_findings"),
+    };
+    return m;
+  }
+};
 
 // Checked-mode accesses go through relaxed atomics: a kernel under the
 // sanitizer may contain a *deliberate* data race (that is what the checker
@@ -106,6 +133,7 @@ MemStats Device::launch(const LaunchConfig& cfg, const Kernel& kernel) {
         ThreadCtx ctx(*this, b, t, cfg.threads_per_block, cfg.blocks,
                       shared, warps[t / kWarpSize], nullptr, san.get());
         kernel(ctx);
+        DeviceMetrics::get().barrier_arrivals.add(ctx.epoch_);
         if (san) san->on_thread_exit(t, ctx.epoch_);
       }
     } else {
@@ -117,6 +145,7 @@ MemStats Device::launch(const LaunchConfig& cfg, const Kernel& kernel) {
           ThreadCtx ctx(*this, b, t, cfg.threads_per_block, cfg.blocks,
                         shared, warps[t / kWarpSize], &bar, san.get());
           kernel(ctx);
+          DeviceMetrics::get().barrier_arrivals.add(ctx.epoch_);
           if (san) san->on_thread_exit(t, ctx.epoch_);
           // Leave the barrier's participant set so a divergent kernel (a
           // thread exiting while block-mates still sync) terminates and is
@@ -140,6 +169,14 @@ MemStats Device::launch(const LaunchConfig& cfg, const Kernel& kernel) {
                             std::make_move_iterator(reports.end()));
     }
   }
+  DeviceMetrics& dm = DeviceMetrics::get();
+  dm.launches.add();
+  dm.blocks.add(cfg.blocks);
+  dm.threads.add(cfg.blocks * cfg.threads_per_block);
+  dm.global_transactions.add(launch_stats.global_transactions);
+  dm.shared_accesses.add(launch_stats.shared_accesses);
+  dm.check_findings.add(launch_stats.check_findings);
+
   total_ += launch_stats;
   return launch_stats;
 }

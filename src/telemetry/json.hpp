@@ -1,0 +1,81 @@
+// json.hpp — minimal JSON value model, writer helpers and parser.
+//
+// The telemetry layer emits machine-readable snapshots (MetricsRegistry::
+// to_json) and the bench harness emits BENCH_*.json perf records; both need
+// a dependency-free way to produce valid JSON, and the round-trip tests and
+// the CI schema checker (tools/bench_json_check) need to read it back.  This
+// is deliberately a small strict subset: UTF-8 pass-through, no comments, no
+// trailing commas, numbers as double.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bsrng::telemetry {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  // std::map keeps object keys ordered, which makes emitted JSON and
+  // round-trip comparisons deterministic.
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}
+  JsonValue(std::uint64_t u)
+      : kind_(Kind::kNumber), num_(static_cast<double>(u)) {}
+  JsonValue(int i) : kind_(Kind::kNumber), num_(i) {}
+  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}
+  JsonValue(Array a) : kind_(Kind::kArray), arr_(std::move(a)) {}
+  JsonValue(Object o) : kind_(Kind::kObject), obj_(std::move(o)) {}
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool() const noexcept { return bool_; }
+  double as_number() const noexcept { return num_; }
+  const std::string& as_string() const noexcept { return str_; }
+  const Array& as_array() const noexcept { return arr_; }
+  const Object& as_object() const noexcept { return obj_; }
+  Array& as_array() noexcept { return arr_; }
+  Object& as_object() noexcept { return obj_; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  // Serialize (compact, stable key order for objects).
+  std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+// Escape `s` for inclusion inside a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+// Format a double the way JSON expects (shortest round-trippable form; no
+// NaN/Inf — those serialize as 0 since JSON cannot represent them).
+std::string json_number(double d);
+
+// Parse a complete JSON document.  Returns nullopt on any syntax error or
+// trailing garbage.
+std::optional<JsonValue> json_parse(std::string_view text);
+
+}  // namespace bsrng::telemetry

@@ -1,0 +1,87 @@
+// Generator convenience draws (next_u32/next_u64/next_double): byte-order
+// agreement with fill(), value ranges, and 53-bit double granularity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/registry.hpp"
+
+namespace co = bsrng::core;
+
+namespace {
+
+const char* kAlgos[] = {"mickey-bs32", "aes-ctr-bs512", "chacha20-bs64",
+                        "mt19937", "philox"};
+
+TEST(GeneratorDraws, NextU32IsLittleEndianOfFill) {
+  for (const char* algo : kAlgos) {
+    auto a = co::make_generator(algo, 123);
+    auto b = co::make_generator(algo, 123);
+    std::uint8_t bytes[8];
+    a->fill(bytes);
+    const std::uint32_t expect0 =
+        static_cast<std::uint32_t>(bytes[0]) |
+        (static_cast<std::uint32_t>(bytes[1]) << 8) |
+        (static_cast<std::uint32_t>(bytes[2]) << 16) |
+        (static_cast<std::uint32_t>(bytes[3]) << 24);
+    const std::uint32_t expect1 =
+        static_cast<std::uint32_t>(bytes[4]) |
+        (static_cast<std::uint32_t>(bytes[5]) << 8) |
+        (static_cast<std::uint32_t>(bytes[6]) << 16) |
+        (static_cast<std::uint32_t>(bytes[7]) << 24);
+    EXPECT_EQ(b->next_u32(), expect0) << algo;
+    EXPECT_EQ(b->next_u32(), expect1) << algo << " (stream continues)";
+  }
+}
+
+TEST(GeneratorDraws, NextU64IsLittleEndianOfFill) {
+  for (const char* algo : kAlgos) {
+    auto a = co::make_generator(algo, 77);
+    auto b = co::make_generator(algo, 77);
+    std::uint8_t bytes[8];
+    a->fill(bytes);
+    std::uint64_t expect = 0;
+    for (int i = 0; i < 8; ++i)
+      expect |= std::uint64_t{bytes[i]} << (8 * i);
+    EXPECT_EQ(b->next_u64(), expect) << algo;
+  }
+}
+
+TEST(GeneratorDraws, NextU64IsTwoU32sInStreamOrder) {
+  auto a = co::make_generator("mickey-bs32", 5);
+  auto b = co::make_generator("mickey-bs32", 5);
+  const std::uint64_t v = a->next_u64();
+  const std::uint32_t lo = b->next_u32();
+  const std::uint32_t hi = b->next_u32();
+  EXPECT_EQ(v, (std::uint64_t{hi} << 32) | lo);
+}
+
+TEST(GeneratorDraws, NextDoubleRangeAndGranularity) {
+  for (const char* algo : kAlgos) {
+    auto gen = co::make_generator(algo, 9);
+    auto mirror = co::make_generator(algo, 9);
+    for (int i = 0; i < 100; ++i) {
+      const double d = gen->next_double();
+      EXPECT_GE(d, 0.0) << algo;
+      EXPECT_LT(d, 1.0) << algo;
+      // Exactly (u64 >> 11) * 2^-53: scaling back up yields an integer that
+      // fits in 53 bits.
+      const double scaled = d * 0x1.0p53;
+      EXPECT_EQ(scaled, std::floor(scaled)) << algo;
+      EXPECT_EQ(scaled, static_cast<double>(mirror->next_u64() >> 11)) << algo;
+    }
+  }
+}
+
+TEST(GeneratorDraws, DoublesAreRoughlyUniform) {
+  auto gen = co::make_generator("chacha20-bs512", 31);
+  constexpr int kN = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += gen->next_double();
+  // Mean of U[0,1) is 0.5 with sd ~ 1/sqrt(12 kN) ~ 0.002; 10 sigma margin.
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+}  // namespace

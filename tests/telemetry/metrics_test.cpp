@@ -1,0 +1,286 @@
+// Telemetry layer: metric semantics, enable/disable gating, JSON round-trip,
+// concurrency exactness, and the built-in StreamEngine instrumentation.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/stream_engine.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace tel = bsrng::telemetry;
+
+namespace {
+
+TEST(Counter, AccumulatesWhenEnabled) {
+  tel::MetricsRegistry reg;
+  reg.set_enabled(true);
+  tel::Counter& c = reg.counter("c");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, DisabledRegistryIsNoOp) {
+  tel::MetricsRegistry reg;
+  tel::Counter& c = reg.counter("c");
+  c.add(100);
+  EXPECT_EQ(c.value(), 0u);
+  reg.set_enabled(true);
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);
+  reg.set_enabled(false);
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Counter, SameNameSameInstance) {
+  tel::MetricsRegistry reg;
+  EXPECT_EQ(&reg.counter("x"), &reg.counter("x"));
+  EXPECT_NE(&reg.counter("x"), &reg.counter("y"));
+}
+
+TEST(Gauge, SetAndAdd) {
+  tel::MetricsRegistry reg;
+  reg.set_enabled(true);
+  tel::Gauge& g = reg.gauge("g");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  reg.set_enabled(false);
+  g.set(99.0);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+}
+
+TEST(Histogram, BucketPlacement) {
+  tel::MetricsRegistry reg;
+  reg.set_enabled(true);
+  const double bounds[] = {1.0, 10.0, 100.0};
+  tel::Histogram& h = reg.histogram("h", bounds);
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(1.0);    // bucket 0 (inclusive upper bound)
+  h.observe(5.0);    // bucket 1
+  h.observe(1000.0); // overflow bucket
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+}
+
+TEST(Histogram, DefaultBoundsAreSortedAndNonEmpty) {
+  const auto b = tel::Histogram::default_latency_bounds();
+  ASSERT_FALSE(b.empty());
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  tel::MetricsRegistry reg;
+  reg.counter("m");
+  EXPECT_THROW(reg.gauge("m"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("m"), std::invalid_argument);
+}
+
+TEST(Registry, ResetZeroesButKeepsReferencesValid) {
+  tel::MetricsRegistry reg;
+  reg.set_enabled(true);
+  tel::Counter& c = reg.counter("c");
+  tel::Histogram& h = reg.histogram("h");
+  c.add(7);
+  h.observe(0.5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Registry, ConcurrentIncrementsAreExact) {
+  tel::MetricsRegistry reg;
+  reg.set_enabled(true);
+  tel::Counter& c = reg.counter("concurrent");
+  tel::Histogram& h = reg.histogram("concurrent_h");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.observe(1e-5);
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// Metric creation racing metric updates (the cached-handle pattern means
+// creation happens on first touch from any thread).
+TEST(Registry, ConcurrentCreationIsSafe) {
+  tel::MetricsRegistry reg;
+  reg.set_enabled(true);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 100; ++i) {
+        reg.counter("shared").add();
+        reg.counter("own_" + std::to_string(t)).add();
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.counter("shared").value(), 800u);
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(reg.counter("own_" + std::to_string(t)).value(), 100u);
+}
+
+TEST(Snapshot, FindAndSortOrder) {
+  tel::MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.counter("b.count").add(3);
+  reg.gauge("a.depth").set(1.5);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 2u);
+  EXPECT_EQ(snap.metrics[0].name, "a.depth");  // sorted by name
+  EXPECT_EQ(snap.metrics[1].name, "b.count");
+  const auto* c = snap.find("b.count");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, tel::MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(c->value, 3.0);
+  EXPECT_EQ(snap.find("nope"), nullptr);
+}
+
+TEST(Snapshot, JsonRoundTrip) {
+  tel::MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.counter("jobs").add(12345);
+  reg.gauge("gbps").set(3.25);
+  const double bounds[] = {0.001, 0.01, 0.1};
+  tel::Histogram& h = reg.histogram("lat", bounds);
+  h.observe(0.0005);
+  h.observe(0.05);
+  h.observe(5.0);
+
+  const auto snap = reg.snapshot();
+  const std::string json = snap.to_json();
+  const auto back = tel::MetricsSnapshot::from_json(json);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->metrics.size(), snap.metrics.size());
+  for (std::size_t i = 0; i < snap.metrics.size(); ++i) {
+    const auto& a = snap.metrics[i];
+    const auto& b = back->metrics[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_DOUBLE_EQ(a.value, b.value);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_DOUBLE_EQ(a.sum, b.sum);
+    EXPECT_EQ(a.bounds, b.bounds);
+    EXPECT_EQ(a.buckets, b.buckets);
+  }
+  // Round-trip is a fixed point: serializing the parse reproduces the text.
+  EXPECT_EQ(back->to_json(), json);
+}
+
+TEST(Snapshot, FromJsonRejectsMalformed) {
+  EXPECT_FALSE(tel::MetricsSnapshot::from_json("").has_value());
+  EXPECT_FALSE(tel::MetricsSnapshot::from_json("{}").has_value());
+  EXPECT_FALSE(tel::MetricsSnapshot::from_json("{\"metrics\":3}").has_value());
+  EXPECT_FALSE(
+      tel::MetricsSnapshot::from_json("{\"metrics\":[{\"name\":\"x\"}]}")
+          .has_value());
+}
+
+TEST(Json, ParserBasics) {
+  const auto v = tel::json_parse(
+      R"({"a": [1, 2.5, true, null, "sA"], "b": {"nested": -3e2}})");
+  ASSERT_TRUE(v.has_value());
+  const auto* a = v->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_DOUBLE_EQ(a->as_array()[0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(a->as_array()[1].as_number(), 2.5);
+  EXPECT_TRUE(a->as_array()[2].as_bool());
+  EXPECT_TRUE(a->as_array()[3].is_null());
+  EXPECT_EQ(a->as_array()[4].as_string(), "sA");
+  EXPECT_DOUBLE_EQ(v->find("b")->find("nested")->as_number(), -300.0);
+}
+
+TEST(Json, ParserRejectsGarbage) {
+  EXPECT_FALSE(tel::json_parse("").has_value());
+  EXPECT_FALSE(tel::json_parse("{").has_value());
+  EXPECT_FALSE(tel::json_parse("[1,]").has_value());
+  EXPECT_FALSE(tel::json_parse("{} trailing").has_value());
+  EXPECT_FALSE(tel::json_parse("nul").has_value());
+}
+
+TEST(Json, EscapeRoundTrip) {
+  const std::string nasty = "a\"b\\c\n\t\x01 d";
+  tel::JsonValue::Object o;
+  o.emplace("k", tel::JsonValue(nasty));
+  const auto back = tel::json_parse(tel::JsonValue(std::move(o)).dump());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->find("k")->as_string(), nasty);
+}
+
+// The built-in instrumentation: generating through a StreamEngine with the
+// global registry enabled must move the stream_engine.* metrics.
+TEST(Instrumentation, StreamEngineCountsJobsAndBytes) {
+  tel::MetricsRegistry& reg = tel::metrics();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  reg.reset();
+
+  bsrng::core::StreamEngine engine({.workers = 2});
+  std::vector<std::uint8_t> out(1u << 16);
+  engine.generate("aes-ctr-bs32", 7, out);
+  engine.generate("mickey-bs32", 7, out);
+
+  const auto snap = reg.snapshot();
+  const auto* jobs = snap.find("stream_engine.jobs");
+  const auto* bytes = snap.find("stream_engine.bytes");
+  const auto* tasks = snap.find("stream_engine.tasks");
+  ASSERT_NE(jobs, nullptr);
+  ASSERT_NE(bytes, nullptr);
+  ASSERT_NE(tasks, nullptr);
+  EXPECT_DOUBLE_EQ(jobs->value, 2.0);
+  EXPECT_DOUBLE_EQ(bytes->value, 2.0 * (1u << 16));
+  EXPECT_GE(tasks->value, 2.0);
+  const auto* lat = snap.find("stream_engine.task_seconds");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->kind, tel::MetricKind::kHistogram);
+  EXPECT_EQ(static_cast<double>(lat->count), tasks->value);
+
+  reg.set_enabled(was_enabled);
+}
+
+// Pool metrics move too (claims cover every task exactly once per batch).
+TEST(Instrumentation, ThreadPoolClaimsEveryTask) {
+  tel::MetricsRegistry& reg = tel::metrics();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  reg.reset();
+
+  bsrng::core::StreamEngine engine(
+      {.workers = 4, .chunk_bytes = 4096, .parallel = true});
+  std::vector<std::uint8_t> out(1u << 16);
+  engine.generate("aes-ctr-bs32", 7, out);
+
+  const auto snap = reg.snapshot();
+  const auto* claims = snap.find("thread_pool.claims");
+  const auto* tasks = snap.find("stream_engine.tasks");
+  ASSERT_NE(claims, nullptr);
+  ASSERT_NE(tasks, nullptr);
+  EXPECT_DOUBLE_EQ(claims->value, tasks->value);
+  const auto* depth = snap.find("thread_pool.queue_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_DOUBLE_EQ(depth->value, 0.0);  // drained after the batch
+
+  reg.set_enabled(was_enabled);
+}
+
+}  // namespace

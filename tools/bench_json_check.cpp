@@ -1,0 +1,113 @@
+// bench_json_check — validates the --json output of the bench_* binaries.
+//
+//   bench_json_check <file.json> [<file.json> ...]
+//
+// Each file must be a non-empty JSON array of records carrying exactly the
+// schema the benches emit:
+//
+//   bench      string, non-empty
+//   algorithm  string, non-empty
+//   width      number, non-negative integer
+//   workers    number, positive integer
+//   bytes      number, non-negative integer
+//   seconds    number, >= 0, finite
+//   gbps       number, >= 0, finite
+//
+// Exit 0 when every file validates; 1 with a per-record diagnostic
+// otherwise.  CI runs this against the smoke-run artifacts so a schema
+// regression fails the build, not the downstream dashboard.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/json.hpp"
+
+namespace tel = bsrng::telemetry;
+
+namespace {
+
+bool fail(const char* file, std::size_t idx, const std::string& what) {
+  std::fprintf(stderr, "%s: record %zu: %s\n", file, idx, what.c_str());
+  return false;
+}
+
+bool check_string(const tel::JsonValue& rec, const char* file, std::size_t idx,
+                  const char* key) {
+  const tel::JsonValue* v = rec.find(key);
+  if (v == nullptr) return fail(file, idx, std::string("missing key ") + key);
+  if (!v->is_string() || v->as_string().empty())
+    return fail(file, idx, std::string(key) + " must be a non-empty string");
+  return true;
+}
+
+bool check_number(const tel::JsonValue& rec, const char* file, std::size_t idx,
+                  const char* key, bool integral, double min) {
+  const tel::JsonValue* v = rec.find(key);
+  if (v == nullptr) return fail(file, idx, std::string("missing key ") + key);
+  if (!v->is_number())
+    return fail(file, idx, std::string(key) + " must be a number");
+  const double d = v->as_number();
+  if (!std::isfinite(d) || d < min)
+    return fail(file, idx, std::string(key) + " out of range");
+  if (integral && d != std::floor(d))
+    return fail(file, idx, std::string(key) + " must be an integer");
+  return true;
+}
+
+bool check_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto doc = tel::json_parse(ss.str());
+  if (!doc) {
+    std::fprintf(stderr, "%s: not valid JSON\n", path);
+    return false;
+  }
+  if (!doc->is_array()) {
+    std::fprintf(stderr, "%s: top-level value must be an array\n", path);
+    return false;
+  }
+  const auto& arr = doc->as_array();
+  if (arr.empty()) {
+    std::fprintf(stderr, "%s: record array is empty\n", path);
+    return false;
+  }
+  bool ok = true;
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    const tel::JsonValue& rec = arr[i];
+    if (!rec.is_object()) {
+      ok = fail(path, i, "record must be an object");
+      continue;
+    }
+    ok &= check_string(rec, path, i, "bench");
+    ok &= check_string(rec, path, i, "algorithm");
+    ok &= check_number(rec, path, i, "width", /*integral=*/true, 0.0);
+    ok &= check_number(rec, path, i, "workers", /*integral=*/true, 1.0);
+    ok &= check_number(rec, path, i, "bytes", /*integral=*/true, 0.0);
+    ok &= check_number(rec, path, i, "seconds", /*integral=*/false, 0.0);
+    ok &= check_number(rec, path, i, "gbps", /*integral=*/false, 0.0);
+    if (rec.as_object().size() != 7)
+      ok = fail(path, i, "record must carry exactly the 7 schema keys");
+  }
+  if (ok)
+    std::fprintf(stderr, "%s: %zu records OK\n", path, arr.size());
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_json_check <file.json> [...]\n");
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) ok &= check_file(argv[i]);
+  return ok ? 0 : 1;
+}
