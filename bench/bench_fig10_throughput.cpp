@@ -4,12 +4,14 @@
 // projection model (DESIGN.md §2).  Also prints Table 2 itself (E3).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "bench_json.hpp"
+#include "core/descriptor.hpp"
 #include "core/registry.hpp"
 #include "core/stream_engine.hpp"
 #include "core/throughput.hpp"
@@ -45,24 +47,27 @@ double measured_gbps(co::StreamEngine& engine, const std::string& algo,
   return rep.gbps();
 }
 
-void print_figure10(bsrng::bench::JsonWriter& json) {
+void print_figure10(bsrng::bench::JsonWriter& json,
+                    const std::vector<std::string>& only) {
   co::StreamEngine engine({.workers = 1});
   std::vector<std::uint8_t> buf(8u << 20);
   // Per-bit gate cost at the paper's W = 32 (one GPU thread = 32 lanes).
+  // Rows come straight from the descriptor table; `--algos mickey,grain`
+  // restricts the sweep to the named cipher bases.
   struct Algo {
-    const char* label;
-    const char* counter;    // gate_ops_per_step key
+    std::string label;
+    std::string counter;    // gate_ops_per_step key (the descriptor base)
     double bits_per_step;   // slice bits produced per counted step
-    const char* cpu_name;   // measured CPU kernel (widest lanes)
+    std::string cpu_name;   // measured CPU kernel (widest lanes)
   };
-  const std::vector<Algo> algos = {
-      {"MICKEY 2.0 (bitsliced)", "mickey", 1, "mickey-bs512"},
-      {"Grain v1   (bitsliced)", "grain", 1, "grain-bs512"},
-      {"Trivium    (bitsliced)", "trivium", 1, "trivium-bs512"},
-      {"AES-128 CTR(bitsliced)", "aes-ctr", 128, "aes-ctr-bs512"},
-      {"A5/1 ext.  (bitsliced)", "a51", 1, "a51-bs512"},
-      {"ChaCha20 ARX (bitsl.)", "chacha20", 512, "chacha20-bs512"},
-  };
+  std::vector<Algo> algos;
+  for (const auto& d : co::algorithm_descriptors()) {
+    if (!only.empty() &&
+        std::find(only.begin(), only.end(), d.base) == only.end())
+      continue;
+    algos.push_back({d.base + " (bitsliced)", d.base, d.bits_per_step,
+                     d.base + "-bs512"});
+  }
 
   std::printf("\n=== Table 2: GPU platforms (paper, verbatim) ===\n");
   std::printf("%-14s %10s %10s %10s\n", "GPU", "SP GFLOPS", "DP GFLOPS",
@@ -81,7 +86,7 @@ void print_figure10(bsrng::bench::JsonWriter& json) {
   for (const auto& a : algos) {
     const double ops_bit =
         co::gate_ops_per_step(a.counter) / (32.0 * a.bits_per_step);
-    std::printf("%-15s (%5.1f)", a.label, ops_bit);
+    std::printf("%-15s (%5.1f)", a.label.c_str(), ops_bit);
     for (const auto& g : gs::device_catalog()) {
       const double gbps = gs::project_throughput_gbps(
           g, gs::ProjectionParams{.gate_ops_per_bit = ops_bit});
@@ -115,9 +120,11 @@ BENCHMARK_CAPTURE(BM_Fill, philox, "philox");
 
 int main(int argc, char** argv) {
   bsrng::bench::JsonWriter json("bench_fig10_throughput", &argc, argv);
+  const std::vector<std::string> only =
+      bsrng::bench::split_csv(bsrng::bench::take_flag(&argc, argv, "algos"));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print_figure10(json);
+  print_figure10(json, only);
   return 0;
 }

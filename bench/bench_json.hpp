@@ -3,9 +3,9 @@
 // Every bench accepts `--json <path>` (or `--json=<path>`) and, when given,
 // writes a JSON array of records alongside its human-readable tables:
 //
-//   [{"algorithm": "mickey-bs512", "bench": "bench_stream_engine",
-//     "bytes": 4194304, "gbps": 12.3, "seconds": 0.0027,
-//     "width": 512, "workers": 4}, ...]
+//   [{"algorithm": "mickey-bs512", "backend": "host",
+//     "bench": "bench_stream_engine", "bytes": 4194304, "gbps": 12.3,
+//     "seconds": 0.0027, "width": 512, "workers": 4}, ...]
 //
 // The flag is stripped from argc/argv *before* benchmark::Initialize runs
 // (Google Benchmark aborts on flags it does not know).  Records come from
@@ -24,8 +24,47 @@
 
 namespace bsrng::bench {
 
+// Scan argv for `--<name> <value>` / `--<name>=<value>`, strip the flag (so
+// benchmark::Initialize never sees it — same convention as JsonWriter) and
+// return the value, or `def` when the flag is absent.
+inline std::string take_flag(int* argc, char** argv, const std::string& name,
+                             std::string def = {}) {
+  std::string out = std::move(def);
+  const std::string bare = "--" + name, prefixed = bare + "=";
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    const std::string arg = argv[r];
+    if (arg == bare && r + 1 < *argc) {
+      out = argv[++r];
+    } else if (arg.rfind(prefixed, 0) == 0) {
+      out = arg.substr(prefixed.size());
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  argv[w] = nullptr;
+  return out;
+}
+
+// "a,b,c" -> {"a", "b", "c"}; empty input -> empty list.
+inline std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size() && !s.empty()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 // One measured configuration.  `width` is the lane count of the generator
 // (1 for scalar baselines, 0 when lanes are not meaningful for the row).
+// `backend` records where the stream was produced: "host" for CPU
+// generators/StreamEngine rows, "gpusim" for virtual-GPU kernel rows.
 struct JsonRecord {
   std::string algorithm;
   std::size_t width = 0;
@@ -33,6 +72,7 @@ struct JsonRecord {
   std::uint64_t bytes = 0;
   double seconds = 0.0;
   double gbps = 0.0;
+  std::string backend = "host";
 };
 
 class JsonWriter {
@@ -75,6 +115,7 @@ class JsonWriter {
       telemetry::JsonValue::Object o;
       o.emplace("bench", telemetry::JsonValue(bench_));
       o.emplace("algorithm", telemetry::JsonValue(r.algorithm));
+      o.emplace("backend", telemetry::JsonValue(r.backend));
       o.emplace("width", telemetry::JsonValue(static_cast<double>(r.width)));
       o.emplace("workers",
                 telemetry::JsonValue(static_cast<double>(r.workers)));

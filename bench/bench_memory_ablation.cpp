@@ -15,6 +15,7 @@
 
 #include "baselines/xorshift.hpp"
 #include "bench_json.hpp"
+#include "core/descriptor.hpp"
 #include "core/gpu_kernel.hpp"
 #include "core/thread_pool.hpp"
 #include "gpusim/device.hpp"
@@ -129,40 +130,46 @@ void print_ablation(bsrng::bench::JsonWriter& json) {
     for (const auto& f : v.findings)
       std::printf("  !! %s: %s\n", v.label.c_str(), f.c_str());
   }
-  // The same ablation on the real §4.4 kernel (each simulated thread runs a
-  // 32-lane bitsliced MICKEY engine).
-  std::printf("\n--- real MICKEY 2.0 kernel (gpu_kernel) ---\n");
-  bsrng::core::GpuKernelConfig cfg;
-  cfg.blocks = 2;
-  cfg.threads_per_block = 64;
-  cfg.words_per_thread = 64;
-  cfg.staging_words = 16;
-  const std::size_t words =
-      cfg.blocks * cfg.threads_per_block * cfg.words_per_thread;
-  const auto row = [&](const char* label) {
-    using Clock = std::chrono::steady_clock;
-    gs::Device dev(words);
-    const auto t0 = Clock::now();
-    const auto r = bsrng::core::run_mickey_gpu_kernel(dev, cfg);
-    const double secs =
-        std::chrono::duration<double>(Clock::now() - t0).count();
-    std::printf("%-34s %14llu %12.3f %12llu\n", label,
-                static_cast<unsigned long long>(r.stats.global_transactions),
-                r.stats.coalescing_efficiency(),
-                static_cast<unsigned long long>(r.stats.shared_accesses));
-    print_check_reports(dev, label);
-    // Simulated-GPU wall rate: one record per kernel variant; workers is
-    // the simulated thread count of the launch.
-    const std::uint64_t bytes = words * 4;
-    json.add({std::string("mickey-bs32/gpusim ") + label, 32,
-              cfg.blocks * cfg.threads_per_block, bytes, secs,
-              secs > 0 ? static_cast<double>(bytes) * 8.0 / secs / 1e9 : 0.0});
-  };
-  row("staged + coalesced (paper §4.5)");
-  cfg.use_shared_staging = false;
-  row("direct coalesced");
-  cfg.coalesced_layout = false;
-  row("direct per-thread regions");
+  // The same ablation on the real §4.4 kernels: every bitsliced cipher in
+  // the descriptor table runs on the virtual GPU (each simulated thread owns
+  // a 32-lane engine, or a block-aligned counter range for aes-ctr /
+  // chacha20).
+  for (const auto& desc : bsrng::core::algorithm_descriptors()) {
+    std::printf("\n--- real %s kernel (gpu_kernel) ---\n", desc.base.c_str());
+    bsrng::core::GpuKernelConfig cfg;
+    cfg.blocks = 2;
+    cfg.threads_per_block = 64;
+    cfg.words_per_thread = 64;  // 256 B/thread: a multiple of both counter
+                                // block sizes (16 and 64 bytes)
+    cfg.staging_words = 16;
+    const std::size_t words =
+        cfg.blocks * cfg.threads_per_block * cfg.words_per_thread;
+    const auto row = [&](const char* label) {
+      using Clock = std::chrono::steady_clock;
+      gs::Device dev(words);
+      const auto t0 = Clock::now();
+      const auto r = bsrng::core::run_gpu_kernel(dev, desc.base, cfg);
+      const double secs =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      std::printf("%-34s %14llu %12.3f %12llu\n", label,
+                  static_cast<unsigned long long>(r.stats.global_transactions),
+                  r.stats.coalescing_efficiency(),
+                  static_cast<unsigned long long>(r.stats.shared_accesses));
+      print_check_reports(dev, label);
+      // Simulated-GPU wall rate: one record per cipher x kernel variant;
+      // workers is the simulated thread count of the launch.
+      json.add({desc.base + "-bs32 " + label, 32,
+                cfg.blocks * cfg.threads_per_block, r.bytes, secs,
+                secs > 0 ? static_cast<double>(r.bytes) * 8.0 / secs / 1e9
+                         : 0.0,
+                "gpusim"});
+    };
+    row("staged + coalesced (paper §4.5)");
+    cfg.use_shared_staging = false;
+    row("direct coalesced");
+    cfg.coalesced_layout = false;
+    row("direct per-thread regions");
+  }
 
   std::printf(
       "\nshape: strided costs ~32x the transactions of the coalesced and\n"

@@ -20,7 +20,8 @@ namespace {
 
 constexpr std::size_t kBytes = 4u << 20;
 
-void print_scaling(bsrng::bench::JsonWriter& json) {
+void print_scaling(bsrng::bench::JsonWriter& json,
+                   const std::vector<std::string>& algos) {
   const std::vector<std::uint8_t> key(16, 0x42), nonce(12, 0x17);
   std::vector<std::uint8_t> reference(kBytes), out(kBytes);
   co::multi_device_aes_ctr(key, nonce, 1, reference, /*parallel=*/false);
@@ -51,6 +52,26 @@ void print_scaling(bsrng::bench::JsonWriter& json) {
     json.add({"mickey-bs32", 32, d, rep.bytes, rep.wall_seconds,
               rep.gbps()});
   }
+  // Any registered algorithm through the descriptor-driven entry point:
+  // multi_device_generate shards per the algorithm's own PartitionSpec, and
+  // reconstruction stays bit-identical to the single-generator stream for
+  // every device count.  `--algos` picks the registry names swept here.
+  std::printf("\n=== §5.4 multi_device_generate (any algorithm, 1 MiB) ===\n");
+  std::printf("%-16s %-9s %12s %16s %10s\n", "algorithm", "devices", "wall s",
+              "modeled speedup", "identical");
+  std::vector<std::uint8_t> gout(1u << 20), gref(1u << 20);
+  for (const std::string& algo : algos) {
+    co::make_generator(algo, 5)->fill(gref);
+    const std::size_t width = co::find_algorithm(algo)->lanes;
+    for (const std::size_t d : {1u, 2u, 4u}) {
+      const auto rep = co::multi_device_generate(algo, 5, d, gout);
+      std::printf("%-16s %-9zu %12.4f %16.2f %10s\n", algo.c_str(), d,
+                  rep.wall_seconds, rep.modeled_speedup(),
+                  gout == gref ? "yes" : "NO");
+      json.add({algo, width, d, rep.bytes, rep.wall_seconds, rep.gbps()});
+    }
+  }
+
   // The same partitioning through the general engine: multi_device_* are now
   // thin wrappers over StreamEngine, so this section shows the engine's
   // chunked scheduling (256 KiB claims) against the wrappers' one-chunk-per-
@@ -94,9 +115,14 @@ BENCHMARK(BM_MultiDeviceAesCtr)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillis
 
 int main(int argc, char** argv) {
   bsrng::bench::JsonWriter json("bench_multigpu_scaling", &argc, argv);
+  // Default sweep: one lane-sliced and one counter-mode family, plus the
+  // scalar philox counter baseline — each partition kind exercised once.
+  const std::vector<std::string> algos = bsrng::bench::split_csv(
+      bsrng::bench::take_flag(&argc, argv, "algos",
+                              "mickey-bs128,chacha20-bs64,philox"));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print_scaling(json);
+  print_scaling(json, algos);
   return 0;
 }

@@ -27,7 +27,9 @@
 //   bsrng::telemetry::metrics().set_enabled(true);
 #pragma once
 
+#include "core/descriptor.hpp"
 #include "core/generator.hpp"
+#include "core/gpu_kernel.hpp"
 #include "core/multi_device.hpp"
 #include "core/registry.hpp"
 #include "core/stream_engine.hpp"
@@ -55,7 +57,25 @@ using core::StreamEngine;
 using core::StreamEngineConfig;
 using core::multi_device_aes_ctr;
 using core::multi_device_mickey;
+using core::multi_device_generate;
 using core::MultiDeviceReport;
+
+// Algorithm descriptors (the single source of truth behind the registry,
+// StreamEngine sharding, and the gpusim kernels).
+using core::AlgorithmDescriptor;
+using core::algorithm_descriptors;
+using core::find_descriptor;
+using core::find_bitsliced;
+
+// Virtual-GPU kernels: every bitsliced cipher on gpusim, byte-identical to
+// the host stream (gpusim is a backend, not a demo).
+using core::GpuKernelConfig;
+using core::GpuKernelResult;
+using core::run_gpu_kernel;
+using core::kernel_word;
+using core::kernel_out_index;
+using core::kernel_stream_word;
+using core::kernel_equivalent_algorithm;
 
 // Measurement.
 using core::ThroughputReport;

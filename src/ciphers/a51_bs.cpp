@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "lfsr/bitsliced_lfsr.hpp"  // splitmix64
+#include "core/keyschedule.hpp"
 
 namespace bsrng::ciphers {
 
@@ -44,13 +44,16 @@ A51Bs<W>::A51Bs(std::span<const KeyBytes> keys,
 void derive_a51_lane_params(
     std::uint64_t master_seed,
     std::span<std::array<std::uint8_t, A51Ref::kKeyBytes>> keys,
-    std::span<std::uint32_t> frames) {
-  std::uint64_t x = master_seed;
+    std::span<std::uint32_t> frames, std::size_t first_lane) {
+  namespace ks = bsrng::core::keyschedule;
+  // One word for the 8-byte key, one for the frame number.
+  constexpr std::uint64_t kWordsPerLane =
+      ks::words_for_bytes(A51Ref::kKeyBytes) + 1;
+  ks::SeedStream s(master_seed);
+  s.skip_words(first_lane * kWordsPerLane);
   for (std::size_t j = 0; j < keys.size(); ++j) {
-    const std::uint64_t k = lfsr::splitmix64(x);
-    for (std::size_t b = 0; b < 8; ++b)
-      keys[j][b] = static_cast<std::uint8_t>(k >> (8 * b));
-    frames[j] = static_cast<std::uint32_t>(lfsr::splitmix64(x)) &
+    s.fill(keys[j]);
+    frames[j] = static_cast<std::uint32_t>(s.next_word()) &
                 ((1u << A51Ref::kFrameBits) - 1);
   }
 }

@@ -66,11 +66,14 @@ class A51Bs {
 
 // Per-lane (key, frame) derivation of the master-seed constructor (lane j:
 // one splitmix64 word as the 8-byte key, one masked to kFrameBits as the
-// frame number), exposed for the registry's lane-range PartitionSpec shards.
+// frame number, both off the core/keyschedule.hpp stream), exposed for the
+// registry's lane-range PartitionSpec shards and the gpusim kernels.
+// `first_lane` seeks the schedule to lanes
+// [first_lane, first_lane + keys.size()).
 void derive_a51_lane_params(
     std::uint64_t master_seed,
     std::span<std::array<std::uint8_t, A51Ref::kKeyBytes>> keys,
-    std::span<std::uint32_t> frames);
+    std::span<std::uint32_t> frames, std::size_t first_lane = 0);
 
 extern template class A51Bs<bitslice::SliceU32>;
 extern template class A51Bs<bitslice::SliceU64>;

@@ -73,12 +73,15 @@ class GrainBs {
 };
 
 // Per-lane (key, IV) derivation of the master-seed constructor (lane j: 10
-// key bytes then 8 IV bytes off the splitmix64 stream, in lane order),
-// exposed for the registry's lane-range PartitionSpec shards.
+// key bytes then 8 IV bytes off the core/keyschedule.hpp splitmix64 stream,
+// in lane order), exposed for the registry's lane-range PartitionSpec shards
+// and the gpusim kernels.  `first_lane` seeks the schedule to lanes
+// [first_lane, first_lane + keys.size()) of the master derivation.
 void derive_grain_lane_params(
     std::uint64_t master_seed,
     std::span<std::array<std::uint8_t, GrainRef::kKeyBytes>> keys,
-    std::span<std::array<std::uint8_t, GrainRef::kIvBytes>> ivs);
+    std::span<std::array<std::uint8_t, GrainRef::kIvBytes>> ivs,
+    std::size_t first_lane = 0);
 
 extern template class GrainBs<bitslice::SliceU32>;
 extern template class GrainBs<bitslice::SliceU64>;

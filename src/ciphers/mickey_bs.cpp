@@ -3,7 +3,7 @@
 
 #include <stdexcept>
 
-#include "lfsr/bitsliced_lfsr.hpp"  // splitmix64
+#include "core/keyschedule.hpp"
 
 namespace bsrng::ciphers {
 
@@ -41,18 +41,16 @@ MickeyBs<W>::MickeyBs(std::span<const KeyBytes> keys,
 void derive_mickey_lane_params(
     std::uint64_t master_seed,
     std::span<std::array<std::uint8_t, kKeyBits / 8>> keys,
-    std::span<std::array<std::uint8_t, kMaxIvBits / 8>> ivs) {
-  std::uint64_t x = master_seed;
-  const auto fill = [&x](std::span<std::uint8_t> out) {
-    for (std::size_t b = 0; b < out.size(); b += 8) {
-      const std::uint64_t w = lfsr::splitmix64(x);
-      for (std::size_t k = 0; k < 8 && b + k < out.size(); ++k)
-        out[b + k] = static_cast<std::uint8_t>(w >> (8 * k));
-    }
-  };
+    std::span<std::array<std::uint8_t, kMaxIvBits / 8>> ivs,
+    std::size_t first_lane) {
+  namespace ks = bsrng::core::keyschedule;
+  constexpr std::uint64_t kWordsPerLane =
+      ks::words_for_bytes(kKeyBits / 8) + ks::words_for_bytes(kMaxIvBits / 8);
+  ks::SeedStream s(master_seed);
+  s.skip_words(first_lane * kWordsPerLane);
   for (std::size_t j = 0; j < keys.size(); ++j) {
-    fill(keys[j]);
-    fill(ivs[j]);
+    s.fill(keys[j]);
+    s.fill(ivs[j]);
   }
 }
 

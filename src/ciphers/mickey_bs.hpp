@@ -65,13 +65,17 @@ class MickeyBs {
 };
 
 // Per-lane (key, IV) derivation used by the master-seed constructor: lane j
-// draws 10 key bytes then 10 IV bytes from the splitmix64 stream, in lane
-// order.  Exposed so the registry's PartitionSpec can rebuild any lane
-// range's parameters and shard the stream bit-identically (§5.4).
+// draws 10 key bytes then 10 IV bytes from the splitmix64 stream
+// (core/keyschedule.hpp), in lane order.  Exposed so the registry's
+// PartitionSpec and the gpusim kernels can rebuild any lane range's
+// parameters and shard the stream bit-identically (§5.4).  `first_lane`
+// seeks the schedule: the call fills keys/ivs for lanes
+// [first_lane, first_lane + keys.size()) of the master derivation.
 void derive_mickey_lane_params(
     std::uint64_t master_seed,
     std::span<std::array<std::uint8_t, mickey::kKeyBits / 8>> keys,
-    std::span<std::array<std::uint8_t, mickey::kMaxIvBits / 8>> ivs);
+    std::span<std::array<std::uint8_t, mickey::kMaxIvBits / 8>> ivs,
+    std::size_t first_lane = 0);
 
 extern template class MickeyBs<bitslice::SliceU32>;
 extern template class MickeyBs<bitslice::SliceU64>;

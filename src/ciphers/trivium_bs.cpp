@@ -3,7 +3,7 @@
 
 #include <stdexcept>
 
-#include "lfsr/bitsliced_lfsr.hpp"  // splitmix64
+#include "core/keyschedule.hpp"
 
 namespace bsrng::ciphers {
 
@@ -33,18 +33,17 @@ TriviumBs<W>::TriviumBs(std::span<const KeyBytes> keys,
 void derive_trivium_lane_params(
     std::uint64_t master_seed,
     std::span<std::array<std::uint8_t, TriviumRef::kKeyBytes>> keys,
-    std::span<std::array<std::uint8_t, TriviumRef::kIvBytes>> ivs) {
-  std::uint64_t x = master_seed;
-  const auto fill = [&x](std::span<std::uint8_t> out) {
-    for (std::size_t bpos = 0; bpos < out.size(); bpos += 8) {
-      const std::uint64_t w = lfsr::splitmix64(x);
-      for (std::size_t k = 0; k < 8 && bpos + k < out.size(); ++k)
-        out[bpos + k] = static_cast<std::uint8_t>(w >> (8 * k));
-    }
-  };
+    std::span<std::array<std::uint8_t, TriviumRef::kIvBytes>> ivs,
+    std::size_t first_lane) {
+  namespace ks = bsrng::core::keyschedule;
+  constexpr std::uint64_t kWordsPerLane =
+      ks::words_for_bytes(TriviumRef::kKeyBytes) +
+      ks::words_for_bytes(TriviumRef::kIvBytes);
+  ks::SeedStream s(master_seed);
+  s.skip_words(first_lane * kWordsPerLane);
   for (std::size_t j = 0; j < keys.size(); ++j) {
-    fill(keys[j]);
-    fill(ivs[j]);
+    s.fill(keys[j]);
+    s.fill(ivs[j]);
   }
 }
 

@@ -71,12 +71,15 @@ class TriviumBs {
 };
 
 // Per-lane (key, IV) derivation of the master-seed constructor (lane j: 10
-// key bytes then 10 IV bytes off the splitmix64 stream, in lane order),
-// exposed for the registry's lane-range PartitionSpec shards.
+// key bytes then 10 IV bytes off the core/keyschedule.hpp splitmix64
+// stream, in lane order), exposed for the registry's lane-range
+// PartitionSpec shards and the gpusim kernels.  `first_lane` seeks the
+// schedule to lanes [first_lane, first_lane + keys.size()).
 void derive_trivium_lane_params(
     std::uint64_t master_seed,
     std::span<std::array<std::uint8_t, TriviumRef::kKeyBytes>> keys,
-    std::span<std::array<std::uint8_t, TriviumRef::kIvBytes>> ivs);
+    std::span<std::array<std::uint8_t, TriviumRef::kIvBytes>> ivs,
+    std::size_t first_lane = 0);
 
 extern template class TriviumBs<bitslice::SliceU32>;
 extern template class TriviumBs<bitslice::SliceU64>;

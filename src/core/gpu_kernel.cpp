@@ -1,78 +1,69 @@
 #include "core/gpu_kernel.hpp"
 
 #include <stdexcept>
+#include <string>
 
-#include "bitslice/slice.hpp"
-#include "ciphers/mickey_bs.hpp"
+#include "core/adapters.hpp"
+#include "core/descriptor.hpp"
 
 namespace bsrng::core {
 
-namespace gs = bsrng::gpusim;
-namespace bs = bsrng::bitslice;
-
 namespace {
-std::uint64_t thread_seed(std::uint64_t seed, std::size_t thread) {
-  // Per-thread key/IV material: disjoint master seeds per thread; each
-  // engine then expands its own 32 lane keys (§4.4's IV expansion).
-  return seed * 0x9E3779B97F4A7C15ull + thread + 1;
+
+// Accept a cipher base name or any registered "<base>-bs<width>" alias; the
+// width suffix carries no information for the kernel (geometry decides the
+// logical lane count), it is accepted so callers can pass registry names
+// straight through.
+const AlgorithmDescriptor& resolve(std::string_view algorithm) {
+  if (const AlgorithmDescriptor* d = find_descriptor(algorithm)) return *d;
+  if (const AlgorithmDescriptor* d = find_bitsliced(algorithm).first) return *d;
+  throw std::invalid_argument("run_gpu_kernel: unknown algorithm " +
+                              std::string(algorithm));
 }
+
 }  // namespace
 
-GpuKernelResult run_mickey_gpu_kernel(gpusim::Device& dev,
-                                      const GpuKernelConfig& cfg) {
-  const std::size_t total_threads = cfg.blocks * cfg.threads_per_block;
-  const std::size_t total_words = total_threads * cfg.words_per_thread;
-  if (dev.global_memory().size() < total_words)
-    throw std::invalid_argument("run_mickey_gpu_kernel: device memory too small");
-  if (cfg.use_shared_staging && cfg.words_per_thread % cfg.staging_words != 0)
-    throw std::invalid_argument(
-        "run_mickey_gpu_kernel: words_per_thread must be a multiple of "
-        "staging_words");
-
-  const auto out_index = [&](std::size_t t, std::size_t w) {
-    return cfg.coalesced_layout ? w * total_threads + t
-                                : t * cfg.words_per_thread + w;
-  };
-
-  GpuKernelResult result;
-  result.stats = dev.launch(
-      {.blocks = cfg.blocks, .threads_per_block = cfg.threads_per_block,
-       .shared_bytes = cfg.use_shared_staging
-                           ? cfg.threads_per_block * cfg.staging_words * 4
-                           : 0,
-       .check = cfg.check, .kernel_name = "mickey_gpu_kernel"},
-      [&](gs::ThreadCtx& ctx) {
-        const std::size_t t = ctx.global_thread_id();
-        ciphers::MickeyBs<bs::SliceU32> engine(thread_seed(cfg.seed, t));
-        if (!cfg.use_shared_staging) {
-          for (std::size_t w = 0; w < cfg.words_per_thread; ++w)
-            ctx.global_store(out_index(t, w), engine.step());
-          return;
-        }
-        // §4.5: "each thread stores the output of each loop (32 bits) in the
-        // Shared Memory.  After filling the shared memory capacity, the
-        // entire data is moved to Global Memory".
-        const std::size_t rounds = cfg.words_per_thread / cfg.staging_words;
-        for (std::size_t round = 0; round < rounds; ++round) {
-          for (std::size_t i = 0; i < cfg.staging_words; ++i)
-            ctx.shared_store(i * ctx.block_dim() + ctx.thread_idx(),
-                             engine.step());
-          for (std::size_t i = 0; i < cfg.staging_words; ++i)
-            ctx.global_store(
-                out_index(t, round * cfg.staging_words + i),
-                ctx.shared_load(i * ctx.block_dim() + ctx.thread_idx()));
-        }
-      });
-  result.bytes = total_words * 4;
-  return result;
+GpuKernelResult run_gpu_kernel(gpusim::Device& dev, std::string_view algorithm,
+                               const GpuKernelConfig& cfg) {
+  return resolve(algorithm).run_kernel(dev, cfg);
 }
 
-std::uint32_t mickey_kernel_word(std::uint64_t seed, std::size_t thread,
-                                 std::size_t w) {
-  ciphers::MickeyBs<bs::SliceU32> engine(thread_seed(seed, thread));
-  std::uint32_t out = 0;
-  for (std::size_t i = 0; i <= w; ++i) out = engine.step();
-  return out;
+std::uint32_t kernel_word(std::string_view algorithm,
+                          const GpuKernelConfig& cfg, std::size_t thread,
+                          std::size_t w) {
+  return resolve(algorithm).kernel_word(cfg, thread, w);
+}
+
+std::size_t kernel_out_index(const GpuKernelConfig& cfg, std::size_t thread,
+                             std::size_t w) noexcept {
+  return cfg.coalesced_layout
+             ? w * cfg.blocks * cfg.threads_per_block + thread
+             : thread * cfg.words_per_thread + w;
+}
+
+std::size_t kernel_stream_word(std::string_view algorithm,
+                               const GpuKernelConfig& cfg, std::size_t thread,
+                               std::size_t w) {
+  const AlgorithmDescriptor& d = resolve(algorithm);
+  const std::size_t total_threads = cfg.blocks * cfg.threads_per_block;
+  // kLaneSlice: thread t's words are the t-th 4-byte column of each
+  // serialized slice row.  kCounter: thread t owns the contiguous range
+  // starting at block t * words_per_thread * 4 / block_bytes.
+  return d.partition == PartitionKind::kLaneSlice
+             ? w * total_threads + thread
+             : thread * cfg.words_per_thread + w;
+}
+
+std::string kernel_equivalent_algorithm(std::string_view algorithm,
+                                        const GpuKernelConfig& cfg) {
+  const AlgorithmDescriptor& d = resolve(algorithm);
+  if (d.partition == PartitionKind::kCounter)
+    // Counter streams are width-independent; bs32 is the canonical pick.
+    return d.base + "-bs32";
+  const std::size_t lanes =
+      cfg.blocks * cfg.threads_per_block * kLaneBlockLanes;
+  const std::string name = d.base + "-bs" + std::to_string(lanes);
+  return adapters::bs_width(name, d.base + "-bs") != 0 ? name : std::string();
 }
 
 }  // namespace bsrng::core

@@ -1,16 +1,35 @@
 // gpu_kernel.hpp — the paper's §4.4/§4.5 CUDA kernel, reconstructed on the
-// virtual GPU.
+// virtual GPU for EVERY bitsliced cipher in the registry.
 //
-// Each simulated GPU thread owns a 32-lane bitsliced MICKEY 2.0 engine ("32
-// parallel Mickey stream ciphers ... each thread at each clock cycle
-// generates 32 random bits"), stages its 32-bit output words in per-block
-// shared memory, and flushes the block's staging buffer to global memory
-// with coalesced bursts.  The launch geometry defaults to the paper's
-// best-performing configuration (64 blocks x 256 threads; we scale it down
-// for simulation time — the memory-traffic ratios are geometry-invariant).
+// Each simulated GPU thread owns a 32-lane bitsliced engine ("32 parallel
+// ... stream ciphers ... each thread at each clock cycle generates 32
+// random bits"), stages its 32-bit output words in per-block shared memory,
+// and flushes the block's staging buffer to global memory with coalesced
+// bursts.  The launch geometry defaults to the paper's best-performing
+// configuration scaled down for simulation time — the memory-traffic ratios
+// are geometry-invariant.
+//
+// gpusim is a backend, not a demo: the kernel reproduces the canonical
+// registry stream for the seed.  Thread parameterization comes from the
+// same AlgorithmDescriptor (core/descriptor.hpp) the registry and
+// StreamEngine use —
+//   kLaneSlice ciphers (mickey/grain/trivium/a51): thread t runs lanes
+//     [32t, 32t+32) of a (32 * total_threads)-lane derivation, so word w of
+//     thread t is stream word w * total_threads + t of the
+//     "<cipher>-bs<32 * total_threads>" stream (when that width is
+//     registered — kernel_equivalent_algorithm names it).
+//   kCounter ciphers (aes-ctr/chacha20): thread t seeks its private engine
+//     to counter block t * words_per_thread * 4 / block_bytes and produces
+//     stream words [t * words_per_thread, (t+1) * words_per_thread) — the
+//     width-independent canonical CTR stream.
+// kernel_stream_word exposes the (thread, word) → stream-word bijection, so
+// global memory is byte-identical to the StreamEngine stream under either
+// output layout (verified by tests/core/cross_backend_test.cpp).
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 
 #include "gpusim/device.hpp"
 
@@ -34,17 +53,45 @@ struct GpuKernelResult {
   std::uint64_t bytes = 0;  // keystream bytes landed in global memory
 };
 
-// Run the kernel; device global memory must hold at least
-// blocks * threads_per_block * words_per_thread words.
+// Run `algorithm`'s kernel on the device; `algorithm` is a cipher base name
+// ("mickey", "grain", "trivium", "aes-ctr", "a51", "chacha20") or any of its
+// registered bitsliced names ("mickey-bs512" — the width suffix is ignored,
+// geometry decides).  Device global memory must hold at least
+// blocks * threads_per_block * words_per_thread words.  words_per_thread
+// need not be a multiple of staging_words (the final flush is a ragged
+// partial round); kCounter ciphers require words_per_thread * 4 to be a
+// multiple of the cipher's counter block size so every thread's range is
+// block-aligned.  Throws std::invalid_argument for unknown algorithms and
+// invalid geometry.
 //
-// Output layout (coalesced_layout): word w of global thread t lands at
-// w * total_threads + t; otherwise at t * words_per_thread + w.
-GpuKernelResult run_mickey_gpu_kernel(gpusim::Device& dev,
-                                      const GpuKernelConfig& cfg);
+// Output: word w of global thread t lands at word index
+// kernel_out_index(cfg, t, w) and carries canonical-stream word
+// kernel_stream_word(algorithm, cfg, t, w).
+GpuKernelResult run_gpu_kernel(gpusim::Device& dev, std::string_view algorithm,
+                               const GpuKernelConfig& cfg);
 
 // Oracle for tests: the 32-bit output word w of global thread t, computed
-// directly from a host-side MickeyBs engine (no gpusim involved).
-std::uint32_t mickey_kernel_word(std::uint64_t seed, std::size_t thread,
-                                 std::size_t w);
+// directly from host-side engines (no gpusim involved).
+std::uint32_t kernel_word(std::string_view algorithm,
+                          const GpuKernelConfig& cfg, std::size_t thread,
+                          std::size_t w);
+
+// Where word w of thread t lands in device global memory (layout only).
+std::size_t kernel_out_index(const GpuKernelConfig& cfg, std::size_t thread,
+                             std::size_t w) noexcept;
+
+// Which 32-bit word of the canonical stream thread t's w-th word carries.
+// Composed with kernel_out_index this is the memory ↔ stream bijection for
+// the launch.
+std::size_t kernel_stream_word(std::string_view algorithm,
+                               const GpuKernelConfig& cfg, std::size_t thread,
+                               std::size_t w);
+
+// The registered algorithm whose canonical stream this launch reproduces:
+// "<cipher>-bs<32 * total_threads>" for kLaneSlice ciphers (empty when
+// 32 * total_threads is not a registered width), "<cipher>-bs32" for
+// kCounter ciphers (their stream is width-independent).
+std::string kernel_equivalent_algorithm(std::string_view algorithm,
+                                        const GpuKernelConfig& cfg);
 
 }  // namespace bsrng::core

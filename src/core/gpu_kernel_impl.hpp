@@ -1,0 +1,115 @@
+// gpu_kernel_impl.hpp — the one virtual-GPU kernel body behind every
+// cipher's run_kernel (internal; descriptors.cpp is the only includer).
+//
+// run_kernel_generic is the paper's §4.5 kernel skeleton templated over a
+// KernelEngine: per thread, a private engine produces 32-bit words that are
+// staged in per-block shared memory and flushed to global memory in
+// coalesced bursts.  What used to be run_mickey_gpu_kernel hard-coded the
+// engine type; the descriptor table now instantiates this template once per
+// cipher, so the staging/layout/sanitizer/telemetry logic exists exactly
+// once.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+#include <type_traits>
+
+#include "core/gpu_kernel.hpp"
+#include "gpusim/device.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace bsrng::core::detail {
+
+// Minimal interface a per-thread cipher adapter must expose to the kernel
+// body: the next 32 bits of that thread's output stream.
+template <typename E>
+concept KernelEngine = requires(E e) {
+  { e.next_word() } -> std::convertible_to<std::uint32_t>;
+};
+
+inline std::size_t kernel_out_index_impl(const GpuKernelConfig& cfg,
+                                         std::size_t thread,
+                                         std::size_t w) noexcept {
+  return cfg.coalesced_layout
+             ? w * cfg.blocks * cfg.threads_per_block + thread
+             : thread * cfg.words_per_thread + w;
+}
+
+// Shared geometry validation (memory sizing and staging shape); cipher
+// families add their own constraints (counter block alignment) before
+// calling in here.
+inline void validate_kernel_config(const gpusim::Device& dev,
+                                   const GpuKernelConfig& cfg) {
+  if (cfg.blocks == 0 || cfg.threads_per_block == 0 ||
+      cfg.words_per_thread == 0)
+    throw std::invalid_argument(
+        "run_gpu_kernel: blocks, threads_per_block and words_per_thread "
+        "must be nonzero");
+  if (cfg.use_shared_staging && cfg.staging_words == 0)
+    throw std::invalid_argument(
+        "run_gpu_kernel: staging_words must be nonzero when shared staging "
+        "is enabled");
+  const std::size_t total_words =
+      cfg.blocks * cfg.threads_per_block * cfg.words_per_thread;
+  if (dev.global_memory().size() < total_words)
+    throw std::invalid_argument("run_gpu_kernel: device memory too small");
+}
+
+// `make_engine(global_thread_id)` builds the thread's private KernelEngine;
+// it runs inside the kernel, once per simulated thread (mirroring the
+// paper's per-thread IV expansion at kernel start).
+template <typename MakeEngine>
+  requires KernelEngine<std::invoke_result_t<MakeEngine&, std::size_t>>
+GpuKernelResult run_kernel_generic(gpusim::Device& dev,
+                                   const GpuKernelConfig& cfg,
+                                   std::string_view kernel_name,
+                                   MakeEngine&& make_engine) {
+  validate_kernel_config(dev, cfg);
+  const std::size_t total_words =
+      cfg.blocks * cfg.threads_per_block * cfg.words_per_thread;
+
+  GpuKernelResult result;
+  result.stats = dev.launch(
+      {.blocks = cfg.blocks, .threads_per_block = cfg.threads_per_block,
+       .shared_bytes = cfg.use_shared_staging
+                           ? cfg.threads_per_block * cfg.staging_words * 4
+                           : 0,
+       .check = cfg.check, .kernel_name = kernel_name},
+      [&](gpusim::ThreadCtx& ctx) {
+        const std::size_t t = ctx.global_thread_id();
+        auto engine = make_engine(t);
+        if (!cfg.use_shared_staging) {
+          for (std::size_t w = 0; w < cfg.words_per_thread; ++w)
+            ctx.global_store(kernel_out_index_impl(cfg, t, w),
+                             engine.next_word());
+          return;
+        }
+        // §4.5: "each thread stores the output of each loop (32 bits) in the
+        // Shared Memory.  After filling the shared memory capacity, the
+        // entire data is moved to Global Memory".  The final round may be a
+        // partial (ragged) flush when staging_words does not divide
+        // words_per_thread.
+        for (std::size_t w0 = 0; w0 < cfg.words_per_thread;
+             w0 += cfg.staging_words) {
+          const std::size_t chunk =
+              std::min(cfg.staging_words, cfg.words_per_thread - w0);
+          for (std::size_t i = 0; i < chunk; ++i)
+            ctx.shared_store(i * ctx.block_dim() + ctx.thread_idx(),
+                             engine.next_word());
+          for (std::size_t i = 0; i < chunk; ++i)
+            ctx.global_store(
+                kernel_out_index_impl(cfg, t, w0 + i),
+                ctx.shared_load(i * ctx.block_dim() + ctx.thread_idx()));
+        }
+      });
+  result.bytes = total_words * 4;
+
+  auto& reg = telemetry::metrics();
+  reg.counter("gpu_kernel.launches").add(1);
+  reg.counter("gpu_kernel.bytes").add(result.bytes);
+  return result;
+}
+
+}  // namespace bsrng::core::detail

@@ -1,0 +1,103 @@
+// keyschedule.hpp — the one splitmix64 seed-expansion schedule behind every
+// seed → key/IV/nonce mapping in the library.
+//
+// The paper expands "a carefully selected pre-stored random number set" into
+// per-lane cipher parameters (§4.4); our reproduction uses a splitmix64
+// stream for that expansion.  Before this header existed the byte-drawing
+// loop was copied into registry.cpp and each ciphers/*_bs.cpp; the copies
+// had to stay bit-identical for StreamEngine shards and gpusim kernels to
+// reproduce the canonical streams.  Now there is exactly one implementation,
+// and tests/core/keyschedule_test.cpp pins its exact byte output so any
+// future change is a deliberate, visible break.
+//
+// Leaf header: depends only on lfsr/bitsliced_lfsr.hpp (splitmix64).  Both
+// core/ and ciphers/ include it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "lfsr/bitsliced_lfsr.hpp"  // lfsr::splitmix64
+
+namespace bsrng::core::keyschedule {
+
+// splitmix64 advances its state by a fixed increment per draw, which makes
+// the schedule O(1)-seekable: the state after n draws from seed s is
+// s + n * kSplitmixGamma.  SeedStream::skip_words builds on this so a GPU
+// thread (or lane-range shard) can derive ONLY its own lanes' parameters
+// instead of replaying every preceding lane.  Pinned against
+// lfsr::splitmix64 by the keyschedule unit tests.
+inline constexpr std::uint64_t kSplitmixGamma = 0x9E3779B97F4A7C15ull;
+
+// Words consumed when filling `nbytes` bytes (8 little-endian bytes per
+// draw, final word truncated).
+constexpr std::uint64_t words_for_bytes(std::size_t nbytes) noexcept {
+  return (nbytes + 7) / 8;
+}
+
+// The seed-expansion stream.  All derivation helpers below are thin loops
+// over this class, so every consumer draws from the identical sequence.
+class SeedStream {
+ public:
+  explicit SeedStream(std::uint64_t seed) noexcept : x_(seed) {}
+
+  std::uint64_t next_word() noexcept { return lfsr::splitmix64(x_); }
+
+  // Jump the stream forward by `n` draws in O(1).
+  void skip_words(std::uint64_t n) noexcept { x_ += n * kSplitmixGamma; }
+
+  // Fill `out` little-endian, 8 bytes per draw; a partial trailing word is
+  // truncated (its unused high bytes are discarded, not carried over).
+  void fill(std::span<std::uint8_t> out) noexcept {
+    for (std::size_t i = 0; i < out.size(); i += 8) {
+      const std::uint64_t w = next_word();
+      for (std::size_t k = 0; k < 8 && i + k < out.size(); ++k)
+        out[i + k] = static_cast<std::uint8_t>(w >> (8 * k));
+    }
+  }
+
+  template <std::size_t N>
+  std::array<std::uint8_t, N> bytes() noexcept {
+    std::array<std::uint8_t, N> out{};
+    fill(out);
+    return out;
+  }
+
+ private:
+  std::uint64_t x_;
+};
+
+// Draw N bytes from an in-progress expansion state `x` (advances x).  The
+// historical registry.cpp helper, preserved byte-for-byte.
+template <std::size_t N>
+std::array<std::uint8_t, N> derive_bytes(std::uint64_t& x) noexcept {
+  std::array<std::uint8_t, N> out{};
+  for (std::size_t i = 0; i < N; i += 8) {
+    const std::uint64_t w = lfsr::splitmix64(x);
+    for (std::size_t k = 0; k < 8 && i + k < N; ++k)
+      out[i + k] = static_cast<std::uint8_t>(w >> (8 * k));
+  }
+  return out;
+}
+
+// Counter-mode (key, nonce) material: KeyLen key bytes then a 12-byte nonce
+// off one continuous stream — the schedule shared by the aes-ctr-bs* and
+// chacha20-bs* factories and their PartitionSpec / gpusim shards.
+template <std::size_t KeyLen>
+struct CtrParams {
+  std::array<std::uint8_t, KeyLen> key;
+  std::array<std::uint8_t, 12> nonce;
+};
+
+template <std::size_t KeyLen>
+CtrParams<KeyLen> derive_ctr_params(std::uint64_t seed) noexcept {
+  SeedStream s(seed);
+  CtrParams<KeyLen> p;
+  p.key = s.template bytes<KeyLen>();
+  p.nonce = s.template bytes<12>();
+  return p;
+}
+
+}  // namespace bsrng::core::keyschedule

@@ -143,4 +143,14 @@ MultiDeviceReport multi_device_mickey(std::uint64_t master_seed,
   return record_run(make_device_engine(devices, parallel).generate(spec, out));
 }
 
+MultiDeviceReport multi_device_generate(std::string_view algorithm,
+                                        std::uint64_t seed,
+                                        std::size_t devices,
+                                        std::span<std::uint8_t> out,
+                                        bool parallel) {
+  if (devices == 0) throw std::invalid_argument("need at least one device");
+  return record_run(make_device_engine(devices, parallel)
+                        .generate(partition_spec(algorithm, seed), out));
+}
+
 }  // namespace bsrng::core

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 
 #include "core/throughput.hpp"
 
@@ -47,5 +48,19 @@ MultiDeviceReport multi_device_mickey(std::uint64_t master_seed,
                                       std::size_t devices,
                                       std::span<std::uint8_t> out,
                                       bool parallel = true);
+
+// Fill `out` with the canonical stream of ANY registered algorithm, split
+// across `devices` per the algorithm's own PartitionSpec (contiguous counter
+// ranges for kCounter, interleaved 32-lane columns for kLaneSlice, one
+// device for kSequential).  Byte-identical to make_generator(algorithm,
+// seed)->fill(out) for every device count — the §5.4 reconstruction
+// property, generalized from the two bespoke wrappers above via the
+// algorithm descriptor table.  Throws std::invalid_argument for unknown
+// algorithms or devices == 0.
+MultiDeviceReport multi_device_generate(std::string_view algorithm,
+                                        std::uint64_t seed,
+                                        std::size_t devices,
+                                        std::span<std::uint8_t> out,
+                                        bool parallel = true);
 
 }  // namespace bsrng::core

@@ -13,149 +13,25 @@
 #include "baselines/philox.hpp"
 #include "baselines/xorshift.hpp"
 #include "bitslice/gatecount.hpp"
-#include "ciphers/a51_bs.hpp"
 #include "ciphers/a51_ref.hpp"
-#include "ciphers/aes_bs.hpp"
 #include "ciphers/aes_ref.hpp"
-#include "ciphers/chacha_bs.hpp"
 #include "ciphers/chacha_ref.hpp"
-#include "ciphers/grain_bs.hpp"
 #include "ciphers/grain_ref.hpp"
-#include "ciphers/mickey_bs.hpp"
 #include "ciphers/mickey_ref.hpp"
-#include "ciphers/trivium_bs.hpp"
 #include "ciphers/trivium_ref.hpp"
+#include "core/adapters.hpp"
+#include "core/descriptor.hpp"
+#include "core/keyschedule.hpp"
 #include "lfsr/bitsliced_lfsr.hpp"
 
 namespace bsrng::core {
 
-namespace bs = bsrng::bitslice;
-
 namespace {
 
-// Serialize one slice little-endian: lane j of the slice becomes bit j of
-// the output bytes.
-template <typename W>
-void slice_to_bytes(const W& s, std::uint8_t* out) {
-  constexpr std::size_t nwords = bs::lane_count<W> / 64 + (bs::lane_count<W> < 64);
-  for (std::size_t k = 0; k < nwords; ++k) {
-    const std::uint64_t w = bs::SliceTraits<W>::word64(s, k);
-    const std::size_t nbytes = std::min<std::size_t>(8, bs::lane_count<W> / 8);
-    for (std::size_t b = 0; b < nbytes; ++b)
-      out[8 * k + b] = static_cast<std::uint8_t>(w >> (8 * b));
-  }
-}
+namespace ks = bsrng::core::keyschedule;
+using ks::derive_bytes;
 
-// Adapter for bitsliced stream-cipher engines (MickeyBs/GrainBs/TriviumBs).
-template <typename W, typename Engine>
-class SlicedStreamGen final : public Generator {
- public:
-  SlicedStreamGen(std::string name, std::uint64_t seed)
-      : name_(std::move(name)), engine_(seed) {}
-
-  // Wrap an already-built engine (lane-range shards of a PartitionSpec).
-  SlicedStreamGen(std::string name, Engine engine)
-      : name_(std::move(name)), engine_(std::move(engine)) {}
-
-  void fill(std::span<std::uint8_t> out) override {
-    constexpr std::size_t step_bytes = bs::lane_count<W> / 8;
-    std::size_t i = 0;
-    // Drain residue.
-    while (pos_ < buf_len_ && i < out.size()) out[i++] = buf_[pos_++];
-    // Whole steps straight into the output.
-    while (i + step_bytes <= out.size()) {
-      const W z = engine_.step();
-      slice_to_bytes(z, out.data() + i);
-      i += step_bytes;
-    }
-    // Final partial step via the residue buffer.
-    if (i < out.size()) {
-      const W z = engine_.step();
-      slice_to_bytes(z, buf_.data());
-      buf_len_ = step_bytes;
-      pos_ = 0;
-      while (i < out.size()) out[i++] = buf_[pos_++];
-    }
-  }
-
-  std::string_view name() const noexcept override { return name_; }
-  std::size_t lanes() const noexcept override { return bs::lane_count<W>; }
-
- private:
-  std::string name_;
-  Engine engine_;
-  std::array<std::uint8_t, 64> buf_{};
-  std::size_t buf_len_ = 0, pos_ = 0;
-};
-
-// Seed-derived CTR parameters, shared by the factory and partition_spec so
-// counter shards reproduce the factory stream exactly.
-template <std::size_t KeyLen>
-struct CtrParams {
-  std::array<std::uint8_t, KeyLen> key;
-  std::array<std::uint8_t, 12> nonce;
-};
-
-template <std::size_t KeyLen>
-CtrParams<KeyLen> derive_ctr_params(std::uint64_t seed) {
-  CtrParams<KeyLen> p;
-  std::uint64_t x = seed;
-  for (std::size_t i = 0; i < KeyLen; i += 8) {
-    const std::uint64_t w = lfsr::splitmix64(x);
-    for (std::size_t k = 0; k < 8; ++k)
-      p.key[i + k] = static_cast<std::uint8_t>(w >> (8 * k));
-  }
-  const std::uint64_t w0 = lfsr::splitmix64(x), w1 = lfsr::splitmix64(x);
-  for (std::size_t k = 0; k < 8; ++k)
-    p.nonce[k] = static_cast<std::uint8_t>(w0 >> (8 * k));
-  for (std::size_t k = 0; k < 4; ++k)
-    p.nonce[8 + k] = static_cast<std::uint8_t>(w1 >> (8 * k));
-  return p;
-}
-
-// Adapter for the bitsliced AES-CTR generator; counter0 selects the first
-// stream block (0 for the factory, a shard offset for PartitionSpec).
-template <typename W>
-class AesCtrGen final : public Generator {
- public:
-  AesCtrGen(std::string name, std::uint64_t seed, std::uint32_t counter0 = 0)
-      : name_(std::move(name)), gen_(make(seed, counter0)) {}
-
-  void fill(std::span<std::uint8_t> out) override { gen_.fill(out); }
-  std::string_view name() const noexcept override { return name_; }
-  std::size_t lanes() const noexcept override { return bs::lane_count<W>; }
-
- private:
-  static ciphers::AesCtrBs<W> make(std::uint64_t seed, std::uint32_t counter0) {
-    const auto p = derive_ctr_params<16>(seed);
-    return ciphers::AesCtrBs<W>(p.key, p.nonce, counter0);
-  }
-
-  std::string name_;
-  ciphers::AesCtrBs<W> gen_;
-};
-
-// Adapter for the bitsliced ChaCha20 generator.
-template <typename W>
-class ChaChaGen final : public Generator {
- public:
-  ChaChaGen(std::string name, std::uint64_t seed, std::uint32_t counter0 = 0)
-      : name_(std::move(name)), gen_(make(seed, counter0)) {}
-
-  void fill(std::span<std::uint8_t> out) override { gen_.fill(out); }
-  std::string_view name() const noexcept override { return name_; }
-  std::size_t lanes() const noexcept override { return bs::lane_count<W>; }
-
- private:
-  static ciphers::ChaCha20Bs<W> make(std::uint64_t seed,
-                                     std::uint32_t counter0) {
-    const auto p = derive_ctr_params<32>(seed);
-    return ciphers::ChaCha20Bs<W>(p.key, p.nonce, counter0);
-  }
-
-  std::string name_;
-  ciphers::ChaCha20Bs<W> gen_;
-};
+constexpr std::size_t kWidths[] = {32, 64, 128, 256, 512};
 
 // Generic stream-continuous adapter: `Src` is any callable returning a
 // (value, nbytes) chunk per draw; partial consumption is buffered so
@@ -206,9 +82,6 @@ std::unique_ptr<Generator> make_scalar_cipher_gen(std::string name, Ref ref) {
                         });
 }
 
-template <std::size_t N>
-std::array<std::uint8_t, N> derive_bytes(std::uint64_t& x);
-
 // Scalar AES-128-CTR oracle wrapped as a Generator; first_block offsets the
 // CTR stream (0 for the factory, a shard offset for PartitionSpec).
 class AesRefGen final : public Generator {
@@ -216,6 +89,8 @@ class AesRefGen final : public Generator {
   AesRefGen(std::string name, std::uint64_t seed, std::uint64_t first_block = 0)
       : name_(std::move(name)), cipher_(make_key(seed)),
         offset_(first_block * 16) {
+    // Historical schedule: the nonce comes from a seed+1 expansion, NOT the
+    // continuation of the key stream (unlike the bitsliced aes-ctr family).
     std::uint64_t x = seed + 1;
     nonce_ = derive_bytes<12>(x);
   }
@@ -262,50 +137,20 @@ class ChaChaRefGen final : public Generator {
   ciphers::ChaCha20Ref g_;
 };
 
-template <std::size_t N>
-std::array<std::uint8_t, N> derive_bytes(std::uint64_t& x) {
-  std::array<std::uint8_t, N> out{};
-  for (std::size_t i = 0; i < N; i += 8) {
-    const std::uint64_t w = lfsr::splitmix64(x);
-    for (std::size_t k = 0; k < 8 && i + k < N; ++k)
-      out[i + k] = static_cast<std::uint8_t>(w >> (8 * k));
-  }
-  return out;
-}
-
 using Factory =
     std::function<std::unique_ptr<Generator>(std::string, std::uint64_t)>;
-
-template <typename W>
-void register_width(std::map<std::string, Factory>& f, const std::string& w) {
-  f["mickey-bs" + w] = [](std::string n, std::uint64_t s) {
-    return std::make_unique<SlicedStreamGen<W, ciphers::MickeyBs<W>>>(std::move(n), s);
-  };
-  f["grain-bs" + w] = [](std::string n, std::uint64_t s) {
-    return std::make_unique<SlicedStreamGen<W, ciphers::GrainBs<W>>>(std::move(n), s);
-  };
-  f["trivium-bs" + w] = [](std::string n, std::uint64_t s) {
-    return std::make_unique<SlicedStreamGen<W, ciphers::TriviumBs<W>>>(std::move(n), s);
-  };
-  f["aes-ctr-bs" + w] = [](std::string n, std::uint64_t s) {
-    return std::make_unique<AesCtrGen<W>>(std::move(n), s);
-  };
-  f["a51-bs" + w] = [](std::string n, std::uint64_t s) {
-    return std::make_unique<SlicedStreamGen<W, ciphers::A51Bs<W>>>(std::move(n), s);
-  };
-  f["chacha20-bs" + w] = [](std::string n, std::uint64_t s) {
-    return std::make_unique<ChaChaGen<W>>(std::move(n), s);
-  };
-}
 
 const std::map<std::string, Factory>& factories() {
   static const std::map<std::string, Factory> f = [] {
     std::map<std::string, Factory> m;
-    register_width<bs::SliceU32>(m, "32");
-    register_width<bs::SliceU64>(m, "64");
-    register_width<bs::SliceV128>(m, "128");
-    register_width<bs::SliceV256>(m, "256");
-    register_width<bs::SliceV512>(m, "512");
+    // Bitsliced cipher families: one entry per descriptor x width, all
+    // built by the descriptor's own factory.
+    for (const AlgorithmDescriptor& d : algorithm_descriptors())
+      for (const std::size_t w : kWidths)
+        m[d.base + "-bs" + std::to_string(w)] =
+            [&d, w](std::string n, std::uint64_t s) {
+              return d.make_stream(std::move(n), w, s);
+            };
     m["mickey-ref"] = [](std::string n, std::uint64_t s) {
       std::uint64_t x = s;
       const auto key = derive_bytes<10>(x);
@@ -430,38 +275,6 @@ std::optional<AlgorithmInfo> find_algorithm(std::string_view name) {
   return std::nullopt;
 }
 
-namespace {
-
-// Lane width encoded in a "<cipher>-bs<width>" name, 0 if `name` does not
-// start with `prefix`.
-std::size_t bs_width(std::string_view name, std::string_view prefix) {
-  if (!name.starts_with(prefix)) return 0;
-  const std::string_view rest = name.substr(prefix.size());
-  for (const std::size_t w : {32u, 64u, 128u, 256u, 512u})
-    if (rest == std::to_string(w)) return w;
-  return 0;
-}
-
-// Invoke fn.template operator()<W>() for the slice type of width w.
-template <typename Fn>
-void with_slice_width(std::size_t w, Fn&& fn) {
-  switch (w) {
-    case 32: fn.template operator()<bs::SliceU32>(); break;
-    case 64: fn.template operator()<bs::SliceU64>(); break;
-    case 128: fn.template operator()<bs::SliceV128>(); break;
-    case 256: fn.template operator()<bs::SliceV256>(); break;
-    case 512: fn.template operator()<bs::SliceV512>(); break;
-    default: throw std::invalid_argument("unsupported lane width");
-  }
-}
-
-// Lane-sliced shard granularity: one shard = one 32-lane sub-engine, the
-// paper's per-GPU-thread configuration (§5.4 runs one such engine per
-// device).
-constexpr std::size_t kLaneBlockLanes = 32;
-
-}  // namespace
-
 PartitionSpec partition_spec(std::string_view name, std::uint64_t seed) {
   if (factories().find(std::string(name)) == factories().end())
     throw std::invalid_argument("unknown generator: " + std::string(name));
@@ -469,29 +282,29 @@ PartitionSpec partition_spec(std::string_view name, std::uint64_t seed) {
   const std::string n(name);
   spec.make = [n, seed] { return make_generator(n, seed); };
 
-  // --- counter-partitioned families -----------------------------------------
-  if (const std::size_t w = bs_width(n, "aes-ctr-bs")) {
-    spec.kind = PartitionKind::kCounter;
-    spec.block_bytes = 16;
-    with_slice_width(w, [&]<typename W>() {
-      spec.make_at_block = [n, seed](std::uint64_t first_block) {
-        return std::make_unique<AesCtrGen<W>>(
-            n, seed, static_cast<std::uint32_t>(first_block));
+  // --- bitsliced cipher families: the descriptor IS the sharding law ------
+  if (const auto [d, w] = find_bitsliced(n); d != nullptr) {
+    if (d->partition == PartitionKind::kCounter) {
+      spec.kind = PartitionKind::kCounter;
+      spec.block_bytes = d->counter_block_bytes;
+      spec.make_at_block = [d, n, w, seed](std::uint64_t first_block) {
+        return d->make_at_block(n, w, seed, first_block);
       };
-    });
+      return spec;
+    }
+    // A W-lane serialized stream is rows of W/8 bytes; a 32-lane sub-engine
+    // over lanes [32b, 32b+32) — built from the same per-lane derivation as
+    // the full engine — reproduces byte columns [4b, 4b+4) of every row.
+    spec.kind = PartitionKind::kLaneSlice;
+    spec.lane_blocks = w / kLaneBlockLanes;
+    spec.lane_block_bytes = kLaneBlockLanes / 8;
+    spec.make_lane_block = [d, n, seed](std::size_t b) {
+      return d->make_lane_block(n, seed, b);
+    };
     return spec;
   }
-  if (const std::size_t w = bs_width(n, "chacha20-bs")) {
-    spec.kind = PartitionKind::kCounter;
-    spec.block_bytes = 64;
-    with_slice_width(w, [&]<typename W>() {
-      spec.make_at_block = [n, seed](std::uint64_t first_block) {
-        return std::make_unique<ChaChaGen<W>>(
-            n, seed, static_cast<std::uint32_t>(first_block));
-      };
-    });
-    return spec;
-  }
+
+  // --- counter-partitioned scalar references & baselines ------------------
   if (n == "aes-ctr-ref") {
     spec.kind = PartitionKind::kCounter;
     spec.block_bytes = 16;
@@ -526,144 +339,43 @@ PartitionSpec partition_spec(std::string_view name, std::uint64_t seed) {
     return spec;
   }
 
-  // --- lane-sliced bitsliced stream ciphers ---------------------------------
-  // A W-lane serialized stream is rows of W/8 bytes; a 32-lane sub-engine
-  // over lanes [32b, 32b+32) — built from the same per-lane derivation as
-  // the full engine — reproduces byte columns [4b, 4b+4) of every row.
-  const auto lane_spec = [&](std::size_t width, auto&& make_block) {
-    spec.kind = PartitionKind::kLaneSlice;
-    spec.lane_blocks = width / kLaneBlockLanes;
-    spec.lane_block_bytes = kLaneBlockLanes / 8;
-    spec.make_lane_block = std::forward<decltype(make_block)>(make_block);
-  };
-  using U32 = bs::SliceU32;
-  if (const std::size_t w = bs_width(n, "mickey-bs")) {
-    lane_spec(w, [n, seed, w](std::size_t b) -> std::unique_ptr<Generator> {
-      std::vector<ciphers::MickeyBs<U32>::KeyBytes> keys(w);
-      std::vector<ciphers::MickeyBs<U32>::IvBytes> ivs(w);
-      ciphers::derive_mickey_lane_params(seed, keys, ivs);
-      ciphers::MickeyBs<U32> eng(
-          std::span{keys}.subspan(b * kLaneBlockLanes, kLaneBlockLanes),
-          std::span{ivs}.subspan(b * kLaneBlockLanes, kLaneBlockLanes),
-          ciphers::mickey::kMaxIvBits);
-      return std::make_unique<SlicedStreamGen<U32, ciphers::MickeyBs<U32>>>(
-          n, std::move(eng));
-    });
-    return spec;
-  }
-  if (const std::size_t w = bs_width(n, "grain-bs")) {
-    lane_spec(w, [n, seed, w](std::size_t b) -> std::unique_ptr<Generator> {
-      std::vector<ciphers::GrainBs<U32>::KeyBytes> keys(w);
-      std::vector<ciphers::GrainBs<U32>::IvBytes> ivs(w);
-      ciphers::derive_grain_lane_params(seed, keys, ivs);
-      ciphers::GrainBs<U32> eng(
-          std::span{keys}.subspan(b * kLaneBlockLanes, kLaneBlockLanes),
-          std::span{ivs}.subspan(b * kLaneBlockLanes, kLaneBlockLanes));
-      return std::make_unique<SlicedStreamGen<U32, ciphers::GrainBs<U32>>>(
-          n, std::move(eng));
-    });
-    return spec;
-  }
-  if (const std::size_t w = bs_width(n, "trivium-bs")) {
-    lane_spec(w, [n, seed, w](std::size_t b) -> std::unique_ptr<Generator> {
-      std::vector<ciphers::TriviumBs<U32>::KeyBytes> keys(w);
-      std::vector<ciphers::TriviumBs<U32>::IvBytes> ivs(w);
-      ciphers::derive_trivium_lane_params(seed, keys, ivs);
-      ciphers::TriviumBs<U32> eng(
-          std::span{keys}.subspan(b * kLaneBlockLanes, kLaneBlockLanes),
-          std::span{ivs}.subspan(b * kLaneBlockLanes, kLaneBlockLanes));
-      return std::make_unique<SlicedStreamGen<U32, ciphers::TriviumBs<U32>>>(
-          n, std::move(eng));
-    });
-    return spec;
-  }
-  if (const std::size_t w = bs_width(n, "a51-bs")) {
-    lane_spec(w, [n, seed, w](std::size_t b) -> std::unique_ptr<Generator> {
-      std::vector<ciphers::A51Bs<U32>::KeyBytes> keys(w);
-      std::vector<std::uint32_t> frames(w);
-      ciphers::derive_a51_lane_params(seed, keys, frames);
-      ciphers::A51Bs<U32> eng(
-          std::span{keys}.subspan(b * kLaneBlockLanes, kLaneBlockLanes),
-          std::span{frames}.subspan(b * kLaneBlockLanes, kLaneBlockLanes));
-      return std::make_unique<SlicedStreamGen<U32, ciphers::A51Bs<U32>>>(
-          n, std::move(eng));
-    });
-    return spec;
-  }
-
   // Scalar references and classical baselines: no safe decomposition.
   return spec;
 }
 
 double gate_ops_per_step(std::string_view cipher) {
-  using C = bs::CountingSlice;
-  constexpr int kSteps = 256;
-  C::reset();
-  if (cipher == "mickey") {
-    ciphers::MickeyBs<C> e(1);
-    C::reset();
-    for (int i = 0; i < kSteps; ++i) (void)e.step();
-  } else if (cipher == "grain") {
-    ciphers::GrainBs<C> e(1);
-    C::reset();
-    for (int i = 0; i < kSteps; ++i) (void)e.step();
-  } else if (cipher == "trivium") {
-    ciphers::TriviumBs<C> e(1);
-    C::reset();
-    for (int i = 0; i < kSteps; ++i) (void)e.step();
-  } else if (cipher == "aes-ctr") {
-    std::array<std::uint8_t, 16> key{};
-    ciphers::AesBs<C> e(key);
-    typename ciphers::AesBs<C>::State st{};
-    C::reset();
-    for (int i = 0; i < kSteps; ++i) e.encrypt_slices(st);
-  } else if (cipher == "a51") {
-    ciphers::A51Bs<C> e(1);
-    C::reset();
-    for (int i = 0; i < kSteps; ++i) (void)e.step();
-  } else if (cipher == "chacha20") {
-    std::array<std::uint8_t, 32> key{};
-    std::array<std::uint8_t, 12> nonce{};
-    ciphers::ChaCha20Bs<C> e(key, nonce);
-    std::vector<std::uint8_t> out(64 * kSteps);  // kSteps batches at 1 lane
-    C::reset();
-    e.fill(out);
-  } else if (cipher.starts_with("lfsr")) {
+  if (const AlgorithmDescriptor* d = find_descriptor(cipher))
+    return d->measure_gate_ops();
+  if (cipher.starts_with("lfsr")) {
+    using C = bitslice::CountingSlice;
+    constexpr int kSteps = 256;
     const unsigned degree =
         static_cast<unsigned>(std::stoul(std::string(cipher.substr(4))));
     lfsr::BitslicedLfsr<C> e(lfsr::primitive_polynomial(degree), 7u);
     C::reset();
     for (int i = 0; i < kSteps; ++i) (void)e.step();
-  } else {
-    throw std::invalid_argument("gate_ops_per_step: unknown cipher " +
-                                std::string(cipher));
+    return static_cast<double>(C::ops) / kSteps;
   }
-  return static_cast<double>(C::ops) / kSteps;
+  throw std::invalid_argument("gate_ops_per_step: unknown cipher " +
+                              std::string(cipher));
 }
 
 std::vector<AlgorithmInfo> list_algorithms() {
   std::vector<AlgorithmInfo> out;
-  const double mickey = gate_ops_per_step("mickey");
-  const double grain = gate_ops_per_step("grain");
-  const double trivium = gate_ops_per_step("trivium");
-  const double aes = gate_ops_per_step("aes-ctr");  // per block = 128 bits
-  const double a51 = gate_ops_per_step("a51");
-  const double chacha = gate_ops_per_step("chacha20");  // per block = 512 bits
+  const auto& descs = algorithm_descriptors();
+  std::vector<double> gates;
+  gates.reserve(descs.size());
+  for (const AlgorithmDescriptor& d : descs)
+    gates.push_back(d.measure_gate_ops());
   constexpr auto kCtr = PartitionKind::kCounter;
-  constexpr auto kLane = PartitionKind::kLaneSlice;
   constexpr auto kSeq = PartitionKind::kSequential;
-  for (const std::size_t w : {32u, 64u, 128u, 256u, 512u}) {
-    const auto ws = std::to_string(w);
+  for (const std::size_t w : kWidths) {
     const double dw = static_cast<double>(w);
-    out.push_back({"mickey-bs" + ws, "bitsliced", w, true, mickey / dw, kLane});
-    out.push_back({"grain-bs" + ws, "bitsliced", w, true, grain / dw, kLane});
-    out.push_back(
-        {"trivium-bs" + ws, "bitsliced", w, true, trivium / dw, kLane});
-    out.push_back(
-        {"aes-ctr-bs" + ws, "bitsliced", w, true, aes / (128.0 * dw), kCtr});
-    out.push_back({"a51-bs" + ws, "bitsliced", w, false, a51 / dw, kLane});
-    out.push_back(
-        {"chacha20-bs" + ws, "bitsliced", w, true, chacha / (512.0 * dw), kCtr});
+    for (std::size_t i = 0; i < descs.size(); ++i)
+      out.push_back({descs[i].base + "-bs" + std::to_string(w), "bitsliced",
+                     w, descs[i].cryptographic,
+                     gates[i] / (descs[i].bits_per_step * dw),
+                     descs[i].partition});
   }
   for (const char* n : {"mickey-ref", "grain-ref", "trivium-ref",
                         "aes-ctr-ref", "a51-ref", "chacha20-ref"})

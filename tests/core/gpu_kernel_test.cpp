@@ -1,19 +1,29 @@
-// The reconstructed §4.4/§4.5 MICKEY GPU kernel: functional correctness
-// against the host-side oracle, layout/staging invariance of the produced
-// keystream, and the §4.5 memory-traffic claims in the cost model.
+// The generalized §4.4/§4.5 GPU kernel: every bitsliced cipher in the
+// descriptor table runs on the virtual device, matches the host-side
+// kernel_word oracle, keeps the keystream invariant under layout/staging
+// choices (including ragged staging tails), and reproduces the §4.5
+// memory-traffic claims in the cost model.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/descriptor.hpp"
 #include "core/gpu_kernel.hpp"
 
 namespace co = bsrng::core;
 namespace gs = bsrng::gpusim;
 
 namespace {
+
 co::GpuKernelConfig small_cfg() {
   co::GpuKernelConfig cfg;
   cfg.blocks = 2;
   cfg.threads_per_block = 32;
-  cfg.words_per_thread = 16;
+  cfg.words_per_thread = 16;  // 64 B/thread: multiple of both counter block
+                              // sizes (16 and 64 bytes)
   cfg.staging_words = 4;
   cfg.seed = 7;
   return cfg;
@@ -22,83 +32,155 @@ co::GpuKernelConfig small_cfg() {
 std::size_t total_words(const co::GpuKernelConfig& cfg) {
   return cfg.blocks * cfg.threads_per_block * cfg.words_per_thread;
 }
+
+std::vector<std::string> cipher_bases() {
+  std::vector<std::string> out;
+  for (const auto& d : co::algorithm_descriptors()) out.push_back(d.base);
+  return out;
+}
+
 }  // namespace
 
-TEST(MickeyGpuKernel, OutputMatchesHostOracle) {
+TEST(GpuKernel, EveryCipherMatchesHostOracle) {
   const auto cfg = small_cfg();
-  gs::Device dev(total_words(cfg));
-  const auto res = co::run_mickey_gpu_kernel(dev, cfg);
-  EXPECT_EQ(res.bytes, total_words(cfg) * 4);
   const std::size_t threads = cfg.blocks * cfg.threads_per_block;
-  // Spot-check a grid of (thread, word) positions against the oracle.
-  for (const std::size_t t : {0ul, 1ul, 31ul, 32ul, 63ul}) {
-    for (const std::size_t w : {0ul, 1ul, 15ul}) {
-      EXPECT_EQ(dev.global_memory()[w * threads + t],
-                co::mickey_kernel_word(cfg.seed, t, w))
-          << "t=" << t << " w=" << w;
+  for (const std::string& algo : cipher_bases()) {
+    gs::Device dev(total_words(cfg));
+    const auto res = co::run_gpu_kernel(dev, algo, cfg);
+    EXPECT_EQ(res.bytes, total_words(cfg) * 4);
+    // Spot-check a grid of (thread, word) positions against the oracle.
+    for (const std::size_t t : {0ul, 1ul, 31ul, 32ul, 63ul}) {
+      for (const std::size_t w : {0ul, 1ul, 15ul}) {
+        EXPECT_EQ(dev.global_memory()[w * threads + t],
+                  co::kernel_word(algo, cfg, t, w))
+            << algo << " t=" << t << " w=" << w;
+      }
     }
   }
 }
 
-TEST(MickeyGpuKernel, StagingAndLayoutDoNotChangeTheKeystream) {
-  auto cfg = small_cfg();
-  gs::Device staged(total_words(cfg)), direct(total_words(cfg)),
-      strided(total_words(cfg));
-  co::run_mickey_gpu_kernel(staged, cfg);
-  cfg.use_shared_staging = false;
-  co::run_mickey_gpu_kernel(direct, cfg);
-  cfg.coalesced_layout = false;
-  co::run_mickey_gpu_kernel(strided, cfg);
-
-  const std::size_t threads = cfg.blocks * cfg.threads_per_block;
-  for (std::size_t t = 0; t < threads; ++t)
-    for (std::size_t w = 0; w < cfg.words_per_thread; ++w) {
-      const auto v = staged.global_memory()[w * threads + t];
-      EXPECT_EQ(v, direct.global_memory()[w * threads + t]);
-      EXPECT_EQ(v, strided.global_memory()[t * cfg.words_per_thread + w]);
-    }
+TEST(GpuKernel, AcceptsBsAliasNames) {
+  const auto cfg = small_cfg();
+  gs::Device base(total_words(cfg)), alias(total_words(cfg));
+  co::run_gpu_kernel(base, "mickey", cfg);
+  co::run_gpu_kernel(alias, "mickey-bs256", cfg);
+  for (std::size_t i = 0; i < total_words(cfg); ++i)
+    ASSERT_EQ(base.global_memory()[i], alias.global_memory()[i]) << i;
 }
 
-TEST(MickeyGpuKernel, CoalescedLayoutCutsTransactions32x) {
+TEST(GpuKernel, StagingAndLayoutDoNotChangeTheKeystream) {
+  for (const std::string& algo : cipher_bases()) {
+    auto cfg = small_cfg();
+    gs::Device staged(total_words(cfg)), direct(total_words(cfg)),
+        strided(total_words(cfg));
+    co::run_gpu_kernel(staged, algo, cfg);
+    cfg.use_shared_staging = false;
+    co::run_gpu_kernel(direct, algo, cfg);
+    cfg.coalesced_layout = false;
+    co::run_gpu_kernel(strided, algo, cfg);
+
+    const std::size_t threads = cfg.blocks * cfg.threads_per_block;
+    for (std::size_t t = 0; t < threads; ++t)
+      for (std::size_t w = 0; w < cfg.words_per_thread; ++w) {
+        const auto v = staged.global_memory()[w * threads + t];
+        EXPECT_EQ(v, direct.global_memory()[w * threads + t]) << algo;
+        EXPECT_EQ(v, strided.global_memory()[t * cfg.words_per_thread + w])
+            << algo;
+      }
+  }
+}
+
+TEST(GpuKernel, RaggedStagingTailProducesTheSameKeystream) {
+  // staging_words no longer has to divide words_per_thread: the final round
+  // flushes a short chunk.  16 = 3*5 + 1 exercises the one-word tail.
+  auto cfg = small_cfg();
+  cfg.staging_words = 5;
+  gs::Device ragged(total_words(cfg));
+  co::run_gpu_kernel(ragged, "grain", cfg);
+  cfg.use_shared_staging = false;
+  gs::Device direct(total_words(cfg));
+  co::run_gpu_kernel(direct, "grain", cfg);
+  for (std::size_t i = 0; i < total_words(cfg); ++i)
+    ASSERT_EQ(ragged.global_memory()[i], direct.global_memory()[i]) << i;
+}
+
+TEST(GpuKernel, KernelOutIndexDescribesBothLayouts) {
+  auto cfg = small_cfg();
+  const std::size_t threads = cfg.blocks * cfg.threads_per_block;
+  EXPECT_EQ(co::kernel_out_index(cfg, 3, 5), 5 * threads + 3);
+  cfg.coalesced_layout = false;
+  EXPECT_EQ(co::kernel_out_index(cfg, 3, 5), 3 * cfg.words_per_thread + 5);
+}
+
+TEST(GpuKernel, CoalescedLayoutCutsTransactions32x) {
   auto cfg = small_cfg();
   cfg.use_shared_staging = false;
   cfg.words_per_thread = 64;  // make strides exceed a 128B segment
   gs::Device coal(total_words(cfg)), strided(total_words(cfg));
-  const auto a = co::run_mickey_gpu_kernel(coal, cfg);
+  const auto a = co::run_gpu_kernel(coal, "mickey", cfg);
   cfg.coalesced_layout = false;
-  const auto b = co::run_mickey_gpu_kernel(strided, cfg);
+  const auto b = co::run_gpu_kernel(strided, "mickey", cfg);
   EXPECT_EQ(a.stats.global_requests, b.stats.global_requests);
   EXPECT_EQ(b.stats.global_transactions, 32 * a.stats.global_transactions);
   EXPECT_NEAR(a.stats.coalescing_efficiency(), 1.0, 1e-9);
 }
 
-TEST(MickeyGpuKernel, StagingAddsSharedTrafficOnly) {
+TEST(GpuKernel, StagingAddsSharedTrafficOnly) {
   auto cfg = small_cfg();
   gs::Device staged(total_words(cfg)), direct(total_words(cfg));
-  const auto a = co::run_mickey_gpu_kernel(staged, cfg);
+  const auto a = co::run_gpu_kernel(staged, "chacha20", cfg);
   cfg.use_shared_staging = false;
-  const auto b = co::run_mickey_gpu_kernel(direct, cfg);
+  const auto b = co::run_gpu_kernel(direct, "chacha20", cfg);
   EXPECT_EQ(a.stats.global_transactions, b.stats.global_transactions);
   EXPECT_GT(a.stats.shared_accesses, 0u);
   EXPECT_EQ(b.stats.shared_accesses, 0u);
 }
 
-TEST(MickeyGpuKernel, RejectsBadConfigs) {
+TEST(GpuKernel, RejectsBadConfigs) {
   auto cfg = small_cfg();
   gs::Device tiny(8);
-  EXPECT_THROW(co::run_mickey_gpu_kernel(tiny, cfg), std::invalid_argument);
+  EXPECT_THROW(co::run_gpu_kernel(tiny, "mickey", cfg), std::invalid_argument);
   gs::Device dev(total_words(cfg));
-  cfg.staging_words = 5;  // does not divide words_per_thread
-  EXPECT_THROW(co::run_mickey_gpu_kernel(dev, cfg), std::invalid_argument);
+  EXPECT_THROW(co::run_gpu_kernel(dev, "no-such-cipher", cfg),
+               std::invalid_argument);
+  EXPECT_THROW(co::run_gpu_kernel(dev, "mt19937", cfg), std::invalid_argument);
+  cfg.staging_words = 0;  // staging enabled but no staging buffer
+  EXPECT_THROW(co::run_gpu_kernel(dev, "mickey", cfg), std::invalid_argument);
+  cfg = small_cfg();
+  cfg.blocks = 0;
+  EXPECT_THROW(co::run_gpu_kernel(dev, "mickey", cfg), std::invalid_argument);
+  // Counter-mode threads own contiguous block-aligned ranges, so
+  // words_per_thread*4 must be a multiple of the cipher block size.
+  cfg = small_cfg();
+  cfg.words_per_thread = 15;  // 60 B: not a multiple of 16 or 64
+  gs::Device odd(total_words(cfg));
+  EXPECT_THROW(co::run_gpu_kernel(odd, "aes-ctr", cfg), std::invalid_argument);
+  EXPECT_THROW(co::run_gpu_kernel(odd, "chacha20", cfg),
+               std::invalid_argument);
+  co::run_gpu_kernel(odd, "mickey", cfg);  // lane-sliced: any wpt is fine
 }
 
-TEST(MickeyGpuKernel, ThreadsProduceDistinctStreams) {
+TEST(GpuKernel, ThreadsProduceDistinctStreams) {
   const auto cfg = small_cfg();
-  gs::Device dev(total_words(cfg));
-  co::run_mickey_gpu_kernel(dev, cfg);
-  const std::size_t threads = cfg.blocks * cfg.threads_per_block;
-  std::set<std::uint32_t> first_words;
-  for (std::size_t t = 0; t < threads; ++t)
-    first_words.insert(dev.global_memory()[t]);
-  EXPECT_GT(first_words.size(), threads - 2);
+  for (const std::string& algo : cipher_bases()) {
+    gs::Device dev(total_words(cfg));
+    co::run_gpu_kernel(dev, algo, cfg);
+    const std::size_t threads = cfg.blocks * cfg.threads_per_block;
+    std::set<std::uint32_t> first_words;
+    for (std::size_t t = 0; t < threads; ++t)
+      first_words.insert(dev.global_memory()[t]);
+    EXPECT_GT(first_words.size(), threads - 2) << algo;
+  }
+}
+
+TEST(GpuKernel, EquivalentAlgorithmNamesTheCanonicalStream) {
+  auto cfg = small_cfg();
+  cfg.blocks = 2;
+  cfg.threads_per_block = 2;  // T = 4 threads
+  EXPECT_EQ(co::kernel_equivalent_algorithm("mickey", cfg), "mickey-bs128");
+  EXPECT_EQ(co::kernel_equivalent_algorithm("aes-ctr", cfg), "aes-ctr-bs32");
+  EXPECT_EQ(co::kernel_equivalent_algorithm("chacha20", cfg),
+            "chacha20-bs32");
+  cfg.threads_per_block = 3;  // 6 threads -> 192 lanes: not a registered width
+  EXPECT_EQ(co::kernel_equivalent_algorithm("grain", cfg), "");
 }

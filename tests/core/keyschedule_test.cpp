@@ -1,0 +1,138 @@
+// core/keyschedule.hpp — the single splitmix64 seed-expansion schedule.
+// The exact byte output is pinned here: every generator family, the
+// StreamEngine lane shards and the gpusim kernels reproduce each other only
+// because they all draw from this one stream, so a change to these bytes is
+// a deliberate, visible break of every canonical stream in the library.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ciphers/a51_bs.hpp"
+#include "ciphers/grain_bs.hpp"
+#include "ciphers/mickey_bs.hpp"
+#include "ciphers/trivium_bs.hpp"
+#include "core/keyschedule.hpp"
+
+namespace ks = bsrng::core::keyschedule;
+namespace ci = bsrng::ciphers;
+
+TEST(Keyschedule, WordStreamIsPinned) {
+  // splitmix64 draws for seed 42, fixed forever.
+  ks::SeedStream s(42);
+  EXPECT_EQ(s.next_word(), 0xbdd732262feb6e95ull);
+  EXPECT_EQ(s.next_word(), 0x28efe333b266f103ull);
+  EXPECT_EQ(s.next_word(), 0x47526757130f9f52ull);
+  EXPECT_EQ(s.next_word(), 0x581ce1ff0e4ae394ull);
+}
+
+TEST(Keyschedule, ByteFillIsPinnedAndTruncatesTheTrailingWord) {
+  // 20 bytes = two full words plus a half word whose high bytes are
+  // discarded (the next draw starts from a fresh word).
+  const std::array<std::uint8_t, 20> expect = {
+      0x95, 0x6e, 0xeb, 0x2f, 0x26, 0x32, 0xd7, 0xbd, 0x03, 0xf1,
+      0x66, 0xb2, 0x33, 0xe3, 0xef, 0x28, 0x52, 0x9f, 0x0f, 0x13};
+  ks::SeedStream s(42);
+  EXPECT_EQ(s.bytes<20>(), expect);
+  // The 20-byte fill consumed 3 words; the stream continues at word 4.
+  EXPECT_EQ(s.next_word(), 0x581ce1ff0e4ae394ull);
+}
+
+TEST(Keyschedule, WordsForBytes) {
+  EXPECT_EQ(ks::words_for_bytes(0), 0u);
+  EXPECT_EQ(ks::words_for_bytes(1), 1u);
+  EXPECT_EQ(ks::words_for_bytes(8), 1u);
+  EXPECT_EQ(ks::words_for_bytes(9), 2u);
+  EXPECT_EQ(ks::words_for_bytes(16), 2u);
+}
+
+TEST(Keyschedule, SkipWordsEqualsReplay) {
+  for (const std::uint64_t n : {0ull, 1ull, 5ull, 1000ull}) {
+    ks::SeedStream skipped(977), replayed(977);
+    skipped.skip_words(n);
+    for (std::uint64_t i = 0; i < n; ++i) replayed.next_word();
+    EXPECT_EQ(skipped.next_word(), replayed.next_word()) << n;
+  }
+  // O(1) seek far beyond anything replayable: state after n draws is
+  // seed + n*gamma, so two half-skips compose.
+  ks::SeedStream a(13), b(13);
+  a.skip_words(3u << 20);
+  b.skip_words(1u << 20);
+  b.skip_words(2u << 20);
+  EXPECT_EQ(a.next_word(), b.next_word());
+}
+
+TEST(Keyschedule, DeriveBytesMatchesSeedStream) {
+  // The historical registry helper draws from the same schedule.
+  std::uint64_t x = 42;
+  const auto key = ks::derive_bytes<16>(x);
+  const auto nonce = ks::derive_bytes<12>(x);
+  ks::SeedStream s(42);
+  EXPECT_EQ(key, s.bytes<16>());
+  EXPECT_EQ(nonce, s.bytes<12>());
+}
+
+TEST(Keyschedule, CtrParamsArePinned) {
+  const auto p = ks::derive_ctr_params<16>(42);
+  const std::array<std::uint8_t, 16> key = {0x95, 0x6e, 0xeb, 0x2f, 0x26,
+                                            0x32, 0xd7, 0xbd, 0x03, 0xf1,
+                                            0x66, 0xb2, 0x33, 0xe3, 0xef,
+                                            0x28};
+  const std::array<std::uint8_t, 12> nonce = {0x52, 0x9f, 0x0f, 0x13,
+                                              0x57, 0x67, 0x52, 0x47,
+                                              0x94, 0xe3, 0x4a, 0x0e};
+  EXPECT_EQ(p.key, key);
+  EXPECT_EQ(p.nonce, nonce);
+}
+
+namespace {
+
+// first_lane must be a pure seek: deriving lanes [f, f+n) directly equals
+// the [f, f+n) slice of a full-front derivation.  This is the property the
+// lane-range PartitionSpec shards and the gpusim kernels rely on.
+template <typename Key, typename Iv, typename Derive>
+void expect_lane_seek(Derive derive) {
+  constexpr std::size_t kLanes = 96, kFirst = 32, kCount = 32;
+  std::vector<Key> all_keys(kLanes), sub_keys(kCount);
+  std::vector<Iv> all_ivs(kLanes), sub_ivs(kCount);
+  derive(std::uint64_t{7}, std::span(all_keys), std::span(all_ivs),
+         std::size_t{0});
+  derive(std::uint64_t{7}, std::span(sub_keys), std::span(sub_ivs), kFirst);
+  for (std::size_t j = 0; j < kCount; ++j) {
+    EXPECT_EQ(sub_keys[j], all_keys[kFirst + j]) << j;
+    EXPECT_EQ(sub_ivs[j], all_ivs[kFirst + j]) << j;
+  }
+}
+
+}  // namespace
+
+TEST(Keyschedule, FirstLaneSeeksTheMickeySchedule) {
+  expect_lane_seek<std::array<std::uint8_t, 10>, std::array<std::uint8_t, 10>>(
+      [](auto... a) { ci::derive_mickey_lane_params(a...); });
+}
+
+TEST(Keyschedule, FirstLaneSeeksTheGrainSchedule) {
+  expect_lane_seek<std::array<std::uint8_t, 10>, std::array<std::uint8_t, 8>>(
+      [](auto... a) { ci::derive_grain_lane_params(a...); });
+}
+
+TEST(Keyschedule, FirstLaneSeeksTheTriviumSchedule) {
+  expect_lane_seek<std::array<std::uint8_t, 10>, std::array<std::uint8_t, 10>>(
+      [](auto... a) { ci::derive_trivium_lane_params(a...); });
+}
+
+TEST(Keyschedule, FirstLaneSeeksTheA51Schedule) {
+  constexpr std::size_t kLanes = 96, kFirst = 32, kCount = 32;
+  std::vector<std::array<std::uint8_t, ci::A51Ref::kKeyBytes>> all_keys(
+      kLanes),
+      sub_keys(kCount);
+  std::vector<std::uint32_t> all_frames(kLanes), sub_frames(kCount);
+  ci::derive_a51_lane_params(7, all_keys, all_frames);
+  ci::derive_a51_lane_params(7, sub_keys, sub_frames, kFirst);
+  for (std::size_t j = 0; j < kCount; ++j) {
+    EXPECT_EQ(sub_keys[j], all_keys[kFirst + j]) << j;
+    EXPECT_EQ(sub_frames[j], all_frames[kFirst + j]) << j;
+  }
+}

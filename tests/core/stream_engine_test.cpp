@@ -88,8 +88,8 @@ TEST_P(StreamEngineDeterminism, InlineModeAndContiguousChunksAgree) {
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, StreamEngineDeterminism,
                          ::testing::ValuesIn(all_names()),
-                         [](const auto& info) {
-                           std::string s = info.param;
+                         [](const auto& pinfo) {
+                           std::string s = pinfo.param;
                            for (char& c : s)
                              if (c == '-') c = '_';
                            return s;

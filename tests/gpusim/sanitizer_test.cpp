@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "core/descriptor.hpp"
 #include "core/gpu_kernel.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/sanitizer.hpp"
@@ -290,23 +291,28 @@ TEST(Sanitizer, EnvFlagEnablesCheckingWithoutConfig) {
 
 // --- shipped kernels must be clean -------------------------------------------
 
-TEST(Sanitizer, ShippedMickeyKernelReportsZeroFindings) {
-  for (const bool staging : {true, false}) {
-    for (const bool coalesced : {true, false}) {
-      co::GpuKernelConfig cfg;
-      cfg.blocks = 2;
-      cfg.threads_per_block = 32;
-      cfg.words_per_thread = 16;
-      cfg.staging_words = 4;
-      cfg.use_shared_staging = staging;
-      cfg.coalesced_layout = coalesced;
-      cfg.check = true;
-      gs::Device dev(cfg.blocks * cfg.threads_per_block *
-                     cfg.words_per_thread);
-      const auto res = co::run_mickey_gpu_kernel(dev, cfg);
-      EXPECT_EQ(res.stats.check_findings, 0u)
-          << "staging=" << staging << " coalesced=" << coalesced;
-      for (const auto& r : dev.check_reports()) ADD_FAILURE() << r.to_string();
+TEST(Sanitizer, ShippedCipherKernelsReportZeroFindings) {
+  for (const auto& desc : co::algorithm_descriptors()) {
+    for (const bool staging : {true, false}) {
+      for (const bool coalesced : {true, false}) {
+        co::GpuKernelConfig cfg;
+        cfg.blocks = 2;
+        cfg.threads_per_block = 32;
+        cfg.words_per_thread = 16;  // 64 B/thread: multiple of both counter
+                                    // block sizes (16 and 64 bytes)
+        cfg.staging_words = 4;
+        cfg.use_shared_staging = staging;
+        cfg.coalesced_layout = coalesced;
+        cfg.check = true;
+        gs::Device dev(cfg.blocks * cfg.threads_per_block *
+                       cfg.words_per_thread);
+        const auto res = co::run_gpu_kernel(dev, desc.base, cfg);
+        EXPECT_EQ(res.stats.check_findings, 0u)
+            << desc.base << " staging=" << staging
+            << " coalesced=" << coalesced;
+        for (const auto& r : dev.check_reports())
+          ADD_FAILURE() << desc.base << ": " << r.to_string();
+      }
     }
   }
 }
@@ -349,9 +355,9 @@ TEST(Sanitizer, CheckedLaunchProducesIdenticalKeystream) {
   const std::size_t words =
       cfg.blocks * cfg.threads_per_block * cfg.words_per_thread;
   gs::Device plain(words), checked(words);
-  co::run_mickey_gpu_kernel(plain, cfg);
+  co::run_gpu_kernel(plain, "mickey", cfg);
   cfg.check = true;
-  co::run_mickey_gpu_kernel(checked, cfg);
+  co::run_gpu_kernel(checked, "mickey", cfg);
   for (std::size_t i = 0; i < words; ++i)
     ASSERT_EQ(plain.global_memory()[i], checked.global_memory()[i]) << i;
 }

@@ -7,6 +7,7 @@
 //
 //   bench      string, non-empty
 //   algorithm  string, non-empty
+//   backend    string, non-empty ("host" or "gpusim")
 //   width      number, non-negative integer
 //   workers    number, positive integer
 //   bytes      number, non-negative integer
@@ -87,13 +88,14 @@ bool check_file(const char* path) {
     }
     ok &= check_string(rec, path, i, "bench");
     ok &= check_string(rec, path, i, "algorithm");
+    ok &= check_string(rec, path, i, "backend");
     ok &= check_number(rec, path, i, "width", /*integral=*/true, 0.0);
     ok &= check_number(rec, path, i, "workers", /*integral=*/true, 1.0);
     ok &= check_number(rec, path, i, "bytes", /*integral=*/true, 0.0);
     ok &= check_number(rec, path, i, "seconds", /*integral=*/false, 0.0);
     ok &= check_number(rec, path, i, "gbps", /*integral=*/false, 0.0);
-    if (rec.as_object().size() != 7)
-      ok = fail(path, i, "record must carry exactly the 7 schema keys");
+    if (rec.as_object().size() != 8)
+      ok = fail(path, i, "record must carry exactly the 8 schema keys");
   }
   if (ok)
     std::fprintf(stderr, "%s: %zu records OK\n", path, arr.size());
