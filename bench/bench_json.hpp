@@ -73,6 +73,15 @@ struct JsonRecord {
   double seconds = 0.0;
   double gbps = 0.0;
   std::string backend = "host";
+
+  // Optional coalescing-diff fields (gpusim rows of bench_memory_ablation):
+  // the static analyzer's predicted transaction count / transactions-per-
+  // warp-access next to the cost model's measured count, so a predicted-vs-
+  // measured regression shows up in a --json diff.  Negative means "not
+  // applicable" and the key is omitted from the record.
+  std::int64_t transactions_predicted = -1;
+  std::int64_t transactions_measured = -1;
+  double tpa_predicted = -1.0;
 };
 
 class JsonWriter {
@@ -122,6 +131,16 @@ class JsonWriter {
       o.emplace("bytes", telemetry::JsonValue(static_cast<double>(r.bytes)));
       o.emplace("seconds", telemetry::JsonValue(r.seconds));
       o.emplace("gbps", telemetry::JsonValue(r.gbps));
+      if (r.transactions_predicted >= 0)
+        o.emplace("transactions_predicted",
+                  telemetry::JsonValue(
+                      static_cast<double>(r.transactions_predicted)));
+      if (r.transactions_measured >= 0)
+        o.emplace("transactions_measured",
+                  telemetry::JsonValue(
+                      static_cast<double>(r.transactions_measured)));
+      if (r.tpa_predicted >= 0.0)
+        o.emplace("tpa_predicted", telemetry::JsonValue(r.tpa_predicted));
       arr.emplace_back(std::move(o));
     }
     const std::string text = telemetry::JsonValue(std::move(arr)).dump();

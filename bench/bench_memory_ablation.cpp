@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/static_analyzer.hpp"
 #include "baselines/xorshift.hpp"
 #include "bench_json.hpp"
 #include "core/descriptor.hpp"
@@ -20,6 +21,7 @@
 #include "core/thread_pool.hpp"
 #include "gpusim/device.hpp"
 
+namespace an = bsrng::analysis;
 namespace gs = bsrng::gpusim;
 
 namespace {
@@ -35,6 +37,23 @@ std::size_t total_words() { return kBlocks * kThreads * kSteps; }
 void print_check_reports(const gs::Device& dev, const char* label) {
   for (const auto& r : dev.check_reports())
     std::printf("  !! %s: %s\n", label, r.to_string().c_str());
+}
+
+// Static prediction for one ablation variant: the hand-written kernels
+// above share their address structure with the generic descriptor kernel
+// body (addresses are algorithm-independent), so model_descriptor_kernel
+// with the matching geometry predicts their transaction counts exactly.
+an::CoalescingSummary predict_traffic(bool use_staging,
+                                      std::size_t staging_words,
+                                      bool coalesced) {
+  bsrng::core::GpuKernelConfig cfg;
+  cfg.blocks = kBlocks;
+  cfg.threads_per_block = kThreads;
+  cfg.words_per_thread = kSteps;
+  cfg.use_shared_staging = use_staging;
+  cfg.staging_words = use_staging ? staging_words : 16;
+  cfg.coalesced_layout = coalesced;
+  return an::analyze_descriptor_kernel("mickey", cfg).coalescing;
 }
 
 // (a) Naive: each thread owns a contiguous region; at every step the warp's
@@ -91,19 +110,22 @@ void print_ablation(bsrng::bench::JsonWriter& json) {
   std::printf("\n=== §4.5 memory-path ablation (modeled transactions) ===\n");
   std::printf("grid: %zu blocks x %zu threads, %zu words/thread, %zu KiB total\n",
               kBlocks, kThreads, kSteps, total_words() * 4 / 1024);
-  std::printf("%-34s %14s %12s %12s\n", "variant", "transactions",
-              "efficiency", "shared ops");
+  std::printf("%-34s %14s %14s %12s %12s\n", "variant", "transactions",
+              "predicted", "efficiency", "shared ops");
   // Each variant owns its Device, so the sweep runs on the shared pool
   // (bsrng::core::ThreadPool) and the rows print in order afterwards.
   struct Variant {
     std::string label;
     std::function<gs::MemStats(gs::Device&)> run;
+    an::CoalescingSummary predicted;
     gs::MemStats stats;
     std::vector<std::string> findings;
   };
   std::vector<Variant> variants;
-  variants.push_back({"naive per-thread regions (strided)", run_strided, {}, {}});
-  variants.push_back({"coalesced direct store", run_coalesced, {}, {}});
+  variants.push_back({"naive per-thread regions (strided)", run_strided,
+                      predict_traffic(false, 0, false), {}, {}});
+  variants.push_back({"coalesced direct store", run_coalesced,
+                      predict_traffic(false, 0, true), {}, {}});
   for (const std::size_t staging : {4u, 16u, 64u, 256u}) {
     char label[64];
     std::snprintf(label, sizeof label, "shared staging, %3zu words/thread",
@@ -112,6 +134,7 @@ void print_ablation(bsrng::bench::JsonWriter& json) {
                         [staging](gs::Device& dev) {
                           return run_staged(dev, staging);
                         },
+                        predict_traffic(true, staging, true),
                         {},
                         {}});
   }
@@ -123,10 +146,16 @@ void print_ablation(bsrng::bench::JsonWriter& json) {
       variants[i].findings.push_back(r.to_string());
   });
   for (const auto& v : variants) {
-    std::printf("%-34s %14llu %12.3f %12llu\n", v.label.c_str(),
+    std::printf("%-34s %14llu %14llu %12.3f %12llu%s\n", v.label.c_str(),
                 static_cast<unsigned long long>(v.stats.global_transactions),
+                static_cast<unsigned long long>(
+                    v.predicted.global_transactions),
                 v.stats.coalescing_efficiency(),
-                static_cast<unsigned long long>(v.stats.shared_accesses));
+                static_cast<unsigned long long>(v.stats.shared_accesses),
+                v.predicted.global_transactions ==
+                        v.stats.global_transactions
+                    ? ""
+                    : "  !! prediction mismatch");
     for (const auto& f : v.findings)
       std::printf("  !! %s: %s\n", v.label.c_str(), f.c_str());
   }
@@ -146,23 +175,37 @@ void print_ablation(bsrng::bench::JsonWriter& json) {
         cfg.blocks * cfg.threads_per_block * cfg.words_per_thread;
     const auto row = [&](const char* label) {
       using Clock = std::chrono::steady_clock;
+      const an::CoalescingSummary predicted =
+          an::analyze_descriptor_kernel(desc.base, cfg).coalescing;
       gs::Device dev(words);
       const auto t0 = Clock::now();
       const auto r = bsrng::core::run_gpu_kernel(dev, desc.base, cfg);
       const double secs =
           std::chrono::duration<double>(Clock::now() - t0).count();
-      std::printf("%-34s %14llu %12.3f %12llu\n", label,
+      std::printf("%-34s %14llu %14llu %12.3f %12llu%s\n", label,
                   static_cast<unsigned long long>(r.stats.global_transactions),
+                  static_cast<unsigned long long>(
+                      predicted.global_transactions),
                   r.stats.coalescing_efficiency(),
-                  static_cast<unsigned long long>(r.stats.shared_accesses));
+                  static_cast<unsigned long long>(r.stats.shared_accesses),
+                  predicted.global_transactions == r.stats.global_transactions
+                      ? ""
+                      : "  !! prediction mismatch");
       print_check_reports(dev, label);
       // Simulated-GPU wall rate: one record per cipher x kernel variant;
-      // workers is the simulated thread count of the launch.
-      json.add({desc.base + "-bs32 " + label, 32,
-                cfg.blocks * cfg.threads_per_block, r.bytes, secs,
-                secs > 0 ? static_cast<double>(r.bytes) * 8.0 / secs / 1e9
-                         : 0.0,
-                "gpusim"});
+      // workers is the simulated thread count of the launch.  Predicted vs
+      // measured transactions ride along for --json coalescing diffs.
+      bsrng::bench::JsonRecord rec{
+          desc.base + "-bs32 " + label, 32,
+          cfg.blocks * cfg.threads_per_block, r.bytes, secs,
+          secs > 0 ? static_cast<double>(r.bytes) * 8.0 / secs / 1e9 : 0.0,
+          "gpusim"};
+      rec.transactions_predicted =
+          static_cast<std::int64_t>(predicted.global_transactions);
+      rec.transactions_measured =
+          static_cast<std::int64_t>(r.stats.global_transactions);
+      rec.tpa_predicted = predicted.transactions_per_access();
+      json.add(std::move(rec));
     };
     row("staged + coalesced (paper §4.5)");
     cfg.use_shared_staging = false;

@@ -1,0 +1,182 @@
+// affine.hpp — affine address expressions over kernel symbols.
+//
+// Every memory access a bsrng virtual-GPU kernel makes is an affine function
+// of the launch symbols: the block index, the thread index within the block,
+// and the counters of the (statically bounded) loops enclosing the access —
+//   addr = c0 + c_b * block + c_t * thread + sum_i c_i * v_i.
+// That is the property GPUVerify-style verifiers exploit: with data-free
+// affine addresses, race freedom, bounds and coalescing become arithmetic on
+// the coefficients rather than facts about one execution.  This header is
+// the expression algebra; model.hpp builds kernel access programs out of it
+// and static_analyzer.hpp discharges the proof obligations.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bsrng::analysis {
+
+// Well-known symbol ids.  Loop variables are allocated from kFirstLoopVar
+// upward by the model that owns them.
+inline constexpr int kVarBlock = 0;
+inline constexpr int kVarThread = 1;
+inline constexpr int kFirstLoopVar = 2;
+
+struct AffineTerm {
+  int var = 0;
+  std::int64_t coeff = 0;
+};
+
+// c0 + sum(coeff * var).  Terms are kept sorted by var id with no zero or
+// duplicate coefficients, so structural comparison is canonical.
+struct AffineExpr {
+  std::int64_t c0 = 0;
+  std::vector<AffineTerm> terms;
+
+  static AffineExpr constant(std::int64_t c) { return AffineExpr{c, {}}; }
+  static AffineExpr var(int id, std::int64_t coeff = 1) {
+    AffineExpr e;
+    if (coeff != 0) e.terms.push_back({id, coeff});
+    return e;
+  }
+  static AffineExpr block(std::int64_t coeff = 1) {
+    return var(kVarBlock, coeff);
+  }
+  static AffineExpr thread(std::int64_t coeff = 1) {
+    return var(kVarThread, coeff);
+  }
+
+  std::int64_t coeff(int id) const {
+    for (const AffineTerm& t : terms)
+      if (t.var == id) return t.coeff;
+    return 0;
+  }
+
+  AffineExpr& add_term(int id, std::int64_t coeff_delta) {
+    if (coeff_delta == 0) return *this;
+    auto it = std::lower_bound(
+        terms.begin(), terms.end(), id,
+        [](const AffineTerm& t, int v) { return t.var < v; });
+    if (it != terms.end() && it->var == id) {
+      it->coeff += coeff_delta;
+      if (it->coeff == 0) terms.erase(it);
+    } else {
+      terms.insert(it, {id, coeff_delta});
+    }
+    return *this;
+  }
+
+  friend AffineExpr operator+(AffineExpr a, const AffineExpr& b) {
+    a.c0 += b.c0;
+    for (const AffineTerm& t : b.terms) a.add_term(t.var, t.coeff);
+    return a;
+  }
+  friend AffineExpr operator+(AffineExpr a, std::int64_t c) {
+    a.c0 += c;
+    return a;
+  }
+  friend AffineExpr operator-(AffineExpr a, const AffineExpr& b) {
+    a.c0 -= b.c0;
+    for (const AffineTerm& t : b.terms) a.add_term(t.var, -t.coeff);
+    return a;
+  }
+  friend AffineExpr operator*(AffineExpr a, std::int64_t k) {
+    a.c0 *= k;
+    if (k == 0) {
+      a.terms.clear();
+      return a;
+    }
+    for (AffineTerm& t : a.terms) t.coeff *= k;
+    return a;
+  }
+
+  bool operator==(const AffineExpr& o) const {
+    if (c0 != o.c0 || terms.size() != o.terms.size()) return false;
+    for (std::size_t i = 0; i < terms.size(); ++i)
+      if (terms[i].var != o.terms[i].var ||
+          terms[i].coeff != o.terms[i].coeff)
+        return false;
+    return true;
+  }
+
+  // Evaluate with env[var] giving each symbol's value.
+  std::int64_t eval(std::span<const std::int64_t> env) const {
+    std::int64_t v = c0;
+    for (const AffineTerm& t : terms)
+      v += t.coeff * env[static_cast<std::size_t>(t.var)];
+    return v;
+  }
+
+  std::string to_string() const {
+    std::string s = std::to_string(c0);
+    for (const AffineTerm& t : terms) {
+      s += t.coeff >= 0 ? " + " : " - ";
+      s += std::to_string(std::abs(t.coeff));
+      s += t.var == kVarBlock    ? "*b"
+           : t.var == kVarThread ? "*t"
+                                 : "*v" + std::to_string(t.var);
+    }
+    return s;
+  }
+};
+
+// One symbol's value range: the half-open integer interval [begin, end) with
+// stride `step` (loop counters; thread/block ranges use step 1).
+struct VarRange {
+  int var = 0;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;  // exclusive; empty when end <= begin
+  std::int64_t step = 1;
+
+  bool empty() const { return end <= begin; }
+  std::int64_t last() const {  // largest attained value
+    return begin + ((end - 1 - begin) / step) * step;
+  }
+};
+
+// Sound over-approximation of an affine expression's value set over a box of
+// variable ranges: the stride interval {lo, lo + gcd, lo + 2*gcd, ... , hi}.
+// Used both to prove bounds (true set is a subset) and to prove two access
+// sets disjoint (if the stride intervals of the difference never contain 0,
+// the true sets never collide).
+struct StrideInterval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  std::int64_t gcd = 0;  // 0 means the single value lo (== hi)
+
+  bool contains(std::int64_t x) const {
+    if (x < lo || x > hi) return false;
+    if (gcd == 0) return x == lo;
+    return (x - lo) % gcd == 0;
+  }
+};
+
+// Bound `expr` over `box` (each var in box contributes its range; variables
+// of the expression missing from the box are taken as the single value 0).
+inline StrideInterval bound_affine(const AffineExpr& expr,
+                                   std::span<const VarRange> box) {
+  StrideInterval si{expr.c0, expr.c0, 0};
+  for (const AffineTerm& t : expr.terms) {
+    const VarRange* r = nullptr;
+    for (const VarRange& vr : box)
+      if (vr.var == t.var) {
+        r = &vr;
+        break;
+      }
+    if (r == nullptr || r->empty()) continue;  // symbol fixed at 0
+    const std::int64_t a = t.coeff * r->begin;
+    const std::int64_t b = t.coeff * r->last();
+    si.lo += std::min(a, b);
+    si.hi += std::max(a, b);
+    if (r->last() != r->begin)
+      si.gcd = std::gcd(si.gcd, std::abs(t.coeff * r->step));
+  }
+  return si;
+}
+
+}  // namespace bsrng::analysis

@@ -1,0 +1,237 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bsrng::analysis {
+
+namespace {
+
+bool ident_char(char c) {
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+// True when src[pos..] starts with `token` and the preceding character is
+// not part of an identifier (so `time(` does not match `strftime(`).
+bool token_at(std::string_view src, std::size_t pos, std::string_view token) {
+  if (src.compare(pos, token.size(), token) != 0) return false;
+  return pos == 0 || !ident_char(src[pos - 1]);
+}
+
+std::size_t line_of(std::string_view src, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(src.begin(), src.begin() + static_cast<long>(pos),
+                            '\n'));
+}
+
+std::string line_text(std::string_view src, std::size_t pos) {
+  std::size_t b = src.rfind('\n', pos);
+  b = b == std::string_view::npos ? 0 : b + 1;
+  std::size_t e = src.find('\n', pos);
+  if (e == std::string_view::npos) e = src.size();
+  std::string_view line = src.substr(b, e - b);
+  while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
+    line.remove_prefix(1);
+  while (!line.empty() && (line.back() == ' ' || line.back() == '\r'))
+    line.remove_suffix(1);
+  return std::string(line);
+}
+
+// Lines carrying `// bsrng-lint: allow(rule)` (or allow(*)) suppress that
+// rule on that line.  Scanned on the *raw* source — the marker lives in a
+// comment, which stripping erases.
+bool suppressed(std::string_view raw, std::size_t line,
+                std::string_view rule) {
+  std::size_t b = 0;
+  for (std::size_t l = 1; l < line; ++l) {
+    b = raw.find('\n', b);
+    if (b == std::string_view::npos) return false;
+    ++b;
+  }
+  std::size_t e = raw.find('\n', b);
+  if (e == std::string_view::npos) e = raw.size();
+  const std::string_view text = raw.substr(b, e - b);
+  const std::size_t mark = text.find("bsrng-lint: allow(");
+  if (mark == std::string_view::npos) return false;
+  const std::string_view args = text.substr(mark + 18);
+  const std::size_t close = args.find(')');
+  if (close == std::string_view::npos) return false;
+  const std::string_view what = args.substr(0, close);
+  return what == "*" || what == rule;
+}
+
+// Does the first template argument of an unordered container name a pointer
+// type?  `pos` points just past the '<'.  Scans at angle-bracket depth 0 up
+// to the ',' or matching '>'.
+bool pointer_key_arg(std::string_view src, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = pos; i < src.size(); ++i) {
+    const char c = src[i];
+    if (c == '<') ++depth;
+    else if (c == '>') {
+      if (depth == 0) return false;
+      --depth;
+    } else if (c == ',' && depth == 0) {
+      return false;
+    } else if (c == '*' && depth == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct Rule {
+  const char* name;
+  const char* token;
+};
+
+constexpr Rule kCallRules[] = {
+    {"rand-call", "rand("},
+    {"rand-call", "srand("},
+    {"rand-call", "random("},
+    {"random-device", "random_device"},
+    {"wall-clock", "time("},
+    {"wall-clock", "system_clock"},
+};
+
+constexpr std::string_view kUnorderedTokens[] = {"unordered_map<",
+                                                 "unordered_set<"};
+
+bool lintable_file(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+std::string LintFinding::to_string() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": [" << rule << "] " << excerpt;
+  return os.str();
+}
+
+std::string strip_comments_and_strings(std::string_view src) {
+  std::string out(src);
+  std::size_t i = 0;
+  const auto blank_until = [&](std::size_t end) {
+    for (; i < end && i < out.size(); ++i)
+      if (out[i] != '\n') out[i] = ' ';
+  };
+  while (i < out.size()) {
+    const char c = out[i];
+    if (c == '/' && i + 1 < out.size() && out[i + 1] == '/') {
+      std::size_t e = src.find('\n', i);
+      blank_until(e == std::string_view::npos ? out.size() : e);
+    } else if (c == '/' && i + 1 < out.size() && out[i + 1] == '*') {
+      std::size_t e = src.find("*/", i + 2);
+      blank_until(e == std::string_view::npos ? out.size() : e + 2);
+    } else if (c == 'R' && i + 1 < out.size() && out[i + 1] == '"' &&
+               (i == 0 || !ident_char(out[i - 1]))) {
+      const std::size_t open = src.find('(', i + 2);
+      if (open == std::string_view::npos) {
+        ++i;
+        continue;
+      }
+      std::string closer(")");
+      closer.append(src.substr(i + 2, open - (i + 2)));
+      closer.push_back('"');
+      std::size_t e = src.find(closer, open + 1);
+      blank_until(e == std::string_view::npos ? out.size()
+                                              : e + closer.size());
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t e = i + 1;
+      while (e < out.size() && out[e] != quote) {
+        if (out[e] == '\\' && e + 1 < out.size()) ++e;
+        ++e;
+      }
+      blank_until(e < out.size() ? e + 1 : out.size());
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<LintFinding> lint_source(std::string_view file,
+                                     std::string_view source) {
+  std::vector<LintFinding> findings;
+  const std::string stripped = strip_comments_and_strings(source);
+  const auto report = [&](std::size_t pos, const char* rule) {
+    const std::size_t line = line_of(stripped, pos);
+    if (suppressed(source, line, rule)) return;
+    findings.push_back(
+        {std::string(file), line, rule, line_text(source, pos)});
+  };
+
+  for (const Rule& r : kCallRules)
+    for (std::size_t pos = stripped.find(r.token);
+         pos != std::string::npos; pos = stripped.find(r.token, pos + 1))
+      if (token_at(stripped, pos, r.token)) report(pos, r.name);
+
+  for (const std::string_view tok : kUnorderedTokens)
+    for (std::size_t pos = stripped.find(tok); pos != std::string::npos;
+         pos = stripped.find(tok, pos + 1))
+      if (token_at(stripped, pos, tok) &&
+          pointer_key_arg(stripped, pos + tok.size()))
+        report(pos, "pointer-keyed");
+
+  std::sort(findings.begin(), findings.end(),
+            [](const LintFinding& a, const LintFinding& b) {
+              return a.line < b.line;
+            });
+  return findings;
+}
+
+std::vector<LintFinding> lint_paths(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    const fs::path path(p);
+    if (fs::is_regular_file(path)) {
+      files.push_back(path.string());
+    } else if (fs::is_directory(path)) {
+      std::vector<std::string> dir_files;
+      for (const auto& entry : fs::recursive_directory_iterator(path))
+        if (entry.is_regular_file() && lintable_file(entry.path()))
+          dir_files.push_back(entry.path().string());
+      // recursive_directory_iterator order is filesystem-dependent; sort
+      // for stable report order (the lint practices what it preaches).
+      std::sort(dir_files.begin(), dir_files.end());
+      files.insert(files.end(), dir_files.begin(), dir_files.end());
+    } else {
+      throw std::runtime_error("lint: no such file or directory: " + p);
+    }
+  }
+
+  std::vector<LintFinding> findings;
+  for (const std::string& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) throw std::runtime_error("lint: cannot read " + f);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string source = buf.str();
+    auto file_findings = lint_source(f, source);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+std::vector<std::string> default_lint_roots(std::string_view repo_root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> roots;
+  for (const char* sub :
+       {"src/core", "src/ciphers", "src/bitslice", "src/lfsr"}) {
+    fs::path p = fs::path(repo_root) / sub;
+    roots.push_back(p.string());
+  }
+  return roots;
+}
+
+}  // namespace bsrng::analysis

@@ -1,0 +1,58 @@
+// lint.hpp — repo-wide determinism lint.
+//
+// BSRNG's reproducibility contract (ROADMAP north star: bit-exact streams
+// for a given seed across backends and thread counts) dies quietly the day a
+// nondeterministic source sneaks into generation code.  This lint scans the
+// generation-critical trees (src/core, src/ciphers, src/bitslice, src/lfsr)
+// for the classic offenders:
+//
+//   rand-call         libc rand()/srand()/random() — hidden global state
+//   random-device     std::random_device — entropy that differs per run
+//   wall-clock        time(...) / std::chrono::system_clock — time-seeded
+//                     behaviour (monotonic steady_clock timing is fine and
+//                     deliberately not flagged)
+//   pointer-keyed     std::unordered_{map,set} keyed on a pointer type —
+//                     iteration order follows allocation addresses (ASLR)
+//
+// Comments and string/char literals are stripped before matching (with
+// newlines preserved so line numbers survive), and a finding can be
+// acknowledged in place with `// bsrng-lint: allow(<rule>)` on the same
+// line.  bsrng_staticcheck --lint drives this in CI.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bsrng::analysis {
+
+struct LintFinding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string excerpt;  // the offending source line, trimmed
+
+  std::string to_string() const;
+};
+
+// Replace comments and string/char literal *contents* with spaces, keeping
+// every newline, so token matching cannot fire inside text and reported
+// line numbers match the original. Handles //, /* */, "...", '...' (with
+// escapes) and R"delim(...)delim" raw strings.  Exposed for tests.
+std::string strip_comments_and_strings(std::string_view src);
+
+// Lint one in-memory source buffer (`file` is used for report paths only).
+std::vector<LintFinding> lint_source(std::string_view file,
+                                     std::string_view source);
+
+// Lint every .hpp/.cpp/.h/.cc file under `paths` (files or directories,
+// walked in sorted order for stable output).  Findings are ordered by
+// file then line.  Throws std::runtime_error for a path that does not
+// exist.
+std::vector<LintFinding> lint_paths(const std::vector<std::string>& paths);
+
+// The generation-critical subtrees the determinism contract covers,
+// relative to a repo root: src/core, src/ciphers, src/bitslice, src/lfsr.
+std::vector<std::string> default_lint_roots(std::string_view repo_root);
+
+}  // namespace bsrng::analysis

@@ -1,0 +1,91 @@
+#include "analysis/model.hpp"
+
+#include <stdexcept>
+
+#include "core/descriptor.hpp"
+
+namespace bsrng::analysis {
+
+namespace {
+
+// Symbolic kernel_out_index: where word w of a thread lands in global
+// memory, as an affine expression over (block, thread-in-block, w).  Mirrors
+// core::kernel_out_index for global thread id b * T + t:
+//   coalesced:  w * blocks * T + b * T + t
+//   per-thread: (b * T + t) * words_per_thread + w
+AffineExpr out_index_expr(const core::GpuKernelConfig& cfg,
+                          const AffineExpr& w) {
+  const auto T = static_cast<std::int64_t>(cfg.threads_per_block);
+  const auto wpt = static_cast<std::int64_t>(cfg.words_per_thread);
+  const auto stride = static_cast<std::int64_t>(cfg.blocks) * T;
+  if (cfg.coalesced_layout)
+    return w * stride + AffineExpr::block(T) + AffineExpr::thread();
+  return AffineExpr::block(T * wpt) + AffineExpr::thread(wpt) + w;
+}
+
+}  // namespace
+
+KernelModel model_descriptor_kernel(std::string_view algorithm,
+                                    const core::GpuKernelConfig& cfg,
+                                    std::size_t global_words) {
+  const core::AlgorithmDescriptor* desc = core::find_descriptor(algorithm);
+  if (desc == nullptr) desc = core::find_bitsliced(algorithm).first;
+  if (desc == nullptr)
+    throw std::invalid_argument("model_descriptor_kernel: unknown algorithm " +
+                                std::string(algorithm));
+  if (cfg.blocks == 0 || cfg.threads_per_block == 0 ||
+      cfg.words_per_thread == 0)
+    throw std::invalid_argument(
+        "model_descriptor_kernel: blocks, threads_per_block and "
+        "words_per_thread must be nonzero");
+  if (cfg.use_shared_staging && cfg.staging_words == 0)
+    throw std::invalid_argument(
+        "model_descriptor_kernel: staging_words must be nonzero when shared "
+        "staging is enabled");
+  if (desc->partition == core::PartitionKind::kCounter &&
+      cfg.words_per_thread * 4 % desc->counter_block_bytes != 0)
+    throw std::invalid_argument(
+        "model_descriptor_kernel: counter-mode ciphers need "
+        "words_per_thread * 4 divisible by the cipher block size");
+
+  KernelModel m;
+  m.name = desc->base + "_gpu_kernel";
+  m.blocks = cfg.blocks;
+  m.threads_per_block = cfg.threads_per_block;
+  m.shared_words =
+      cfg.use_shared_staging ? cfg.threads_per_block * cfg.staging_words : 0;
+  m.global_words = global_words;
+
+  const auto T = static_cast<std::int64_t>(cfg.threads_per_block);
+  if (!cfg.use_shared_staging) {
+    const int w = m.fresh_var();
+    m.stmts.push_back(Stmt::loop(
+        w, 0, static_cast<std::int64_t>(cfg.words_per_thread),
+        {Stmt::global_store(out_index_expr(cfg, AffineExpr::var(w)))}));
+    return m;
+  }
+
+  // §4.5 staging: rounds are unrolled (their count and the ragged final
+  // chunk are geometry constants); the per-round stage and flush loops stay
+  // symbolic so their footprints carry loop-variable coefficients.
+  for (std::size_t w0 = 0; w0 < cfg.words_per_thread;
+       w0 += cfg.staging_words) {
+    const auto chunk = static_cast<std::int64_t>(
+        std::min(cfg.staging_words, cfg.words_per_thread - w0));
+    const int i = m.fresh_var();
+    m.stmts.push_back(Stmt::loop(
+        i, 0, chunk,
+        {Stmt::shared_store(AffineExpr::var(i, T) + AffineExpr::thread())}));
+    const int j = m.fresh_var();
+    // Flush iteration j: the shared load executes before the global store
+    // (the store consumes the loaded value).
+    m.stmts.push_back(Stmt::loop(
+        j, 0, chunk,
+        {Stmt::shared_load(AffineExpr::var(j, T) + AffineExpr::thread()),
+         Stmt::global_store(out_index_expr(
+             cfg, AffineExpr::var(j) + static_cast<std::int64_t>(w0)))}));
+  }
+  return m;
+}
+
+}  // namespace bsrng::analysis

@@ -1,0 +1,153 @@
+// model.hpp — KernelModel: a data-free access program for one kernel launch.
+//
+// A KernelModel is the bridge between real kernel code and the static
+// analyzer: the *memory behaviour* of a kernel — every shared/global
+// load/store address as an affine expression (affine.hpp), loop structure
+// with static bounds, barriers, and thread-dependent control flow (guards /
+// early exits) — with all data computation erased.  Because every bsrng
+// kernel's addresses are data-independent, the model captures the complete
+// set of possible access interleavings of the launch, which is what makes
+// the analyzer a decision procedure rather than a sampler.
+//
+// model_descriptor_kernel() derives the model of core/gpu_kernel_impl.hpp's
+// run_kernel_generic for a given algorithm + GpuKernelConfig straight from
+// the kernel_out_index / staging-layout equations; tests build models of the
+// seeded-bug kernels by hand to cross-validate against the dynamic checker.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analysis/affine.hpp"
+#include "core/gpu_kernel.hpp"
+
+namespace bsrng::analysis {
+
+enum class Space : std::uint8_t { kShared, kGlobal };
+enum class MemOp : std::uint8_t { kLoad, kStore };
+
+// Affine condition on the launch symbols; guards model thread-dependent
+// control flow (divergent branches, ragged per-thread loop trip counts).
+struct Cond {
+  enum class Cmp : std::uint8_t { kLt, kGe, kEq, kNe, kModEq };
+  AffineExpr lhs;
+  Cmp cmp = Cmp::kLt;
+  std::int64_t rhs = 0;
+  std::int64_t mod = 1;  // kModEq: lhs % mod == rhs (mod > 0)
+
+  bool eval(std::span<const std::int64_t> env) const {
+    const std::int64_t v = lhs.eval(env);
+    switch (cmp) {
+      case Cmp::kLt: return v < rhs;
+      case Cmp::kGe: return v >= rhs;
+      case Cmp::kEq: return v == rhs;
+      case Cmp::kNe: return v != rhs;
+      case Cmp::kModEq: return ((v % mod) + mod) % mod == rhs;
+    }
+    return false;
+  }
+};
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    kAccess,   // one shared/global load/store at an affine address
+    kLoop,     // for (var = begin; var < end; var += step) body
+    kBarrier,  // full-block barrier (advances the thread's epoch)
+    kIf,       // execute body iff cond holds for this thread
+    kExit,     // the thread returns from the kernel here
+  };
+
+  Kind kind = Kind::kAccess;
+  // kAccess:
+  Space space = Space::kGlobal;
+  MemOp op = MemOp::kStore;
+  AffineExpr addr;
+  // kLoop:
+  int var = -1;
+  std::int64_t begin = 0, end = 0, step = 1;
+  // kIf:
+  Cond cond;
+  // kLoop / kIf:
+  std::vector<Stmt> body;
+
+  static Stmt access(Space space, MemOp op, AffineExpr addr) {
+    Stmt s;
+    s.kind = Kind::kAccess;
+    s.space = space;
+    s.op = op;
+    s.addr = std::move(addr);
+    return s;
+  }
+  static Stmt shared_load(AffineExpr a) {
+    return access(Space::kShared, MemOp::kLoad, std::move(a));
+  }
+  static Stmt shared_store(AffineExpr a) {
+    return access(Space::kShared, MemOp::kStore, std::move(a));
+  }
+  static Stmt global_load(AffineExpr a) {
+    return access(Space::kGlobal, MemOp::kLoad, std::move(a));
+  }
+  static Stmt global_store(AffineExpr a) {
+    return access(Space::kGlobal, MemOp::kStore, std::move(a));
+  }
+  static Stmt loop(int var, std::int64_t begin, std::int64_t end,
+                   std::vector<Stmt> body, std::int64_t step = 1) {
+    Stmt s;
+    s.kind = Kind::kLoop;
+    s.var = var;
+    s.begin = begin;
+    s.end = end;
+    s.step = step;
+    s.body = std::move(body);
+    return s;
+  }
+  static Stmt barrier() {
+    Stmt s;
+    s.kind = Kind::kBarrier;
+    return s;
+  }
+  static Stmt guarded(Cond cond, std::vector<Stmt> body) {
+    Stmt s;
+    s.kind = Kind::kIf;
+    s.cond = std::move(cond);
+    s.body = std::move(body);
+    return s;
+  }
+  static Stmt exit() {
+    Stmt s;
+    s.kind = Kind::kExit;
+    return s;
+  }
+};
+
+// One launch's access program.  Geometry is concrete (a launch has concrete
+// geometry); addresses stay symbolic in block/thread/loop vars.
+struct KernelModel {
+  std::string name = "kernel";
+  std::size_t blocks = 1;
+  std::size_t threads_per_block = 1;
+  std::size_t shared_words = 0;
+  std::size_t global_words = 0;
+  std::vector<Stmt> stmts;
+  int next_var = kFirstLoopVar;  // loop-variable id allocator
+
+  int fresh_var() { return next_var++; }
+};
+
+// The access model of run_kernel_generic (the one §4.5 kernel body every
+// descriptor cipher instantiates) for this algorithm and geometry, derived
+// from the same kernel_out_index / staging-layout equations the kernel
+// executes.  `global_words` sizes the global bounds obligation (the device
+// memory the launch would run against); tests/tools typically pass the
+// launch's exact footprint blocks * threads_per_block * words_per_thread.
+// Throws std::invalid_argument for the same geometry violations
+// run_gpu_kernel rejects (unknown algorithm, zero dims, counter alignment).
+KernelModel model_descriptor_kernel(std::string_view algorithm,
+                                    const core::GpuKernelConfig& cfg,
+                                    std::size_t global_words);
+
+}  // namespace bsrng::analysis

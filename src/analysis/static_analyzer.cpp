@@ -1,0 +1,499 @@
+#include "analysis/static_analyzer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <deque>
+#include <sstream>
+#include <utility>
+
+#include "gpusim/memmodel.hpp"
+
+namespace bsrng::analysis {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Flat view for the affine layer: every access with its enclosing loop box
+// and statically assigned barrier epoch.  Only exact for uniform control
+// flow (no If/Exit, barriers outside loops); the exhaustive layer handles
+// the rest.
+// ---------------------------------------------------------------------------
+
+struct FlatAccess {
+  Space space = Space::kGlobal;
+  MemOp op = MemOp::kStore;
+  AffineExpr addr;
+  std::vector<VarRange> box;  // enclosing loops, outermost first
+  std::uint64_t epoch = 0;
+};
+
+bool flatten(const std::vector<Stmt>& stmts, std::vector<VarRange>& box,
+             bool in_loop, std::uint64_t& epoch,
+             std::vector<FlatAccess>& out) {
+  for (const Stmt& s : stmts) {
+    switch (s.kind) {
+      case Stmt::Kind::kAccess:
+        out.push_back({s.space, s.op, s.addr, box, epoch});
+        break;
+      case Stmt::Kind::kLoop: {
+        if (s.end <= s.begin) break;  // zero-trip: no accesses happen
+        box.push_back({s.var, s.begin, s.end, s.step});
+        const bool ok = flatten(s.body, box, /*in_loop=*/true, epoch, out);
+        box.pop_back();
+        if (!ok) return false;
+        break;
+      }
+      case Stmt::Kind::kBarrier:
+        // A barrier inside a loop gives iteration-dependent epochs; the
+        // static epoch labelling below would be wrong, so bail out.
+        if (in_loop) return false;
+        ++epoch;
+        break;
+      case Stmt::Kind::kIf:
+      case Stmt::Kind::kExit:
+        return false;  // thread-dependent control flow
+    }
+  }
+  return true;
+}
+
+// Box of one access extended with the block/thread ranges — the full
+// quantifier prefix of its footprint.
+std::vector<VarRange> full_box(const FlatAccess& a, const KernelModel& m) {
+  std::vector<VarRange> box = a.box;
+  box.push_back({kVarBlock, 0, static_cast<std::int64_t>(m.blocks), 1});
+  box.push_back(
+      {kVarThread, 0, static_cast<std::int64_t>(m.threads_per_block), 1});
+  return box;
+}
+
+// Proves addr in [0, bound) for every block/thread/iteration, by interval
+// bounds of the affine form.  (Never refutes: an out-of-range interval may
+// still miss the bound through stride gaps — the trace decides then.)
+bool prove_in_bounds(const FlatAccess& a, const KernelModel& m,
+                     std::uint64_t bound) {
+  const StrideInterval si = bound_affine(a.addr, full_box(a, m));
+  return si.lo >= 0 && si.hi < static_cast<std::int64_t>(bound);
+}
+
+// Proves that accesses a and b never touch the same shared word from two
+// distinct threads, for any pair of iteration vectors.  Requires equal
+// thread coefficients (the common case: footprints that translate with the
+// thread id); solves  a.addr(t1, va) - b.addr(t2, vb) = 0  by checking, for
+// every nonzero thread offset d = t1 - t2, whether the affine difference's
+// stride interval can reach -c_t * d.  Self-pairs (a == b) are meaningful:
+// the rename gives the two instances independent iteration spaces.
+bool prove_disjoint_across_threads(const FlatAccess& a, const FlatAccess& b,
+                                   const KernelModel& m) {
+  const std::int64_t ct = a.addr.coeff(kVarThread);
+  if (ct != b.addr.coeff(kVarThread)) return false;  // inconclusive
+
+  constexpr int kRenameOffset = 1 << 20;
+  AffineExpr diff;
+  diff.c0 = a.addr.c0 - b.addr.c0;
+  for (const AffineTerm& t : a.addr.terms)
+    if (t.var != kVarThread) diff.add_term(t.var, t.coeff);
+  for (const AffineTerm& t : b.addr.terms) {
+    if (t.var == kVarThread) continue;
+    // Both threads live in the same block, so the block symbol is shared
+    // (not renamed); loop variables quantify independently per instance.
+    diff.add_term(t.var == kVarBlock ? t.var : t.var + kRenameOffset,
+                  -t.coeff);
+  }
+  std::vector<VarRange> box = a.box;
+  for (const VarRange& r : b.box)
+    box.push_back({r.var + kRenameOffset, r.begin, r.end, r.step});
+  box.push_back({kVarBlock, 0, static_cast<std::int64_t>(m.blocks), 1});
+
+  const StrideInterval si = bound_affine(diff, box);
+  const auto T = static_cast<std::int64_t>(m.threads_per_block);
+  for (std::int64_t d = -(T - 1); d <= T - 1; ++d) {
+    if (d == 0) continue;
+    if (si.contains(-ct * d)) return false;  // possible collision
+  }
+  return true;
+}
+
+// Proves every word `load` reads was stored earlier by the *same* thread:
+// an earlier store statement with an identical iteration box whose address
+// expression matches under positional loop-variable renaming.
+bool prove_covered_by_own_store(const FlatAccess& load, std::size_t load_pos,
+                                const std::vector<FlatAccess>& accesses) {
+  for (std::size_t s = 0; s < load_pos; ++s) {
+    const FlatAccess& st = accesses[s];
+    if (st.space != Space::kShared || st.op != MemOp::kStore) continue;
+    if (st.box.size() != load.box.size()) continue;
+    bool boxes_match = true;
+    for (std::size_t i = 0; i < st.box.size() && boxes_match; ++i)
+      boxes_match = st.box[i].begin == load.box[i].begin &&
+                    st.box[i].end == load.box[i].end &&
+                    st.box[i].step == load.box[i].step;
+    if (!boxes_match) continue;
+    AffineExpr renamed;
+    renamed.c0 = load.addr.c0;
+    bool renamable = true;
+    for (const AffineTerm& t : load.addr.terms) {
+      if (t.var == kVarBlock || t.var == kVarThread) {
+        renamed.add_term(t.var, t.coeff);
+        continue;
+      }
+      std::size_t pos = load.box.size();
+      for (std::size_t i = 0; i < load.box.size(); ++i)
+        if (load.box[i].var == t.var) {
+          pos = i;
+          break;
+        }
+      if (pos == load.box.size()) {
+        renamable = false;
+        break;
+      }
+      renamed.add_term(st.box[pos].var, t.coeff);
+    }
+    if (renamable && renamed == st.addr) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive layer: trace the model's address stream through the dynamic
+// checker's own shadow machinery (BlockSanitizer + WarpAccessRecorder), so
+// classification, dedup, report order and transaction counting are the
+// dynamic sanitizer's semantics by construction — just fed modeled
+// addresses instead of executed ones.
+// ---------------------------------------------------------------------------
+
+struct TraceResult {
+  std::vector<gpusim::CheckReport> reports;
+  std::uint64_t findings = 0;
+  gpusim::MemStats stats;
+  std::uint64_t warp_slots = 0;
+  std::size_t bank_max_degree = 0;
+};
+
+// One thread's concrete execution, materialized as a flat event list by
+// walking the model with the thread's (block, thread) binding.  Replaying
+// event lists lets the trace honour barrier semantics: all of a block's
+// epoch-e accesses are fed to the sanitizer before any epoch-(e+1) access,
+// exactly as a synchronized launch interleaves them.  Barrier-free kernels
+// degenerate to thread-sequential order, matching sequential launches.
+struct Event {
+  bool barrier = false;
+  Space space = Space::kGlobal;
+  MemOp op = MemOp::kStore;
+  std::int64_t addr = 0;
+};
+
+void collect_events(const std::vector<Stmt>& stmts,
+                    std::vector<std::int64_t>& env, bool& exited,
+                    std::vector<Event>& out) {
+  for (const Stmt& s : stmts) {
+    if (exited) return;
+    switch (s.kind) {
+      case Stmt::Kind::kAccess:
+        out.push_back({false, s.space, s.op, s.addr.eval(env)});
+        break;
+      case Stmt::Kind::kLoop:
+        for (std::int64_t v = s.begin; v < s.end && !exited; v += s.step) {
+          env[static_cast<std::size_t>(s.var)] = v;
+          collect_events(s.body, env, exited, out);
+        }
+        break;
+      case Stmt::Kind::kBarrier: {
+        Event e;
+        e.barrier = true;
+        out.push_back(e);
+        break;
+      }
+      case Stmt::Kind::kIf:
+        if (s.cond.eval(env)) collect_events(s.body, env, exited, out);
+        break;
+      case Stmt::Kind::kExit:
+        exited = true;
+        return;
+    }
+  }
+}
+
+struct ThreadReplay {
+  std::vector<Event> events;
+  std::size_t pos = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t op_slot = 0;    // global accesses (coalescing lockstep id)
+  std::uint64_t op_seq = 0;     // all memory ops (report `slot` field)
+  std::uint64_t shared_slot = 0;  // shared accesses (bank lockstep id)
+};
+
+// Per-warp bank histogram: bank_hits[shared_slot][bank] = lanes touching it.
+using BankHits = std::vector<std::array<std::uint16_t, gpusim::kWarpSize>>;
+
+void replay_access(const Event& e, std::size_t t, ThreadReplay& tr,
+                   gpusim::BlockSanitizer& san,
+                   gpusim::WarpAccessRecorder& warp, BankHits& banks) {
+  const auto addr = static_cast<std::size_t>(
+      static_cast<std::uint64_t>(e.addr));  // negative wraps to huge: OOB
+  if (e.space == Space::kGlobal) {
+    // Mirror ThreadCtx: the warp recorder sees the access before the
+    // bounds check (requests count suppressed accesses too).
+    warp.record(tr.op_slot++, static_cast<std::uint64_t>(addr) * 4, 4);
+    if (e.op == MemOp::kLoad)
+      san.on_global_load(t, tr.epoch, addr, tr.op_seq++);
+    else
+      san.on_global_store(t, tr.epoch, addr, tr.op_seq++);
+  } else {
+    warp.record_shared(1);
+    const bool ok = e.op == MemOp::kLoad
+                        ? san.on_shared_load(t, tr.epoch, addr, tr.op_seq++)
+                        : san.on_shared_store(t, tr.epoch, addr, tr.op_seq++);
+    if (ok) {  // suppressed (OOB) accesses touch no bank
+      if (banks.size() <= tr.shared_slot) banks.resize(tr.shared_slot + 1);
+      ++banks[tr.shared_slot][addr % gpusim::kWarpSize];
+    }
+    ++tr.shared_slot;
+  }
+}
+
+TraceResult trace(const KernelModel& m, std::size_t max_reports) {
+  TraceResult res;
+  const std::size_t T = m.threads_per_block;
+  const std::size_t warps_per_block =
+      (T + gpusim::kWarpSize - 1) / gpusim::kWarpSize;
+  const auto env_size =
+      std::max<std::size_t>(static_cast<std::size_t>(m.next_var), 2);
+
+  for (std::size_t b = 0; b < m.blocks; ++b) {
+    std::deque<gpusim::WarpAccessRecorder> warps;
+    std::vector<BankHits> bank_hits(warps_per_block);
+    std::vector<std::uint64_t> warp_max_slot(warps_per_block, 0);
+    for (std::size_t w = 0; w < warps_per_block; ++w)
+      warps.emplace_back(std::min(gpusim::kWarpSize, T - w * gpusim::kWarpSize));
+    gpusim::BlockSanitizer san(m.name, b, T, m.shared_words, m.global_words,
+                               max_reports);
+
+    std::vector<ThreadReplay> threads(T);
+    for (std::size_t t = 0; t < T; ++t) {
+      std::vector<std::int64_t> env(env_size, 0);
+      env[kVarBlock] = static_cast<std::int64_t>(b);
+      env[kVarThread] = static_cast<std::int64_t>(t);
+      bool exited = false;
+      collect_events(m.stmts, env, exited, threads[t].events);
+    }
+
+    // Epoch-phased replay: each pass advances every thread to just past its
+    // next barrier (or to completion), so sanitizer epochs are monotonic
+    // per word, as in a synchronized launch.
+    bool pending = true;
+    while (pending) {
+      pending = false;
+      for (std::size_t t = 0; t < T; ++t) {
+        ThreadReplay& tr = threads[t];
+        while (tr.pos < tr.events.size()) {
+          const Event& e = tr.events[tr.pos++];
+          if (e.barrier) {
+            ++tr.epoch;
+            break;
+          }
+          replay_access(e, t, tr, san, warps[t / gpusim::kWarpSize],
+                        bank_hits[t / gpusim::kWarpSize]);
+        }
+        if (tr.pos < tr.events.size()) pending = true;
+      }
+    }
+
+    for (std::size_t t = 0; t < T; ++t) {
+      san.on_thread_exit(t, threads[t].epoch);
+      warp_max_slot[t / gpusim::kWarpSize] = std::max(
+          warp_max_slot[t / gpusim::kWarpSize], threads[t].op_slot);
+    }
+
+    san.finalize();
+    res.findings += san.total_findings();
+    auto reports = san.take_reports();
+    res.reports.insert(res.reports.end(),
+                       std::make_move_iterator(reports.begin()),
+                       std::make_move_iterator(reports.end()));
+    for (std::size_t w = 0; w < warps_per_block; ++w) {
+      warps[w].finalize();
+      res.stats += warps[w].stats();
+      res.warp_slots += warp_max_slot[w];
+      for (const auto& hits : bank_hits[w])
+        for (const std::uint16_t lanes : hits)
+          res.bank_max_degree = std::max<std::size_t>(res.bank_max_degree,
+                                                      lanes);
+    }
+  }
+  res.stats.check_findings = res.findings;
+  return res;
+}
+
+// Findings per obligation category, for the verdict assembly.
+std::size_t count_category(const std::vector<gpusim::CheckReport>& reports,
+                           std::initializer_list<gpusim::CheckKind> kinds) {
+  std::size_t n = 0;
+  for (const auto& r : reports)
+    for (const gpusim::CheckKind k : kinds)
+      if (r.kind == k) ++n;
+  return n;
+}
+
+Obligation make_obligation(const char* name, bool affine_proven,
+                           std::string affine_detail,
+                           std::size_t trace_findings) {
+  Obligation o;
+  o.name = name;
+  if (affine_proven && trace_findings == 0) {
+    o.proven = true;
+    o.method = ProofMethod::kAffine;
+    o.detail = std::move(affine_detail);
+  } else if (affine_proven) {
+    // Should be impossible: the affine layer claimed a proof the exhaustive
+    // trace refuted.  Trust the witness and surface the inconsistency.
+    o.proven = false;
+    o.method = ProofMethod::kExhaustive;
+    o.detail = "affine proof contradicted by exhaustive trace (analyzer bug)";
+  } else {
+    o.proven = trace_findings == 0;
+    o.method = ProofMethod::kExhaustive;
+    o.detail = o.proven
+                   ? "decided by exhaustive trace (no affine form applied)"
+                   : std::to_string(trace_findings) + " witness(es) in trace";
+  }
+  return o;
+}
+
+}  // namespace
+
+const char* proof_method_name(ProofMethod m) noexcept {
+  return m == ProofMethod::kAffine ? "affine" : "exhaustive";
+}
+
+const Obligation* StaticAnalysis::obligation(std::string_view name) const {
+  for (const Obligation& o : obligations)
+    if (o.name == name) return &o;
+  return nullptr;
+}
+
+std::string StaticAnalysis::summary() const {
+  std::ostringstream os;
+  std::size_t proven = 0;
+  for (const Obligation& o : obligations) proven += o.proven ? 1 : 0;
+  os << "kernel '" << kernel << "': "
+     << (clean() ? "CLEAN" : "FINDINGS") << " (" << proven << "/"
+     << obligations.size() << " obligations proven)\n";
+  for (const Obligation& o : obligations)
+    os << "  " << o.name << ": " << (o.proven ? "proven" : "REFUTED") << " ["
+       << proof_method_name(o.method) << "] " << o.detail << "\n";
+  os << "  coalescing: " << coalescing.global_transactions
+     << " transactions / " << coalescing.warp_slots << " warp slots (tpa "
+     << coalescing.transactions_per_access() << ", efficiency "
+     << coalescing.efficiency() << ")\n";
+  os << "  banks: " << banks.shared_accesses
+     << " shared accesses, max degree " << banks.max_degree
+     << (banks.conflict_free() ? " (conflict-free)" : " (CONFLICTS)") << "\n";
+  for (const StaticReport& f : findings)
+    os << "  !! " << f.finding.to_string() << "\n";
+  return os.str();
+}
+
+StaticAnalysis analyze(const KernelModel& model,
+                       std::size_t max_reports_per_block) {
+  StaticAnalysis out;
+  out.kernel = model.name;
+
+  // --- affine layer -------------------------------------------------------
+  std::vector<FlatAccess> flat;
+  bool uniform = true;
+  {
+    std::vector<VarRange> box;
+    std::uint64_t epoch = 0;
+    uniform = flatten(model.stmts, box, /*in_loop=*/false, epoch, flat);
+    if (!uniform) flat.clear();
+  }
+
+  bool shared_oob_proven = uniform;
+  bool global_oob_proven = uniform;
+  bool race_proven = uniform;
+  bool uninit_proven = uniform;
+  std::size_t shared_n = 0, global_n = 0, pairs_checked = 0, loads_n = 0;
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    const FlatAccess& a = flat[i];
+    if (a.space == Space::kShared) {
+      ++shared_n;
+      shared_oob_proven =
+          shared_oob_proven && prove_in_bounds(a, model, model.shared_words);
+      if (a.op == MemOp::kLoad) {
+        ++loads_n;
+        uninit_proven =
+            uninit_proven && prove_covered_by_own_store(a, i, flat);
+      }
+      for (std::size_t j = i; j < flat.size(); ++j) {
+        const FlatAccess& b = flat[j];
+        if (b.space != Space::kShared || b.epoch != a.epoch) continue;
+        if (a.op == MemOp::kLoad && b.op == MemOp::kLoad) continue;
+        ++pairs_checked;
+        race_proven =
+            race_proven && prove_disjoint_across_threads(a, b, model);
+      }
+    } else {
+      ++global_n;
+      global_oob_proven =
+          global_oob_proven && prove_in_bounds(a, model, model.global_words);
+    }
+  }
+
+  // --- exhaustive layer ---------------------------------------------------
+  const TraceResult tr = trace(model, max_reports_per_block);
+  out.findings.reserve(tr.reports.size());
+  for (const auto& r : tr.reports)
+    out.findings.push_back({r, ProofMethod::kExhaustive});
+
+  out.coalescing.global_requests = tr.stats.global_requests;
+  out.coalescing.global_transactions = tr.stats.global_transactions;
+  out.coalescing.global_bytes = tr.stats.global_bytes;
+  out.coalescing.warp_slots = tr.warp_slots;
+  out.banks.shared_accesses = tr.stats.shared_accesses;
+  out.banks.max_degree = tr.bank_max_degree;
+
+  using CK = gpusim::CheckKind;
+  out.obligations.push_back(make_obligation(
+      "shared-oob", shared_oob_proven,
+      std::to_string(shared_n) + " shared access statement(s) within [0, " +
+          std::to_string(model.shared_words) + ") by interval bounds",
+      count_category(tr.reports, {CK::kSharedOutOfBounds})));
+  out.obligations.push_back(make_obligation(
+      "global-oob", global_oob_proven,
+      std::to_string(global_n) + " global access statement(s) within [0, " +
+          std::to_string(model.global_words) + ") by interval bounds",
+      count_category(tr.reports, {CK::kGlobalOutOfBounds})));
+  out.obligations.push_back(make_obligation(
+      "shared-race-freedom", race_proven,
+      std::to_string(pairs_checked) +
+          " same-epoch statement pair(s) thread-disjoint by stride/gcd",
+      count_category(tr.reports, {CK::kSharedRaceRaw, CK::kSharedRaceWar,
+                                  CK::kSharedRaceWaw})));
+  out.obligations.push_back(make_obligation(
+      "uninit-shared-read-freedom", uninit_proven,
+      std::to_string(loads_n) +
+          " shared load statement(s) covered by an earlier same-thread store",
+      count_category(tr.reports, {CK::kUninitSharedRead})));
+  out.obligations.push_back(make_obligation(
+      "barrier-uniformity", uniform, "uniform control flow, static epochs",
+      count_category(tr.reports, {CK::kBarrierDivergence})));
+  return out;
+}
+
+StaticAnalysis analyze_descriptor_kernel(std::string_view algorithm,
+                                         const core::GpuKernelConfig& cfg) {
+  const std::size_t words =
+      cfg.blocks * cfg.threads_per_block * cfg.words_per_thread;
+  return analyze(model_descriptor_kernel(algorithm, cfg, words));
+}
+
+bool same_finding(const gpusim::CheckReport& a,
+                  const gpusim::CheckReport& b) noexcept {
+  return a.kind == b.kind && a.kernel == b.kernel && a.block == b.block &&
+         a.thread == b.thread && a.other_thread == b.other_thread &&
+         a.epoch == b.epoch && a.address == b.address && a.slot == b.slot;
+}
+
+}  // namespace bsrng::analysis

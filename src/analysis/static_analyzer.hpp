@@ -1,0 +1,138 @@
+// static_analyzer.hpp — static proofs over KernelModel access programs.
+//
+// Companion to the dynamic gpusim compute-sanitizer (gpusim/sanitizer.hpp):
+// where the sanitizer shadows the accesses of one *execution*, the analyzer
+// decides the same properties for *every* execution of a launch, because a
+// KernelModel's addresses are data-independent affine forms.  Per launch it
+// proves or refutes
+//   (a) shared-memory RAW/WAR/WAW race freedom per barrier epoch,
+//   (b) shared and global out-of-bounds freedom,
+//   (c) uninitialised-shared-read freedom,
+//   (d) barrier uniformity (no divergent arrival counts),
+// and additionally *quantifies*
+//   (e) per-warp global coalescing — predicted transactions, requests and
+//       transactions-per-access under the memmodel 128-byte-segment rule,
+//   (f) shared-memory bank-conflict degree (32 word-interleaved banks).
+//
+// Two proof layers, belt and braces:
+//   * affine  — interval/stride-gcd reasoning on the access equations:
+//     closed-form proofs quantified over all blocks, threads and loop
+//     iterations (the GPUVerify-style thread-parametric argument);
+//   * exhaustive — a data-free trace of the model through the *same*
+//     BlockSanitizer / WarpAccessRecorder shadow logic the dynamic checker
+//     uses.  Since the model is data-independent and the geometry finite,
+//     the trace is a decision procedure, and its findings carry coordinates
+//     (block/thread/word/epoch/op) that match the dynamic sanitizer's
+//     reports bit for bit — in thread-sequential order for barrier-free
+//     kernels (the sequential launch interleaving), and in barrier-
+//     synchronized epoch phases for kernels with barriers.
+// Refutations always come from the exhaustive layer (which produces exact
+// witnesses); obligations record which layer proved them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/model.hpp"
+#include "gpusim/sanitizer.hpp"
+
+namespace bsrng::analysis {
+
+enum class ProofMethod : std::uint8_t {
+  kAffine,      // closed-form over the affine access equations
+  kExhaustive,  // data-free trace of the full (finite) launch
+};
+
+const char* proof_method_name(ProofMethod m) noexcept;
+
+// One refutation.  `finding` carries the same coordinate scheme as the
+// dynamic checker's CheckReport, so static and dynamic verdicts diff
+// directly (see same_finding).
+struct StaticReport {
+  gpusim::CheckReport finding;
+  ProofMethod method = ProofMethod::kExhaustive;
+};
+
+// One proof obligation's verdict.
+struct Obligation {
+  std::string name;  // "shared-oob" | "global-oob" | "shared-race-freedom" |
+                     // "uninit-shared-read-freedom" | "barrier-uniformity"
+  bool proven = false;
+  ProofMethod method = ProofMethod::kExhaustive;
+  std::string detail;
+};
+
+// Predicted global-memory traffic under the gpusim memmodel rules: a warp's
+// lockstep accesses cost one transaction per distinct 128-byte segment.
+struct CoalescingSummary {
+  std::uint64_t global_requests = 0;
+  std::uint64_t global_transactions = 0;
+  std::uint64_t global_bytes = 0;
+  std::uint64_t warp_slots = 0;  // warp-wide lockstep access issues
+
+  // Mean transactions per warp-wide access: 1.0 is a perfect burst, 32.0 a
+  // fully scattered warp.
+  double transactions_per_access() const {
+    return warp_slots == 0 ? 0.0
+                           : static_cast<double>(global_transactions) /
+                                 static_cast<double>(warp_slots);
+  }
+  // memmodel's efficiency: minimum possible segments / predicted segments.
+  double efficiency() const {
+    if (global_transactions == 0) return 1.0;
+    const std::uint64_t ideal =
+        (global_bytes + gpusim::kSegmentBytes - 1) / gpusim::kSegmentBytes;
+    return static_cast<double>(ideal) /
+           static_cast<double>(global_transactions);
+  }
+  bool fully_coalesced() const {
+    const std::uint64_t ideal =
+        (global_bytes + gpusim::kSegmentBytes - 1) / gpusim::kSegmentBytes;
+    return global_transactions == ideal;
+  }
+};
+
+// Shared-memory bank pressure: banks are word-interleaved (bank = word index
+// mod 32); degree is the worst-case number of lanes of one warp hitting the
+// same bank in one lockstep shared access.
+struct BankConflictSummary {
+  std::uint64_t shared_accesses = 0;
+  std::size_t max_degree = 0;  // 0 when the kernel has no shared traffic
+  bool conflict_free() const { return max_degree <= 1; }
+};
+
+struct StaticAnalysis {
+  std::string kernel;
+  std::vector<StaticReport> findings;  // empty <=> all obligations proven
+  std::vector<Obligation> obligations;
+  CoalescingSummary coalescing;
+  BankConflictSummary banks;
+
+  bool clean() const { return findings.empty(); }
+  const Obligation* obligation(std::string_view name) const;
+  // Human-readable multi-line verdict block (used by bsrng_staticcheck).
+  std::string summary() const;
+};
+
+// Analyze one launch model.  `max_reports_per_block` mirrors
+// LaunchConfig::max_check_reports so stored report lists line up with a
+// dynamic checked launch (all refutations are counted either way — a clean
+// verdict never depends on the cap).
+StaticAnalysis analyze(const KernelModel& model,
+                       std::size_t max_reports_per_block = 64);
+
+// Convenience: model_descriptor_kernel + analyze, with global_words set to
+// the launch's exact footprint (so the bounds proof is against the tightest
+// legal device allocation).
+StaticAnalysis analyze_descriptor_kernel(std::string_view algorithm,
+                                         const core::GpuKernelConfig& cfg);
+
+// True when two reports name the same hazard at the same coordinates
+// (kind, kernel, block, thread, other_thread, epoch, address, op slot) —
+// the static/dynamic diff predicate.
+bool same_finding(const gpusim::CheckReport& a,
+                  const gpusim::CheckReport& b) noexcept;
+
+}  // namespace bsrng::analysis

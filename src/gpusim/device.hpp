@@ -18,6 +18,7 @@
 #include <functional>
 #include <span>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "gpusim/memmodel.hpp"
@@ -113,6 +114,14 @@ class Device {
     return check_reports_;
   }
   void clear_check_reports() noexcept { check_reports_.clear(); }
+  // Drain the accumulated reports (per-launch consumption: take after each
+  // checked launch and the returned batch is exactly that launch's stored
+  // reports).  Note the asymmetry kept for telemetry continuity: taking or
+  // clearing reports does NOT rewind total_stats().check_findings, which
+  // keeps counting every finding ever flagged (reset_stats() rewinds it).
+  std::vector<CheckReport> take_check_reports() {
+    return std::exchange(check_reports_, {});
+  }
 
  private:
   friend class ThreadCtx;

@@ -1,0 +1,137 @@
+// Determinism lint: banned-source detection with comment/string stripping,
+// token boundaries, in-place suppressions, and stable file ordering.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "analysis/lint.hpp"
+
+namespace an = bsrng::analysis;
+
+namespace {
+
+std::size_t count_rule(const std::vector<an::LintFinding>& findings,
+                       std::string_view rule) {
+  std::size_t n = 0;
+  for (const auto& f : findings) n += f.rule == rule ? 1 : 0;
+  return n;
+}
+
+}  // namespace
+
+TEST(LintStrip, CommentsAndStringsAreBlankedNewlinesKept) {
+  const std::string src =
+      "int a; // rand()\n"
+      "/* time( spans\n"
+      "   lines */ int b;\n"
+      "const char* s = \"std::random_device\";\n"
+      "char c = '\\'';\n";
+  const std::string out = an::strip_comments_and_strings(src);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+  EXPECT_EQ(out.find("rand("), std::string::npos);
+  EXPECT_EQ(out.find("time("), std::string::npos);
+  EXPECT_EQ(out.find("random_device"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(LintStrip, RawStringsAreBlanked) {
+  const std::string src = "auto s = R\"x(call rand() here)x\"; int keep;";
+  const std::string out = an::strip_comments_and_strings(src);
+  EXPECT_EQ(out.find("rand("), std::string::npos);
+  EXPECT_NE(out.find("int keep;"), std::string::npos);
+}
+
+TEST(LintRules, FlagsEachBannedSource) {
+  const auto findings = an::lint_source("t.cpp",
+                                        "int a = rand();\n"
+                                        "srand(7);\n"
+                                        "std::random_device rd;\n"
+                                        "auto t = time(nullptr);\n"
+                                        "using C = std::chrono::system_clock;\n"
+                                        "std::unordered_map<Foo*, int> m;\n"
+                                        "std::unordered_set<const Bar*> s;\n");
+  EXPECT_EQ(count_rule(findings, "rand-call"), 2u);
+  EXPECT_EQ(count_rule(findings, "random-device"), 1u);
+  EXPECT_EQ(count_rule(findings, "wall-clock"), 2u);
+  EXPECT_EQ(count_rule(findings, "pointer-keyed"), 2u);
+  // Findings come back in line order with 1-based line numbers.
+  ASSERT_EQ(findings.size(), 7u);
+  for (std::size_t i = 0; i < findings.size(); ++i)
+    EXPECT_EQ(findings[i].line, i + 1);
+  EXPECT_NE(findings[0].to_string().find("t.cpp:1: [rand-call]"),
+            std::string::npos);
+}
+
+TEST(LintRules, TokenBoundariesAvoidFalsePositives) {
+  const auto findings = an::lint_source(
+      "t.cpp",
+      "strftime(buf, 9, fmt, tmv);\n"        // not time(
+      "my_rand(x);\n"                        // not rand(
+      "steady_clock::now();\n"               // monotonic timing is fine
+      "std::unordered_map<int, Foo*> m;\n"   // pointer *value* is fine
+      "trivium.clock(false, nullptr);\n");   // member named clock
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintRules, QualifiedCallsAreStillFlagged) {
+  const auto findings = an::lint_source("t.cpp", "int x = std::rand();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "rand-call");
+}
+
+TEST(LintRules, SameLineSuppressionAcknowledgesFinding) {
+  EXPECT_TRUE(an::lint_source(
+                  "t.cpp",
+                  "int a = rand();  // bsrng-lint: allow(rand-call)\n")
+                  .empty());
+  EXPECT_TRUE(an::lint_source("t.cpp",
+                              "auto t = time(nullptr);  "
+                              "// bsrng-lint: allow(*)\n")
+                  .empty());
+  // A suppression for a different rule does not apply.
+  EXPECT_EQ(an::lint_source(
+                "t.cpp",
+                "int a = rand();  // bsrng-lint: allow(wall-clock)\n")
+                .size(),
+            1u);
+}
+
+TEST(LintPaths, WalksDirectoriesInSortedOrder) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "bsrng_lint_walk_test";
+  fs::remove_all(root);
+  fs::create_directories(root / "sub");
+  const auto put = [](const fs::path& p, const char* text) {
+    std::ofstream(p) << text;
+  };
+  put(root / "b.cpp", "int b = rand();\n");
+  put(root / "a.hpp", "std::random_device rd;\n");
+  put(root / "sub" / "c.cc", "auto t = time(nullptr);\n");
+  put(root / "notes.txt", "rand( in prose is not code\n");
+
+  const auto findings = an::lint_paths({root.string()});
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_NE(findings[0].file.find("a.hpp"), std::string::npos);
+  EXPECT_NE(findings[1].file.find("b.cpp"), std::string::npos);
+  EXPECT_NE(findings[2].file.find("c.cc"), std::string::npos);
+  fs::remove_all(root);
+}
+
+TEST(LintPaths, MissingPathThrows) {
+  EXPECT_THROW(an::lint_paths({"/nonexistent/bsrng/path"}),
+               std::runtime_error);
+}
+
+TEST(LintPaths, DefaultRootsNameTheGenerationTrees) {
+  const auto roots = an::default_lint_roots("/repo");
+  ASSERT_EQ(roots.size(), 4u);
+  EXPECT_EQ(roots[0], "/repo/src/core");
+  EXPECT_EQ(roots[1], "/repo/src/ciphers");
+  EXPECT_EQ(roots[2], "/repo/src/bitslice");
+  EXPECT_EQ(roots[3], "/repo/src/lfsr");
+}

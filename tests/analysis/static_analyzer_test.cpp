@@ -1,0 +1,505 @@
+// Static analyzer cross-validation: the affine layer must prove every
+// shipped descriptor kernel clean in closed form, the exhaustive layer must
+// reproduce the dynamic sanitizer's findings *coordinate for coordinate* on
+// the seeded-bug kernels from tests/gpusim/sanitizer_test.cpp, and the
+// predicted coalescing/bank counters must equal the dynamic MemStats.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/static_analyzer.hpp"
+#include "core/descriptor.hpp"
+#include "core/gpu_kernel.hpp"
+#include "gpusim/device.hpp"
+
+namespace an = bsrng::analysis;
+namespace gs = bsrng::gpusim;
+namespace co = bsrng::core;
+
+namespace {
+
+using an::AffineExpr;
+using an::Cond;
+using an::Stmt;
+
+// Assert the static findings and a dynamic launch's reports are the same
+// sequence (kind, block, thread, other_thread, epoch, address, slot) —
+// valid when both sides are deterministic (sequential dynamic execution or
+// finalize-only reports).
+void expect_same_sequence(const an::StaticAnalysis& sa,
+                          const std::vector<gs::CheckReport>& dynamic) {
+  ASSERT_EQ(sa.findings.size(), dynamic.size());
+  for (std::size_t i = 0; i < dynamic.size(); ++i) {
+    EXPECT_TRUE(an::same_finding(sa.findings[i].finding, dynamic[i]))
+        << "static:  " << sa.findings[i].finding.to_string() << "\n"
+        << "dynamic: " << dynamic[i].to_string();
+    EXPECT_EQ(sa.findings[i].method, an::ProofMethod::kExhaustive);
+  }
+}
+
+std::size_t count_kind(const an::StaticAnalysis& sa, gs::CheckKind kind) {
+  return static_cast<std::size_t>(std::count_if(
+      sa.findings.begin(), sa.findings.end(),
+      [&](const an::StaticReport& r) { return r.finding.kind == kind; }));
+}
+
+}  // namespace
+
+// --- affine algebra ----------------------------------------------------------
+
+TEST(Affine, BoundTracksIntervalAndStride) {
+  // 3 + 8*i + t over i in [0,4), t in [0,8): lo 3, hi 3+24+7, gcd(8,1)=1.
+  const AffineExpr e = AffineExpr::var(2, 8) + AffineExpr::thread() + 3;
+  const std::vector<an::VarRange> box = {{2, 0, 4, 1}, {an::kVarThread, 0, 8, 1}};
+  const an::StrideInterval si = an::bound_affine(e, box);
+  EXPECT_EQ(si.lo, 3);
+  EXPECT_EQ(si.hi, 34);
+  EXPECT_EQ(si.gcd, 1);
+}
+
+TEST(Affine, StrideGapsExcludeValues) {
+  // 8*i over i in [0,4): {0, 8, 16, 24}.
+  const an::StrideInterval si =
+      an::bound_affine(AffineExpr::var(2, 8), {{an::VarRange{2, 0, 4, 1}}});
+  EXPECT_TRUE(si.contains(0));
+  EXPECT_TRUE(si.contains(16));
+  EXPECT_FALSE(si.contains(4));
+  EXPECT_FALSE(si.contains(-8));
+  EXPECT_FALSE(si.contains(32));
+}
+
+// --- seeded bug: missing-barrier race (sanitizer_test.cpp kernel) ------------
+
+namespace {
+
+// Model of the missing_barrier kernel: publish to slot t, then read slot
+// (t + 1) % 8 with no barrier.  The modulus is piecewise affine: two guards.
+an::KernelModel missing_barrier_model() {
+  an::KernelModel m;
+  m.name = "missing_barrier";
+  m.blocks = 1;
+  m.threads_per_block = 8;
+  m.shared_words = 8;
+  m.global_words = 8;
+  m.stmts.push_back(Stmt::shared_store(AffineExpr::thread()));
+  m.stmts.push_back(Stmt::guarded(
+      Cond{AffineExpr::thread(), Cond::Cmp::kLt, 7},
+      {Stmt::shared_load(AffineExpr::thread() + 1),
+       Stmt::global_store(AffineExpr::thread())}));
+  m.stmts.push_back(Stmt::guarded(
+      Cond{AffineExpr::thread(), Cond::Cmp::kGe, 7},
+      {Stmt::shared_load(AffineExpr::thread() + (1 - 8)),
+       Stmt::global_store(AffineExpr::thread())}));
+  return m;
+}
+
+}  // namespace
+
+TEST(StaticAnalyzer, MissingBarrierRaceMatchesDynamicReportForReport) {
+  const an::StaticAnalysis sa = an::analyze(missing_barrier_model());
+  EXPECT_FALSE(sa.clean());
+  EXPECT_EQ(count_kind(sa, gs::CheckKind::kUninitSharedRead), 7u);
+  EXPECT_EQ(count_kind(sa, gs::CheckKind::kSharedRaceWar), 7u);
+  EXPECT_EQ(count_kind(sa, gs::CheckKind::kSharedRaceRaw), 1u);
+  EXPECT_FALSE(sa.obligation("shared-race-freedom")->proven);
+  EXPECT_FALSE(sa.obligation("uninit-shared-read-freedom")->proven);
+  EXPECT_TRUE(sa.obligation("shared-oob")->proven);
+  EXPECT_TRUE(sa.obligation("barrier-uniformity")->proven);
+
+  gs::Device dev(8);
+  dev.launch({.blocks = 1, .threads_per_block = 8, .shared_bytes = 32,
+              .check = true, .kernel_name = "missing_barrier"},
+             [](gs::ThreadCtx& ctx) {
+               ctx.shared_store(ctx.thread_idx(), 1);
+               const std::size_t neighbor =
+                   (ctx.thread_idx() + 1) % ctx.block_dim();
+               ctx.global_store(ctx.global_thread_id(),
+                                ctx.shared_load(neighbor));
+             });
+  expect_same_sequence(sa, dev.check_reports());
+}
+
+// The corrected kernel (barrier between publish and read) must verify clean
+// — decided by the exhaustive layer because of the guards.
+TEST(StaticAnalyzer, BarrierSeparatedNeighborExchangeVerifiesClean) {
+  an::KernelModel m = missing_barrier_model();
+  m.name = "with_barrier";
+  m.stmts.insert(m.stmts.begin() + 1, Stmt::barrier());
+  const an::StaticAnalysis sa = an::analyze(m);
+  EXPECT_TRUE(sa.clean()) << sa.summary();
+  for (const an::Obligation& o : sa.obligations) {
+    EXPECT_TRUE(o.proven) << o.name;
+    EXPECT_EQ(o.method, an::ProofMethod::kExhaustive) << o.name;
+  }
+}
+
+// --- seeded bug: off-by-one staging index ------------------------------------
+
+TEST(StaticAnalyzer, OffByOneStagingIndexMatchesDynamic) {
+  // for (i = t; i <= 4; i += 4) shared_store(i): modeled as the maximal
+  // trip count with the `<=` residue as a guard (thread-dependent trips are
+  // exactly what the guard encodes).
+  an::KernelModel m;
+  m.name = "off_by_one";
+  m.blocks = 2;
+  m.threads_per_block = 4;
+  m.shared_words = 4;
+  m.global_words = 32;
+  const int k = m.fresh_var();
+  m.stmts.push_back(Stmt::loop(
+      k, 0, 2,
+      {Stmt::guarded(Cond{AffineExpr::thread() + AffineExpr::var(k, 4),
+                          Cond::Cmp::kLt, 5},
+                     {Stmt::shared_store(AffineExpr::thread() +
+                                         AffineExpr::var(k, 4))})}));
+  const an::StaticAnalysis sa = an::analyze(m);
+  ASSERT_EQ(sa.findings.size(), 2u);
+  EXPECT_FALSE(sa.obligation("shared-oob")->proven);
+
+  gs::Device dev(32);
+  dev.launch({.blocks = 2, .threads_per_block = 4, .shared_bytes = 16,
+              .check = true, .kernel_name = "off_by_one"},
+             [](gs::ThreadCtx& ctx) {
+               for (std::size_t i = ctx.thread_idx(); i <= 4;
+                    i += ctx.block_dim())
+                 ctx.shared_store(i, 7);
+             });
+  expect_same_sequence(sa, dev.check_reports());
+}
+
+// --- seeded bug: global out-of-bounds ----------------------------------------
+
+TEST(StaticAnalyzer, GlobalOutOfBoundsMatchesDynamic) {
+  an::KernelModel m;
+  m.name = "global_oob";
+  m.blocks = 1;
+  m.threads_per_block = 4;
+  m.global_words = 4;
+  m.stmts.push_back(Stmt::global_store(AffineExpr::thread() + 1));
+  m.stmts.push_back(Stmt::global_load(AffineExpr::thread() + 1));
+  const an::StaticAnalysis sa = an::analyze(m);
+  ASSERT_EQ(sa.findings.size(), 2u);
+  // Uniform control flow, but the interval [1, 4] leaves the bound: the
+  // affine layer cannot prove it and the trace refutes it with witnesses.
+  EXPECT_FALSE(sa.obligation("global-oob")->proven);
+  EXPECT_EQ(sa.obligation("global-oob")->method,
+            an::ProofMethod::kExhaustive);
+  // No shared traffic at all: those obligations hold in closed form.
+  EXPECT_TRUE(sa.obligation("shared-race-freedom")->proven);
+  EXPECT_EQ(sa.obligation("shared-race-freedom")->method,
+            an::ProofMethod::kAffine);
+
+  gs::Device dev(4);
+  dev.launch({.blocks = 1, .threads_per_block = 4, .check = true,
+              .kernel_name = "global_oob"},
+             [](gs::ThreadCtx& ctx) {
+               const std::size_t w = ctx.thread_idx() + 1;
+               ctx.global_store(w, 1);
+               (void)ctx.global_load(w);
+             });
+  expect_same_sequence(sa, dev.check_reports());
+}
+
+// --- seeded bug: divergent early return --------------------------------------
+
+TEST(StaticAnalyzer, DivergentEarlyReturnMatchesDynamic) {
+  an::KernelModel m;
+  m.name = "early_return";
+  m.blocks = 1;
+  m.threads_per_block = 8;
+  m.shared_words = 8;
+  m.global_words = 8;
+  m.stmts.push_back(Stmt::guarded(
+      Cond{AffineExpr::thread(), Cond::Cmp::kEq, 2}, {Stmt::exit()}));
+  m.stmts.push_back(Stmt::shared_store(AffineExpr::thread()));
+  m.stmts.push_back(Stmt::barrier());
+  const an::StaticAnalysis sa = an::analyze(m);
+  ASSERT_EQ(sa.findings.size(), 1u);
+  EXPECT_EQ(sa.findings[0].finding.kind, gs::CheckKind::kBarrierDivergence);
+  EXPECT_FALSE(sa.obligation("barrier-uniformity")->proven);
+
+  gs::Device dev(8);
+  dev.launch({.blocks = 1, .threads_per_block = 8, .shared_bytes = 32,
+              .barriers = true, .check = true, .kernel_name = "early_return"},
+             [](gs::ThreadCtx& ctx) {
+               if (ctx.thread_idx() == 2) return;
+               ctx.shared_store(ctx.thread_idx(), 1);
+               ctx.sync_block();
+             });
+  expect_same_sequence(sa, dev.check_reports());
+}
+
+TEST(StaticAnalyzer, MismatchedBarrierCountsMatchDynamic) {
+  an::KernelModel m;
+  m.name = "extra_sync";
+  m.blocks = 1;
+  m.threads_per_block = 4;
+  m.global_words = 4;
+  m.stmts.push_back(Stmt::barrier());
+  m.stmts.push_back(
+      Stmt::guarded(Cond{AffineExpr::thread(), Cond::Cmp::kModEq, 0, 2},
+                    {Stmt::barrier()}));
+  const an::StaticAnalysis sa = an::analyze(m);
+  ASSERT_EQ(sa.findings.size(), 2u);
+
+  gs::Device dev(4);
+  dev.launch({.blocks = 1, .threads_per_block = 4, .barriers = true,
+              .check = true, .kernel_name = "extra_sync"},
+             [](gs::ThreadCtx& ctx) {
+               ctx.sync_block();
+               if (ctx.thread_idx() % 2 == 0) ctx.sync_block();
+             });
+  expect_same_sequence(sa, dev.check_reports());
+}
+
+// --- seeded bug: uninitialised shared read -----------------------------------
+
+TEST(StaticAnalyzer, UninitializedSharedReadMatchesDynamic) {
+  an::KernelModel m;
+  m.name = "uninit_read";
+  m.blocks = 1;
+  m.threads_per_block = 4;
+  m.shared_words = 8;
+  m.global_words = 4;
+  m.stmts.push_back(Stmt::shared_store(AffineExpr::thread()));
+  m.stmts.push_back(Stmt::shared_load(AffineExpr::thread() + 4));
+  m.stmts.push_back(Stmt::global_store(AffineExpr::thread()));
+  const an::StaticAnalysis sa = an::analyze(m);
+  ASSERT_EQ(sa.findings.size(), 4u);
+  // Uniform flow: race freedom and bounds hold in closed form even though
+  // the uninit obligation is refuted.
+  EXPECT_FALSE(sa.obligation("uninit-shared-read-freedom")->proven);
+  EXPECT_TRUE(sa.obligation("shared-race-freedom")->proven);
+  EXPECT_EQ(sa.obligation("shared-race-freedom")->method,
+            an::ProofMethod::kAffine);
+  EXPECT_TRUE(sa.obligation("shared-oob")->proven);
+  EXPECT_EQ(sa.obligation("shared-oob")->method, an::ProofMethod::kAffine);
+
+  gs::Device dev(4);
+  dev.launch({.blocks = 1, .threads_per_block = 4, .shared_bytes = 32,
+              .check = true, .kernel_name = "uninit_read"},
+             [](gs::ThreadCtx& ctx) {
+               ctx.shared_store(ctx.thread_idx(), 5);
+               ctx.global_store(
+                   ctx.global_thread_id(),
+                   ctx.shared_load(ctx.block_dim() + ctx.thread_idx()));
+             });
+  expect_same_sequence(sa, dev.check_reports());
+}
+
+TEST(StaticAnalyzer, SameThreadReuseAcrossEpochsVerifiesClean) {
+  // private_reuse: store/load slot t each round with a barrier per round.
+  an::KernelModel m;
+  m.name = "private_reuse";
+  m.blocks = 1;
+  m.threads_per_block = 4;
+  m.shared_words = 4;
+  m.global_words = 4;
+  const int round = m.fresh_var();
+  m.stmts.push_back(Stmt::loop(round, 0, 3,
+                               {Stmt::shared_store(AffineExpr::thread()),
+                                Stmt::shared_load(AffineExpr::thread()),
+                                Stmt::barrier()}));
+  const an::StaticAnalysis sa = an::analyze(m);
+  EXPECT_TRUE(sa.clean()) << sa.summary();
+  // Barrier inside a loop: epochs are iteration-dependent, so this one is
+  // decided exhaustively.
+  EXPECT_EQ(sa.obligation("shared-race-freedom")->method,
+            an::ProofMethod::kExhaustive);
+}
+
+// --- shipped descriptor kernels: proven clean in closed form -----------------
+
+TEST(StaticAnalyzer, ShippedKernelsProveCleanViaAffineLayer) {
+  for (const auto& desc : co::algorithm_descriptors()) {
+    for (const bool staging : {true, false}) {
+      for (const bool coalesced : {true, false}) {
+        co::GpuKernelConfig cfg;
+        cfg.blocks = 2;
+        cfg.threads_per_block = 32;
+        cfg.words_per_thread = 16;
+        cfg.staging_words = 4;
+        cfg.use_shared_staging = staging;
+        cfg.coalesced_layout = coalesced;
+        const an::StaticAnalysis sa =
+            an::analyze_descriptor_kernel(desc.base, cfg);
+        EXPECT_TRUE(sa.clean())
+            << desc.base << " staging=" << staging
+            << " coalesced=" << coalesced << "\n" << sa.summary();
+        for (const an::Obligation& o : sa.obligations) {
+          EXPECT_TRUE(o.proven) << desc.base << " " << o.name;
+          // The §4.5 kernel body is branch-free with no barriers: every
+          // obligation must fall to the closed-form layer, not the trace.
+          EXPECT_EQ(o.method, an::ProofMethod::kAffine)
+              << desc.base << " " << o.name;
+        }
+      }
+    }
+  }
+}
+
+// Predicted traffic must equal the dynamic cost model's measurement for the
+// identical launch — transactions, requests, bytes and shared accesses.
+TEST(StaticAnalyzer, PredictedTrafficEqualsDynamicMemStats) {
+  for (const auto& desc : co::algorithm_descriptors()) {
+    for (const bool staging : {true, false}) {
+      for (const bool coalesced : {true, false}) {
+        co::GpuKernelConfig cfg;
+        cfg.blocks = 2;
+        cfg.threads_per_block = 32;
+        cfg.words_per_thread = 16;
+        cfg.staging_words = 4;
+        cfg.use_shared_staging = staging;
+        cfg.coalesced_layout = coalesced;
+        const an::StaticAnalysis sa =
+            an::analyze_descriptor_kernel(desc.base, cfg);
+        gs::Device dev(cfg.blocks * cfg.threads_per_block *
+                       cfg.words_per_thread);
+        const auto res = co::run_gpu_kernel(dev, desc.base, cfg);
+        EXPECT_EQ(sa.coalescing.global_transactions,
+                  res.stats.global_transactions)
+            << desc.base << " staging=" << staging
+            << " coalesced=" << coalesced;
+        EXPECT_EQ(sa.coalescing.global_requests, res.stats.global_requests)
+            << desc.base;
+        EXPECT_EQ(sa.coalescing.global_bytes, res.stats.global_bytes)
+            << desc.base;
+        EXPECT_EQ(sa.banks.shared_accesses, res.stats.shared_accesses)
+            << desc.base;
+        if (coalesced) {
+          EXPECT_TRUE(sa.coalescing.fully_coalesced()) << desc.base;
+          EXPECT_EQ(sa.coalescing.transactions_per_access(), 1.0)
+              << desc.base;
+        }
+        if (staging) {
+          EXPECT_TRUE(sa.banks.conflict_free()) << desc.base;
+        }
+      }
+    }
+  }
+}
+
+// Ragged geometries (non-warp-multiple blocks, staging depth not dividing
+// words-per-thread) must still verify clean and agree with the dynamic run.
+TEST(StaticAnalyzer, RaggedGeometriesVerifyCleanAndAgree) {
+  co::GpuKernelConfig cfg;
+  cfg.blocks = 3;
+  cfg.threads_per_block = 33;
+  cfg.words_per_thread = 48;
+  cfg.staging_words = 7;  // 6 full rounds + ragged 6-word tail
+  const an::StaticAnalysis sa = an::analyze_descriptor_kernel("grain", cfg);
+  EXPECT_TRUE(sa.clean()) << sa.summary();
+  gs::Device dev(cfg.blocks * cfg.threads_per_block * cfg.words_per_thread);
+  cfg.check = true;
+  const auto res = co::run_gpu_kernel(dev, "grain", cfg);
+  EXPECT_EQ(res.stats.check_findings, 0u);
+  EXPECT_EQ(sa.coalescing.global_transactions, res.stats.global_transactions);
+  EXPECT_EQ(sa.banks.shared_accesses, res.stats.shared_accesses);
+}
+
+// Shrinking the modeled device allocation by one word must refute the
+// bounds obligation with exactly one witness, and that witness's (block,
+// thread, address) must be the owner of the highest kernel_out_index word —
+// pinning the model's address equations to the layout function the real
+// kernel executes.  (run_gpu_kernel rejects undersized devices up front, so
+// the layout oracle is the dynamic reference here.)
+TEST(StaticAnalyzer, UndersizedFootprintOobCoordinatesMatchOutIndexOracle) {
+  for (const bool coalesced : {true, false}) {
+    co::GpuKernelConfig cfg;
+    cfg.blocks = 2;
+    cfg.threads_per_block = 8;
+    cfg.words_per_thread = 16;
+    cfg.staging_words = 4;
+    cfg.coalesced_layout = coalesced;
+    const std::size_t words =
+        cfg.blocks * cfg.threads_per_block * cfg.words_per_thread;
+    const an::StaticAnalysis sa =
+        an::analyze(an::model_descriptor_kernel("trivium", cfg, words - 1));
+    ASSERT_EQ(sa.findings.size(), 1u) << "coalesced=" << coalesced;
+    EXPECT_FALSE(sa.obligation("global-oob")->proven);
+    const gs::CheckReport& r = sa.findings[0].finding;
+    EXPECT_EQ(r.kind, gs::CheckKind::kGlobalOutOfBounds);
+    EXPECT_EQ(r.address, words - 1);
+
+    // Which (global thread, word) owns the out-of-range index?
+    bool found = false;
+    for (std::size_t gt = 0;
+         gt < cfg.blocks * cfg.threads_per_block && !found; ++gt)
+      for (std::size_t w = 0; w < cfg.words_per_thread && !found; ++w)
+        if (co::kernel_out_index(cfg, gt, w) == words - 1) {
+          EXPECT_EQ(r.block, gt / cfg.threads_per_block);
+          EXPECT_EQ(r.thread, gt % cfg.threads_per_block);
+          found = true;
+        }
+    EXPECT_TRUE(found);
+  }
+}
+
+// --- performance metrics on hand-built patterns ------------------------------
+
+TEST(StaticAnalyzer, ScatteredStoresPredictUncoalescedTraffic) {
+  // Each lane stores 16 words (64 B) apart: 2 lanes per 128 B segment, so a
+  // 32-lane warp needs 16 transactions per lockstep slot.
+  an::KernelModel m;
+  m.name = "scattered";
+  m.blocks = 1;
+  m.threads_per_block = 32;
+  m.global_words = 512;
+  m.stmts.push_back(Stmt::global_store(AffineExpr::thread(16)));
+  const an::StaticAnalysis sa = an::analyze(m);
+  EXPECT_TRUE(sa.clean());
+  EXPECT_EQ(sa.coalescing.warp_slots, 1u);
+  EXPECT_EQ(sa.coalescing.global_transactions, 16u);
+  EXPECT_FALSE(sa.coalescing.fully_coalesced());
+}
+
+TEST(StaticAnalyzer, StridedSharedAccessPredictsBankConflicts) {
+  // Stride-2 shared addressing: lanes t and t+16 collide on bank 2t % 32.
+  an::KernelModel m;
+  m.name = "bank_conflict";
+  m.blocks = 1;
+  m.threads_per_block = 32;
+  m.shared_words = 64;
+  m.global_words = 32;
+  m.stmts.push_back(Stmt::shared_store(AffineExpr::thread(2)));
+  const an::StaticAnalysis sa = an::analyze(m);
+  EXPECT_TRUE(sa.clean());
+  EXPECT_EQ(sa.banks.max_degree, 2u);
+  EXPECT_FALSE(sa.banks.conflict_free());
+}
+
+// --- geometry validation and the diff predicate ------------------------------
+
+TEST(StaticAnalyzer, RejectsSameGeometryViolationsAsRunGpuKernel) {
+  co::GpuKernelConfig cfg;
+  EXPECT_THROW(an::analyze_descriptor_kernel("nonesuch", cfg),
+               std::invalid_argument);
+  cfg.words_per_thread = 3;  // 12 B: not a multiple of AES's 16 B blocks
+  EXPECT_THROW(an::analyze_descriptor_kernel("aes-ctr", cfg),
+               std::invalid_argument);
+  cfg = {};
+  cfg.staging_words = 0;
+  EXPECT_THROW(an::analyze_descriptor_kernel("mickey", cfg),
+               std::invalid_argument);
+}
+
+TEST(StaticAnalyzer, SameFindingComparesAllCoordinates) {
+  gs::CheckReport a;
+  a.kind = gs::CheckKind::kSharedRaceRaw;
+  a.kernel = "k";
+  a.block = 1;
+  a.thread = 2;
+  a.other_thread = 3;
+  a.epoch = 4;
+  a.address = 5;
+  a.slot = 6;
+  gs::CheckReport b = a;
+  EXPECT_TRUE(an::same_finding(a, b));
+  b.address = 7;
+  EXPECT_FALSE(an::same_finding(a, b));
+  b = a;
+  b.kind = gs::CheckKind::kSharedRaceWar;
+  EXPECT_FALSE(an::same_finding(a, b));
+}

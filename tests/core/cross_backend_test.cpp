@@ -11,11 +11,13 @@
 #include <string>
 #include <vector>
 
+#include "analysis/static_analyzer.hpp"
 #include "core/descriptor.hpp"
 #include "core/gpu_kernel.hpp"
 #include "core/registry.hpp"
 #include "core/stream_engine.hpp"
 
+namespace an = bsrng::analysis;
 namespace co = bsrng::core;
 namespace gs = bsrng::gpusim;
 
@@ -86,6 +88,26 @@ TEST(CrossBackend, KernelMemoryIsTheCanonicalStream) {
       EXPECT_EQ(gpu_bytes, engine_out)
           << desc.base << " vs engine " << equiv
           << " coalesced=" << coalesced;
+    }
+  }
+}
+
+// Static counterpart of the dynamic clean-run assertions above: the same
+// geometry must also *prove* clean (every obligation, both layouts), so a
+// future kernel-layout change that only races under an unexercised
+// interleaving still fails this suite.
+TEST(CrossBackend, StaticAnalyzerProvesCrossBackendGeometryClean) {
+  for (const auto& desc : co::algorithm_descriptors()) {
+    for (const bool coalesced : {true, false}) {
+      auto cfg = cross_cfg();
+      cfg.coalesced_layout = coalesced;
+      const an::StaticAnalysis sa =
+          an::analyze_descriptor_kernel(desc.base, cfg);
+      EXPECT_TRUE(sa.clean())
+          << desc.base << " coalesced=" << coalesced << "\n" << sa.summary();
+      for (const an::Obligation& o : sa.obligations)
+        EXPECT_TRUE(o.proven)
+            << desc.base << " coalesced=" << coalesced << ": " << o.name;
     }
   }
 }

@@ -258,6 +258,39 @@ TEST(Sanitizer, ReportsAccumulateAcrossLaunchesAndClear) {
   EXPECT_TRUE(dev.check_reports().empty());
 }
 
+// Per-launch report consumption: take_check_reports() drains exactly the
+// reports accumulated since the previous drain, while the telemetry counter
+// total_stats().check_findings keeps the running total — clearing or taking
+// reports must never rewind it (that asymmetry is the documented contract,
+// and bench/telemetry code depends on the counter surviving drains).
+TEST(Sanitizer, TakeReportsDrainsPerLaunchWithoutRewindingTelemetry) {
+  gs::Device dev(1);
+  const gs::LaunchConfig cfg{.blocks = 1, .threads_per_block = 1,
+                             .check = true, .kernel_name = "oob_once"};
+  const auto oob = [](gs::ThreadCtx& ctx) { ctx.global_store(9, 0); };
+
+  dev.launch(cfg, oob);
+  const auto first = dev.take_check_reports();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].kernel, "oob_once");
+  EXPECT_TRUE(dev.check_reports().empty());
+
+  dev.launch(cfg, oob);
+  const auto second = dev.take_check_reports();
+  ASSERT_EQ(second.size(), 1u);  // only the second launch's report
+  EXPECT_EQ(second[0].address, 9u);
+
+  // The running findings counter is unaffected by draining...
+  EXPECT_EQ(dev.total_stats().check_findings, 2u);
+  // ...and by clear_check_reports(); only reset_stats() rewinds it.
+  dev.launch(cfg, oob);
+  dev.clear_check_reports();
+  EXPECT_EQ(dev.total_stats().check_findings, 3u);
+  dev.reset_stats();
+  EXPECT_EQ(dev.total_stats().check_findings, 0u);
+  EXPECT_TRUE(dev.take_check_reports().empty());
+}
+
 TEST(Sanitizer, ToStringNamesTheHazard) {
   gs::Device dev(1);
   dev.launch({.blocks = 1, .threads_per_block = 1, .check = true,

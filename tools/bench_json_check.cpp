@@ -14,7 +14,14 @@
 //   seconds    number, >= 0, finite
 //   gbps       number, >= 0, finite
 //
-// Exit 0 when every file validates; 1 with a per-record diagnostic
+// plus, optionally (gpusim coalescing-diff rows of bench_memory_ablation):
+//
+//   transactions_predicted  number, non-negative integer
+//   transactions_measured   number, non-negative integer
+//   tpa_predicted           number, >= 0, finite
+//
+// Any other key fails validation.  Exit 0 when every file validates; 1
+// with a per-record diagnostic
 // otherwise.  CI runs this against the smoke-run artifacts so a schema
 // regression fails the build, not the downstream dashboard.
 #include <cmath>
@@ -44,9 +51,12 @@ bool check_string(const tel::JsonValue& rec, const char* file, std::size_t idx,
 }
 
 bool check_number(const tel::JsonValue& rec, const char* file, std::size_t idx,
-                  const char* key, bool integral, double min) {
+                  const char* key, bool integral, double min,
+                  bool optional = false) {
   const tel::JsonValue* v = rec.find(key);
-  if (v == nullptr) return fail(file, idx, std::string("missing key ") + key);
+  if (v == nullptr)
+    return optional ? true
+                    : fail(file, idx, std::string("missing key ") + key);
   if (!v->is_number())
     return fail(file, idx, std::string(key) + " must be a number");
   const double d = v->as_number();
@@ -94,8 +104,20 @@ bool check_file(const char* path) {
     ok &= check_number(rec, path, i, "bytes", /*integral=*/true, 0.0);
     ok &= check_number(rec, path, i, "seconds", /*integral=*/false, 0.0);
     ok &= check_number(rec, path, i, "gbps", /*integral=*/false, 0.0);
-    if (rec.as_object().size() != 8)
-      ok = fail(path, i, "record must carry exactly the 8 schema keys");
+    // Optional coalescing-diff keys (see bench_json.hpp): validated when
+    // present, and their presence is the only growth the schema allows.
+    ok &= check_number(rec, path, i, "transactions_predicted",
+                       /*integral=*/true, 0.0, /*optional=*/true);
+    ok &= check_number(rec, path, i, "transactions_measured",
+                       /*integral=*/true, 0.0, /*optional=*/true);
+    ok &= check_number(rec, path, i, "tpa_predicted", /*integral=*/false, 0.0,
+                       /*optional=*/true);
+    std::size_t known = 8;
+    for (const char* opt :
+         {"transactions_predicted", "transactions_measured", "tpa_predicted"})
+      if (rec.find(opt) != nullptr) ++known;
+    if (rec.as_object().size() != known)
+      ok = fail(path, i, "record carries keys outside the schema");
   }
   if (ok)
     std::fprintf(stderr, "%s: %zu records OK\n", path, arr.size());
