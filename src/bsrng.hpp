@@ -14,6 +14,9 @@
 //                telemetry::metrics() registry, MetricsSnapshot JSON export
 //   self-test    nist::fips140_2 FIPS 140-2 battery (the fast accept/reject
 //                gate for generated streams)
+//   serving      net::Server / net::Client / net::Session — the bsrngd
+//                RNG-as-a-service layer (length-prefixed TCP protocol,
+//                resumable per-tenant sessions, /metrics scraping)
 //
 // Error convention: make_generator and partition_spec throw
 // std::invalid_argument for unknown algorithm names; try_make_generator
@@ -34,6 +37,10 @@
 #include "core/registry.hpp"
 #include "core/stream_engine.hpp"
 #include "core/throughput.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/session.hpp"
 #include "nist/fips140.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -86,5 +93,9 @@ using core::measure_throughput;
 // Telemetry lives in bsrng::telemetry (metrics(), MetricsRegistry,
 // MetricsSnapshot, Counter/Gauge/Histogram) — already a sub-namespace of
 // bsrng, re-exported here by inclusion.
+
+// Serving lives in bsrng::net (Server/ServerConfig/ServerStats, Client,
+// Session, and the wire protocol) — the bsrngd daemon and bsrng_loadgen
+// are thin CLIs over these.
 
 }  // namespace bsrng

@@ -1,8 +1,22 @@
 #include "core/generator.hpp"
 
+#include <algorithm>
 #include <array>
+#include <vector>
 
 namespace bsrng::core {
+
+void discard_bytes(Generator& gen, std::uint64_t n) {
+  if (n == 0) return;
+  std::vector<std::uint8_t> scratch(
+      static_cast<std::size_t>(std::min<std::uint64_t>(n, std::uint64_t{1} << 16)));
+  while (n > 0) {
+    const std::size_t step =
+        static_cast<std::size_t>(std::min<std::uint64_t>(n, scratch.size()));
+    gen.fill(std::span(scratch.data(), step));
+    n -= step;
+  }
+}
 
 std::uint32_t Generator::next_u32() {
   std::array<std::uint8_t, 4> b;

@@ -35,4 +35,11 @@ class Generator {
   double next_double();
 };
 
+// Clock `gen` forward by `n` stream bytes, discarding the output (chunked
+// through a small scratch buffer).  The O(n) seek for generators whose
+// family has no cheaper PartitionSpec decomposition — StreamEngine's
+// generate_at and bsrngd's session resume use it for the kLaneSlice /
+// kSequential paths.
+void discard_bytes(Generator& gen, std::uint64_t n);
+
 }  // namespace bsrng::core

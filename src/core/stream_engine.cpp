@@ -65,6 +65,95 @@ ThroughputReport StreamEngine::generate(const PartitionSpec& spec,
   throw std::logic_error("StreamEngine: unhandled partition kind");
 }
 
+ThroughputReport StreamEngine::generate_at(std::string_view algo,
+                                           std::uint64_t seed,
+                                           std::uint64_t offset,
+                                           std::span<std::uint8_t> out) {
+  return generate_at(partition_spec(algo, seed), offset, out);
+}
+
+ThroughputReport StreamEngine::generate_at(const PartitionSpec& spec,
+                                           std::uint64_t offset,
+                                           std::span<std::uint8_t> out) {
+  if (offset == 0) return generate(spec, out);
+  switch (spec.kind) {
+    case PartitionKind::kCounter: {
+      if (spec.block_bytes == 0 || !spec.make_at_block)
+        throw std::invalid_argument("StreamEngine: malformed kCounter spec");
+      const std::uint64_t bb = spec.block_bytes;
+      const std::uint64_t first_block = offset / bb;
+      const std::size_t lead = static_cast<std::size_t>(offset % bb);
+      // Unaligned head: one block generated into scratch, tail copied out.
+      std::size_t head = 0;
+      if (lead != 0 && !out.empty()) {
+        head = std::min<std::size_t>(spec.block_bytes - lead, out.size());
+        std::vector<std::uint8_t> scratch(lead + head);
+        auto gen = spec.make_at_block(first_block);
+        gen->fill(scratch);
+        std::copy(scratch.begin() + static_cast<std::ptrdiff_t>(lead),
+                  scratch.end(), out.begin());
+      }
+      // The rest is block-aligned: shift the spec's block origin and reuse
+      // the parallel counter path (O(1) seek — the §5.4 counter partition).
+      const std::uint64_t base = first_block + (lead != 0 ? 1 : 0);
+      PartitionSpec shifted = spec;
+      shifted.make_at_block = [&spec, base](std::uint64_t b) {
+        return spec.make_at_block(base + b);
+      };
+      ThroughputReport rep = run_counter(shifted, out.subspan(head));
+      rep.bytes = out.size();
+      return rep;
+    }
+    case PartitionKind::kLaneSlice: {
+      if (spec.lane_blocks == 0 || spec.lane_block_bytes == 0 ||
+          !spec.make_lane_block)
+        throw std::invalid_argument("StreamEngine: malformed kLaneSlice spec");
+      const std::uint64_t cb = spec.lane_block_bytes;
+      const std::uint64_t row = spec.lane_blocks * cb;
+      const std::uint64_t r0 = offset / row;
+      const std::size_t within = static_cast<std::size_t>(offset % row);
+      // Each 32-lane column sub-stream fast-forwards past its first r0 rows
+      // independently, inside its own pool task — the seek parallelizes
+      // exactly like generation does.
+      PartitionSpec shifted = spec;
+      shifted.make_lane_block = [&spec, r0, cb](std::size_t b) {
+        auto gen = spec.make_lane_block(b);
+        discard_bytes(*gen, r0 * cb);
+        return gen;
+      };
+      if (within == 0 && out.size() % row == 0)
+        return run_lane_slice(shifted, out);
+      if (out.empty()) return run_lane_slice(shifted, out);
+      // Row-align through a scratch envelope, then slice the request out.
+      const std::uint64_t end = offset + out.size();
+      const std::uint64_t rows = (end + row - 1) / row - r0;
+      std::vector<std::uint8_t> scratch(
+          static_cast<std::size_t>(rows * row));
+      ThroughputReport rep = run_lane_slice(shifted, scratch);
+      std::copy(scratch.begin() + static_cast<std::ptrdiff_t>(within),
+                scratch.begin() + static_cast<std::ptrdiff_t>(within) +
+                    static_cast<std::ptrdiff_t>(out.size()),
+                out.begin());
+      rep.bytes = out.size();
+      return rep;
+    }
+    case PartitionKind::kSequential: {
+      if (!spec.make)
+        throw std::invalid_argument("StreamEngine: malformed kSequential spec");
+      return dispatch(out.empty() ? 0 : 1, [&](std::size_t) -> std::uint64_t {
+        auto gen = spec.make();
+        discard_bytes(*gen, offset);
+        const std::size_t chunk =
+            config_.chunk_bytes == 0 ? out.size() : config_.chunk_bytes;
+        for (std::size_t i = 0; i < out.size(); i += chunk)
+          gen->fill(out.subspan(i, std::min(chunk, out.size() - i)));
+        return out.size();
+      });
+    }
+  }
+  throw std::logic_error("StreamEngine: unhandled partition kind");
+}
+
 ThroughputReport StreamEngine::dispatch(
     std::size_t ntasks,
     const std::function<std::uint64_t(std::size_t)>& task) {

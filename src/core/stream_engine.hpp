@@ -67,6 +67,22 @@ class StreamEngine {
   ThroughputReport generate(const PartitionSpec& spec,
                             std::span<std::uint8_t> out);
 
+  // Fill `out` with bytes [offset, offset + out.size()) of the canonical
+  // stream — the tail-equivalence law: generate_at(offset, n) equals the
+  // last n bytes of generate over offset + n bytes, for every worker count
+  // (tests/core/stream_engine_test.cpp pins it).  Seek cost depends on the
+  // partition kind: kCounter seeks in O(1) via make_at_block (offsets past
+  // 2^40 are fine), kLaneSlice fast-forwards each 32-lane column sub-stream
+  // independently (O(offset / lane_blocks) work per worker), and
+  // kSequential clocks one generator past `offset` bytes.  bsrngd's session
+  // resume is built on this.
+  ThroughputReport generate_at(std::string_view algo, std::uint64_t seed,
+                               std::uint64_t offset,
+                               std::span<std::uint8_t> out);
+  ThroughputReport generate_at(const PartitionSpec& spec,
+                               std::uint64_t offset,
+                               std::span<std::uint8_t> out);
+
  private:
   ThroughputReport run_counter(const PartitionSpec& spec,
                                std::span<std::uint8_t> out);

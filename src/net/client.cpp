@@ -1,0 +1,137 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace bsrng::net {
+
+Client::Client(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0)
+    throw std::system_error(errno, std::generic_category(), "socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::invalid_argument("Client: bad host address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::system_error(err, std::generic_category(), "connect");
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), rbuf_(std::move(other.rbuf_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    rbuf_ = std::move(other.rbuf_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void Client::send_all(std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(), "send");
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+void Client::send_generate(const std::string& algorithm, std::uint64_t seed,
+                           std::uint64_t offset, std::uint32_t nbytes) {
+  send_all(encode_generate({algorithm, seed, offset, nbytes}));
+}
+
+void Client::send_metrics() { send_all(encode_simple_request(kMetrics)); }
+
+void Client::send_ping() { send_all(encode_simple_request(kPing)); }
+
+void Client::send_raw(std::span<const std::uint8_t> bytes) {
+  send_all(bytes);
+}
+
+std::optional<Response> Client::read_response() {
+  std::vector<std::uint8_t> body;
+  for (;;) {
+    // Responses can carry kMaxGenerateBytes payloads plus framing.
+    try {
+      if (extract_frame(rbuf_, body, kMaxGenerateBytes + 64))
+        return decode_response(body);
+    } catch (const std::runtime_error&) {
+      return std::nullopt;  // nonsense length prefix: treat as broken peer
+    }
+    std::uint8_t buf[65536];
+    const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+    if (r > 0) {
+      rbuf_.insert(rbuf_.end(), buf, buf + r);
+      continue;
+    }
+    if (r == 0) return std::nullopt;
+    if (errno == EINTR) continue;
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> Client::generate(const std::string& algorithm,
+                                           std::uint64_t seed,
+                                           std::uint64_t offset,
+                                           std::uint32_t nbytes) {
+  send_generate(algorithm, seed, offset, nbytes);
+  std::optional<Response> resp = read_response();
+  if (!resp) throw std::runtime_error("Client: connection lost");
+  if (resp->status != Status::kOk)
+    throw std::runtime_error(
+        "Client: server status " +
+        std::to_string(static_cast<int>(resp->status)) + ": " +
+        std::string(resp->payload.begin(), resp->payload.end()));
+  if (resp->payload.size() != nbytes)
+    throw std::runtime_error("Client: short generate payload");
+  return std::move(resp->payload);
+}
+
+std::string Client::metrics_json() {
+  send_metrics();
+  std::optional<Response> resp = read_response();
+  if (!resp || resp->status != Status::kOk)
+    throw std::runtime_error("Client: metrics request failed");
+  return {resp->payload.begin(), resp->payload.end()};
+}
+
+void Client::ping() {
+  send_ping();
+  std::optional<Response> resp = read_response();
+  if (!resp || resp->status != Status::kOk)
+    throw std::runtime_error("Client: ping failed");
+}
+
+}  // namespace bsrng::net

@@ -1,0 +1,68 @@
+// client.hpp — a small blocking bsrngd client.
+//
+// Used by bsrng_loadgen's per-connection state machines (in non-blocking
+// mode), the tests/net suites, and as the reference implementation of the
+// protocol for third-party clients.  One Client is one TCP connection; it
+// supports both the call-response convenience API (generate / metrics_json
+// / ping) and explicit pipelining (send_* then read_response in order),
+// which is what exercises the server's span batching.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace bsrng::net {
+
+class Client {
+ public:
+  // Connect to a bsrngd instance; throws std::system_error on failure.
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  int fd() const noexcept { return fd_; }
+  bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  // --- call-response convenience -----------------------------------------
+
+  // Bytes [offset, offset + nbytes) of the tenant stream (algorithm, seed).
+  // Throws std::runtime_error carrying the server diagnostic on any non-OK
+  // status or connection loss.
+  std::vector<std::uint8_t> generate(const std::string& algorithm,
+                                     std::uint64_t seed, std::uint64_t offset,
+                                     std::uint32_t nbytes);
+  std::string metrics_json();
+  void ping();
+
+  // --- pipelining ---------------------------------------------------------
+
+  void send_generate(const std::string& algorithm, std::uint64_t seed,
+                     std::uint64_t offset, std::uint32_t nbytes);
+  void send_metrics();
+  void send_ping();
+  // Raw bytes on the wire — the protocol-robustness tests forge malformed
+  // frames with this.
+  void send_raw(std::span<const std::uint8_t> bytes);
+
+  // Next response frame, in request order.  nullopt = connection closed by
+  // the server before a full frame arrived.
+  std::optional<Response> read_response();
+
+ private:
+  void send_all(std::span<const std::uint8_t> bytes);
+
+  int fd_ = -1;
+  std::vector<std::uint8_t> rbuf_;
+};
+
+}  // namespace bsrng::net

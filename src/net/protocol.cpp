@@ -1,0 +1,106 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace bsrng::net {
+
+void append_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_u64le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::vector<std::uint8_t> encode_generate(const GenerateRequest& req) {
+  if (req.algorithm.size() > 255)
+    throw std::invalid_argument("protocol: algorithm name too long");
+  std::vector<std::uint8_t> out;
+  const std::size_t body = 1 + 1 + req.algorithm.size() + 8 + 8 + 4;
+  out.reserve(4 + body);
+  append_u32le(out, static_cast<std::uint32_t>(body));
+  out.push_back(kGenerate);
+  out.push_back(static_cast<std::uint8_t>(req.algorithm.size()));
+  out.insert(out.end(), req.algorithm.begin(), req.algorithm.end());
+  append_u64le(out, req.seed);
+  append_u64le(out, req.offset);
+  append_u32le(out, req.nbytes);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_simple_request(std::uint8_t type) {
+  std::vector<std::uint8_t> out;
+  append_u32le(out, 1);
+  out.push_back(type);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_response(
+    Status status, std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + 1 + payload.size());
+  append_u32le(out, static_cast<std::uint32_t>(1 + payload.size()));
+  out.push_back(static_cast<std::uint8_t>(status));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<Request> decode_request(std::span<const std::uint8_t> body) {
+  if (body.empty()) return std::nullopt;
+  Request req;
+  req.type = body[0];
+  if (req.type == kMetrics || req.type == kPing)
+    return body.size() == 1 ? std::optional<Request>(req) : std::nullopt;
+  if (req.type != kGenerate) return std::nullopt;
+  if (body.size() < 2) return std::nullopt;
+  const std::size_t alen = body[1];
+  if (alen == 0) return std::nullopt;  // no algorithm can have an empty name
+  // Fixed tail: seed(8) + offset(8) + nbytes(4); exact-size match so a
+  // frame with trailing garbage is malformed, not silently accepted.
+  if (body.size() != 2 + alen + 20) return std::nullopt;
+  req.generate.algorithm.assign(
+      reinterpret_cast<const char*>(body.data() + 2), alen);
+  req.generate.seed = read_u64le(body.data() + 2 + alen);
+  req.generate.offset = read_u64le(body.data() + 2 + alen + 8);
+  req.generate.nbytes = read_u32le(body.data() + 2 + alen + 16);
+  return req;
+}
+
+std::optional<Response> decode_response(std::span<const std::uint8_t> body) {
+  if (body.empty()) return std::nullopt;
+  if (body[0] > static_cast<std::uint8_t>(Status::kServerError))
+    return std::nullopt;
+  Response resp;
+  resp.status = static_cast<Status>(body[0]);
+  resp.payload.assign(body.begin() + 1, body.end());
+  return resp;
+}
+
+bool extract_frame(std::vector<std::uint8_t>& buf,
+                   std::vector<std::uint8_t>& body, std::size_t max_body) {
+  if (buf.size() < 4) return false;
+  const std::uint32_t len = read_u32le(buf.data());
+  if (len > max_body)
+    throw std::runtime_error("protocol: frame body exceeds limit");
+  if (buf.size() < 4 + static_cast<std::size_t>(len)) return false;
+  body.assign(buf.begin() + 4, buf.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+  buf.erase(buf.begin(), buf.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+  return true;
+}
+
+}  // namespace bsrng::net

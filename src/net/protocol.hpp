@@ -1,0 +1,106 @@
+// protocol.hpp — bsrngd's length-prefixed wire protocol.
+//
+// Every message is one frame: a 4-byte little-endian body length followed
+// by the body.  Request bodies start with a one-byte type tag:
+//
+//   kGenerate  u8 type | u8 algo_len | algo bytes | u64le seed |
+//              u64le offset | u32le nbytes
+//              -> bytes [offset, offset + nbytes) of the canonical stream
+//                 of make_generator(algo, seed), the same bytes for every
+//                 server worker count and across server restarts (the
+//                 restart-determinism invariant tests/net pins).
+//   kMetrics   u8 type
+//              -> the process telemetry::metrics() snapshot as JSON (the
+//                 same document a "GET /metrics" HTTP probe receives).
+//   kPing      u8 type
+//              -> empty OK (liveness / protocol handshake probe).
+//
+// Response bodies are u8 status followed by the payload: the generated
+// bytes (kOk answer to kGenerate), the JSON text (kOk answer to kMetrics),
+// or an ASCII diagnostic for any non-kOk status.  A kBadFrame response is
+// terminal: the server sends it and closes, because after a malformed
+// frame the byte stream has no trustworthy frame boundary.  Every other
+// error leaves the connection usable.
+//
+// Limits are part of the protocol: request bodies above kMaxRequestBody
+// are rejected before buffering (the length prefix alone condemns them),
+// and kGenerate.nbytes above kMaxGenerateBytes gets kTooLarge — clients
+// split big reads into spans, which is what the server batches anyway.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bsrng::net {
+
+inline constexpr std::uint8_t kGenerate = 1;
+inline constexpr std::uint8_t kMetrics = 2;
+inline constexpr std::uint8_t kPing = 3;
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kBadFrame = 1,      // unparseable body; the connection is closed after
+  kUnknownAlgorithm = 2,
+  kTooLarge = 3,      // nbytes beyond kMaxGenerateBytes
+  kServerError = 4,
+};
+
+// Longest legal request body.  1 MiB leaves room for any algorithm name
+// while bounding what a hostile length prefix can make the server buffer.
+inline constexpr std::size_t kMaxRequestBody = 1u << 20;
+// Longest single kGenerate answer; bigger reads are client-side spans.
+inline constexpr std::size_t kMaxGenerateBytes = 4u << 20;
+
+struct GenerateRequest {
+  std::string algorithm;
+  std::uint64_t seed = 0;    // the tenant identity: (algorithm, seed)
+  std::uint64_t offset = 0;  // first stream byte requested
+  std::uint32_t nbytes = 0;
+};
+
+struct Request {
+  std::uint8_t type = 0;
+  GenerateRequest generate;  // valid when type == kGenerate
+};
+
+struct Response {
+  Status status = Status::kOk;
+  std::vector<std::uint8_t> payload;  // bytes, JSON text, or diagnostic
+};
+
+// --- encoding -------------------------------------------------------------
+
+void append_u32le(std::vector<std::uint8_t>& out, std::uint32_t v);
+void append_u64le(std::vector<std::uint8_t>& out, std::uint64_t v);
+std::uint32_t read_u32le(const std::uint8_t* p);
+std::uint64_t read_u64le(const std::uint8_t* p);
+
+// Full frames (length prefix included), ready to write to a socket.
+std::vector<std::uint8_t> encode_generate(const GenerateRequest& req);
+std::vector<std::uint8_t> encode_simple_request(std::uint8_t type);
+std::vector<std::uint8_t> encode_response(Status status,
+                                          std::span<const std::uint8_t> payload);
+
+// --- decoding -------------------------------------------------------------
+
+// Parse one request *body* (the bytes after the length prefix).  nullopt
+// means malformed: unknown type, truncated fields, trailing garbage, or an
+// algorithm name whose declared length disagrees with the body size.
+std::optional<Request> decode_request(std::span<const std::uint8_t> body);
+
+// Parse one response body.  nullopt for an empty body or a status byte
+// outside the enum.
+std::optional<Response> decode_response(std::span<const std::uint8_t> body);
+
+// Incremental frame extraction over a connection read buffer: when `buf`
+// holds a complete frame at the front, copy its body into `body`, erase it
+// from `buf`, and return true.  Returns false when more bytes are needed.
+// Throws std::runtime_error when the length prefix exceeds `max_body` —
+// the caller must treat the stream as poisoned (kBadFrame + close).
+bool extract_frame(std::vector<std::uint8_t>& buf,
+                   std::vector<std::uint8_t>& body, std::size_t max_body);
+
+}  // namespace bsrng::net

@@ -1,0 +1,523 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/stream_engine.hpp"
+#include "net/protocol.hpp"
+#include "net/session.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace bsrng::net {
+
+namespace {
+
+// Largest merged span one batch may hand the engine: two full kGenerate
+// answers' worth, so merging never builds an unbounded contiguous buffer.
+constexpr std::size_t kMaxBatchBytes = 2 * kMaxGenerateBytes;
+// Per-poll-round read budget per connection, for cross-connection fairness.
+constexpr std::size_t kReadBudget = 256u << 10;
+// An HTTP metrics probe must fit its header block in this much buffer.
+constexpr std::size_t kMaxHttpHeader = 8u << 10;
+
+struct NetMetrics {
+  telemetry::Counter& accepted;
+  telemetry::Counter& requests;
+  telemetry::Counter& bytes_served;
+  telemetry::Counter& bad_frames;
+  telemetry::Counter& backpressure_stalls;
+  telemetry::Counter& batched_spans;
+  telemetry::Gauge& connections;
+  telemetry::Gauge& sessions;
+  telemetry::Gauge& started_unix;
+
+  static NetMetrics& get() {
+    static NetMetrics m{
+        telemetry::metrics().counter("net.accepted"),
+        telemetry::metrics().counter("net.requests"),
+        telemetry::metrics().counter("net.bytes_served"),
+        telemetry::metrics().counter("net.bad_frames"),
+        telemetry::metrics().counter("net.backpressure_stalls"),
+        telemetry::metrics().counter("net.batched_spans"),
+        telemetry::metrics().gauge("net.connections"),
+        telemetry::metrics().gauge("net.sessions"),
+        telemetry::metrics().gauge("net.started_unix_seconds"),
+    };
+    return m;
+  }
+};
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+std::vector<std::uint8_t> ascii_payload(std::string_view text) {
+  return {text.begin(), text.end()};
+}
+
+}  // namespace
+
+struct Server::Impl {
+  ServerConfig config;
+  core::StreamEngine engine;
+
+  int listen_fd = -1;
+  int wake_rd = -1;
+  int wake_wr = -1;
+  std::thread loop_thread;
+  std::atomic<bool> stop_flag{false};
+  std::uint16_t bound_port = 0;
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> bytes_served{0};
+  std::atomic<std::uint64_t> bad_frames{0};
+  std::atomic<std::uint64_t> stalls{0};
+  std::atomic<std::uint64_t> batched{0};
+  std::atomic<std::size_t> connections{0};
+  std::atomic<std::size_t> sessions{0};
+
+  struct Conn {
+    int fd = -1;
+    std::vector<std::uint8_t> rbuf;
+    std::vector<std::uint8_t> wbuf;
+    std::size_t wpos = 0;
+    bool http = false;        // first bytes were "GET " — metrics probe
+    bool saw_binary = false;  // at least one frame extracted
+    bool poisoned = false;    // malformed frame: answer pending, then close
+    bool closing = false;     // flush wbuf, then close
+    bool throttled = false;   // over the write high watermark: not reading
+    bool dead = false;        // socket error: close immediately
+    std::deque<Request> pending;
+    std::map<std::pair<std::string, std::uint64_t>, Session> sess;
+
+    std::size_t pending_write() const { return wbuf.size() - wpos; }
+  };
+  std::map<int, Conn> conns;
+
+  explicit Impl(ServerConfig cfg)
+      : config(std::move(cfg)),
+        engine(core::StreamEngineConfig{
+            .workers = config.workers,
+            .chunk_bytes = config.engine_chunk_bytes,
+            .parallel = true}) {}
+
+  // --- lifecycle ---------------------------------------------------------
+
+  void start() {
+    if (loop_thread.joinable())
+      throw std::logic_error("Server: already started");
+    listen_fd =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listen_fd < 0) throw_errno("socket");
+    int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config.port);
+    if (::inet_pton(AF_INET, config.bind_address.c_str(), &addr.sin_addr) !=
+        1) {
+      ::close(listen_fd);
+      listen_fd = -1;
+      throw std::invalid_argument("Server: bad bind address " +
+                                  config.bind_address);
+    }
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+            0 ||
+        ::listen(listen_fd, 1024) < 0) {
+      const int err = errno;
+      ::close(listen_fd);
+      listen_fd = -1;
+      throw std::system_error(err, std::generic_category(), "bind/listen");
+    }
+    sockaddr_in bound{};
+    socklen_t blen = sizeof bound;
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &blen);
+    bound_port = ntohs(bound.sin_port);
+    int pipefd[2];
+    if (::pipe2(pipefd, O_NONBLOCK | O_CLOEXEC) < 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+      throw_errno("pipe2");
+    }
+    wake_rd = pipefd[0];
+    wake_wr = pipefd[1];
+    // Scrape dashboards want process start time; this is the one deliberate
+    // wall-clock read in src/net (see tests/net/net_lint_test.cpp).
+    NetMetrics::get().started_unix.set(static_cast<double>(std::chrono::duration_cast<std::chrono::seconds>(std::chrono::system_clock::now().time_since_epoch()).count()));  // bsrng-lint: allow(wall-clock)
+    stop_flag.store(false, std::memory_order_release);
+    loop_thread = std::thread([this] { loop(); });
+  }
+
+  void stop() {
+    if (!loop_thread.joinable()) return;
+    stop_flag.store(true, std::memory_order_release);
+    const std::uint8_t b = 1;
+    [[maybe_unused]] const ssize_t w = ::write(wake_wr, &b, 1);
+    loop_thread.join();
+    ::close(listen_fd);
+    ::close(wake_rd);
+    ::close(wake_wr);
+    listen_fd = wake_rd = wake_wr = -1;
+  }
+
+  ~Impl() { stop(); }
+
+  // --- event loop --------------------------------------------------------
+
+  void loop() {
+    std::vector<pollfd> pfds;
+    while (!stop_flag.load(std::memory_order_acquire)) {
+      pfds.clear();
+      pfds.push_back({wake_rd, POLLIN, 0});
+      // A full house stops accepting (negative fd = ignored by poll); the
+      // kernel backlog queues the overflow.
+      const bool accepting = conns.size() < config.max_connections;
+      pfds.push_back({accepting ? listen_fd : -1, POLLIN, 0});
+      for (auto& [fd, c] : conns) {
+        short ev = 0;
+        if (!c.closing && !c.throttled && !c.poisoned) ev |= POLLIN;
+        if (c.pending_write() > 0) ev |= POLLOUT;
+        pfds.push_back({fd, ev, 0});
+      }
+      const int n = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                           config.poll_timeout_ms);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if ((pfds[0].revents & POLLIN) != 0) {
+        std::uint8_t drain[64];
+        while (::read(wake_rd, drain, sizeof drain) > 0) {
+        }
+      }
+      if ((pfds[1].revents & POLLIN) != 0) accept_new();
+      for (std::size_t i = 2; i < pfds.size(); ++i) {
+        const auto it = conns.find(pfds[i].fd);
+        if (it == conns.end()) continue;
+        Conn& c = it->second;
+        const short re = pfds[i].revents;
+        if ((re & (POLLERR | POLLNVAL)) != 0) {
+          close_conn(it);
+          continue;
+        }
+        if ((re & POLLOUT) != 0) flush_writes(c);
+        if (!c.dead && (re & (POLLIN | POLLHUP)) != 0 && !c.closing)
+          if (!read_input(c)) c.dead = true;
+        if (!c.dead) {
+          maybe_unthrottle(c);
+          process(c);
+          flush_writes(c);
+        }
+        if (c.dead || (c.closing && c.pending_write() == 0)) close_conn(it);
+      }
+    }
+    for (auto& [fd, c] : conns) {
+      sessions.fetch_sub(c.sess.size(), std::memory_order_relaxed);
+      ::close(c.fd);
+    }
+    conns.clear();
+    connections.store(0, std::memory_order_relaxed);
+    NetMetrics::get().connections.set(0);
+    NetMetrics::get().sessions.set(
+        static_cast<double>(sessions.load(std::memory_order_relaxed)));
+  }
+
+  void accept_new() {
+    while (conns.size() < config.max_connections) {
+      const int fd =
+          ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN or transient error: next poll round retries
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      Conn c;
+      c.fd = fd;
+      conns.emplace(fd, std::move(c));
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      connections.store(conns.size(), std::memory_order_relaxed);
+      NetMetrics::get().accepted.add();
+      NetMetrics::get().connections.set(static_cast<double>(conns.size()));
+    }
+  }
+
+  void close_conn(std::map<int, Conn>::iterator it) {
+    sessions.fetch_sub(it->second.sess.size(), std::memory_order_relaxed);
+    ::close(it->second.fd);
+    conns.erase(it);
+    connections.store(conns.size(), std::memory_order_relaxed);
+    NetMetrics::get().connections.set(static_cast<double>(conns.size()));
+    NetMetrics::get().sessions.set(
+        static_cast<double>(sessions.load(std::memory_order_relaxed)));
+  }
+
+  // False on EOF or fatal socket error.
+  bool read_input(Conn& c) {
+    std::uint8_t buf[16384];
+    std::size_t got = 0;
+    while (got < kReadBudget) {
+      const ssize_t r = ::recv(c.fd, buf, sizeof buf, 0);
+      if (r > 0) {
+        c.rbuf.insert(c.rbuf.end(), buf, buf + r);
+        got += static_cast<std::size_t>(r);
+        continue;
+      }
+      if (r == 0) return false;  // peer closed (abrupt disconnects land here)
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  void flush_writes(Conn& c) {
+    while (c.pending_write() > 0) {
+      const ssize_t w = ::send(c.fd, c.wbuf.data() + c.wpos,
+                               c.pending_write(), MSG_NOSIGNAL);
+      if (w > 0) {
+        c.wpos += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (w < 0 && errno == EINTR) continue;
+      c.dead = true;  // EPIPE / ECONNRESET: the disconnect path cleans up
+      break;
+    }
+    if (c.wpos == c.wbuf.size()) {
+      c.wbuf.clear();
+      c.wpos = 0;
+    } else if (c.wpos > (1u << 20)) {
+      c.wbuf.erase(c.wbuf.begin(), c.wbuf.begin() +
+                                       static_cast<std::ptrdiff_t>(c.wpos));
+      c.wpos = 0;
+    }
+  }
+
+  void respond(Conn& c, Status status, std::span<const std::uint8_t> payload) {
+    const std::vector<std::uint8_t> frame = encode_response(status, payload);
+    c.wbuf.insert(c.wbuf.end(), frame.begin(), frame.end());
+  }
+
+  void throttle(Conn& c) {
+    if (c.throttled) return;
+    c.throttled = true;
+    stalls.fetch_add(1, std::memory_order_relaxed);
+    NetMetrics::get().backpressure_stalls.add();
+  }
+
+  void maybe_unthrottle(Conn& c) {
+    if (c.throttled && c.pending_write() <= config.resume_write_queue)
+      c.throttled = false;
+  }
+
+  void mark_poisoned(Conn& c) {
+    if (c.poisoned) return;
+    c.poisoned = true;
+    bad_frames.fetch_add(1, std::memory_order_relaxed);
+    NetMetrics::get().bad_frames.add();
+  }
+
+  void process(Conn& c) {
+    if (!c.http && !c.saw_binary && c.rbuf.size() >= 4 &&
+        std::memcmp(c.rbuf.data(), "GET ", 4) == 0)
+      c.http = true;
+    if (c.http) {
+      process_http(c);
+      return;
+    }
+    if (!c.poisoned && !c.closing) {
+      try {
+        std::vector<std::uint8_t> body;
+        while (extract_frame(c.rbuf, body, kMaxRequestBody)) {
+          c.saw_binary = true;
+          auto req = decode_request(body);
+          if (!req) {
+            mark_poisoned(c);
+            break;
+          }
+          c.pending.push_back(std::move(*req));
+        }
+      } catch (const std::runtime_error&) {
+        mark_poisoned(c);  // oversized length prefix: stream unrecoverable
+      }
+    }
+    drain_pending(c);
+    if (c.pending.empty() && c.poisoned && !c.closing) {
+      respond(c, Status::kBadFrame, ascii_payload("malformed frame"));
+      c.closing = true;
+    }
+  }
+
+  void process_http(Conn& c) {
+    static constexpr char kHeaderEnd[] = "\r\n\r\n";
+    const auto it = std::search(c.rbuf.begin(), c.rbuf.end(), kHeaderEnd,
+                                kHeaderEnd + 4);
+    if (it == c.rbuf.end()) {
+      if (c.rbuf.size() > kMaxHttpHeader) c.dead = true;
+      return;
+    }
+    requests.fetch_add(1, std::memory_order_relaxed);
+    NetMetrics::get().requests.add();
+    const std::string json = telemetry::metrics().to_json();
+    std::string head = "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\n"
+                       "Content-Length: " +
+                       std::to_string(json.size()) +
+                       "\r\nConnection: close\r\n\r\n";
+    c.wbuf.insert(c.wbuf.end(), head.begin(), head.end());
+    c.wbuf.insert(c.wbuf.end(), json.begin(), json.end());
+    c.closing = true;
+  }
+
+  void drain_pending(Conn& c) {
+    while (!c.pending.empty()) {
+      // Backpressure: over the high watermark this connection's requests
+      // wait (its socket is no longer polled for reads either).  A poisoned
+      // connection finishes its backlog regardless — it is about to close.
+      if (!c.poisoned && c.pending_write() >= config.max_write_queue) {
+        throttle(c);
+        break;
+      }
+      const Request& front = c.pending.front();
+      if (front.type == kPing) {
+        bump_requests(1);
+        respond(c, Status::kOk, {});
+        c.pending.pop_front();
+        continue;
+      }
+      if (front.type == kMetrics) {
+        bump_requests(1);
+        const std::string json = telemetry::metrics().to_json();
+        respond(c, Status::kOk,
+                std::span(reinterpret_cast<const std::uint8_t*>(json.data()),
+                          json.size()));
+        c.pending.pop_front();
+        continue;
+      }
+      const GenerateRequest& g = front.generate;
+      if (g.nbytes > kMaxGenerateBytes) {
+        bump_requests(1);
+        respond(c, Status::kTooLarge, ascii_payload("nbytes beyond limit"));
+        c.pending.pop_front();
+        continue;
+      }
+      if (!core::algorithm_exists(g.algorithm)) {
+        bump_requests(1);
+        respond(c, Status::kUnknownAlgorithm, ascii_payload(g.algorithm));
+        c.pending.pop_front();
+        continue;
+      }
+      serve_run(c);
+    }
+  }
+
+  void bump_requests(std::uint64_t n) {
+    requests.fetch_add(n, std::memory_order_relaxed);
+    NetMetrics::get().requests.add(n);
+  }
+
+  // The batching step: merge the longest prefix of pending kGenerate
+  // requests that continues one tenant stream contiguously into a single
+  // engine span, then slice it back into per-request responses in order.
+  void serve_run(Conn& c) {
+    const GenerateRequest first = c.pending.front().generate;
+    // A merged span may not outgrow the write queue either — otherwise one
+    // buffered burst would defeat max_write_queue entirely.  The first
+    // request is always served whole so progress never stalls.
+    const std::size_t cap = std::min(kMaxBatchBytes, config.max_write_queue);
+    std::size_t count = 0;
+    std::size_t total = 0;
+    std::uint64_t next_off = first.offset;
+    for (const Request& r : c.pending) {
+      if (r.type != kGenerate) break;
+      const GenerateRequest& g = r.generate;
+      if (g.algorithm != first.algorithm || g.seed != first.seed ||
+          g.offset != next_off || g.nbytes > kMaxGenerateBytes)
+        break;
+      if (count > 0 && total + g.nbytes > cap) break;
+      ++count;
+      total += g.nbytes;
+      next_off += g.nbytes;
+    }
+    auto key = std::make_pair(first.algorithm, first.seed);
+    auto [sit, inserted] =
+        c.sess.try_emplace(std::move(key), first.algorithm, first.seed);
+    if (inserted) {
+      sessions.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::get().sessions.set(
+          static_cast<double>(sessions.load(std::memory_order_relaxed)));
+    }
+    std::vector<std::uint8_t> payload(total);
+    bool ok = true;
+    try {
+      sit->second.serve(engine, first.offset, payload);
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const GenerateRequest& g = c.pending.front().generate;
+      if (ok) {
+        respond(c, Status::kOk, std::span(payload.data() + off, g.nbytes));
+        bytes_served.fetch_add(g.nbytes, std::memory_order_relaxed);
+        NetMetrics::get().bytes_served.add(g.nbytes);
+      } else {
+        respond(c, Status::kServerError, ascii_payload("generation failed"));
+      }
+      off += g.nbytes;
+      c.pending.pop_front();
+    }
+    bump_requests(count);
+    if (count > 1) {
+      batched.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::get().batched_spans.add();
+    }
+  }
+};
+
+Server::Server(ServerConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() { impl_->start(); }
+
+void Server::stop() { impl_->stop(); }
+
+bool Server::running() const noexcept { return impl_->loop_thread.joinable(); }
+
+std::uint16_t Server::port() const noexcept { return impl_->bound_port; }
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.accepted = impl_->accepted.load(std::memory_order_relaxed);
+  s.requests = impl_->requests.load(std::memory_order_relaxed);
+  s.bytes_served = impl_->bytes_served.load(std::memory_order_relaxed);
+  s.bad_frames = impl_->bad_frames.load(std::memory_order_relaxed);
+  s.backpressure_stalls = impl_->stalls.load(std::memory_order_relaxed);
+  s.batched_spans = impl_->batched.load(std::memory_order_relaxed);
+  s.connections = impl_->connections.load(std::memory_order_relaxed);
+  s.sessions = impl_->sessions.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace bsrng::net

@@ -1,0 +1,91 @@
+// server.hpp — bsrngd's TCP server: RNG-as-a-service over StreamEngine.
+//
+// One poll(2) event loop owns every connection; generation runs inline on
+// the loop thread but fans out across the StreamEngine's worker pool, so a
+// single request is parallel while the protocol state machine stays
+// single-threaded (no locks on any connection structure).  Design rules:
+//
+//   batching       all complete frames buffered on a connection are decoded
+//                  together, and consecutive kGenerate requests that
+//                  continue the same tenant stream (same algorithm+seed,
+//                  next offset) are merged into ONE StreamEngine span, then
+//                  sliced back into per-request response frames in order.
+//   backpressure   responses queue per connection, bounded by
+//                  max_write_queue: a connection above the high watermark
+//                  stops being *read* (its socket, its requests, its
+//                  sessions stall) until the peer drains it below
+//                  resume_write_queue.  A slow reader therefore stalls only
+//                  itself; the pool and every other connection keep going.
+//   sessions       per-connection map (algorithm, seed) -> net::Session.
+//                  Sessions die with their connection; nothing about the
+//                  stream's identity lives in the server (restart-safe by
+//                  construction, tests/net/restart_determinism_test.cpp).
+//   metrics        a kMetrics frame — or a plain HTTP "GET /metrics" on the
+//                  same port — answers with telemetry::metrics().to_json().
+//
+// The loop's only clock is steady_clock-free poll timeouts; the one wall
+// clock read (the start-time gauge exported for scrape dashboards) is
+// annotated for the determinism lint, and src/net is deliberately outside
+// the lint's default generation-tree roots (tests/net/net_lint_test.cpp
+// pins both facts).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+namespace bsrng::net {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;       // 0 = ephemeral; read back via port()
+  std::size_t workers = 0;      // StreamEngine pool width; 0 = hardware
+  std::size_t engine_chunk_bytes = 1u << 18;
+  std::size_t max_connections = 4096;
+  // Per-connection response-queue watermarks (bytes pending write).
+  std::size_t max_write_queue = 8u << 20;
+  std::size_t resume_write_queue = 1u << 20;
+  int poll_timeout_ms = 200;
+};
+
+// Weakly-consistent counters mirrored into telemetry (net.* metrics); the
+// leak checks in tests/net assert connections/sessions return to zero.
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t requests = 0;        // decoded requests of any type
+  std::uint64_t bytes_served = 0;    // kGenerate payload bytes queued
+  std::uint64_t bad_frames = 0;      // malformed/oversized frames seen
+  std::uint64_t backpressure_stalls = 0;  // read-pause transitions
+  std::uint64_t batched_spans = 0;   // engine spans that merged >1 request
+  std::size_t connections = 0;       // currently open
+  std::size_t sessions = 0;          // currently live tenant sessions
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config = {});
+  ~Server();  // stops the loop if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Bind + listen + spawn the event-loop thread.  Throws std::system_error
+  // when the socket cannot be created or bound.
+  void start();
+  // Stop accepting, close every connection, join the loop thread.
+  // Idempotent.  Live tenants are forgotten — by design, clients resume by
+  // offset against any future server (kill/restart determinism).
+  void stop();
+
+  bool running() const noexcept;
+  std::uint16_t port() const noexcept;
+  ServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bsrng::net

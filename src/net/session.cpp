@@ -1,0 +1,29 @@
+#include "net/session.hpp"
+
+#include <utility>
+
+namespace bsrng::net {
+
+Session::Session(std::string algorithm, std::uint64_t seed)
+    : algorithm_(std::move(algorithm)),
+      seed_(seed),
+      spec_(core::partition_spec(algorithm_, seed_)) {}
+
+void Session::serve(core::StreamEngine& engine, std::uint64_t offset,
+                    std::span<std::uint8_t> out) {
+  if (spec_.kind == core::PartitionKind::kCounter) {
+    // O(1) counter seek; the engine shards the span across its pool.
+    engine.generate_at(spec_, offset, out);
+    cursor_ = offset + out.size();
+    return;
+  }
+  if (!gen_ || offset < gen_pos_) {
+    gen_ = spec_.make();
+    gen_pos_ = 0;
+  }
+  core::discard_bytes(*gen_, offset - gen_pos_);
+  gen_->fill(out);
+  gen_pos_ = cursor_ = offset + out.size();
+}
+
+}  // namespace bsrng::net

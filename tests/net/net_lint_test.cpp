@@ -1,0 +1,79 @@
+// net_lint_test.cpp — the determinism lint vs the serving layer.  The lint
+// guards the GENERATION trees (bytes must never depend on time, rand, or
+// pointer order); src/net is a consumer with legitimate wall-clock needs
+// (the start-time gauge), so it is deliberately NOT a default root.  This
+// suite pins both sides: the default roots still lint clean against the
+// real sources, src/net stays out of them, and an explicit lint pass over
+// src/net finds nothing because its one wall-clock read carries the
+// in-place suppression.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+
+namespace an = bsrng::analysis;
+
+namespace {
+
+std::string repo_root() {
+#ifdef BSRNG_SOURCE_DIR
+  return BSRNG_SOURCE_DIR;
+#else
+  return {};
+#endif
+}
+
+}  // namespace
+
+TEST(NetLint, DefaultRootsDoNotIncludeTheServingLayer) {
+  const auto roots = an::default_lint_roots("/repo");
+  EXPECT_TRUE(std::none_of(roots.begin(), roots.end(), [](const auto& r) {
+    return r.find("src/net") != std::string::npos;
+  })) << "src/net must stay out of the generation-tree lint";
+  // And the generation trees are all still there — adding net must not have
+  // displaced a guarded root.
+  for (const char* must : {"/repo/src/core", "/repo/src/ciphers",
+                           "/repo/src/bitslice", "/repo/src/lfsr"})
+    EXPECT_NE(std::find(roots.begin(), roots.end(), must), roots.end())
+        << must;
+}
+
+TEST(NetLint, GenerationTreesStayClockFree) {
+  const std::string root = repo_root();
+  ASSERT_FALSE(root.empty()) << "BSRNG_SOURCE_DIR not compiled in";
+  const auto findings = an::lint_paths(an::default_lint_roots(root));
+  for (const auto& f : findings) ADD_FAILURE() << f.to_string();
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(NetLint, ServingLayerLintsCleanUnderExplicitScan) {
+  // src/net is outside the defaults but not above the law: scanned
+  // explicitly it must still produce zero findings, because its sole
+  // wall-clock read (the net.started_unix_seconds gauge) is annotated with
+  // an in-place suppression rather than exempted by omission.
+  const std::string root = repo_root();
+  ASSERT_FALSE(root.empty()) << "BSRNG_SOURCE_DIR not compiled in";
+  const auto findings = an::lint_paths({root + "/src/net"});
+  for (const auto& f : findings) ADD_FAILURE() << f.to_string();
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(NetLint, UnannotatedWallClockInNetStyleCodeIsStillFlagged) {
+  // The suppression is the load-bearing part: the same gauge-seeding line
+  // without its annotation is a finding.  This keeps "net is exempt" from
+  // silently becoming "net is unlinted".
+  const auto findings = an::lint_source(
+      "server.cpp",
+      "started.set(static_cast<double>(time(nullptr)));\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "wall-clock");
+
+  EXPECT_TRUE(an::lint_source(
+                  "server.cpp",
+                  "started.set(static_cast<double>(time(nullptr)));  "
+                  "// bsrng-lint: allow(wall-clock)\n")
+                  .empty());
+}

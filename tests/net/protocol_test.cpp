@@ -1,0 +1,162 @@
+// protocol_test.cpp — the wire format in isolation: encode/decode
+// round-trips, every malformed-body rejection, and incremental frame
+// extraction over a byte-at-a-time stream (the exact path a connection's
+// read buffer follows).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace nt = bsrng::net;
+
+namespace {
+
+// Strip the 4-byte length prefix off a full frame, checking it agrees.
+std::vector<std::uint8_t> body_of(const std::vector<std::uint8_t>& frame) {
+  EXPECT_GE(frame.size(), 4u);
+  EXPECT_EQ(nt::read_u32le(frame.data()), frame.size() - 4);
+  return {frame.begin() + 4, frame.end()};
+}
+
+}  // namespace
+
+TEST(Protocol, LittleEndianHelpersRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  nt::append_u32le(buf, 0x01020304u);
+  nt::append_u64le(buf, 0x1122334455667788ull);
+  ASSERT_EQ(buf.size(), 12u);
+  EXPECT_EQ(buf[0], 0x04);  // least significant byte first
+  EXPECT_EQ(buf[3], 0x01);
+  EXPECT_EQ(nt::read_u32le(buf.data()), 0x01020304u);
+  EXPECT_EQ(nt::read_u64le(buf.data() + 4), 0x1122334455667788ull);
+}
+
+TEST(Protocol, GenerateRequestRoundTrips) {
+  const nt::GenerateRequest req{.algorithm = "aes-ctr-bs256",
+                                .seed = 0xDEADBEEFCAFEF00Dull,
+                                .offset = (1ull << 52) + 9,
+                                .nbytes = 65536};
+  const auto frame = nt::encode_generate(req);
+  const auto decoded = nt::decode_request(body_of(frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, nt::kGenerate);
+  EXPECT_EQ(decoded->generate.algorithm, req.algorithm);
+  EXPECT_EQ(decoded->generate.seed, req.seed);
+  EXPECT_EQ(decoded->generate.offset, req.offset);
+  EXPECT_EQ(decoded->generate.nbytes, req.nbytes);
+}
+
+TEST(Protocol, SimpleRequestsRoundTrip) {
+  for (const std::uint8_t type : {nt::kMetrics, nt::kPing}) {
+    const auto frame = nt::encode_simple_request(type);
+    const auto decoded = nt::decode_request(body_of(frame));
+    ASSERT_TRUE(decoded.has_value()) << int{type};
+    EXPECT_EQ(decoded->type, type);
+  }
+}
+
+TEST(Protocol, ResponsesRoundTripEveryStatus) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 0, 255};
+  for (const nt::Status st :
+       {nt::Status::kOk, nt::Status::kBadFrame, nt::Status::kUnknownAlgorithm,
+        nt::Status::kTooLarge, nt::Status::kServerError}) {
+    const auto frame = nt::encode_response(st, payload);
+    const auto decoded = nt::decode_response(body_of(frame));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->status, st);
+    EXPECT_EQ(decoded->payload, payload);
+  }
+}
+
+TEST(Protocol, MalformedRequestBodiesAreRejected) {
+  const auto good = body_of(nt::encode_generate(
+      {.algorithm = "mickey-bs64", .seed = 7, .offset = 0, .nbytes = 16}));
+
+  // Empty body, unknown type tag.
+  EXPECT_FALSE(nt::decode_request({}).has_value());
+  std::vector<std::uint8_t> unknown = {99};
+  EXPECT_FALSE(nt::decode_request(unknown).has_value());
+
+  // Simple requests must be exactly one byte.
+  std::vector<std::uint8_t> fat_ping = {nt::kPing, 0};
+  EXPECT_FALSE(nt::decode_request(fat_ping).has_value());
+
+  // Truncation anywhere in a generate body is malformed.
+  for (std::size_t cut = 1; cut < good.size(); ++cut) {
+    const std::vector<std::uint8_t> part(good.begin(),
+                                         good.begin() + cut);
+    EXPECT_FALSE(nt::decode_request(part).has_value()) << "cut=" << cut;
+  }
+
+  // Trailing garbage after a complete body.
+  auto padded = good;
+  padded.push_back(0);
+  EXPECT_FALSE(nt::decode_request(padded).has_value());
+
+  // Declared algorithm length disagreeing with the body size.
+  auto lied = good;
+  lied[1] = static_cast<std::uint8_t>(lied[1] + 1);
+  EXPECT_FALSE(nt::decode_request(lied).has_value());
+
+  // Zero-length algorithm name.
+  std::vector<std::uint8_t> anon = {nt::kGenerate, 0};
+  nt::append_u64le(anon, 1);
+  nt::append_u64le(anon, 0);
+  nt::append_u32le(anon, 8);
+  EXPECT_FALSE(nt::decode_request(anon).has_value());
+}
+
+TEST(Protocol, MalformedResponseBodiesAreRejected) {
+  EXPECT_FALSE(nt::decode_response({}).has_value());
+  std::vector<std::uint8_t> bad_status = {200, 'x'};
+  EXPECT_FALSE(nt::decode_response(bad_status).has_value());
+}
+
+TEST(Protocol, ExtractFrameIsIncremental) {
+  // Two frames delivered one byte at a time: extract_frame must return
+  // false until each frame completes, then yield bodies in order and leave
+  // the remainder buffered.
+  const auto f1 = nt::encode_simple_request(nt::kPing);
+  const auto f2 = nt::encode_generate(
+      {.algorithm = "grain-bs128", .seed = 3, .offset = 64, .nbytes = 32});
+  std::vector<std::uint8_t> wire = f1;
+  wire.insert(wire.end(), f2.begin(), f2.end());
+
+  std::vector<std::uint8_t> buf, body;
+  std::size_t got = 0;
+  for (const std::uint8_t b : wire) {
+    buf.push_back(b);
+    while (nt::extract_frame(buf, body, nt::kMaxRequestBody)) {
+      ++got;
+      if (got == 1)
+        EXPECT_EQ(body, std::vector<std::uint8_t>{nt::kPing});
+      else
+        EXPECT_EQ(body, body_of(f2));
+    }
+  }
+  EXPECT_EQ(got, 2u);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(Protocol, OversizedLengthPrefixPoisonsTheStream) {
+  // A length prefix beyond max_body must throw before any body buffering —
+  // the caller treats the connection as poisoned.
+  std::vector<std::uint8_t> buf;
+  nt::append_u32le(buf, static_cast<std::uint32_t>(nt::kMaxRequestBody + 1));
+  std::vector<std::uint8_t> body;
+  EXPECT_THROW(nt::extract_frame(buf, body, nt::kMaxRequestBody),
+               std::runtime_error);
+}
+
+TEST(Protocol, MaxSizeBodyIsAccepted) {
+  std::vector<std::uint8_t> buf;
+  nt::append_u32le(buf, 8);
+  for (int i = 0; i < 8; ++i) buf.push_back(0xAB);
+  std::vector<std::uint8_t> body;
+  ASSERT_TRUE(nt::extract_frame(buf, body, 8));
+  EXPECT_EQ(body.size(), 8u);
+  EXPECT_TRUE(buf.empty());
+}

@@ -1,0 +1,356 @@
+// server_test.cpp — bsrngd's server against a live loopback socket: served
+// bytes equal the canonical make_generator stream for every topology,
+// pipelined contiguous requests batch into single engine spans, protocol
+// violations answer kBadFrame and close without leaking, and a slow reader
+// stalls only itself.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "telemetry/json.hpp"
+
+namespace co = bsrng::core;
+namespace nt = bsrng::net;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 0xB5126'2024ull;
+
+std::vector<std::uint8_t> reference_bytes(const std::string& algo,
+                                          std::uint64_t seed,
+                                          std::uint64_t offset,
+                                          std::size_t n) {
+  std::vector<std::uint8_t> all(offset + n);
+  co::make_generator(algo, seed)->fill(all);
+  return {all.begin() + static_cast<std::ptrdiff_t>(offset), all.end()};
+}
+
+// The server's stats are updated by its loop thread; leak assertions poll
+// with a deadline instead of racing a single read.
+bool wait_until(const std::function<bool()>& pred,
+                std::chrono::milliseconds limit = std::chrono::seconds(10)) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+}  // namespace
+
+TEST(Server, StartStopIsClean) {
+  nt::Server server({.workers = 2});
+  EXPECT_FALSE(server.running());
+  server.start();
+  EXPECT_TRUE(server.running());
+  EXPECT_NE(server.port(), 0);
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(Server, GenerateMatchesCanonicalStream) {
+  nt::Server server({.workers = 3});
+  server.start();
+  nt::Client client("127.0.0.1", server.port());
+
+  // One algorithm of each partition kind, served at offset 0 and resumed at
+  // an unaligned offset; bytes must equal the direct generator stream.
+  for (const std::string algo :
+       {"aes-ctr-bs64", "mickey-bs32", "mt19937"}) {
+    const auto head = client.generate(algo, kSeed, 0, 4099);
+    EXPECT_EQ(head, reference_bytes(algo, kSeed, 0, 4099)) << algo;
+    const auto tail = client.generate(algo, kSeed, 4099, 1021);
+    EXPECT_EQ(tail, reference_bytes(algo, kSeed, 4099, 1021)) << algo;
+  }
+  server.stop();
+}
+
+TEST(Server, SameBytesForEveryWorkerCount) {
+  // "Same seed, any topology, same bytes": 1-worker and 4-worker daemons
+  // serve identical spans.
+  std::vector<std::uint8_t> one, four;
+  for (const std::size_t workers : {1u, 4u}) {
+    nt::Server server({.workers = workers});
+    server.start();
+    nt::Client client("127.0.0.1", server.port());
+    auto bytes = client.generate("chacha20-bs64", 42, 777, 65536);
+    (workers == 1 ? one : four) = std::move(bytes);
+    server.stop();
+  }
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, reference_bytes("chacha20-bs64", 42, 777, 65536));
+}
+
+TEST(Server, PipelinedContiguousRequestsBatchIntoOneSpan) {
+  nt::Server server({.workers = 2});
+  server.start();
+  nt::Client client("127.0.0.1", server.port());
+
+  // Ten contiguous spans of one tenant stream, written in one burst: the
+  // server merges the buffered prefix into one engine span and slices it
+  // back into ten responses.
+  const std::string algo = "trivium-bs64";
+  const std::size_t span = 2048;
+  std::vector<std::uint8_t> got;
+  for (std::size_t i = 0; i < 10; ++i)
+    client.send_generate(algo, kSeed, i * span,
+                         static_cast<std::uint32_t>(span));
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto resp = client.read_response();
+    ASSERT_TRUE(resp.has_value()) << i;
+    ASSERT_EQ(resp->status, nt::Status::kOk) << i;
+    ASSERT_EQ(resp->payload.size(), span) << i;
+    got.insert(got.end(), resp->payload.begin(), resp->payload.end());
+  }
+  EXPECT_EQ(got, reference_bytes(algo, kSeed, 0, 10 * span));
+  // At least one merge must have happened (the burst is written before the
+  // server wakes, so its read buffer holds several frames at once).
+  EXPECT_TRUE(wait_until([&] { return server.stats().batched_spans > 0; }));
+  server.stop();
+}
+
+TEST(Server, InterleavedTenantsOnOneConnectionStaySeamless) {
+  nt::Server server({.workers = 3});
+  server.start();
+  nt::Client client("127.0.0.1", server.port());
+
+  struct Tenant {
+    std::string algo;
+    std::uint64_t seed;
+    std::uint64_t cursor = 0;
+    std::vector<std::uint8_t> got;
+  };
+  Tenant t[3] = {{"aes-ctr-bs64", 1, 0, {}},
+                 {"grain-bs64", 2, 0, {}},
+                 {"a51-bs64", 3, 0, {}}};
+  const std::size_t spans[] = {511, 2048, 97, 4096};
+  for (std::size_t step = 0; step < 24; ++step) {
+    Tenant& cur = t[step % 3];
+    const auto n = static_cast<std::uint32_t>(spans[step % 4]);
+    const auto bytes = client.generate(cur.algo, cur.seed, cur.cursor, n);
+    cur.got.insert(cur.got.end(), bytes.begin(), bytes.end());
+    cur.cursor += n;
+  }
+  for (const Tenant& tt : t)
+    EXPECT_EQ(tt.got, reference_bytes(tt.algo, tt.seed, 0, tt.got.size()))
+        << tt.algo;
+  // Three tenants -> three live sessions on the connection.
+  EXPECT_TRUE(wait_until([&] { return server.stats().sessions == 3; }));
+  server.stop();
+}
+
+TEST(Server, PingMetricsAndHttpScrapeWork) {
+  nt::Server server({.workers = 2});
+  server.start();
+
+  nt::Client client("127.0.0.1", server.port());
+  client.ping();
+  const std::string json = client.metrics_json();
+  const auto doc = bsrng::telemetry::json_parse(json);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->is_object());
+
+  // The same port speaks enough HTTP for `curl /metrics`.
+  nt::Client probe("127.0.0.1", server.port());
+  const std::string get = "GET /metrics HTTP/1.0\r\n\r\n";
+  probe.send_raw({reinterpret_cast<const std::uint8_t*>(get.data()),
+                  get.size()});
+  std::string http;
+  while (true) {
+    std::uint8_t buf[4096];
+    const auto n = ::recv(probe.fd(), buf, sizeof buf, 0);
+    if (n <= 0) break;
+    http.append(reinterpret_cast<const char*>(buf),
+                static_cast<std::size_t>(n));
+  }
+  EXPECT_NE(http.find("200 OK"), std::string::npos);
+  EXPECT_NE(http.find("application/json"), std::string::npos);
+  const auto body_at = http.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  EXPECT_TRUE(bsrng::telemetry::json_parse(http.substr(body_at + 4))
+                  .has_value());
+  server.stop();
+}
+
+TEST(Server, ErrorStatusesLeaveTheConnectionUsable) {
+  nt::Server server({.workers = 2});
+  server.start();
+  nt::Client client("127.0.0.1", server.port());
+
+  // Unknown algorithm.
+  client.send_generate("not-a-generator", 1, 0, 64);
+  auto resp = client.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, nt::Status::kUnknownAlgorithm);
+
+  // Over the per-request ceiling.
+  client.send_generate("aes-ctr-bs64", 1, 0,
+                       static_cast<std::uint32_t>(nt::kMaxGenerateBytes + 1));
+  resp = client.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, nt::Status::kTooLarge);
+
+  // Zero-length generate is a valid empty span.
+  client.send_generate("mickey-bs64", 1, 9, 0);
+  resp = client.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, nt::Status::kOk);
+  EXPECT_TRUE(resp->payload.empty());
+
+  // The connection survived all of the above.
+  EXPECT_EQ(client.generate("aes-ctr-bs64", 1, 0, 128),
+            reference_bytes("aes-ctr-bs64", 1, 0, 128));
+  server.stop();
+}
+
+TEST(Server, MalformedFrameAnswersBadFrameThenCloses) {
+  nt::Server server({.workers = 2});
+  server.start();
+  nt::Client client("127.0.0.1", server.port());
+
+  // A well-framed but unparseable body.
+  std::vector<std::uint8_t> frame;
+  nt::append_u32le(frame, 3);
+  frame.insert(frame.end(), {0x7F, 0x00, 0x01});
+  client.send_raw(frame);
+  const auto resp = client.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, nt::Status::kBadFrame);
+  // Terminal: the server closes after the diagnostic.
+  EXPECT_FALSE(client.read_response().has_value());
+  EXPECT_TRUE(wait_until([&] {
+    const auto s = server.stats();
+    return s.bad_frames >= 1 && s.connections == 0;
+  }));
+  server.stop();
+}
+
+TEST(Server, OversizedLengthPrefixClosesWithoutBuffering) {
+  nt::Server server({.workers = 2});
+  server.start();
+  nt::Client client("127.0.0.1", server.port());
+
+  std::vector<std::uint8_t> prefix;
+  nt::append_u32le(prefix,
+                   static_cast<std::uint32_t>(nt::kMaxRequestBody + 1));
+  client.send_raw(prefix);
+  const auto resp = client.read_response();
+  if (resp.has_value()) {
+    EXPECT_EQ(resp->status, nt::Status::kBadFrame);
+  }
+  EXPECT_FALSE(client.read_response().has_value());
+  EXPECT_TRUE(wait_until([&] {
+    const auto s = server.stats();
+    return s.bad_frames >= 1 && s.connections == 0;
+  }));
+  server.stop();
+}
+
+TEST(Server, BadFrameAfterPipelinedWorkStillAnswersTheBacklog) {
+  // Poisoning is ordered: requests already decoded before the malformed
+  // frame get real answers, then kBadFrame, then close.
+  nt::Server server({.workers = 2});
+  server.start();
+  nt::Client client("127.0.0.1", server.port());
+
+  client.send_generate("aes-ctr-bs64", 5, 0, 256);
+  std::vector<std::uint8_t> junk;
+  nt::append_u32le(junk, 1);
+  junk.push_back(0xEE);
+  client.send_raw(junk);
+
+  auto resp = client.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, nt::Status::kOk);
+  EXPECT_EQ(resp->payload, reference_bytes("aes-ctr-bs64", 5, 0, 256));
+  resp = client.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, nt::Status::kBadFrame);
+  EXPECT_FALSE(client.read_response().has_value());
+  server.stop();
+}
+
+TEST(Server, AbruptDisconnectsLeakNothing) {
+  nt::Server server({.workers = 2});
+  server.start();
+
+  {
+    // Half a frame, then vanish.
+    nt::Client partial("127.0.0.1", server.port());
+    std::vector<std::uint8_t> half;
+    nt::append_u32le(half, 64);
+    half.insert(half.end(), {1, 2, 3});
+    partial.send_raw(half);
+
+    // A live session, then vanish mid-stream.
+    nt::Client mid("127.0.0.1", server.port());
+    (void)mid.generate("grain-bs64", 9, 0, 4096);
+    mid.send_generate("grain-bs64", 9, 4096, 65536);
+
+    EXPECT_TRUE(wait_until([&] { return server.stats().accepted >= 2; }));
+  }  // both sockets close here
+
+  EXPECT_TRUE(wait_until([&] {
+    const auto s = server.stats();
+    return s.connections == 0 && s.sessions == 0;
+  }));
+  server.stop();
+}
+
+TEST(Server, SlowReaderStallsOnlyItself) {
+  // Tiny watermarks force backpressure almost immediately.
+  nt::Server server({.workers = 2,
+                     .max_write_queue = 64u << 10,
+                     .resume_write_queue = 16u << 10});
+  server.start();
+
+  nt::Client slow("127.0.0.1", server.port());
+  const std::size_t kSpans = 24;
+  const std::uint32_t kSpan = 32u << 10;  // 768 KiB total, 12x the queue cap
+  for (std::size_t i = 0; i < kSpans; ++i)
+    slow.send_generate("chacha20-bs64", 77, i * kSpan, kSpan);
+  // Do NOT read yet; the server must hit the high watermark and pause
+  // reading this connection.
+  EXPECT_TRUE(
+      wait_until([&] { return server.stats().backpressure_stalls > 0; }));
+
+  // Meanwhile a normal client is fully served.
+  nt::Client fast("127.0.0.1", server.port());
+  EXPECT_EQ(fast.generate("aes-ctr-bs64", 8, 0, 8192),
+            reference_bytes("aes-ctr-bs64", 8, 0, 8192));
+
+  // Drain the slow connection: every span arrives intact and in order.
+  std::vector<std::uint8_t> got;
+  for (std::size_t i = 0; i < kSpans; ++i) {
+    const auto resp = slow.read_response();
+    ASSERT_TRUE(resp.has_value()) << i;
+    ASSERT_EQ(resp->status, nt::Status::kOk) << i;
+    got.insert(got.end(), resp->payload.begin(), resp->payload.end());
+  }
+  EXPECT_EQ(got, reference_bytes("chacha20-bs64", 77, 0, kSpans * kSpan));
+  server.stop();
+}
+
+TEST(Server, StopClosesEveryConnection) {
+  nt::Server server({.workers = 2});
+  server.start();
+  nt::Client a("127.0.0.1", server.port());
+  nt::Client b("127.0.0.1", server.port());
+  a.ping();
+  b.ping();
+  server.stop();
+  EXPECT_FALSE(a.read_response().has_value());
+  EXPECT_FALSE(b.read_response().has_value());
+  EXPECT_EQ(server.stats().connections, 0u);
+}

@@ -1,0 +1,105 @@
+// soak_test.cpp — a scaled-down in-tree soak: many concurrent connections
+// hammering one daemon with mixed algorithms and span sizes, every response
+// verified against the canonical stream, and the server required to end
+// with zero live connections or sessions.  The full ≥1000-connection soak
+// runs in CI via bsrng_loadgen (tools/bsrng_loadgen.cpp); this version is
+// small enough for every ctest run — including the TSan leg, which shrinks
+// it further via BSRNG_NET_SOAK_CONNS / BSRNG_NET_SOAK_REQS.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+namespace co = bsrng::core;
+namespace nt = bsrng::net;
+
+namespace {
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+TEST(Soak, ConcurrentMixedTenantsVerifyAndDrainClean) {
+  const std::size_t kConns = env_or("BSRNG_NET_SOAK_CONNS", 24);
+  const std::size_t kReqs = env_or("BSRNG_NET_SOAK_REQS", 40);
+  const char* const kAlgos[] = {"mickey-bs64",  "grain-bs64",
+                                "trivium-bs64", "aes-ctr-bs64",
+                                "a51-bs64",     "chacha20-bs64"};
+  const std::size_t kSpans[] = {512, 4096, 64, 1024, 8191};
+
+  nt::Server server({.workers = 4});
+  server.start();
+  const std::uint16_t port = server.port();
+
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kConns);
+  for (std::size_t c = 0; c < kConns; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        nt::Client client("127.0.0.1", port);
+        // Each connection is its own tenant: a distinct (algorithm, seed)
+        // pair, consumed sequentially with occasional backward re-reads.
+        const std::string algo = kAlgos[c % std::size(kAlgos)];
+        const std::uint64_t seed = 1000 + c;
+        std::vector<std::uint8_t> expected((kReqs + 1) * 8192);
+        co::make_generator(algo, seed)->fill(expected);
+
+        std::uint64_t cursor = 0;
+        for (std::size_t r = 0; r < kReqs; ++r) {
+          std::uint64_t offset = cursor;
+          std::size_t n = kSpans[(c + r) % std::size(kSpans)];
+          if (r % 7 == 6 && cursor > 0) offset = cursor / 2;  // re-read
+          const auto got = client.generate(
+              algo, seed, offset, static_cast<std::uint32_t>(n));
+          if (!std::equal(got.begin(), got.end(),
+                          expected.begin() +
+                              static_cast<std::ptrdiff_t>(offset)))
+            mismatches.fetch_add(1);
+          if (offset == cursor) cursor += n;
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(failures.load(), 0u);
+
+  const auto before = server.stats();
+  EXPECT_EQ(before.accepted, kConns);
+  EXPECT_EQ(before.bad_frames, 0u);
+  EXPECT_GE(before.requests, kConns * kReqs);
+
+  // Every client has disconnected; the server must drain to zero live
+  // connections and sessions (leak check).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto s = server.stats();
+    if (s.connections == 0 && s.sessions == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto after = server.stats();
+  EXPECT_EQ(after.connections, 0u);
+  EXPECT_EQ(after.sessions, 0u);
+  server.stop();
+}

@@ -20,10 +20,17 @@
 //   transactions_measured   number, non-negative integer
 //   tpa_predicted           number, >= 0, finite
 //
+// and, optionally (bsrng_loadgen throughput rows, backend "net"):
+//
+//   connections             number, positive integer
+//   requests                number, non-negative integer
+//   oracle_mismatches       number, non-negative integer
+//
 // Any other key fails validation.  Exit 0 when every file validates; 1
 // with a per-record diagnostic
-// otherwise.  CI runs this against the smoke-run artifacts so a schema
-// regression fails the build, not the downstream dashboard.
+// otherwise.  CI runs this against the smoke-run artifacts and the soak
+// job's loadgen records so a schema regression fails the build, not the
+// downstream dashboard.
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -112,9 +119,17 @@ bool check_file(const char* path) {
                        /*integral=*/true, 0.0, /*optional=*/true);
     ok &= check_number(rec, path, i, "tpa_predicted", /*integral=*/false, 0.0,
                        /*optional=*/true);
+    // Optional loadgen keys (bsrng_loadgen --json soak records).
+    ok &= check_number(rec, path, i, "connections", /*integral=*/true, 1.0,
+                       /*optional=*/true);
+    ok &= check_number(rec, path, i, "requests", /*integral=*/true, 0.0,
+                       /*optional=*/true);
+    ok &= check_number(rec, path, i, "oracle_mismatches", /*integral=*/true,
+                       0.0, /*optional=*/true);
     std::size_t known = 8;
     for (const char* opt :
-         {"transactions_predicted", "transactions_measured", "tpa_predicted"})
+         {"transactions_predicted", "transactions_measured", "tpa_predicted",
+          "connections", "requests", "oracle_mismatches"})
       if (rec.find(opt) != nullptr) ++known;
     if (rec.as_object().size() != known)
       ok = fail(path, i, "record carries keys outside the schema");

@@ -1,0 +1,428 @@
+// bsrng_loadgen — concurrent load generator + byte oracle for bsrngd.
+//
+//   bsrng_loadgen --port N [--host ADDR] [--connections N] [--requests M]
+//                 [--pipeline D] [--algos a,b,c] [--spans s1,s2,...]
+//                 [--seed S] [--jump-every K] [--oracle-workers W]
+//                 [--time-limit SECONDS] [--json PATH]
+//
+// Opens N concurrent connections (one poll loop, non-blocking sockets).
+// Connection i drives tenant (algos[i % |algos|], S + i) with M pipelined
+// kGenerate requests of rotating span sizes; every returned byte is checked
+// against an in-process oracle — a local net::Session over a local
+// StreamEngine, i.e. the same code path bsrngd itself serves from, seeded
+// identically.  With --jump-every K every Kth request restarts the stream
+// at half the cursor, exercising the server's out-of-order resume path.
+//
+// Exit status is 0 only when every connection completed every request with
+// zero oracle mismatches and zero protocol errors — this is the soak-job
+// gate.  --json writes per-algorithm throughput records in the bench_*
+// schema (validated by tools/bench_json_check): bench/algorithm/backend
+// ("net")/width/workers/bytes/seconds/gbps plus the loadgen extras
+// connections, requests, oracle_mismatches.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fcntl.h>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/stream_engine.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/session.hpp"
+#include "telemetry/json.hpp"
+
+namespace core = bsrng::core;
+namespace net = bsrng::net;
+namespace tel = bsrng::telemetry;
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t connections = 64;
+  std::size_t requests = 32;   // per connection
+  std::size_t pipeline = 4;    // in-flight requests per connection
+  std::vector<std::string> algos;
+  std::vector<std::uint32_t> spans;
+  std::uint64_t seed = 1;
+  std::size_t jump_every = 0;  // 0 = strictly sequential offsets
+  std::size_t oracle_workers = 2;
+  double time_limit = 120.0;
+  std::string json_path;
+};
+
+struct InFlight {
+  std::uint64_t offset = 0;
+  std::uint32_t nbytes = 0;
+  std::vector<std::uint8_t> expected;
+};
+
+struct Conn {
+  int fd = -1;
+  std::size_t index = 0;
+  std::string algorithm;
+  std::uint64_t seed = 0;
+  std::unique_ptr<net::Session> oracle;
+  std::vector<std::uint8_t> wbuf;
+  std::size_t wpos = 0;
+  std::vector<std::uint8_t> rbuf;
+  std::deque<InFlight> inflight;
+  std::uint64_t cursor = 0;
+  std::size_t sent = 0;
+  std::size_t done = 0;
+  std::uint64_t bytes_ok = 0;
+  bool failed = false;
+  bool finished = false;
+
+  std::size_t pending_write() const { return wbuf.size() - wpos; }
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bsrng_loadgen --port N [--host ADDR] [--connections N]\n"
+      "       [--requests M] [--pipeline D] [--algos a,b,c] [--spans s,..]\n"
+      "       [--seed S] [--jump-every K] [--oracle-workers W]\n"
+      "       [--time-limit SECONDS] [--json PATH]\n");
+  return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int connect_to(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bsrng_loadgen: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") opt.host = next();
+    else if (arg == "--port") opt.port = static_cast<std::uint16_t>(std::atoi(next()));
+    else if (arg == "--connections") opt.connections = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--requests") opt.requests = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--pipeline") opt.pipeline = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--algos") opt.algos = split_csv(next());
+    else if (arg == "--spans") {
+      for (const std::string& s : split_csv(next()))
+        opt.spans.push_back(static_cast<std::uint32_t>(std::atoll(s.c_str())));
+    } else if (arg == "--seed") opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--jump-every") opt.jump_every = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--oracle-workers") opt.oracle_workers = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--time-limit") opt.time_limit = std::atof(next());
+    else if (arg == "--json") opt.json_path = next();
+    else return usage();
+  }
+  if (opt.port == 0) return usage();
+  if (opt.algos.empty())
+    opt.algos = {"mickey-bs64", "grain-bs64",  "trivium-bs64",
+                 "aes-ctr-bs64", "a51-bs64",   "chacha20-bs64"};
+  if (opt.spans.empty()) opt.spans = {512, 4096, 1024, 65536, 256};
+  if (opt.pipeline == 0) opt.pipeline = 1;
+  for (const std::string& a : opt.algos)
+    if (!core::algorithm_exists(a)) {
+      std::fprintf(stderr, "bsrng_loadgen: unknown algorithm %s\n", a.c_str());
+      return 2;
+    }
+
+  core::StreamEngine oracle_engine(
+      core::StreamEngineConfig{.workers = opt.oracle_workers});
+
+  std::vector<Conn> conns(opt.connections);
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t mismatches = 0;
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    Conn& c = conns[i];
+    c.index = i;
+    c.algorithm = opt.algos[i % opt.algos.size()];
+    c.seed = opt.seed + i;
+    c.oracle = std::make_unique<net::Session>(c.algorithm, c.seed);
+    c.fd = connect_to(opt.host, opt.port);
+    if (c.fd < 0) {
+      std::fprintf(stderr, "bsrng_loadgen: connect %zu failed: %s\n", i,
+                   std::strerror(errno));
+      return 1;
+    }
+  }
+
+  const auto enqueue = [&](Conn& c) {
+    std::uint64_t offset = c.cursor;
+    if (opt.jump_every != 0 && c.sent != 0 &&
+        c.sent % opt.jump_every == 0)
+      offset = c.cursor / 2;  // deterministic back-seek: resume-path probe
+    const std::uint32_t n =
+        opt.spans[(c.index + c.sent) % opt.spans.size()];
+    InFlight f;
+    f.offset = offset;
+    f.nbytes = n;
+    f.expected.resize(n);
+    c.oracle->serve(oracle_engine, offset, f.expected);
+    const std::vector<std::uint8_t> frame =
+        net::encode_generate({c.algorithm, c.seed, offset, n});
+    c.wbuf.insert(c.wbuf.end(), frame.begin(), frame.end());
+    c.inflight.push_back(std::move(f));
+    c.cursor = offset + n;
+    ++c.sent;
+  };
+  for (Conn& c : conns)
+    while (c.sent < opt.requests && c.inflight.size() < opt.pipeline)
+      enqueue(c);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> owner;
+  std::size_t finished = 0;
+  bool timed_out = false;
+  while (finished < conns.size()) {
+    if (elapsed() > opt.time_limit) {
+      timed_out = true;
+      break;
+    }
+    pfds.clear();
+    owner.clear();
+    for (Conn& c : conns) {
+      if (c.finished) continue;
+      short ev = 0;
+      if (!c.inflight.empty()) ev |= POLLIN;
+      if (c.pending_write() > 0) ev |= POLLOUT;
+      pfds.push_back({c.fd, ev, 0});
+      owner.push_back(c.index);
+    }
+    if (pfds.empty()) break;
+    const int n = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 200);
+    if (n < 0 && errno != EINTR) break;
+    for (std::size_t p = 0; p < pfds.size(); ++p) {
+      Conn& c = conns[owner[p]];
+      const short re = pfds[p].revents;
+      if (re == 0) continue;
+      const auto fail_conn = [&](const char* why) {
+        if (!c.failed) {
+          std::fprintf(stderr, "bsrng_loadgen: conn %zu (%s): %s\n", c.index,
+                       c.algorithm.c_str(), why);
+          ++protocol_errors;
+          c.failed = true;
+        }
+        ::close(c.fd);
+        c.finished = true;
+        ++finished;
+      };
+      if ((re & (POLLERR | POLLNVAL)) != 0) {
+        fail_conn("socket error");
+        continue;
+      }
+      if ((re & POLLOUT) != 0) {
+        bool dead = false;
+        while (c.pending_write() > 0) {
+          const ssize_t w = ::send(c.fd, c.wbuf.data() + c.wpos,
+                                   c.pending_write(), MSG_NOSIGNAL);
+          if (w > 0) {
+            c.wpos += static_cast<std::size_t>(w);
+            continue;
+          }
+          if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (w < 0 && errno == EINTR) continue;
+          dead = true;
+          break;
+        }
+        if (c.wpos == c.wbuf.size()) {
+          c.wbuf.clear();
+          c.wpos = 0;
+        }
+        if (dead) {
+          fail_conn("send failed");
+          continue;
+        }
+      }
+      if ((re & (POLLIN | POLLHUP)) != 0) {
+        std::uint8_t buf[65536];
+        bool eof = false;
+        for (;;) {
+          const ssize_t r = ::recv(c.fd, buf, sizeof buf, 0);
+          if (r > 0) {
+            c.rbuf.insert(c.rbuf.end(), buf, buf + r);
+            continue;
+          }
+          if (r == 0) {
+            eof = true;
+            break;
+          }
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          if (errno == EINTR) continue;
+          eof = true;
+          break;
+        }
+        std::vector<std::uint8_t> body;
+        bool broken = false;
+        try {
+          while (!c.inflight.empty() &&
+                 net::extract_frame(c.rbuf, body, net::kMaxGenerateBytes + 64)) {
+            const auto resp = net::decode_response(body);
+            const InFlight& f = c.inflight.front();
+            if (!resp || resp->status != net::Status::kOk ||
+                resp->payload.size() != f.nbytes) {
+              broken = true;
+              break;
+            }
+            if (resp->payload != f.expected) {
+              ++mismatches;
+              std::fprintf(stderr,
+                           "bsrng_loadgen: ORACLE MISMATCH conn %zu %s seed "
+                           "%llu offset %llu nbytes %u\n",
+                           c.index, c.algorithm.c_str(),
+                           static_cast<unsigned long long>(c.seed),
+                           static_cast<unsigned long long>(f.offset),
+                           f.nbytes);
+            }
+            c.bytes_ok += f.nbytes;
+            c.inflight.pop_front();
+            ++c.done;
+            if (c.sent < opt.requests) enqueue(c);
+          }
+        } catch (const std::exception&) {
+          broken = true;
+        }
+        if (broken) {
+          fail_conn("protocol error in response stream");
+          continue;
+        }
+        if (c.done == opt.requests && c.inflight.empty() &&
+            c.pending_write() == 0) {
+          ::close(c.fd);
+          c.finished = true;
+          ++finished;
+          continue;
+        }
+        if (eof) {
+          fail_conn("server closed connection early");
+          continue;
+        }
+      }
+    }
+  }
+  const double seconds = elapsed();
+
+  // Per-algorithm aggregation for the summary and the --json records.
+  struct Agg {
+    std::uint64_t bytes = 0;
+    std::size_t connections = 0;
+    std::size_t requests = 0;
+  };
+  std::map<std::string, Agg> per_algo;
+  std::uint64_t total_bytes = 0;
+  std::size_t incomplete = 0;
+  for (const Conn& c : conns) {
+    Agg& a = per_algo[c.algorithm];
+    a.bytes += c.bytes_ok;
+    a.connections += 1;
+    a.requests += c.done;
+    total_bytes += c.bytes_ok;
+    if (c.done != opt.requests) ++incomplete;
+  }
+  std::printf("bsrng_loadgen: %zu connections x %zu requests, %llu bytes in "
+              "%.3f s (%.2f Gbit/s), %llu mismatches, %llu protocol errors, "
+              "%zu incomplete%s\n",
+              opt.connections, opt.requests,
+              static_cast<unsigned long long>(total_bytes), seconds,
+              seconds > 0 ? static_cast<double>(total_bytes) * 8.0 / seconds /
+                                1e9
+                          : 0.0,
+              static_cast<unsigned long long>(mismatches),
+              static_cast<unsigned long long>(protocol_errors), incomplete,
+              timed_out ? " [TIME LIMIT]" : "");
+
+  if (!opt.json_path.empty()) {
+    tel::JsonValue::Array arr;
+    for (const auto& [algo, agg] : per_algo) {
+      const auto info = core::find_algorithm(algo);
+      tel::JsonValue::Object o;
+      o.emplace("bench", tel::JsonValue(std::string("bsrng_loadgen")));
+      o.emplace("algorithm", tel::JsonValue(algo));
+      o.emplace("backend", tel::JsonValue(std::string("net")));
+      o.emplace("width",
+                tel::JsonValue(static_cast<double>(info ? info->lanes : 0)));
+      o.emplace("workers", tel::JsonValue(static_cast<double>(
+                               std::max<std::size_t>(1, agg.connections))));
+      o.emplace("bytes", tel::JsonValue(static_cast<double>(agg.bytes)));
+      o.emplace("seconds", tel::JsonValue(seconds));
+      o.emplace("gbps",
+                tel::JsonValue(seconds > 0 ? static_cast<double>(agg.bytes) *
+                                                 8.0 / seconds / 1e9
+                                           : 0.0));
+      o.emplace("connections",
+                tel::JsonValue(static_cast<double>(agg.connections)));
+      o.emplace("requests", tel::JsonValue(static_cast<double>(agg.requests)));
+      o.emplace("oracle_mismatches",
+                tel::JsonValue(static_cast<double>(mismatches)));
+      arr.emplace_back(std::move(o));
+    }
+    const std::string text = tel::JsonValue(std::move(arr)).dump();
+    std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bsrng_loadgen: cannot write %s\n",
+                   opt.json_path.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+
+  const bool ok = !timed_out && incomplete == 0 && mismatches == 0 &&
+                  protocol_errors == 0;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+// bsrngd — the BSRNG RNG-as-a-service daemon.
+//
+//   bsrngd [--port N] [--bind ADDR] [--workers N] [--max-connections N]
+//          [--telemetry]
+//
+// Serves every registered algorithm over the length-prefixed TCP protocol
+// (src/net/protocol.hpp): a client names (algorithm, seed, offset, nbytes)
+// and receives exactly those bytes of the canonical make_generator stream —
+// the same bytes at any worker count, any connection interleaving, and
+// across daemon restarts, because tenant identity is (algorithm, seed) and
+// position is the client-held offset.  `--port 0` (the default) binds an
+// ephemeral port; the chosen port is printed on stdout either way, so
+// scripts can scrape it.  A plain `curl http://host:port/metrics` (any HTTP
+// GET) returns the telemetry snapshot as JSON; --telemetry enables the
+// process registry at startup (equivalent to BSRNG_TELEMETRY=1).
+//
+// SIGINT/SIGTERM stop the daemon cleanly: the accept loop exits, every
+// connection closes, and the StreamEngine pool drains — clients resume
+// against the next instance by offset (tests/net/restart_determinism_test
+// drives exactly that cycle in-process).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "net/server.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop(int) { g_stop = 1; }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bsrngd [--port N] [--bind ADDR] [--workers N]\n"
+               "              [--max-connections N] [--telemetry]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bsrng::net::ServerConfig config;
+  bool telemetry_on = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bsrngd: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      config.port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--bind") {
+      config.bind_address = next();
+    } else if (arg == "--workers") {
+      config.workers = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--max-connections") {
+      config.max_connections = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--telemetry") {
+      telemetry_on = true;
+    } else {
+      return usage();
+    }
+  }
+  if (telemetry_on) bsrng::telemetry::metrics().set_enabled(true);
+
+  bsrng::net::Server server(config);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bsrngd: %s\n", e.what());
+    return 1;
+  }
+  std::printf("bsrngd: listening on %s:%u\n", config.bind_address.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+  while (g_stop == 0) {
+    const timespec delay{0, 100 * 1000 * 1000};
+    ::nanosleep(&delay, nullptr);
+  }
+  server.stop();
+
+  const bsrng::net::ServerStats s = server.stats();
+  std::printf("bsrngd: served %llu requests, %llu bytes, %llu accepted "
+              "connections, %llu bad frames\n",
+              static_cast<unsigned long long>(s.requests),
+              static_cast<unsigned long long>(s.bytes_served),
+              static_cast<unsigned long long>(s.accepted),
+              static_cast<unsigned long long>(s.bad_frames));
+  return 0;
+}
