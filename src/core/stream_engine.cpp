@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -76,6 +77,12 @@ ThroughputReport StreamEngine::generate_at(const PartitionSpec& spec,
                                            std::uint64_t offset,
                                            std::span<std::uint8_t> out) {
   if (offset == 0) return generate(spec, out);
+  // The span must fit the 2^64-byte stream address space: a wrapping end
+  // offset would undersize the lane-slice scratch envelope below and turn
+  // into an out-of-bounds read.
+  if (out.size() > std::numeric_limits<std::uint64_t>::max() - offset)
+    throw std::invalid_argument(
+        "StreamEngine: offset + span length overflows the stream address");
   switch (spec.kind) {
     case PartitionKind::kCounter: {
       if (spec.block_bytes == 0 || !spec.make_at_block)
@@ -125,8 +132,13 @@ ThroughputReport StreamEngine::generate_at(const PartitionSpec& spec,
         return run_lane_slice(shifted, out);
       if (out.empty()) return run_lane_slice(shifted, out);
       // Row-align through a scratch envelope, then slice the request out.
+      // end >= 1 (out is non-empty) and cannot wrap (checked on entry), so
+      // ceil(end / row) is computed wrap-free as (end - 1) / row + 1.
       const std::uint64_t end = offset + out.size();
-      const std::uint64_t rows = (end + row - 1) / row - r0;
+      const std::uint64_t rows = (end - 1) / row + 1 - r0;
+      if (rows > std::numeric_limits<std::size_t>::max() / row)
+        throw std::invalid_argument(
+            "StreamEngine: lane-slice scratch envelope overflows size_t");
       std::vector<std::uint8_t> scratch(
           static_cast<std::size_t>(rows * row));
       ThroughputReport rep = run_lane_slice(shifted, scratch);

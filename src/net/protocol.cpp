@@ -83,7 +83,7 @@ std::optional<Request> decode_request(std::span<const std::uint8_t> body) {
 
 std::optional<Response> decode_response(std::span<const std::uint8_t> body) {
   if (body.empty()) return std::nullopt;
-  if (body[0] > static_cast<std::uint8_t>(Status::kServerError))
+  if (body[0] > static_cast<std::uint8_t>(Status::kSeekTooFar))
     return std::nullopt;
   Response resp;
   resp.status = static_cast<Status>(body[0]);

@@ -26,6 +26,10 @@
 // are rejected before buffering (the length prefix alone condemns them),
 // and kGenerate.nbytes above kMaxGenerateBytes gets kTooLarge — clients
 // split big reads into spans, which is what the server batches anyway.
+// Lane-slice/sequential sessions reach an offset by clocking the live
+// generator through the gap; a gap beyond the server's configured
+// max_seek_bytes answers kSeekTooFar instead of stalling the event loop
+// on an unbounded discard (counter seeks are O(1) and unlimited).
 #pragma once
 
 #include <cstdint>
@@ -44,8 +48,10 @@ enum class Status : std::uint8_t {
   kOk = 0,
   kBadFrame = 1,      // unparseable body; the connection is closed after
   kUnknownAlgorithm = 2,
-  kTooLarge = 3,      // nbytes beyond kMaxGenerateBytes
+  kTooLarge = 3,      // nbytes beyond kMaxGenerateBytes, or offset + nbytes
+                      // past the end of the 2^64-byte stream address space
   kServerError = 4,
+  kSeekTooFar = 5,    // forward seek beyond the server's max_seek_bytes
 };
 
 // Longest legal request body.  1 MiB leaves room for any algorithm name

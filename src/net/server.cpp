@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -103,6 +104,7 @@ struct Server::Impl {
     bool http = false;        // first bytes were "GET " — metrics probe
     bool saw_binary = false;  // at least one frame extracted
     bool poisoned = false;    // malformed frame: answer pending, then close
+    bool eof = false;         // peer half-closed: serve the backlog, close
     bool closing = false;     // flush wbuf, then close
     bool throttled = false;   // over the write high watermark: not reading
     bool dead = false;        // socket error: close immediately
@@ -194,7 +196,8 @@ struct Server::Impl {
       pfds.push_back({accepting ? listen_fd : -1, POLLIN, 0});
       for (auto& [fd, c] : conns) {
         short ev = 0;
-        if (!c.closing && !c.throttled && !c.poisoned) ev |= POLLIN;
+        if (!c.closing && !c.throttled && !c.poisoned && !c.eof)
+          ev |= POLLIN;
         if (c.pending_write() > 0) ev |= POLLOUT;
         pfds.push_back({fd, ev, 0});
       }
@@ -220,11 +223,30 @@ struct Server::Impl {
           continue;
         }
         if ((re & POLLOUT) != 0) flush_writes(c);
-        if (!c.dead && (re & (POLLIN | POLLHUP)) != 0 && !c.closing)
-          if (!read_input(c)) c.dead = true;
+        if (!c.dead && !c.eof && (re & (POLLIN | POLLHUP)) != 0 &&
+            !c.closing) {
+          switch (read_input(c)) {
+            case ReadResult::kError:
+              c.dead = true;
+              break;
+            case ReadResult::kEof:
+              // Half-close: frames pipelined before the EOF are still in
+              // rbuf/pending and get real answers below.
+              c.eof = true;
+              break;
+            case ReadResult::kOk:
+              break;
+          }
+        }
         if (!c.dead) {
           maybe_unthrottle(c);
           process(c);
+          if (c.eof && !c.closing && !c.poisoned) {
+            if (c.http)
+              c.dead = true;  // the header block can never complete now
+            else if (c.pending.empty())
+              c.closing = true;  // backlog served: drain wbuf, then close
+          }
           flush_writes(c);
         }
         if (c.dead || (c.closing && c.pending_write() == 0)) close_conn(it);
@@ -271,8 +293,12 @@ struct Server::Impl {
         static_cast<double>(sessions.load(std::memory_order_relaxed)));
   }
 
-  // False on EOF or fatal socket error.
-  bool read_input(Conn& c) {
+  enum class ReadResult { kOk, kEof, kError };
+
+  // kEof is a *half*-close: bytes read before it stay in rbuf and any
+  // complete frames among them must still be answered (the peer's read side
+  // may well be open, waiting for exactly those responses).
+  ReadResult read_input(Conn& c) {
     std::uint8_t buf[16384];
     std::size_t got = 0;
     while (got < kReadBudget) {
@@ -282,12 +308,12 @@ struct Server::Impl {
         got += static_cast<std::size_t>(r);
         continue;
       }
-      if (r == 0) return false;  // peer closed (abrupt disconnects land here)
+      if (r == 0) return ReadResult::kEof;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
-      return false;
+      return ReadResult::kError;
     }
-    return true;
+    return ReadResult::kOk;
   }
 
   void flush_writes(Conn& c) {
@@ -420,6 +446,16 @@ struct Server::Impl {
         c.pending.pop_front();
         continue;
       }
+      if (g.offset >
+          std::numeric_limits<std::uint64_t>::max() - g.nbytes) {
+        // The span would run past the end of the 2^64-byte stream address
+        // space; downstream arithmetic must never see a wrapping end.
+        bump_requests(1);
+        respond(c, Status::kTooLarge,
+                ascii_payload("offset + nbytes overflows"));
+        c.pending.pop_front();
+        continue;
+      }
       if (!core::algorithm_exists(g.algorithm)) {
         bump_requests(1);
         respond(c, Status::kUnknownAlgorithm, ascii_payload(g.algorithm));
@@ -438,8 +474,36 @@ struct Server::Impl {
   // The batching step: merge the longest prefix of pending kGenerate
   // requests that continues one tenant stream contiguously into a single
   // engine span, then slice it back into per-request responses in order.
+  void reject_seek(Conn& c) {
+    bump_requests(1);
+    respond(c, Status::kSeekTooFar,
+            ascii_payload("forward seek beyond server bound"));
+    c.pending.pop_front();
+  }
+
   void serve_run(Conn& c) {
     const GenerateRequest first = c.pending.front().generate;
+    // Bound the seek before touching any generator: lane-slice/sequential
+    // sessions reach an offset by clocking through the gap *inline on the
+    // loop thread*, so one hostile offset near 2^63 would otherwise starve
+    // every connection and wedge stop() joining the loop.  A rejected first
+    // request never creates a session.
+    auto key = std::make_pair(first.algorithm, first.seed);
+    auto sit = c.sess.find(key);
+    if (sit == c.sess.end()) {
+      Session fresh(first.algorithm, first.seed);
+      if (fresh.seek_cost(first.offset) > config.max_seek_bytes) {
+        reject_seek(c);
+        return;
+      }
+      sit = c.sess.emplace(std::move(key), std::move(fresh)).first;
+      sessions.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::get().sessions.set(
+          static_cast<double>(sessions.load(std::memory_order_relaxed)));
+    } else if (sit->second.seek_cost(first.offset) > config.max_seek_bytes) {
+      reject_seek(c);
+      return;
+    }
     // A merged span may not outgrow the write queue either — otherwise one
     // buffered burst would defeat max_write_queue entirely.  The first
     // request is always served whole so progress never stalls.
@@ -457,14 +521,6 @@ struct Server::Impl {
       ++count;
       total += g.nbytes;
       next_off += g.nbytes;
-    }
-    auto key = std::make_pair(first.algorithm, first.seed);
-    auto [sit, inserted] =
-        c.sess.try_emplace(std::move(key), first.algorithm, first.seed);
-    if (inserted) {
-      sessions.fetch_add(1, std::memory_order_relaxed);
-      NetMetrics::get().sessions.set(
-          static_cast<double>(sessions.load(std::memory_order_relaxed)));
     }
     std::vector<std::uint8_t> payload(total);
     bool ok = true;

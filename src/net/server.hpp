@@ -16,6 +16,10 @@
 //                  sessions stall) until the peer drains it below
 //                  resume_write_queue.  A slow reader therefore stalls only
 //                  itself; the pool and every other connection keep going.
+//   half-close     a peer that shutdown(SHUT_WR)s after a pipelined burst
+//                  still gets every answer: EOF marks the connection
+//                  draining, buffered frames are decoded and served, and
+//                  the socket closes only once the write queue empties.
 //   sessions       per-connection map (algorithm, seed) -> net::Session.
 //                  Sessions die with their connection; nothing about the
 //                  stream's identity lives in the server (restart-safe by
@@ -47,6 +51,12 @@ struct ServerConfig {
   // Per-connection response-queue watermarks (bytes pending write).
   std::size_t max_write_queue = 8u << 20;
   std::size_t resume_write_queue = 1u << 20;
+  // Longest forward seek (bytes clocked through, not served) one kGenerate
+  // may ask of a lane-slice/sequential session.  Beyond it the request is
+  // answered kSeekTooFar — generation runs inline on the loop thread, so an
+  // unbounded discard would starve every connection and wedge stop().
+  // Counter-partition seeks are O(1) and not subject to this bound.
+  std::size_t max_seek_bytes = 64u << 20;
   int poll_timeout_ms = 200;
 };
 

@@ -9,6 +9,12 @@ Session::Session(std::string algorithm, std::uint64_t seed)
       seed_(seed),
       spec_(core::partition_spec(algorithm_, seed_)) {}
 
+std::uint64_t Session::seek_cost(std::uint64_t offset) const noexcept {
+  if (spec_.kind == core::PartitionKind::kCounter) return 0;
+  if (gen_ && offset >= gen_pos_) return offset - gen_pos_;
+  return offset;  // backward jump or no live generator: clock from zero
+}
+
 void Session::serve(core::StreamEngine& engine, std::uint64_t offset,
                     std::span<std::uint8_t> out) {
   if (spec_.kind == core::PartitionKind::kCounter) {
@@ -21,8 +27,17 @@ void Session::serve(core::StreamEngine& engine, std::uint64_t offset,
     gen_ = spec_.make();
     gen_pos_ = 0;
   }
-  core::discard_bytes(*gen_, offset - gen_pos_);
-  gen_->fill(out);
+  try {
+    core::discard_bytes(*gen_, offset - gen_pos_);
+    gen_->fill(out);
+  } catch (...) {
+    // The generator may have advanced partway; keeping it would desync it
+    // from gen_pos_ and the *next* sequential span would silently return
+    // wrong bytes.  Drop it; the next serve rebuilds from the spec.
+    gen_.reset();
+    gen_pos_ = 0;
+    throw;
+  }
   gen_pos_ = cursor_ = offset + out.size();
 }
 

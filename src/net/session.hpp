@@ -41,8 +41,19 @@ class Session {
   // The next sequential byte offset (end of the last span served).
   std::uint64_t cursor() const noexcept { return cursor_; }
 
+  // Bytes the session would have to clock through (discard, not serve) to
+  // reach `offset`: always 0 for kCounter (O(1) seek); otherwise the
+  // forward gap from the live generator's position, or the full offset when
+  // the jump is backward (rebuild from the spec, clock from zero).  The
+  // server bounds this with ServerConfig::max_seek_bytes before serving so
+  // one hostile offset cannot pin the event loop in an unbounded discard.
+  std::uint64_t seek_cost(std::uint64_t offset) const noexcept;
+
   // Fill `out` with bytes [offset, offset + out.size()) of the tenant's
-  // canonical stream.
+  // canonical stream.  If generation throws partway (bad_alloc, engine
+  // rejection), the live generator is dropped so the next serve rebuilds
+  // from the spec — a desynced generator would silently corrupt the next
+  // sequential span instead of erroring.
   void serve(core::StreamEngine& engine, std::uint64_t offset,
              std::span<std::uint8_t> out);
 

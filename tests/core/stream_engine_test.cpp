@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -210,6 +212,27 @@ TEST(StreamEngineGenerateAt, HugeCounterOffsetsSeekInConstantTime) {
                                  static_cast<std::ptrdiff_t>(lead)))
           << name << " workers " << workers;
     }
+  }
+}
+
+TEST(StreamEngineGenerateAt, OverflowingSpansAreRejected) {
+  // offset + out.size() wrapping past 2^64 would undersize the lane-slice
+  // scratch envelope (an out-of-bounds read) and corrupt counter/sequential
+  // arithmetic; generate_at must reject it before any work, for every
+  // partition kind.
+  co::StreamEngine engine({.workers = 2});
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  for (const char* name : kOffsetAlgos) {
+    std::vector<std::uint8_t> out(64);
+    EXPECT_THROW(engine.generate_at(name, kSeed, max - 10, out),
+                 std::invalid_argument)
+        << name;
+    // One byte past the largest representable end offset.
+    EXPECT_THROW(engine.generate_at(name, kSeed, max - out.size() + 1, out),
+                 std::invalid_argument)
+        << name;
+    // Empty spans stay trivially valid even at the very top of the space.
+    EXPECT_NO_THROW(engine.generate_at(name, kSeed, max, {})) << name;
   }
 }
 

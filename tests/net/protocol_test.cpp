@@ -62,7 +62,8 @@ TEST(Protocol, ResponsesRoundTripEveryStatus) {
   const std::vector<std::uint8_t> payload = {1, 2, 3, 0, 255};
   for (const nt::Status st :
        {nt::Status::kOk, nt::Status::kBadFrame, nt::Status::kUnknownAlgorithm,
-        nt::Status::kTooLarge, nt::Status::kServerError}) {
+        nt::Status::kTooLarge, nt::Status::kServerError,
+        nt::Status::kSeekTooFar}) {
     const auto frame = nt::encode_response(st, payload);
     const auto decoded = nt::decode_response(body_of(frame));
     ASSERT_TRUE(decoded.has_value());
@@ -113,6 +114,10 @@ TEST(Protocol, MalformedResponseBodiesAreRejected) {
   EXPECT_FALSE(nt::decode_response({}).has_value());
   std::vector<std::uint8_t> bad_status = {200, 'x'};
   EXPECT_FALSE(nt::decode_response(bad_status).has_value());
+  // The first byte past the last defined status is already malformed.
+  std::vector<std::uint8_t> next_status = {
+      static_cast<std::uint8_t>(nt::Status::kSeekTooFar) + 1, 'x'};
+  EXPECT_FALSE(nt::decode_response(next_status).has_value());
 }
 
 TEST(Protocol, ExtractFrameIsIncremental) {

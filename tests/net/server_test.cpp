@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <functional>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -201,6 +202,14 @@ TEST(Server, ErrorStatusesLeaveTheConnectionUsable) {
   ASSERT_TRUE(resp.has_value());
   EXPECT_EQ(resp->status, nt::Status::kTooLarge);
 
+  // A span running past the end of the 2^64-byte stream address space is
+  // refused up front, never handed to the engine with a wrapped end.
+  client.send_generate("aes-ctr-bs64", 1,
+                       std::numeric_limits<std::uint64_t>::max() - 16, 64);
+  resp = client.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, nt::Status::kTooLarge);
+
   // Zero-length generate is a valid empty span.
   client.send_generate("mickey-bs64", 1, 9, 0);
   resp = client.read_response();
@@ -278,6 +287,85 @@ TEST(Server, BadFrameAfterPipelinedWorkStillAnswersTheBacklog) {
   ASSERT_TRUE(resp.has_value());
   EXPECT_EQ(resp->status, nt::Status::kBadFrame);
   EXPECT_FALSE(client.read_response().has_value());
+  server.stop();
+}
+
+TEST(Server, HalfClosedPeerStillGetsItsPipelinedAnswers) {
+  // Write requests, shutdown(SHUT_WR), then read: the EOF reaches the
+  // server with complete frames still buffered, and every one of them must
+  // be answered before the server closes its side.
+  nt::Server server({.workers = 2});
+  server.start();
+  nt::Client client("127.0.0.1", server.port());
+
+  const std::string algo = "mickey-bs64";
+  const std::size_t span = 1024;
+  const std::size_t kSpans = 6;
+  for (std::size_t i = 0; i < kSpans; ++i)
+    client.send_generate(algo, kSeed, i * span,
+                         static_cast<std::uint32_t>(span));
+  client.send_ping();
+  ASSERT_EQ(::shutdown(client.fd(), SHUT_WR), 0);
+
+  std::vector<std::uint8_t> got;
+  for (std::size_t i = 0; i < kSpans; ++i) {
+    const auto resp = client.read_response();
+    ASSERT_TRUE(resp.has_value()) << i;
+    ASSERT_EQ(resp->status, nt::Status::kOk) << i;
+    got.insert(got.end(), resp->payload.begin(), resp->payload.end());
+  }
+  EXPECT_EQ(got, reference_bytes(algo, kSeed, 0, kSpans * span));
+  const auto pong = client.read_response();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->status, nt::Status::kOk);
+  // Backlog served: the server closes cleanly and leaks nothing.
+  EXPECT_FALSE(client.read_response().has_value());
+  EXPECT_TRUE(wait_until([&] {
+    const auto s = server.stats();
+    return s.connections == 0 && s.sessions == 0;
+  }));
+  server.stop();
+}
+
+TEST(Server, ForwardSeekBeyondBoundAnswersSeekTooFar) {
+  // Lane-slice and sequential sessions reach an offset by clocking through
+  // the gap inline on the loop thread; a gap beyond max_seek_bytes must be
+  // refused instantly — unbounded, it would starve every connection and
+  // make stop() hang joining the loop.
+  nt::Server server({.workers = 2, .max_seek_bytes = 64u << 10});
+  server.start();
+  nt::Client client("127.0.0.1", server.port());
+
+  for (const std::string algo : {"mickey-bs64", "mt19937"}) {
+    client.send_generate(algo, kSeed, std::uint64_t{1} << 40, 64);
+    const auto resp = client.read_response();
+    ASSERT_TRUE(resp.has_value()) << algo;
+    EXPECT_EQ(resp->status, nt::Status::kSeekTooFar) << algo;
+  }
+  // The refusal leaves the connection usable, and the bound applies to the
+  // seek *gap*, not the absolute offset: sequential traffic walks a stream
+  // far past max_seek_bytes one in-bound span at a time.
+  const std::uint32_t kSpan = 48u << 10;
+  std::vector<std::uint8_t> got;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto bytes = client.generate("mickey-bs64", kSeed, got.size(),
+                                       kSpan);
+    got.insert(got.end(), bytes.begin(), bytes.end());
+  }
+  EXPECT_EQ(got, reference_bytes("mickey-bs64", kSeed, 0, got.size()));
+  // Counter sessions seek O(1) and are exempt: a beyond-2^40 offset is
+  // served, byte-equal to the spec's own block factory.
+  const auto spec = co::partition_spec("aes-ctr-bs64", kSeed);
+  ASSERT_EQ(spec.kind, co::PartitionKind::kCounter);
+  const std::uint64_t off = (std::uint64_t{1} << 41) + 3;
+  const std::size_t n = 256;
+  const std::size_t lead = static_cast<std::size_t>(off % spec.block_bytes);
+  std::vector<std::uint8_t> ref(lead + n);
+  spec.make_at_block(off / spec.block_bytes)->fill(ref);
+  EXPECT_EQ(client.generate("aes-ctr-bs64", kSeed, off,
+                            static_cast<std::uint32_t>(n)),
+            std::vector<std::uint8_t>(
+                ref.begin() + static_cast<std::ptrdiff_t>(lead), ref.end()));
   server.stop();
 }
 

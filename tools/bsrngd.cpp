@@ -1,7 +1,7 @@
 // bsrngd — the BSRNG RNG-as-a-service daemon.
 //
 //   bsrngd [--port N] [--bind ADDR] [--workers N] [--max-connections N]
-//          [--telemetry]
+//          [--max-seek BYTES] [--telemetry]
 //
 // Serves every registered algorithm over the length-prefixed TCP protocol
 // (src/net/protocol.hpp): a client names (algorithm, seed, offset, nbytes)
@@ -37,7 +37,8 @@ void handle_stop(int) { g_stop = 1; }
 int usage() {
   std::fprintf(stderr,
                "usage: bsrngd [--port N] [--bind ADDR] [--workers N]\n"
-               "              [--max-connections N] [--telemetry]\n");
+               "              [--max-connections N] [--max-seek BYTES]\n"
+               "              [--telemetry]\n");
   return 2;
 }
 
@@ -63,6 +64,10 @@ int main(int argc, char** argv) {
       config.workers = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--max-connections") {
       config.max_connections = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--max-seek") {
+      // Forward-seek bound for lane-slice/sequential sessions; seeks past
+      // it answer kSeekTooFar instead of stalling the event loop.
+      config.max_seek_bytes = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--telemetry") {
       telemetry_on = true;
     } else {
