@@ -227,7 +227,7 @@ std::vector<std::string> default_lint_roots(std::string_view repo_root) {
   namespace fs = std::filesystem;
   std::vector<std::string> roots;
   for (const char* sub :
-       {"src/core", "src/ciphers", "src/bitslice", "src/lfsr"}) {
+       {"src/core", "src/ciphers", "src/bitslice", "src/lfsr", "src/fault"}) {
     fs::path p = fs::path(repo_root) / sub;
     roots.push_back(p.string());
   }

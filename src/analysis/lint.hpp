@@ -52,7 +52,9 @@ std::vector<LintFinding> lint_source(std::string_view file,
 std::vector<LintFinding> lint_paths(const std::vector<std::string>& paths);
 
 // The generation-critical subtrees the determinism contract covers,
-// relative to a repo root: src/core, src/ciphers, src/bitslice, src/lfsr.
+// relative to a repo root: src/core, src/ciphers, src/bitslice, src/lfsr,
+// src/fault (fault schedules must be as deterministic as the streams they
+// disturb).
 std::vector<std::string> default_lint_roots(std::string_view repo_root);
 
 }  // namespace bsrng::analysis

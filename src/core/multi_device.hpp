@@ -63,4 +63,26 @@ MultiDeviceReport multi_device_generate(std::string_view algorithm,
                                         std::span<std::uint8_t> out,
                                         bool parallel = true);
 
+struct MultiDeviceOptions {
+  bool parallel = true;
+  // Stage each device's chunk through a gpusim::Device: one launch per
+  // device whose threads generate the chunk positionally (generate_at) and
+  // store it word-by-word through the device's global memory, so the
+  // traffic is cost-modeled and the launch can fault.  A DeviceFault from
+  // any launch walks the degradation ladder: the whole span is regenerated
+  // on the host StreamEngine path (byte-identical — generate_at is
+  // idempotent), multi_device.device_fallbacks is counted, and the report
+  // is annotated (device_fallbacks / degraded_to_host).
+  bool use_gpusim = false;
+  std::size_t gpusim_threads = 4;  // threads per device launch
+};
+
+// Options overload of multi_device_generate; the bool-parallel overload
+// above is equivalent to {.parallel = parallel}.
+MultiDeviceReport multi_device_generate(std::string_view algorithm,
+                                        std::uint64_t seed,
+                                        std::size_t devices,
+                                        std::span<std::uint8_t> out,
+                                        const MultiDeviceOptions& options);
+
 }  // namespace bsrng::core

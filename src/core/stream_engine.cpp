@@ -4,9 +4,11 @@
 #include <chrono>
 #include <cstring>
 #include <limits>
+#include <new>
 #include <stdexcept>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace bsrng::core {
@@ -14,6 +16,15 @@ namespace bsrng::core {
 using Clock = std::chrono::steady_clock;
 
 namespace {
+
+struct EngineFaults {
+  fault::FaultPoint& alloc_fail;
+
+  static EngineFaults& get() {
+    static EngineFaults f{fault::faults().point("engine.alloc_fail")};
+    return f;
+  }
+};
 
 // Resolved once; per-job/per-task updates are relaxed atomics behind the
 // registry's enabled flag (one predictable branch when telemetry is off).
@@ -169,6 +180,11 @@ ThroughputReport StreamEngine::generate_at(const PartitionSpec& spec,
 ThroughputReport StreamEngine::dispatch(
     std::size_t ntasks,
     const std::function<std::uint64_t(std::size_t)>& task) {
+  // Every generation job funnels through here, so one injection point
+  // models "the allocation/setup for this job failed".  It fires before any
+  // output byte is written: a caller that catches and re-issues the span
+  // gets byte-identical results (generate_at is idempotent).
+  if (EngineFaults::get().alloc_fail.fire()) throw std::bad_alloc();
   ThroughputReport rep;
   rep.per_worker.resize(config_.workers);
   EngineMetrics& em = EngineMetrics::get();

@@ -1,13 +1,31 @@
 #include "core/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace bsrng::core {
 
 namespace {
+
+// Injection points resolved once, telemetry-style; disarmed cost per task is
+// two relaxed loads + branches.
+struct PoolFaults {
+  fault::FaultPoint& task_throw;
+  fault::FaultPoint& task_stall;
+
+  static PoolFaults& get() {
+    static PoolFaults f{
+        fault::faults().point("pool.task_throw"),
+        fault::faults().point("pool.task_stall"),
+    };
+    return f;
+  }
+};
 
 // Metric handles resolved once (name lookup takes the registry mutex); the
 // hot claim loop then costs one relaxed load + branch per touch when
@@ -111,6 +129,14 @@ void ThreadPool::worker_loop(std::size_t worker) {
       }
       pm.claims.add();
       try {
+        PoolFaults& pf = PoolFaults::get();
+        // A stalled worker delays its claimed task (shaking out ordering
+        // assumptions); a thrown one exercises run_indexed's first-error
+        // rethrow.  Output bytes are unaffected either way: the batch still
+        // completes or the caller sees the failure and retries whole spans.
+        if (pf.task_stall.fire())
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        pf.task_throw.maybe_throw();
         (*fn)(worker, t);
       } catch (...) {
         if (!err) err = std::current_exception();

@@ -42,6 +42,13 @@ struct ThroughputReport {
   double sum_worker_seconds = 0.0;  // total work (1-worker-equivalent time)
   std::vector<WorkerStat> per_worker;
 
+  // Degradation-ladder annotations (multi_device gpusim backend): how many
+  // simulated device launches faulted, and whether the span was regenerated
+  // through the host StreamEngine path as a result.  Output bytes are
+  // identical either way; these record that the ladder was walked.
+  std::uint64_t device_fallbacks = 0;
+  bool degraded_to_host = false;
+
   // Modeled speedup of the T-worker run over one worker doing all the work,
   // assuming workers run concurrently: sum / max.  This is the §5.4 scaling
   // model; on a host with fewer cores than workers, wall time cannot show it

@@ -1,0 +1,139 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "core/keyschedule.hpp"
+
+namespace bsrng::fault {
+namespace {
+
+// Clamp a probability to Q0.32.  rate >= 1 maps to 2^32, which fire()
+// compares as "always" (a 32-bit draw is strictly below it).
+std::uint64_t rate_to_q32(double rate) {
+  if (!(rate > 0.0)) return 0;
+  if (rate >= 1.0) return 1ull << 32;
+  return static_cast<std::uint64_t>(std::ldexp(rate, 32));
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool FaultPoint::fire() noexcept {
+  if (!armed_->load(std::memory_order_relaxed)) return false;
+  const std::uint64_t n = hits_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t q = rate_q32_.load(std::memory_order_relaxed);
+  if (q == 0) return false;
+  // Decision n of this point, O(1)-seeked off the pinned splitmix schedule.
+  core::keyschedule::SeedStream s(salt_.load(std::memory_order_relaxed));
+  s.skip_words(n);
+  const bool hit = (s.next_word() >> 32) < q;
+  if (hit) fired_.fetch_add(1, std::memory_order_relaxed);
+  return hit;
+}
+
+void FaultRegistry::apply_config_locked(FaultPoint& p) const {
+  p.salt_.store(seed_ ^ fnv1a64(p.name_), std::memory_order_relaxed);
+  double rate = default_rate_;
+  for (const auto& [name, r] : overrides_)
+    if (name == p.name_) rate = r;
+  p.rate_q32_.store(rate_to_q32(rate), std::memory_order_relaxed);
+}
+
+void FaultRegistry::arm(std::uint64_t seed, double default_rate) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  default_rate_ = default_rate;
+  for (const auto& p : points_) apply_config_locked(*p);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultRegistry::arm_point(std::string_view name, double rate) {
+  FaultPoint& p = point(name);
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(overrides_,
+                [&](const auto& kv) { return kv.first == p.name_; });
+  overrides_.emplace_back(p.name_, rate);
+  apply_config_locked(p);
+}
+
+void FaultRegistry::clear() {
+  armed_.store(false, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mu_);
+  overrides_.clear();
+  default_rate_ = 0.0;
+  for (const auto& p : points_) {
+    apply_config_locked(*p);
+    p->hits_.store(0, std::memory_order_relaxed);
+    p->fired_.store(0, std::memory_order_relaxed);
+  }
+}
+
+void FaultRegistry::reset_counts() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& p : points_) {
+    p->hits_.store(0, std::memory_order_relaxed);
+    p->fired_.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t FaultRegistry::seed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return seed_;
+}
+
+FaultPoint& FaultRegistry::point(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), name,
+      [](const auto& p, std::string_view n) { return p->name_ < n; });
+  if (it != points_.end() && (*it)->name_ == name) return **it;
+  auto p = std::make_unique<FaultPoint>(std::string(name), &armed_);
+  apply_config_locked(*p);
+  return **points_.insert(it, std::move(p));
+}
+
+std::vector<FaultRegistry::PointStats> FaultRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PointStats> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) {
+    const std::uint64_t q = p->rate_q32_.load(std::memory_order_relaxed);
+    out.push_back({p->name_, std::ldexp(static_cast<double>(q), -32),
+                   p->hits(), p->fired()});
+  }
+  return out;
+}
+
+std::uint64_t FaultRegistry::total_fired() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& p : points_) total += p->fired();
+  return total;
+}
+
+FaultRegistry& faults() {
+  static FaultRegistry& reg = *[] {
+    auto* r = new FaultRegistry();
+    if (const char* env = std::getenv("BSRNG_FAULTS"); env && *env) {
+      char* end = nullptr;
+      const std::uint64_t seed = std::strtoull(env, &end, 0);
+      double rate = 0.01;
+      if (end && *end == ':') rate = std::strtod(end + 1, nullptr);
+      r->arm(seed, rate);
+    }
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace bsrng::fault

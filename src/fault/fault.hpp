@@ -1,0 +1,151 @@
+// fault.hpp — deterministic, seeded fault injection.
+//
+// Every layer of the serving path compiles named injection points in
+// permanently (`faults().point("net.server.read_reset")`), gated by the same
+// relaxed-atomic-flag pattern as telemetry: while the registry is disarmed a
+// FaultPoint::fire() call costs one relaxed load and a predictable branch,
+// so the points can live on hot paths (pool task dispatch, recv/send shims)
+// without a build-time switch.
+//
+// The fault *schedule* is a pure function of (registry seed, point name,
+// per-point hit index) through the pinned splitmix64 keyschedule — never
+// wall-clock time or rand(), which the determinism lint enforces over
+// src/fault.  Hit n at point p fires iff
+//
+//     salt   = seed XOR fnv1a64(p)
+//     draw   = SeedStream(salt).skip_words(n).next_word()
+//     fires  = (draw >> 32) < rate_q32          // rate in Q0.32 fixed point
+//
+// so two processes armed with the same seed and rates observe the identical
+// fire/no-fire decision at the identical hit index of every point,
+// independent of thread interleaving at *other* points.  Hit indices only
+// advance while armed: a disarm/re-arm cycle resumes the schedule where it
+// left off, and reset_counts() rewinds it for exact replay.
+//
+// tests/fault/fault_test.cpp pins the decision function against a local
+// re-derivation so a schedule change is a deliberate, visible break.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bsrng::fault {
+
+// Thrown by FaultPoint::maybe_throw when the schedule fires.  Carries the
+// point name so tests and retry layers can tell injected failures from real
+// ones.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(std::string point)
+      : std::runtime_error("injected fault at " + point),
+        point_(std::move(point)) {}
+  const std::string& point() const noexcept { return point_; }
+
+ private:
+  std::string point_;
+};
+
+// One named injection point.  Obtained once (and cached, telemetry-style)
+// via FaultRegistry::point(); fire() is then lock-free.
+class FaultPoint {
+ public:
+  FaultPoint(std::string name, const std::atomic<bool>* armed)
+      : name_(std::move(name)), armed_(armed) {}
+  FaultPoint(const FaultPoint&) = delete;
+  FaultPoint& operator=(const FaultPoint&) = delete;
+
+  // True iff the deterministic schedule says this hit fails.  Disarmed cost:
+  // one relaxed load + branch.
+  bool fire() noexcept;
+
+  // fire() that throws InjectedFault(name) instead of returning true.
+  void maybe_throw() {
+    if (fire()) throw InjectedFault(name_);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fired() const noexcept {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class FaultRegistry;
+
+  std::string name_;
+  const std::atomic<bool>* armed_;           // registry's master switch
+  std::atomic<std::uint64_t> salt_{0};       // seed ^ fnv1a64(name)
+  std::atomic<std::uint64_t> rate_q32_{0};   // fire probability in Q0.32
+  std::atomic<std::uint64_t> hits_{0};       // armed arrivals (schedule pos)
+  std::atomic<std::uint64_t> fired_{0};
+};
+
+class FaultRegistry {
+ public:
+  struct PointStats {
+    std::string name;
+    double rate = 0.0;
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+  };
+
+  FaultRegistry() = default;
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+  // Arm every point (current and future) with `default_rate`, seeding the
+  // schedule.  Per-point overrides installed via arm_point survive.
+  void arm(std::uint64_t seed, double default_rate);
+  // Override one point's rate (creates it if needed).  Usable before or
+  // after arm(); the override persists across arm() calls until clear().
+  void arm_point(std::string_view name, double rate);
+  // Stop firing everywhere.  Hit counters (schedule positions) are kept so a
+  // re-arm resumes the schedule; see reset_counts().
+  void disarm() noexcept { armed_.store(false, std::memory_order_relaxed); }
+  // Disarm, drop overrides, and zero every hit/fired counter.
+  void clear();
+  // Rewind every point's schedule position and fired count to zero.
+  void reset_counts();
+
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t seed() const;
+
+  // Get-or-create; the reference stays valid for the registry's lifetime so
+  // callers cache it in a static handle struct (telemetry idiom).
+  FaultPoint& point(std::string_view name);
+
+  std::vector<PointStats> snapshot() const;
+  // Total injected faults across all points (loadgen's `faults_injected`).
+  std::uint64_t total_fired() const;
+
+ private:
+  void apply_config_locked(FaultPoint& p) const;
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  std::uint64_t seed_ = 0;                              // guarded by mu_
+  double default_rate_ = 0.0;                           // guarded by mu_
+  std::vector<std::pair<std::string, double>> overrides_;  // guarded by mu_
+  // Name-sorted; unique_ptr keeps FaultPoint addresses stable.
+  std::vector<std::unique_ptr<FaultPoint>> points_;     // guarded by mu_
+};
+
+// The process registry.  First use honors BSRNG_FAULTS="<seed>[:<rate>]"
+// (rate defaults to 0.01) so daemons can be armed from the environment.
+FaultRegistry& faults();
+
+// The schedule's name hash, exposed so tests can re-derive decisions.
+std::uint64_t fnv1a64(std::string_view s) noexcept;
+
+}  // namespace bsrng::fault

@@ -6,11 +6,21 @@
 #include <stdexcept>
 #include <thread>
 
+#include "fault/fault.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace bsrng::gpusim {
 
 namespace {
+
+struct DeviceFaults {
+  fault::FaultPoint& launch_fault;
+
+  static DeviceFaults& get() {
+    static DeviceFaults f{fault::faults().point("gpusim.launch_fault")};
+    return f;
+  }
+};
 
 // Launch-granularity telemetry (one update set per launch, not per memory
 // access — the virtual GPU's hot loops stay untouched).
@@ -106,6 +116,11 @@ Device::Device(std::size_t global_words) : global_(global_words, 0) {}
 MemStats Device::launch(const LaunchConfig& cfg, const Kernel& kernel) {
   if (cfg.threads_per_block == 0 || cfg.blocks == 0)
     throw std::invalid_argument("launch: empty grid");
+  // Fires after grid validation (an invalid grid is a caller bug, not a
+  // device fault) and before any block runs, so a faulted launch leaves
+  // global memory untouched and a retry/fallback is byte-exact.
+  if (DeviceFaults::get().launch_fault.fire())
+    throw DeviceFault("gpusim: injected launch fault");
   const bool check = cfg.check || check_env_enabled();
   MemStats launch_stats;
 

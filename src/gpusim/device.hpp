@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <stdexcept>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -25,6 +26,15 @@
 #include "gpusim/sanitizer.hpp"
 
 namespace bsrng::gpusim {
+
+// A launch that failed at the device level (today: only via the seeded
+// "gpusim.launch_fault" injection point — the simulated analogue of a CUDA
+// launch error).  multi_device_generate catches this and degrades to the
+// host StreamEngine path.
+class DeviceFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct LaunchConfig {
   std::size_t blocks = 1;

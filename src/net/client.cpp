@@ -1,19 +1,62 @@
 #include "net/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <stdexcept>
 #include <system_error>
 #include <utility>
 
+#include "fault/fault.hpp"
+
 namespace bsrng::net {
 
-Client::Client(const std::string& host, std::uint16_t port) {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Client-side syscall injection points (resolved once; disarmed cost is a
+// relaxed load + branch per send/recv).
+struct ClientFaults {
+  fault::FaultPoint& write_short;
+  fault::FaultPoint& read_reset;
+
+  static ClientFaults& get() {
+    static ClientFaults f{
+        fault::faults().point("net.client.write_short"),
+        fault::faults().point("net.client.read_reset"),
+    };
+    return f;
+  }
+};
+
+// Milliseconds left until `deadline`, clamped at >= 0.
+int ms_until(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0)
+    throw std::system_error(errno, std::generic_category(), "fcntl");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) < 0)
+    throw std::system_error(errno, std::generic_category(), "fcntl");
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, std::uint16_t port,
+               int connect_timeout_ms) {
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0)
     throw std::system_error(errno, std::generic_category(), "socket");
@@ -25,11 +68,50 @@ Client::Client(const std::string& host, std::uint16_t port) {
     fd_ = -1;
     throw std::invalid_argument("Client: bad host address " + host);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    const int err = errno;
+  const auto fail = [&](int err, const char* what) {
     ::close(fd_);
     fd_ = -1;
-    throw std::system_error(err, std::generic_category(), "connect");
+    throw std::system_error(err, std::generic_category(), what);
+  };
+  try {
+    if (connect_timeout_ms > 0) set_nonblocking(fd_, true);
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    if (connect_timeout_ms <= 0 || errno != EINPROGRESS)
+      fail(errno, "connect");
+    // Non-blocking connect in flight: wait for writability against the
+    // deadline, retrying EINTR with the remaining budget each time.
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(connect_timeout_ms);
+    for (;;) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int remaining = ms_until(deadline);
+      const int n = ::poll(&pfd, 1, remaining);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        fail(errno, "connect poll");
+      }
+      if (n == 0) fail(ETIMEDOUT, "connect");
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) < 0)
+      fail(errno, "connect getsockopt");
+    if (err != 0) fail(err, "connect");
+  }
+  if (connect_timeout_ms > 0) {
+    try {
+      set_nonblocking(fd_, false);
+    } catch (...) {
+      ::close(fd_);
+      fd_ = -1;
+      throw;
+    }
   }
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -57,8 +139,11 @@ void Client::close() {
 void Client::send_all(std::span<const std::uint8_t> bytes) {
   std::size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t w = ::send(fd_, bytes.data() + off, bytes.size() - off,
-                             MSG_NOSIGNAL);
+    std::size_t len = bytes.size() - off;
+    // Injected short write: the kernel accepting 1 byte is a legal send()
+    // outcome; the loop must (and does) continue from the new offset.
+    if (ClientFaults::get().write_short.fire() && len > 1) len = 1;
+    const ssize_t w = ::send(fd_, bytes.data() + off, len, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       throw std::system_error(errno, std::generic_category(), "send");
@@ -80,15 +165,35 @@ void Client::send_raw(std::span<const std::uint8_t> bytes) {
   send_all(bytes);
 }
 
-std::optional<Response> Client::read_response() {
+Client::ReadResult Client::read_response(Response& out, int timeout_ms) {
   std::vector<std::uint8_t> body;
+  const bool bounded = timeout_ms >= 0;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(
+                                           bounded ? timeout_ms : 0);
   for (;;) {
     // Responses can carry kMaxGenerateBytes payloads plus framing.
     try {
-      if (extract_frame(rbuf_, body, kMaxGenerateBytes + 64))
-        return decode_response(body);
+      if (extract_frame(rbuf_, body, kMaxGenerateBytes + 64)) {
+        std::optional<Response> resp = decode_response(body);
+        if (!resp) return ReadResult::kClosed;  // unknown status byte
+        out = std::move(*resp);
+        return ReadResult::kFrame;
+      }
     } catch (const std::runtime_error&) {
-      return std::nullopt;  // nonsense length prefix: treat as broken peer
+      return ReadResult::kClosed;  // nonsense length prefix: broken peer
+    }
+    if (bounded) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int n = ::poll(&pfd, 1, ms_until(deadline));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ReadResult::kClosed;
+      }
+      if (n == 0) return ReadResult::kTimeout;
+    }
+    if (ClientFaults::get().read_reset.fire()) {
+      errno = ECONNRESET;
+      return ReadResult::kClosed;
     }
     std::uint8_t buf[65536];
     const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
@@ -96,10 +201,16 @@ std::optional<Response> Client::read_response() {
       rbuf_.insert(rbuf_.end(), buf, buf + r);
       continue;
     }
-    if (r == 0) return std::nullopt;
-    if (errno == EINTR) continue;
-    return std::nullopt;
+    if (r == 0) return ReadResult::kClosed;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return ReadResult::kClosed;
   }
+}
+
+std::optional<Response> Client::read_response() {
+  Response resp;
+  if (read_response(resp, -1) != ReadResult::kFrame) return std::nullopt;
+  return resp;
 }
 
 std::vector<std::uint8_t> Client::generate(const std::string& algorithm,

@@ -21,7 +21,13 @@ namespace bsrng::net {
 class Client {
  public:
   // Connect to a bsrngd instance; throws std::system_error on failure.
-  Client(const std::string& host, std::uint16_t port);
+  // The connect itself is non-blocking with a deadline (EINTR retried
+  // against the remaining budget) — an unresponsive host yields
+  // std::errc::timed_out after `connect_timeout_ms` instead of hanging
+  // forever, which used to be the one unbounded blocking call on the
+  // client side.  <= 0 restores the old unbounded behavior.
+  Client(const std::string& host, std::uint16_t port,
+         int connect_timeout_ms = 10000);
   ~Client();
 
   Client(Client&& other) noexcept;
@@ -57,6 +63,13 @@ class Client {
   // Next response frame, in request order.  nullopt = connection closed by
   // the server before a full frame arrived.
   std::optional<Response> read_response();
+
+  // Deadline variant: kTimeout when no full frame arrived within
+  // `timeout_ms` (buffered partial bytes are kept — a later call resumes
+  // the same frame), kClosed on EOF/reset/poisoned framing.  timeout_ms < 0
+  // blocks like read_response().
+  enum class ReadResult { kFrame, kClosed, kTimeout };
+  ReadResult read_response(Response& out, int timeout_ms);
 
  private:
   void send_all(std::span<const std::uint8_t> bytes);

@@ -83,12 +83,24 @@ std::optional<Request> decode_request(std::span<const std::uint8_t> body) {
 
 std::optional<Response> decode_response(std::span<const std::uint8_t> body) {
   if (body.empty()) return std::nullopt;
-  if (body[0] > static_cast<std::uint8_t>(Status::kSeekTooFar))
+  if (body[0] > static_cast<std::uint8_t>(Status::kRetryLater))
     return std::nullopt;
   Response resp;
   resp.status = static_cast<Status>(body[0]);
   resp.payload.assign(body.begin() + 1, body.end());
   return resp;
+}
+
+std::vector<std::uint8_t> encode_retry_after(std::uint32_t ms) {
+  std::vector<std::uint8_t> out;
+  append_u32le(out, ms);
+  return out;
+}
+
+std::optional<std::uint32_t> decode_retry_after(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < 4) return std::nullopt;
+  return read_u32le(payload.data());
 }
 
 bool extract_frame(std::vector<std::uint8_t>& buf,

@@ -52,6 +52,11 @@ enum class Status : std::uint8_t {
                       // past the end of the 2^64-byte stream address space
   kServerError = 4,
   kSeekTooFar = 5,    // forward seek beyond the server's max_seek_bytes
+  kRetryLater = 6,    // shed under overload / quota / drain; the payload
+                      // starts with a u32le retry-after hint (milliseconds)
+                      // — see encode_retry_after.  The connection stays
+                      // usable; the request was NOT served and a retry at
+                      // the same offset is byte-exact.
 };
 
 // Longest legal request body.  1 MiB leaves room for any algorithm name
@@ -100,6 +105,13 @@ std::optional<Request> decode_request(std::span<const std::uint8_t> body);
 // Parse one response body.  nullopt for an empty body or a status byte
 // outside the enum.
 std::optional<Response> decode_response(std::span<const std::uint8_t> body);
+
+// kRetryLater payload helpers: a u32le retry-after hint in milliseconds.
+// decode returns nullopt when the payload is too short to carry one (old
+// or foreign server) — callers fall back to their own backoff.
+std::vector<std::uint8_t> encode_retry_after(std::uint32_t ms);
+std::optional<std::uint32_t> decode_retry_after(
+    std::span<const std::uint8_t> payload);
 
 // Incremental frame extraction over a connection read buffer: when `buf`
 // holds a complete frame at the front, copy its body into `body`, erase it

@@ -1,0 +1,166 @@
+#include "net/resilient_client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "telemetry/metrics.hpp"
+
+namespace bsrng::net {
+
+namespace {
+
+struct ResilientMetrics {
+  telemetry::Counter& retries;
+  telemetry::Counter& reconnects;
+  telemetry::Counter& timeouts;
+  telemetry::Counter& retry_later;
+
+  static ResilientMetrics& get() {
+    static ResilientMetrics m{
+        telemetry::metrics().counter("net.client.retries"),
+        telemetry::metrics().counter("net.client.reconnects"),
+        telemetry::metrics().counter("net.client.timeouts"),
+        telemetry::metrics().counter("net.client.retry_later"),
+    };
+    return m;
+  }
+};
+
+bool permanent_status(Status s) {
+  return s == Status::kBadFrame || s == Status::kUnknownAlgorithm ||
+         s == Status::kTooLarge || s == Status::kSeekTooFar;
+}
+
+}  // namespace
+
+ResilientClient::ResilientClient(ResilientClientConfig config)
+    : config_(std::move(config)), jitter_(config_.jitter_seed) {
+  config_.max_attempts = std::max<std::size_t>(1, config_.max_attempts);
+  config_.span_bytes =
+      std::min(std::max<std::size_t>(1, config_.span_bytes),
+               static_cast<std::size_t>(kMaxGenerateBytes));
+}
+
+bool ResilientClient::ensure_connected() {
+  if (client_) return true;
+  try {
+    client_.emplace(config_.host, config_.port, config_.connect_timeout_ms);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (ever_connected_) {
+    ++stats_.reconnects;
+    ResilientMetrics::get().reconnects.add();
+  }
+  ever_connected_ = true;
+  return true;
+}
+
+void ResilientClient::backoff(std::size_t attempt,
+                              std::uint32_t server_hint_ms) {
+  // delay = min(cap, base * 2^attempt), halved and topped back up with a
+  // deterministic jitter draw so synchronized clients desynchronize — the
+  // classic "equal jitter" scheme, off the pinned splitmix64 stream.
+  const std::uint64_t base = std::max(1, config_.backoff_base_ms);
+  const std::uint64_t cap = std::max<std::uint64_t>(
+      base, static_cast<std::uint64_t>(std::max(1, config_.backoff_cap_ms)));
+  const std::uint64_t exp =
+      attempt >= 20 ? cap : std::min(cap, base << attempt);
+  const std::uint64_t half = exp / 2;
+  const std::uint64_t jit = half == 0 ? 0 : jitter_.next_word() % (half + 1);
+  const std::uint64_t delay =
+      std::max<std::uint64_t>(half + jit, server_hint_ms);
+  if (delay > 0) std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
+void ResilientClient::fetch_span(const std::string& algorithm,
+                                 std::uint64_t seed, std::uint64_t offset,
+                                 std::span<std::uint8_t> out) {
+  std::string last_error = "unreachable";
+  for (std::size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      ResilientMetrics::get().retries.add();
+    }
+    if (!ensure_connected()) {
+      last_error = "connect failed";
+      backoff(attempt, 0);
+      continue;
+    }
+    std::uint32_t hint = 0;
+    try {
+      ++stats_.requests;
+      client_->send_generate(algorithm, seed, offset,
+                             static_cast<std::uint32_t>(out.size()));
+      Response resp;
+      const Client::ReadResult r =
+          client_->read_response(resp, config_.request_timeout_ms);
+      if (r == Client::ReadResult::kFrame) {
+        if (resp.status == Status::kOk) {
+          if (resp.payload.size() == out.size()) {
+            std::copy(resp.payload.begin(), resp.payload.end(), out.begin());
+            stats_.bytes += out.size();
+            return;
+          }
+          // A wrong-sized kOk payload means the pipeline desynced; the
+          // connection cannot be trusted for frame boundaries anymore.
+          last_error = "short payload";
+          client_.reset();
+        } else if (resp.status == Status::kRetryLater) {
+          ++stats_.retry_later;
+          ResilientMetrics::get().retry_later.add();
+          hint = decode_retry_after(resp.payload).value_or(0);
+          last_error = "shed (retry later)";
+        } else if (permanent_status(resp.status)) {
+          throw std::runtime_error(
+              "ResilientClient: permanent server status " +
+              std::to_string(static_cast<int>(resp.status)) + ": " +
+              std::string(resp.payload.begin(), resp.payload.end()));
+        } else {
+          // kServerError: transient, the connection stays usable.
+          last_error = "server error";
+        }
+      } else if (r == Client::ReadResult::kTimeout) {
+        ++stats_.timeouts;
+        ResilientMetrics::get().timeouts.add();
+        last_error = "request timeout";
+        client_.reset();
+      } else {
+        last_error = "connection lost";
+        client_.reset();
+      }
+    } catch (const std::system_error& e) {
+      last_error = e.what();
+      client_.reset();
+    }
+    backoff(attempt, hint);
+  }
+  throw std::runtime_error("ResilientClient: span at offset " +
+                           std::to_string(offset) + " failed after " +
+                           std::to_string(config_.max_attempts) +
+                           " attempts; last error: " + last_error);
+}
+
+void ResilientClient::fetch(const std::string& algorithm, std::uint64_t seed,
+                            std::uint64_t offset,
+                            std::span<std::uint8_t> out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::size_t n = std::min(config_.span_bytes, out.size() - done);
+    fetch_span(algorithm, seed, offset + done, out.subspan(done, n));
+    done += n;
+  }
+}
+
+std::vector<std::uint8_t> ResilientClient::generate(
+    const std::string& algorithm, std::uint64_t seed, std::uint64_t offset,
+    std::size_t nbytes) {
+  std::vector<std::uint8_t> out(nbytes);
+  fetch(algorithm, seed, offset, out);
+  return out;
+}
+
+}  // namespace bsrng::net

@@ -23,6 +23,7 @@
 
 #include "core/registry.hpp"
 #include "core/stream_engine.hpp"
+#include "fault/fault.hpp"
 #include "net/protocol.hpp"
 #include "net/session.hpp"
 #include "telemetry/metrics.hpp"
@@ -46,6 +47,9 @@ struct NetMetrics {
   telemetry::Counter& bad_frames;
   telemetry::Counter& backpressure_stalls;
   telemetry::Counter& batched_spans;
+  telemetry::Counter& sheds;
+  telemetry::Counter& idle_closed;
+  telemetry::Counter& drains;
   telemetry::Gauge& connections;
   telemetry::Gauge& sessions;
   telemetry::Gauge& started_unix;
@@ -58,11 +62,37 @@ struct NetMetrics {
         telemetry::metrics().counter("net.bad_frames"),
         telemetry::metrics().counter("net.backpressure_stalls"),
         telemetry::metrics().counter("net.batched_spans"),
+        telemetry::metrics().counter("net.sheds"),
+        telemetry::metrics().counter("net.idle_closed"),
+        telemetry::metrics().counter("net.drains"),
         telemetry::metrics().gauge("net.connections"),
         telemetry::metrics().gauge("net.sessions"),
         telemetry::metrics().gauge("net.started_unix_seconds"),
     };
     return m;
+  }
+};
+
+// Server-side syscall injection points: the seeded chaos schedule models
+// short reads/writes, peer resets, and transient accept failures at the
+// exact layer the real kernel would produce them.  Disarmed cost per
+// syscall is a relaxed load + branch.
+struct ServerFaults {
+  fault::FaultPoint& accept_fail;
+  fault::FaultPoint& read_short;
+  fault::FaultPoint& read_reset;
+  fault::FaultPoint& write_short;
+  fault::FaultPoint& write_reset;
+
+  static ServerFaults& get() {
+    static ServerFaults f{
+        fault::faults().point("net.server.accept_fail"),
+        fault::faults().point("net.server.read_short"),
+        fault::faults().point("net.server.read_reset"),
+        fault::faults().point("net.server.write_short"),
+        fault::faults().point("net.server.write_reset"),
+    };
+    return f;
   }
 };
 
@@ -85,6 +115,7 @@ struct Server::Impl {
   int wake_wr = -1;
   std::thread loop_thread;
   std::atomic<bool> stop_flag{false};
+  std::atomic<bool> drain_flag{false};
   std::uint16_t bound_port = 0;
 
   std::atomic<std::uint64_t> accepted{0};
@@ -93,8 +124,21 @@ struct Server::Impl {
   std::atomic<std::uint64_t> bad_frames{0};
   std::atomic<std::uint64_t> stalls{0};
   std::atomic<std::uint64_t> batched{0};
+  std::atomic<std::uint64_t> sheds{0};
+  std::atomic<std::uint64_t> idle_closed{0};
+  std::atomic<std::uint64_t> drains{0};
   std::atomic<std::size_t> connections{0};
   std::atomic<std::size_t> sessions{0};
+
+  using Clock = std::chrono::steady_clock;
+
+  // A decoded request waiting for its in-order answer.  `shed` is decided
+  // at admission (per-tenant in-flight overflow) but answered here, in
+  // response order — rejecting out of order would desync the pipeline.
+  struct PendingReq {
+    Request req;
+    bool shed = false;
+  };
 
   struct Conn {
     int fd = -1;
@@ -108,12 +152,63 @@ struct Server::Impl {
     bool closing = false;     // flush wbuf, then close
     bool throttled = false;   // over the write high watermark: not reading
     bool dead = false;        // socket error: close immediately
-    std::deque<Request> pending;
+    Clock::time_point last_activity;   // last byte read or written
+    Clock::time_point partial_since;   // oldest incomplete-frame byte
+    bool has_partial = false;
+    std::deque<PendingReq> pending;
     std::map<std::pair<std::string, std::uint64_t>, Session> sess;
 
     std::size_t pending_write() const { return wbuf.size() - wpos; }
   };
   std::map<int, Conn> conns;
+  // Bytes queued for write across all connections (the shed signal),
+  // maintained incrementally: respond/process_http add, flush/close
+  // subtract.  Loop-thread only.
+  std::size_t queued_total = 0;
+
+  // Per-tenant quota state; tenant identity is (algorithm, seed) across
+  // connections.  Loop-thread only.
+  struct Tenant {
+    std::size_t pending = 0;   // decoded, unanswered kGenerate requests
+    double tokens = 0.0;       // bytes/sec bucket
+    bool bucket_init = false;
+    Clock::time_point last_refill;
+  };
+  std::map<std::pair<std::string, std::uint64_t>, Tenant> tenants;
+
+  bool tenant_tracking() const {
+    return config.tenant_max_pending > 0 || config.tenant_bytes_per_sec > 0;
+  }
+
+  Tenant& tenant(const GenerateRequest& g) {
+    return tenants[std::make_pair(g.algorithm, g.seed)];
+  }
+
+  void tenant_release(const GenerateRequest& g) {
+    const auto it = tenants.find(std::make_pair(g.algorithm, g.seed));
+    if (it == tenants.end()) return;
+    if (it->second.pending > 0) --it->second.pending;
+    // Bucket state matters only while a bytes/sec quota is on; otherwise
+    // idle tenants are dropped so the map tracks live load, not history.
+    if (it->second.pending == 0 && config.tenant_bytes_per_sec == 0)
+      tenants.erase(it);
+  }
+
+  // Refill-then-read the tenant's byte bucket (burst = one second's rate).
+  double tenant_bucket(Tenant& t, Clock::time_point now) const {
+    const double rate = static_cast<double>(config.tenant_bytes_per_sec);
+    if (!t.bucket_init) {
+      t.bucket_init = true;
+      t.tokens = rate;
+      t.last_refill = now;
+      return t.tokens;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(now - t.last_refill).count();
+    t.tokens = std::min(rate, t.tokens + elapsed * rate);
+    t.last_refill = now;
+    return t.tokens;
+  }
 
   explicit Impl(ServerConfig cfg)
       : config(std::move(cfg)),
@@ -181,6 +276,25 @@ struct Server::Impl {
     listen_fd = wake_rd = wake_wr = -1;
   }
 
+  // Graceful drain: flag the loop (stop accepting; sweep walks quiet
+  // connections to closing), then wait for the population to hit zero or
+  // the deadline — whichever first — and stop().
+  void drain(int deadline_ms) {
+    if (!loop_thread.joinable()) return;
+    if (!drain_flag.exchange(true, std::memory_order_acq_rel)) {
+      drains.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::get().drains.add();
+    }
+    const std::uint8_t b = 1;
+    [[maybe_unused]] const ssize_t w = ::write(wake_wr, &b, 1);
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(std::max(0, deadline_ms));
+    while (connections.load(std::memory_order_relaxed) > 0 &&
+           Clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    stop();
+  }
+
   ~Impl() { stop(); }
 
   // --- event loop --------------------------------------------------------
@@ -191,8 +305,10 @@ struct Server::Impl {
       pfds.clear();
       pfds.push_back({wake_rd, POLLIN, 0});
       // A full house stops accepting (negative fd = ignored by poll); the
-      // kernel backlog queues the overflow.
-      const bool accepting = conns.size() < config.max_connections;
+      // kernel backlog queues the overflow.  A draining server stops
+      // accepting for good.
+      const bool accepting = conns.size() < config.max_connections &&
+                             !drain_flag.load(std::memory_order_relaxed);
       pfds.push_back({accepting ? listen_fd : -1, POLLIN, 0});
       for (auto& [fd, c] : conns) {
         short ev = 0;
@@ -251,6 +367,7 @@ struct Server::Impl {
         }
         if (c.dead || (c.closing && c.pending_write() == 0)) close_conn(it);
       }
+      sweep_timeouts();
     }
     for (auto& [fd, c] : conns) {
       sessions.fetch_sub(c.sess.size(), std::memory_order_relaxed);
@@ -263,6 +380,47 @@ struct Server::Impl {
         static_cast<double>(sessions.load(std::memory_order_relaxed)));
   }
 
+  // Once per poll round: close connections past the idle or slow-loris
+  // bound, and walk draining connections to closing once they go quiet.
+  void sweep_timeouts() {
+    const bool draining = drain_flag.load(std::memory_order_relaxed);
+    if (config.idle_timeout_ms <= 0 && config.partial_frame_timeout_ms <= 0 &&
+        !draining)
+      return;
+    const Clock::time_point now = Clock::now();
+    for (auto it = conns.begin(); it != conns.end();) {
+      Conn& c = it->second;
+      const auto age = [&](Clock::time_point since) {
+        return std::chrono::duration_cast<std::chrono::milliseconds>(
+                   now - since)
+            .count();
+      };
+      const bool idle = config.idle_timeout_ms > 0 &&
+                        age(c.last_activity) > config.idle_timeout_ms;
+      const bool loris = config.partial_frame_timeout_ms > 0 &&
+                         c.has_partial &&
+                         age(c.partial_since) > config.partial_frame_timeout_ms;
+      if (!c.dead && (idle || loris)) {
+        idle_closed.fetch_add(1, std::memory_order_relaxed);
+        NetMetrics::get().idle_closed.add();
+        c.dead = true;
+      }
+      // Quiet under drain: flush wbuf, then close.  The one-poll-interval
+      // grace keeps a request that is already in the socket buffer (sent,
+      // not yet read) from being orphaned by a drain that lands between
+      // rounds.
+      if (draining && !c.dead && !c.closing && !c.poisoned && !c.http &&
+          c.pending.empty() &&
+          age(c.last_activity) >= std::max(1, config.poll_timeout_ms))
+        c.closing = true;
+      if (c.dead || (c.closing && c.pending_write() == 0)) {
+        it = close_conn(it);
+        continue;
+      }
+      ++it;
+    }
+  }
+
   void accept_new() {
     while (conns.size() < config.max_connections) {
       const int fd =
@@ -271,10 +429,18 @@ struct Server::Impl {
         if (errno == EINTR) continue;
         break;  // EAGAIN or transient error: next poll round retries
       }
+      // Injected transient accept failure: the connection is dropped after
+      // the kernel handshake, exactly what a listener hitting EMFILE does.
+      // The peer sees a reset and its resilient layer reconnects.
+      if (ServerFaults::get().accept_fail.fire()) {
+        ::close(fd);
+        continue;
+      }
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       Conn c;
       c.fd = fd;
+      c.last_activity = Clock::now();
       conns.emplace(fd, std::move(c));
       accepted.fetch_add(1, std::memory_order_relaxed);
       connections.store(conns.size(), std::memory_order_relaxed);
@@ -283,14 +449,21 @@ struct Server::Impl {
     }
   }
 
-  void close_conn(std::map<int, Conn>::iterator it) {
-    sessions.fetch_sub(it->second.sess.size(), std::memory_order_relaxed);
-    ::close(it->second.fd);
-    conns.erase(it);
+  std::map<int, Conn>::iterator close_conn(std::map<int, Conn>::iterator it) {
+    Conn& c = it->second;
+    sessions.fetch_sub(c.sess.size(), std::memory_order_relaxed);
+    queued_total -= c.pending_write();
+    if (tenant_tracking())
+      for (const PendingReq& p : c.pending)
+        if (p.req.type == kGenerate && !p.shed)
+          tenant_release(p.req.generate);
+    ::close(c.fd);
+    const auto next = conns.erase(it);
     connections.store(conns.size(), std::memory_order_relaxed);
     NetMetrics::get().connections.set(static_cast<double>(conns.size()));
     NetMetrics::get().sessions.set(
         static_cast<double>(sessions.load(std::memory_order_relaxed)));
+    return next;
   }
 
   enum class ReadResult { kOk, kEof, kError };
@@ -302,10 +475,21 @@ struct Server::Impl {
     std::uint8_t buf[16384];
     std::size_t got = 0;
     while (got < kReadBudget) {
-      const ssize_t r = ::recv(c.fd, buf, sizeof buf, 0);
+      ServerFaults& sf = ServerFaults::get();
+      // Injected peer reset: the recv "fails" with ECONNRESET.  Short read:
+      // the kernel "returns" a single byte — legal, and exactly what the
+      // incremental frame extractor must absorb.
+      if (sf.read_reset.fire()) {
+        errno = ECONNRESET;
+        return ReadResult::kError;
+      }
+      std::size_t len = sizeof buf;
+      if (sf.read_short.fire()) len = 1;
+      const ssize_t r = ::recv(c.fd, buf, len, 0);
       if (r > 0) {
         c.rbuf.insert(c.rbuf.end(), buf, buf + r);
         got += static_cast<std::size_t>(r);
+        c.last_activity = Clock::now();
         continue;
       }
       if (r == 0) return ReadResult::kEof;
@@ -318,10 +502,20 @@ struct Server::Impl {
 
   void flush_writes(Conn& c) {
     while (c.pending_write() > 0) {
-      const ssize_t w = ::send(c.fd, c.wbuf.data() + c.wpos,
-                               c.pending_write(), MSG_NOSIGNAL);
+      ServerFaults& sf = ServerFaults::get();
+      if (sf.write_reset.fire()) {
+        errno = EPIPE;
+        c.dead = true;
+        break;
+      }
+      std::size_t len = c.pending_write();
+      if (sf.write_short.fire() && len > 1) len = 1;
+      const ssize_t w = ::send(c.fd, c.wbuf.data() + c.wpos, len,
+                               MSG_NOSIGNAL);
       if (w > 0) {
         c.wpos += static_cast<std::size_t>(w);
+        queued_total -= static_cast<std::size_t>(w);
+        c.last_activity = Clock::now();
         continue;
       }
       if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -342,6 +536,28 @@ struct Server::Impl {
   void respond(Conn& c, Status status, std::span<const std::uint8_t> payload) {
     const std::vector<std::uint8_t> frame = encode_response(status, payload);
     c.wbuf.insert(c.wbuf.end(), frame.begin(), frame.end());
+    queued_total += frame.size();
+  }
+
+  // Answer the front request kRetryLater (shed) and drop it.
+  void respond_retry_later(Conn& c, std::uint32_t hint_ms) {
+    bump_requests(1);
+    respond(c, Status::kRetryLater, encode_retry_after(hint_ms));
+    sheds.fetch_add(1, std::memory_order_relaxed);
+    NetMetrics::get().sheds.add();
+    pop_front_request(c);
+  }
+
+  void respond_retry_later(Conn& c) {
+    respond_retry_later(c, config.retry_after_ms);
+  }
+
+  // Drop the front request, returning its tenant in-flight slot.
+  void pop_front_request(Conn& c) {
+    const PendingReq& p = c.pending.front();
+    if (tenant_tracking() && p.req.type == kGenerate && !p.shed)
+      tenant_release(p.req.generate);
+    c.pending.pop_front();
   }
 
   void throttle(Conn& c) {
@@ -381,11 +597,30 @@ struct Server::Impl {
             mark_poisoned(c);
             break;
           }
-          c.pending.push_back(std::move(*req));
+          PendingReq p{std::move(*req), false};
+          // Per-tenant in-flight admission: the overflow slot is marked for
+          // an in-order kRetryLater instead of occupying quota.
+          if (config.tenant_max_pending > 0 && p.req.type == kGenerate) {
+            Tenant& t = tenant(p.req.generate);
+            if (t.pending >= config.tenant_max_pending)
+              p.shed = true;
+            else
+              ++t.pending;
+          }
+          c.pending.push_back(std::move(p));
         }
       } catch (const std::runtime_error&) {
         mark_poisoned(c);  // oversized length prefix: stream unrecoverable
       }
+    }
+    // Slow-loris bookkeeping: a non-empty rbuf after extraction is an
+    // incomplete frame (or HTTP header-in-progress); remember when it
+    // started so the sweep can bound it.
+    if (c.rbuf.empty()) {
+      c.has_partial = false;
+    } else if (!c.has_partial) {
+      c.has_partial = true;
+      c.partial_since = Clock::now();
     }
     drain_pending(c);
     if (c.pending.empty() && c.poisoned && !c.closing) {
@@ -400,8 +635,14 @@ struct Server::Impl {
                                 kHeaderEnd + 4);
     if (it == c.rbuf.end()) {
       if (c.rbuf.size() > kMaxHttpHeader) c.dead = true;
+      // An unfinished header is a partial frame for the slow-loris sweep.
+      if (!c.has_partial) {
+        c.has_partial = true;
+        c.partial_since = Clock::now();
+      }
       return;
     }
+    c.has_partial = false;
     requests.fetch_add(1, std::memory_order_relaxed);
     NetMetrics::get().requests.add();
     const std::string json = telemetry::metrics().to_json();
@@ -411,6 +652,7 @@ struct Server::Impl {
                        "\r\nConnection: close\r\n\r\n";
     c.wbuf.insert(c.wbuf.end(), head.begin(), head.end());
     c.wbuf.insert(c.wbuf.end(), json.begin(), json.end());
+    queued_total += head.size() + json.size();
     c.closing = true;
   }
 
@@ -423,14 +665,14 @@ struct Server::Impl {
         throttle(c);
         break;
       }
-      const Request& front = c.pending.front();
-      if (front.type == kPing) {
+      const PendingReq& front = c.pending.front();
+      if (front.req.type == kPing) {
         bump_requests(1);
         respond(c, Status::kOk, {});
         c.pending.pop_front();
         continue;
       }
-      if (front.type == kMetrics) {
+      if (front.req.type == kMetrics) {
         bump_requests(1);
         const std::string json = telemetry::metrics().to_json();
         respond(c, Status::kOk,
@@ -439,11 +681,11 @@ struct Server::Impl {
         c.pending.pop_front();
         continue;
       }
-      const GenerateRequest& g = front.generate;
+      const GenerateRequest& g = front.req.generate;
       if (g.nbytes > kMaxGenerateBytes) {
         bump_requests(1);
         respond(c, Status::kTooLarge, ascii_payload("nbytes beyond limit"));
-        c.pending.pop_front();
+        pop_front_request(c);
         continue;
       }
       if (g.offset >
@@ -453,13 +695,24 @@ struct Server::Impl {
         bump_requests(1);
         respond(c, Status::kTooLarge,
                 ascii_payload("offset + nbytes overflows"));
-        c.pending.pop_front();
+        pop_front_request(c);
         continue;
       }
       if (!core::algorithm_exists(g.algorithm)) {
         bump_requests(1);
         respond(c, Status::kUnknownAlgorithm, ascii_payload(g.algorithm));
-        c.pending.pop_front();
+        pop_front_request(c);
+        continue;
+      }
+      // Shedding, answered in response order: per-tenant in-flight
+      // overflow (decided at admission) and global write-backlog overload.
+      if (front.shed) {
+        respond_retry_later(c);
+        continue;
+      }
+      if (config.shed_queue_bytes > 0 &&
+          queued_total > config.shed_queue_bytes) {
+        respond_retry_later(c);
         continue;
       }
       serve_run(c);
@@ -478,11 +731,29 @@ struct Server::Impl {
     bump_requests(1);
     respond(c, Status::kSeekTooFar,
             ascii_payload("forward seek beyond server bound"));
-    c.pending.pop_front();
+    pop_front_request(c);
   }
 
   void serve_run(Conn& c) {
-    const GenerateRequest first = c.pending.front().generate;
+    const GenerateRequest first = c.pending.front().req.generate;
+    // Per-tenant bytes/sec quota: refill the bucket, and shed the request
+    // when even the first span cannot be afforded — with a retry-after hint
+    // sized to the deficit, so a compliant client sleeps exactly long
+    // enough for the bucket to cover it.
+    Tenant* bucket = nullptr;
+    double tokens = 0.0;
+    if (config.tenant_bytes_per_sec > 0) {
+      bucket = &tenant(first);
+      tokens = tenant_bucket(*bucket, Clock::now());
+      if (tokens < static_cast<double>(first.nbytes)) {
+        const double deficit = static_cast<double>(first.nbytes) - tokens;
+        const double rate = static_cast<double>(config.tenant_bytes_per_sec);
+        const auto wait_ms =
+            static_cast<std::uint32_t>(deficit * 1000.0 / rate) + 1;
+        respond_retry_later(c, std::max(config.retry_after_ms, wait_ms));
+        return;
+      }
+    }
     // Bound the seek before touching any generator: lane-slice/sequential
     // sessions reach an offset by clocking through the gap *inline on the
     // loop thread*, so one hostile offset near 2^63 would otherwise starve
@@ -511,13 +782,18 @@ struct Server::Impl {
     std::size_t count = 0;
     std::size_t total = 0;
     std::uint64_t next_off = first.offset;
-    for (const Request& r : c.pending) {
-      if (r.type != kGenerate) break;
-      const GenerateRequest& g = r.generate;
+    for (const PendingReq& p : c.pending) {
+      if (p.req.type != kGenerate || p.shed) break;
+      const GenerateRequest& g = p.req.generate;
       if (g.algorithm != first.algorithm || g.seed != first.seed ||
           g.offset != next_off || g.nbytes > kMaxGenerateBytes)
         break;
       if (count > 0 && total + g.nbytes > cap) break;
+      // Merging may not outspend the tenant's bucket either; the first
+      // request always fits (checked above) so progress never stalls.
+      if (bucket && count > 0 &&
+          static_cast<double>(total + g.nbytes) > tokens)
+        break;
       ++count;
       total += g.nbytes;
       next_off += g.nbytes;
@@ -529,9 +805,10 @@ struct Server::Impl {
     } catch (const std::exception&) {
       ok = false;
     }
+    if (ok && bucket) bucket->tokens -= static_cast<double>(total);
     std::size_t off = 0;
     for (std::size_t i = 0; i < count; ++i) {
-      const GenerateRequest& g = c.pending.front().generate;
+      const GenerateRequest& g = c.pending.front().req.generate;
       if (ok) {
         respond(c, Status::kOk, std::span(payload.data() + off, g.nbytes));
         bytes_served.fetch_add(g.nbytes, std::memory_order_relaxed);
@@ -540,7 +817,7 @@ struct Server::Impl {
         respond(c, Status::kServerError, ascii_payload("generation failed"));
       }
       off += g.nbytes;
-      c.pending.pop_front();
+      pop_front_request(c);
     }
     bump_requests(count);
     if (count > 1) {
@@ -559,6 +836,8 @@ void Server::start() { impl_->start(); }
 
 void Server::stop() { impl_->stop(); }
 
+void Server::drain(int deadline_ms) { impl_->drain(deadline_ms); }
+
 bool Server::running() const noexcept { return impl_->loop_thread.joinable(); }
 
 std::uint16_t Server::port() const noexcept { return impl_->bound_port; }
@@ -571,6 +850,9 @@ ServerStats Server::stats() const {
   s.bad_frames = impl_->bad_frames.load(std::memory_order_relaxed);
   s.backpressure_stalls = impl_->stalls.load(std::memory_order_relaxed);
   s.batched_spans = impl_->batched.load(std::memory_order_relaxed);
+  s.sheds = impl_->sheds.load(std::memory_order_relaxed);
+  s.idle_closed = impl_->idle_closed.load(std::memory_order_relaxed);
+  s.drains = impl_->drains.load(std::memory_order_relaxed);
   s.connections = impl_->connections.load(std::memory_order_relaxed);
   s.sessions = impl_->sessions.load(std::memory_order_relaxed);
   return s;

@@ -58,6 +58,27 @@ struct ServerConfig {
   // Counter-partition seeks are O(1) and not subject to this bound.
   std::size_t max_seek_bytes = 64u << 20;
   int poll_timeout_ms = 200;
+
+  // --- robustness (all steady-clock; 0 disables the mechanism) -----------
+  // Close a connection with no socket progress (bytes read or written) for
+  // this long.
+  int idle_timeout_ms = 60000;
+  // Close a connection that has held an incomplete frame (or HTTP header)
+  // this long — the slow-loris guard: a peer trickling a frame byte-by-byte
+  // occupies a connection slot only for this bound.
+  int partial_frame_timeout_ms = 30000;
+  // Overload shedding: when the total bytes queued for write across ALL
+  // connections exceed this, further kGenerate requests answer kRetryLater
+  // (carrying retry_after_ms) instead of generating.  The already-queued
+  // backlog still drains; a retry at the same offset is byte-exact.
+  std::size_t shed_queue_bytes = 0;
+  std::uint32_t retry_after_ms = 50;  // hint carried by kRetryLater
+  // Per-tenant quotas; tenant identity is (algorithm, seed), across
+  // connections.  max_pending bounds decoded-but-unanswered kGenerate
+  // requests; bytes_per_sec is a token bucket (burst = one second's worth)
+  // charged as spans are served.  Both answer kRetryLater when exceeded.
+  std::size_t tenant_max_pending = 0;
+  std::size_t tenant_bytes_per_sec = 0;
 };
 
 // Weakly-consistent counters mirrored into telemetry (net.* metrics); the
@@ -69,6 +90,9 @@ struct ServerStats {
   std::uint64_t bad_frames = 0;      // malformed/oversized frames seen
   std::uint64_t backpressure_stalls = 0;  // read-pause transitions
   std::uint64_t batched_spans = 0;   // engine spans that merged >1 request
+  std::uint64_t sheds = 0;           // kRetryLater answers (overload/quota)
+  std::uint64_t idle_closed = 0;     // idle / slow-loris timeout closes
+  std::uint64_t drains = 0;          // graceful drains initiated
   std::size_t connections = 0;       // currently open
   std::size_t sessions = 0;          // currently live tenant sessions
 };
@@ -88,6 +112,12 @@ class Server {
   // Idempotent.  Live tenants are forgotten — by design, clients resume by
   // offset against any future server (kill/restart determinism).
   void stop();
+  // Graceful drain (the SIGTERM path): stop accepting new connections,
+  // keep serving each connection's pending requests, close connections as
+  // they go quiet, and stop() once every connection closed or
+  // `deadline_ms` elapsed — whichever is first.  Stragglers are cut off at
+  // the deadline; their clients resume by offset (same invariant as stop).
+  void drain(int deadline_ms);
 
   bool running() const noexcept;
   std::uint16_t port() const noexcept;

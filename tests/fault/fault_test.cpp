@@ -1,0 +1,256 @@
+// fault_test.cpp — the deterministic fault-injection framework.
+//
+// Pins the three contracts src/fault sells:
+//   1. The schedule is a pure function of (seed, point name, hit index) —
+//      re-derived here against the documented splitmix64 decision function,
+//      so a schedule change is a deliberate, visible break.
+//   2. Disarmed points are inert and do not advance the schedule; re-arm
+//      resumes, reset_counts() replays exactly.
+//   3. The compiled-in hooks actually disturb their layer (engine alloc,
+//      pool task, gpusim launch) and the system degrades as documented —
+//      and once disarmed, output is byte-identical to a never-faulted run,
+//      because every retry path re-asks for the same positional span.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/keyschedule.hpp"
+#include "core/multi_device.hpp"
+#include "core/registry.hpp"
+#include "core/stream_engine.hpp"
+#include "fault/fault.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace co = bsrng::core;
+namespace fa = bsrng::fault;
+namespace tel = bsrng::telemetry;
+
+namespace {
+
+// Every test leaves the process registry disarmed and clean; telemetry
+// enablement is restored too so test order never matters.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { was_enabled_ = tel::metrics().enabled(); }
+  void TearDown() override {
+    fa::faults().clear();
+    tel::metrics().set_enabled(was_enabled_);
+  }
+  bool was_enabled_ = false;
+};
+
+std::vector<bool> pattern(fa::FaultPoint& p, std::size_t n) {
+  std::vector<bool> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(p.fire());
+  return out;
+}
+
+}  // namespace
+
+TEST_F(FaultTest, DecisionFunctionIsPinnedToTheSplitmixSchedule) {
+  fa::FaultRegistry reg;
+  const std::uint64_t seed = 0xDEC0DEull;
+  reg.arm(seed, 0.5);  // 0.5 is exactly 2^31 in Q0.32
+  fa::FaultPoint& p = reg.point("pin.me");
+  const std::uint64_t salt = seed ^ fa::fnv1a64("pin.me");
+  std::size_t fired = 0;
+  for (std::uint64_t n = 0; n < 256; ++n) {
+    co::keyschedule::SeedStream s(salt);
+    s.skip_words(n);
+    const bool expect = (s.next_word() >> 32) < (1ull << 31);
+    EXPECT_EQ(p.fire(), expect) << "hit " << n;
+    fired += expect ? 1 : 0;
+  }
+  EXPECT_EQ(p.fired(), fired);
+  EXPECT_EQ(p.hits(), 256u);
+  // Rate 0.5 over 256 draws of a decent PRNG is nowhere near degenerate.
+  EXPECT_GT(fired, 64u);
+  EXPECT_LT(fired, 192u);
+}
+
+TEST_F(FaultTest, ScheduleIsIdenticalAcrossRegistriesAndUnaffectedByOtherPoints) {
+  fa::FaultRegistry a;
+  fa::FaultRegistry b;
+  a.arm(42, 0.25);
+  b.arm(42, 0.25);
+  fa::FaultPoint& pa = a.point("layer.x");
+  fa::FaultPoint& pb = b.point("layer.x");
+  fa::FaultPoint& noise = b.point("layer.y");
+  // Interleave draws at another point in b only: per-point hit indices mean
+  // layer.y's traffic cannot perturb layer.x's schedule.
+  std::vector<bool> seq_a = pattern(pa, 128);
+  std::vector<bool> seq_b;
+  for (std::size_t i = 0; i < 128; ++i) {
+    (void)noise.fire();
+    seq_b.push_back(pb.fire());
+    (void)noise.fire();
+  }
+  EXPECT_EQ(seq_a, seq_b);
+
+  // A different seed is a different schedule (with overwhelming odds over
+  // 128 draws at rate 0.25).
+  fa::FaultRegistry c;
+  c.arm(43, 0.25);
+  EXPECT_NE(seq_a, pattern(c.point("layer.x"), 128));
+}
+
+TEST_F(FaultTest, DisarmedPointsAreInertAndDoNotAdvanceTheSchedule) {
+  fa::FaultRegistry reg;
+  fa::FaultPoint& p = reg.point("quiet");
+  for (int i = 0; i < 64; ++i) EXPECT_FALSE(p.fire());
+  EXPECT_EQ(p.hits(), 0u) << "disarmed arrivals must not advance the schedule";
+
+  reg.arm(7, 1.0);
+  EXPECT_TRUE(p.fire());
+  reg.disarm();
+  EXPECT_FALSE(p.fire());
+  EXPECT_EQ(p.hits(), 1u);
+
+  // Re-arm resumes at hit 1 (positions 1..100); reset_counts rewinds so the
+  // replay from position 0 reproduces those decisions one slot later.
+  reg.arm(7, 0.375);
+  const std::vector<bool> resumed = pattern(p, 100);
+  reg.reset_counts();
+  EXPECT_EQ(p.hits(), 0u);
+  const std::vector<bool> replay = pattern(p, 101);
+  EXPECT_EQ(std::vector<bool>(replay.begin() + 1, replay.end()), resumed);
+  // And the replay matches the documented derivation from position 0.
+  co::keyschedule::SeedStream probe(7 ^ fa::fnv1a64("quiet"));
+  const std::uint64_t q =
+      static_cast<std::uint64_t>(std::ldexp(0.375, 32));
+  for (std::size_t i = 0; i < replay.size(); ++i)
+    EXPECT_EQ(replay[i], (probe.next_word() >> 32) < q) << "hit " << i;
+}
+
+TEST_F(FaultTest, PerPointOverridesBeatTheDefaultRate) {
+  fa::FaultRegistry reg;
+  reg.arm(11, 0.0);
+  reg.arm_point("always", 1.0);
+  fa::FaultPoint& on = reg.point("always");
+  fa::FaultPoint& off = reg.point("never");
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(on.fire());
+    EXPECT_FALSE(off.fire());
+  }
+  EXPECT_EQ(reg.total_fired(), 32u);
+
+  // snapshot() reports both points, name-sorted, with their rates.
+  const auto stats = reg.snapshot();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "always");
+  EXPECT_EQ(stats[0].fired, 32u);
+  EXPECT_EQ(stats[1].name, "never");
+  EXPECT_EQ(stats[1].fired, 0u);
+}
+
+TEST_F(FaultTest, MaybeThrowCarriesThePointName) {
+  fa::FaultRegistry reg;
+  reg.arm(1, 1.0);
+  try {
+    reg.point("engine.alloc_fail").maybe_throw();
+    FAIL() << "armed at rate 1.0, must throw";
+  } catch (const fa::InjectedFault& e) {
+    EXPECT_EQ(e.point(), "engine.alloc_fail");
+    EXPECT_NE(std::string(e.what()).find("engine.alloc_fail"),
+              std::string::npos);
+  }
+}
+
+TEST_F(FaultTest, EngineAllocFaultThrowsThenRecoversByteExact) {
+  const std::string algo = "chacha20-bs64";
+  const std::size_t n = (1u << 18) + 13;
+  std::vector<std::uint8_t> reference(n);
+  co::make_generator(algo, 99)->fill(reference);
+
+  fa::faults().arm(0xA110C, 0.0);
+  fa::faults().arm_point("engine.alloc_fail", 1.0);
+  co::StreamEngine engine({.workers = 2});
+  std::vector<std::uint8_t> out(n, 0x5A);
+  EXPECT_THROW((void)engine.generate(algo, 99, out), std::bad_alloc);
+
+  // The fault fires before any output byte, so the retry-at-same-offset
+  // contract is trivial: disarm and the very same engine produces the
+  // canonical stream.
+  fa::faults().disarm();
+  (void)engine.generate(algo, 99, out);
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), reference.begin()));
+}
+
+TEST_F(FaultTest, PoolTaskFaultPropagatesThenRecoversByteExact) {
+  const std::string algo = "aes-ctr-bs64";
+  const std::size_t n = (1u << 19) + 7;
+  std::vector<std::uint8_t> reference(n);
+  co::make_generator(algo, 5)->fill(reference);
+
+  fa::faults().arm(0xB00, 0.0);
+  fa::faults().arm_point("pool.task_throw", 1.0);
+  co::StreamEngine engine({.workers = 3});
+  std::vector<std::uint8_t> out(n, 0xEE);
+  EXPECT_THROW((void)engine.generate(algo, 5, out), fa::InjectedFault);
+
+  fa::faults().disarm();
+  (void)engine.generate(algo, 5, out);
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), reference.begin()));
+}
+
+TEST_F(FaultTest, GpusimStagingIsByteExactWhenHealthy) {
+  // The gpusim-staged multi-device path must reproduce the canonical
+  // stream for every partition kind before the fault story means anything.
+  for (const char* algo : {"aes-ctr-bs64", "mickey-bs64", "trivium-bs64"}) {
+    const std::size_t n = 8192 + 5;
+    std::vector<std::uint8_t> reference(n);
+    co::make_generator(algo, 21)->fill(reference);
+    std::vector<std::uint8_t> out(n, 0);
+    const auto rep = co::multi_device_generate(
+        algo, 21, 3, out, co::MultiDeviceOptions{.use_gpusim = true});
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), reference.begin()))
+        << algo;
+    EXPECT_FALSE(rep.degraded_to_host) << algo;
+    EXPECT_EQ(rep.device_fallbacks, 0u) << algo;
+  }
+}
+
+TEST_F(FaultTest, DeviceFaultDegradesToHostByteExactWithTelemetry) {
+  tel::metrics().set_enabled(true);
+  tel::metrics().reset();
+  const std::string algo = "grain-bs64";
+  const std::size_t n = 16384 + 9;
+  std::vector<std::uint8_t> reference(n);
+  co::make_generator(algo, 77)->fill(reference);
+
+  fa::faults().arm(0xFA11, 0.0);
+  fa::faults().arm_point("gpusim.launch_fault", 1.0);
+  std::vector<std::uint8_t> out(n, 0x11);
+  const auto rep = co::multi_device_generate(
+      algo, 77, 4, out, co::MultiDeviceOptions{.use_gpusim = true});
+
+  // Every device launch faulted; the ladder lands on the host path and the
+  // output is still the canonical stream, byte for byte.
+  EXPECT_TRUE(rep.degraded_to_host);
+  EXPECT_EQ(rep.device_fallbacks, 4u);
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), reference.begin()));
+
+  const auto snap = tel::MetricsSnapshot::from_json(tel::metrics().to_json());
+  ASSERT_TRUE(snap.has_value());
+  const tel::MetricValue* m = snap->find("multi_device.device_fallbacks");
+  ASSERT_NE(m, nullptr);
+  EXPECT_GE(m->value, 4.0);
+}
+
+TEST_F(FaultTest, ProcessRegistryIsSharedAndClears) {
+  fa::FaultRegistry& reg = fa::faults();
+  EXPECT_FALSE(reg.armed());
+  reg.arm(3, 1.0);
+  EXPECT_TRUE(reg.armed());
+  EXPECT_EQ(reg.seed(), 3u);
+  EXPECT_TRUE(reg.point("anywhere").fire());
+  reg.clear();
+  EXPECT_FALSE(reg.armed());
+  EXPECT_EQ(reg.point("anywhere").hits(), 0u);
+  EXPECT_EQ(reg.total_fired(), 0u);
+}

@@ -33,10 +33,12 @@ TEST(NetLint, DefaultRootsDoNotIncludeTheServingLayer) {
   EXPECT_TRUE(std::none_of(roots.begin(), roots.end(), [](const auto& r) {
     return r.find("src/net") != std::string::npos;
   })) << "src/net must stay out of the generation-tree lint";
-  // And the generation trees are all still there — adding net must not have
-  // displaced a guarded root.
+  // And the guarded trees are all still there — adding net must not have
+  // displaced a root.  src/fault is IN the defaults: an injected fault
+  // schedule must be as deterministic as the streams it disturbs.
   for (const char* must : {"/repo/src/core", "/repo/src/ciphers",
-                           "/repo/src/bitslice", "/repo/src/lfsr"})
+                           "/repo/src/bitslice", "/repo/src/lfsr",
+                           "/repo/src/fault"})
     EXPECT_NE(std::find(roots.begin(), roots.end(), must), roots.end())
         << must;
 }

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/resilient_client.hpp"
 #include "net/server.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -113,6 +115,50 @@ TEST_F(NetMetricsTest, DisabledRegistryStillServesButCountsNothing) {
   // ServerStats counts regardless — it is the source of truth for tests.
   EXPECT_GE(server.stats().requests, 1u);
   server.stop();
+}
+
+TEST_F(NetMetricsTest, ResilienceCountersRoundTripThroughScrapes) {
+  tel::metrics().set_enabled(true);
+  tel::metrics().reset();
+  // A 16 B/s tenant bucket can never afford a 4 KiB span, so the first
+  // kGenerate is shed deterministically (no timing involved).
+  nt::Server server({.workers = 2, .tenant_bytes_per_sec = 16});
+  server.start();
+  nt::Client client("127.0.0.1", server.port());
+  client.send_generate("grain-bs64", 9, 0, 4096);
+  nt::Response resp;
+  ASSERT_EQ(client.read_response(resp, 5000), nt::Client::ReadResult::kFrame);
+  EXPECT_EQ(resp.status, nt::Status::kRetryLater);
+  const auto hint = nt::decode_retry_after(resp.payload);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_GT(*hint, 0u);
+
+  // net.client.retries moves when a ResilientClient fails over: port 1 has
+  // no listener, so every attempt is a refused connect followed by a retry.
+  nt::ResilientClientConfig rcfg;
+  rcfg.host = "127.0.0.1";
+  rcfg.port = 1;
+  rcfg.connect_timeout_ms = 200;
+  rcfg.max_attempts = 3;
+  rcfg.backoff_base_ms = 1;
+  rcfg.backoff_cap_ms = 2;
+  nt::ResilientClient rc(rcfg);
+  EXPECT_THROW((void)rc.generate("grain-bs64", 9, 0, 64), std::runtime_error);
+  EXPECT_EQ(rc.stats().retries, 2u);
+
+  const auto snap = tel::MetricsSnapshot::from_json(client.metrics_json());
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_GE(counter_value(*snap, "net.sheds"), 1.0);
+  EXPECT_GE(counter_value(*snap, "net.client.retries"), 2.0);
+  EXPECT_GE(server.stats().sheds, 1u);
+
+  // Graceful drain: the idle connection is walked to closing, the counter
+  // moves, and the registry (process-global) still shows it after stop.
+  server.drain(/*deadline_ms=*/2000);
+  EXPECT_GE(server.stats().drains, 1u);
+  const auto after = tel::MetricsSnapshot::from_json(tel::metrics().to_json());
+  ASSERT_TRUE(after.has_value());
+  EXPECT_GE(counter_value(*after, "net.drains"), 1.0);
 }
 
 TEST_F(NetMetricsTest, EnabledRegistryTracksServerStats) {

@@ -1,0 +1,140 @@
+// trickle_test.cpp — protocol framing under adversarial fragmentation.
+//
+// The server's reader must be indifferent to HOW bytes arrive: a pipelined
+// batch delivered in one write, byte-at-a-time (every length prefix split
+// across reads), or in pseudo-random fragments must produce the identical
+// response sequence.  Fragment sizes come from the pinned splitmix64
+// schedule, so a failing fragmentation is reproducible from the test alone.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/keyschedule.hpp"
+#include "core/registry.hpp"
+#include "core/stream_engine.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/session.hpp"
+
+namespace nt = bsrng::net;
+namespace co = bsrng::core;
+
+namespace {
+
+struct Reply {
+  nt::Status status;
+  std::vector<std::uint8_t> payload;
+  bool operator==(const Reply&) const = default;
+};
+
+// The adversarial batch: pings, contiguous and non-contiguous generates for
+// two tenants, and an unknown algorithm (error responses must line up too).
+std::vector<std::vector<std::uint8_t>> batch_frames() {
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.push_back(nt::encode_simple_request(nt::kPing));
+  frames.push_back(nt::encode_generate({"grain-bs64", 7, 0, 512}));
+  frames.push_back(nt::encode_generate({"grain-bs64", 7, 512, 333}));
+  frames.push_back(nt::encode_generate({"no-such-algo", 1, 0, 16}));
+  frames.push_back(nt::encode_generate({"mickey-bs64", 9, 64, 1024}));
+  frames.push_back(nt::encode_simple_request(nt::kPing));
+  frames.push_back(nt::encode_generate({"grain-bs64", 7, 845, 77}));
+  return frames;
+}
+
+// Send `wire` to a fresh connection in fragments chosen by `next_len`, then
+// read one response per request.
+std::vector<Reply> roundtrip(std::uint16_t port,
+                             const std::vector<std::uint8_t>& wire,
+                             std::size_t nreq,
+                             const std::function<std::size_t()>& next_len) {
+  nt::Client client("127.0.0.1", port);
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const std::size_t len = std::min(next_len(), wire.size() - off);
+    client.send_raw(std::span(wire.data() + off, len));
+    off += len;
+    // A short pause every fragment makes a cross-read split near-certain
+    // (the server drains its socket faster than we trickle).
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  std::vector<Reply> replies;
+  for (std::size_t i = 0; i < nreq; ++i) {
+    nt::Response resp;
+    EXPECT_EQ(client.read_response(resp, 15000),
+              nt::Client::ReadResult::kFrame)
+        << "response " << i;
+    replies.push_back({resp.status, std::move(resp.payload)});
+  }
+  return replies;
+}
+
+}  // namespace
+
+TEST(Trickle, FragmentationNeverChangesTheResponseStream) {
+  nt::Server server({.workers = 2});
+  server.start();
+  const std::uint16_t port = server.port();
+
+  const auto frames = batch_frames();
+  std::vector<std::uint8_t> wire;
+  for (const auto& f : frames) wire.insert(wire.end(), f.begin(), f.end());
+
+  // Reference: the whole pipelined batch in a single write.
+  const auto reference =
+      roundtrip(port, wire, frames.size(), [&] { return wire.size(); });
+  ASSERT_EQ(reference.size(), frames.size());
+  EXPECT_EQ(reference[0].status, nt::Status::kOk);   // ping
+  EXPECT_EQ(reference[1].status, nt::Status::kOk);
+  EXPECT_EQ(reference[1].payload.size(), 512u);
+  EXPECT_EQ(reference[3].status, nt::Status::kUnknownAlgorithm);
+
+  // The first generate really is the canonical stream.
+  std::vector<std::uint8_t> expect(512);
+  co::make_generator("grain-bs64", 7)->fill(expect);
+  EXPECT_EQ(reference[1].payload, expect);
+
+  // Byte-at-a-time: every header and every frame split across reads.
+  const auto bytewise =
+      roundtrip(port, wire, frames.size(), [] { return std::size_t{1}; });
+  EXPECT_EQ(bytewise, reference);
+
+  // Pseudo-random fragments (1..9 bytes) off the pinned schedule.
+  co::keyschedule::SeedStream frag(0x791CC1Eull);
+  const auto random_frag = roundtrip(port, wire, frames.size(), [&] {
+    return static_cast<std::size_t>(frag.next_word() % 9 + 1);
+  });
+  EXPECT_EQ(random_frag, reference);
+
+  server.stop();
+}
+
+TEST(Trickle, HeaderSplitAcrossTcpSegmentsStillParses) {
+  // The sharpest split: exactly one byte of the 4-byte length prefix, a
+  // long pause, then the rest — the server must hold the partial header
+  // without misparsing or closing (the loris timeout is far away).
+  nt::Server server({.workers = 1});
+  server.start();
+  nt::Client client("127.0.0.1", server.port());
+  const auto frame = nt::encode_generate({"trivium-bs64", 3, 0, 256});
+  client.send_raw(std::span(frame.data(), 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  client.send_raw(std::span(frame.data() + 1, 2));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  client.send_raw(std::span(frame.data() + 3, frame.size() - 3));
+
+  nt::Response resp;
+  ASSERT_EQ(client.read_response(resp, 15000), nt::Client::ReadResult::kFrame);
+  EXPECT_EQ(resp.status, nt::Status::kOk);
+  std::vector<std::uint8_t> expect(256);
+  co::make_generator("trivium-bs64", 3)->fill(expect);
+  EXPECT_EQ(resp.payload, expect);
+  server.stop();
+}

@@ -25,6 +25,9 @@
 //   connections             number, positive integer
 //   requests                number, non-negative integer
 //   oracle_mismatches       number, non-negative integer
+//   retries                 number, non-negative integer
+//   reconnects              number, non-negative integer
+//   faults_injected         number, non-negative integer
 //
 // Any other key fails validation.  Exit 0 when every file validates; 1
 // with a per-record diagnostic
@@ -126,10 +129,17 @@ bool check_file(const char* path) {
                        /*optional=*/true);
     ok &= check_number(rec, path, i, "oracle_mismatches", /*integral=*/true,
                        0.0, /*optional=*/true);
+    ok &= check_number(rec, path, i, "retries", /*integral=*/true, 0.0,
+                       /*optional=*/true);
+    ok &= check_number(rec, path, i, "reconnects", /*integral=*/true, 0.0,
+                       /*optional=*/true);
+    ok &= check_number(rec, path, i, "faults_injected", /*integral=*/true,
+                       0.0, /*optional=*/true);
     std::size_t known = 8;
     for (const char* opt :
          {"transactions_predicted", "transactions_measured", "tpa_predicted",
-          "connections", "requests", "oracle_mismatches"})
+          "connections", "requests", "oracle_mismatches", "retries",
+          "reconnects", "faults_injected"})
       if (rec.find(opt) != nullptr) ++known;
     if (rec.as_object().size() != known)
       ok = fail(path, i, "record carries keys outside the schema");

@@ -4,6 +4,7 @@
 //                 [--pipeline D] [--algos a,b,c] [--spans s1,s2,...]
 //                 [--seed S] [--jump-every K] [--oracle-workers W]
 //                 [--time-limit SECONDS] [--json PATH]
+//                 [--chaos SEED] [--chaos-rate R]
 //
 // Opens N concurrent connections (one poll loop, non-blocking sockets).
 // Connection i drives tenant (algos[i % |algos|], S + i) with M pipelined
@@ -13,12 +14,23 @@
 // identically.  With --jump-every K every Kth request restarts the stream
 // at half the cursor, exercising the server's out-of-order resume path.
 //
+// --chaos SEED switches to the resilient mode: one ResilientClient per
+// connection on its own thread, retrying every span through timeouts,
+// resets, sheds, and server restarts until delivered — and arms the
+// deterministic fault registry (src/fault) at --chaos-rate (default 0.02)
+// so the client's own syscalls misbehave on the pinned splitmix64 schedule.
+// Every expected byte is precomputed BEFORE arming (the oracle runs
+// in-process and must not see injected faults), so the final comparison is
+// exact: whatever the failure weather, the delivered stream must equal the
+// oracle stream byte-for-byte.
+//
 // Exit status is 0 only when every connection completed every request with
 // zero oracle mismatches and zero protocol errors — this is the soak-job
-// gate.  --json writes per-algorithm throughput records in the bench_*
-// schema (validated by tools/bench_json_check): bench/algorithm/backend
-// ("net")/width/workers/bytes/seconds/gbps plus the loadgen extras
-// connections, requests, oracle_mismatches.
+// and chaos-job gate.  --json writes per-algorithm throughput records in
+// the bench_* schema (validated by tools/bench_json_check):
+// bench/algorithm/backend ("net")/width/workers/bytes/seconds/gbps plus the
+// loadgen extras connections, requests, oracle_mismatches, retries,
+// reconnects, faults_injected.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -26,6 +38,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -36,12 +49,15 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/registry.hpp"
 #include "core/stream_engine.hpp"
+#include "fault/fault.hpp"
 #include "net/client.hpp"
 #include "net/protocol.hpp"
+#include "net/resilient_client.hpp"
 #include "net/session.hpp"
 #include "telemetry/json.hpp"
 
@@ -64,6 +80,9 @@ struct Options {
   std::size_t oracle_workers = 2;
   double time_limit = 120.0;
   std::string json_path;
+  bool chaos = false;
+  std::uint64_t chaos_seed = 0;
+  double chaos_rate = 0.02;
 };
 
 struct InFlight {
@@ -92,13 +111,34 @@ struct Conn {
   std::size_t pending_write() const { return wbuf.size() - wpos; }
 };
 
+// Per-algorithm aggregation for the summary and the --json records.
+struct Agg {
+  std::uint64_t bytes = 0;
+  std::size_t connections = 0;
+  std::size_t requests = 0;
+};
+
+// Cross-mode run totals feeding the summary line and the JSON records.
+struct Totals {
+  std::map<std::string, Agg> per_algo;
+  std::uint64_t bytes = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
+  std::size_t incomplete = 0;
+  bool timed_out = false;
+  double seconds = 0.0;
+};
+
 int usage() {
   std::fprintf(
       stderr,
       "usage: bsrng_loadgen --port N [--host ADDR] [--connections N]\n"
       "       [--requests M] [--pipeline D] [--algos a,b,c] [--spans s,..]\n"
       "       [--seed S] [--jump-every K] [--oracle-workers W]\n"
-      "       [--time-limit SECONDS] [--json PATH]\n");
+      "       [--time-limit SECONDS] [--json PATH]\n"
+      "       [--chaos SEED] [--chaos-rate R]\n");
   return 2;
 }
 
@@ -133,6 +173,174 @@ int connect_to(const std::string& host, std::uint16_t port) {
   return fd;
 }
 
+int write_json(const Options& opt, const Totals& t) {
+  tel::JsonValue::Array arr;
+  const double faults_injected =
+      static_cast<double>(bsrng::fault::faults().total_fired());
+  for (const auto& [algo, agg] : t.per_algo) {
+    const auto info = core::find_algorithm(algo);
+    tel::JsonValue::Object o;
+    o.emplace("bench", tel::JsonValue(std::string("bsrng_loadgen")));
+    o.emplace("algorithm", tel::JsonValue(algo));
+    o.emplace("backend", tel::JsonValue(std::string("net")));
+    o.emplace("width",
+              tel::JsonValue(static_cast<double>(info ? info->lanes : 0)));
+    o.emplace("workers", tel::JsonValue(static_cast<double>(
+                             std::max<std::size_t>(1, agg.connections))));
+    o.emplace("bytes", tel::JsonValue(static_cast<double>(agg.bytes)));
+    o.emplace("seconds", tel::JsonValue(t.seconds));
+    o.emplace("gbps",
+              tel::JsonValue(t.seconds > 0 ? static_cast<double>(agg.bytes) *
+                                                 8.0 / t.seconds / 1e9
+                                           : 0.0));
+    o.emplace("connections",
+              tel::JsonValue(static_cast<double>(agg.connections)));
+    o.emplace("requests", tel::JsonValue(static_cast<double>(agg.requests)));
+    o.emplace("oracle_mismatches",
+              tel::JsonValue(static_cast<double>(t.mismatches)));
+    o.emplace("retries", tel::JsonValue(static_cast<double>(t.retries)));
+    o.emplace("reconnects",
+              tel::JsonValue(static_cast<double>(t.reconnects)));
+    o.emplace("faults_injected", tel::JsonValue(faults_injected));
+    arr.emplace_back(std::move(o));
+  }
+  const std::string text = tel::JsonValue(std::move(arr)).dump();
+  std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bsrng_loadgen: cannot write %s\n",
+                 opt.json_path.c_str());
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return 0;
+}
+
+// --- chaos mode ----------------------------------------------------------
+// One thread per connection, each a ResilientClient fetching strictly
+// sequential spans and comparing against a precomputed oracle prefix.
+
+int run_chaos(const Options& opt, Totals& t) {
+  // Precompute every expected byte BEFORE arming the fault registry: the
+  // oracle shares this process, and an armed registry would inject faults
+  // into the oracle engine's own pool.  Chaos offsets are sequential from
+  // zero, so per tenant the expectation is just a stream prefix.
+  core::StreamEngine oracle_engine(
+      core::StreamEngineConfig{.workers = opt.oracle_workers});
+  std::vector<std::vector<std::uint8_t>> expected(opt.connections);
+  std::vector<std::vector<std::uint64_t>> offs(opt.connections);
+  for (std::size_t i = 0; i < opt.connections; ++i) {
+    std::uint64_t total = 0;
+    offs[i].reserve(opt.requests + 1);
+    for (std::size_t r = 0; r < opt.requests; ++r) {
+      offs[i].push_back(total);
+      total += opt.spans[(i + r) % opt.spans.size()];
+    }
+    offs[i].push_back(total);
+    expected[i].resize(total);
+    net::Session oracle(opt.algos[i % opt.algos.size()], opt.seed + i);
+    oracle.serve(oracle_engine, 0, expected[i]);
+  }
+
+  bsrng::fault::faults().arm(opt.chaos_seed, opt.chaos_rate);
+  std::printf("bsrng_loadgen: chaos armed, seed %llu rate %g\n",
+              static_cast<unsigned long long>(opt.chaos_seed),
+              opt.chaos_rate);
+  std::fflush(stdout);
+
+  struct Result {
+    std::size_t done = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t mismatches = 0;
+    net::ResilientClientStats stats;
+    std::string error;
+    bool timed_out = false;
+  };
+  std::vector<Result> results(opt.connections);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(opt.time_limit));
+
+  std::vector<std::thread> threads;
+  threads.reserve(opt.connections);
+  for (std::size_t i = 0; i < opt.connections; ++i) {
+    threads.emplace_back([&, i] {
+      Result& res = results[i];
+      net::ResilientClientConfig cfg;
+      cfg.host = opt.host;
+      cfg.port = opt.port;
+      cfg.connect_timeout_ms = 2000;
+      cfg.request_timeout_ms = 10000;
+      cfg.max_attempts = 64;
+      cfg.backoff_base_ms = 1;
+      cfg.backoff_cap_ms = 100;
+      // Distinct per-thread jitter stream, still a pure function of the
+      // chaos seed — no thread id, no clock.
+      cfg.jitter_seed =
+          opt.chaos_seed ^ (0x9E3779B97F4A7C15ull * (i + 1));
+      net::ResilientClient rc(cfg);
+      const std::string& algo = opt.algos[i % opt.algos.size()];
+      const std::uint64_t seed = opt.seed + i;
+      std::vector<std::uint8_t> buf;
+      for (std::size_t r = 0; r < opt.requests; ++r) {
+        if (std::chrono::steady_clock::now() > deadline) {
+          res.timed_out = true;
+          break;
+        }
+        const std::uint64_t off = offs[i][r];
+        const std::size_t n = static_cast<std::size_t>(offs[i][r + 1] - off);
+        buf.resize(n);
+        try {
+          rc.fetch(algo, seed, off, buf);
+        } catch (const std::exception& e) {
+          res.error = e.what();
+          break;
+        }
+        if (!std::equal(buf.begin(), buf.end(), expected[i].begin() + off)) {
+          ++res.mismatches;
+          std::fprintf(stderr,
+                       "bsrng_loadgen: ORACLE MISMATCH conn %zu %s seed "
+                       "%llu offset %llu nbytes %zu\n",
+                       i, algo.c_str(), static_cast<unsigned long long>(seed),
+                       static_cast<unsigned long long>(off), n);
+        }
+        res.bytes += n;
+        ++res.done;
+      }
+      res.stats = rc.stats();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  t.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+
+  for (std::size_t i = 0; i < opt.connections; ++i) {
+    const Result& res = results[i];
+    Agg& a = t.per_algo[opt.algos[i % opt.algos.size()]];
+    a.bytes += res.bytes;
+    a.connections += 1;
+    a.requests += res.done;
+    t.bytes += res.bytes;
+    t.mismatches += res.mismatches;
+    t.retries += res.stats.retries;
+    t.reconnects += res.stats.reconnects;
+    if (res.done != opt.requests) {
+      ++t.incomplete;
+      if (!res.error.empty()) {
+        ++t.protocol_errors;
+        std::fprintf(stderr, "bsrng_loadgen: conn %zu failed: %s\n", i,
+                     res.error.c_str());
+      }
+      if (res.timed_out) t.timed_out = true;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -160,6 +368,11 @@ int main(int argc, char** argv) {
     else if (arg == "--oracle-workers") opt.oracle_workers = static_cast<std::size_t>(std::atoll(next()));
     else if (arg == "--time-limit") opt.time_limit = std::atof(next());
     else if (arg == "--json") opt.json_path = next();
+    else if (arg == "--chaos") {
+      opt.chaos = true;
+      opt.chaos_seed =
+          static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 0));
+    } else if (arg == "--chaos-rate") opt.chaos_rate = std::atof(next());
     else return usage();
   }
   if (opt.port == 0) return usage();
@@ -174,6 +387,11 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+  Totals totals;
+  if (opt.chaos) {
+    const int rc = run_chaos(opt, totals);
+    if (rc != 0) return rc;
+  } else {
   core::StreamEngine oracle_engine(
       core::StreamEngineConfig{.workers = opt.oracle_workers});
 
@@ -354,75 +572,45 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const double seconds = elapsed();
-
-  // Per-algorithm aggregation for the summary and the --json records.
-  struct Agg {
-    std::uint64_t bytes = 0;
-    std::size_t connections = 0;
-    std::size_t requests = 0;
-  };
-  std::map<std::string, Agg> per_algo;
-  std::uint64_t total_bytes = 0;
-  std::size_t incomplete = 0;
+  totals.seconds = elapsed();
+  totals.timed_out = timed_out;
+  totals.mismatches = mismatches;
+  totals.protocol_errors = protocol_errors;
   for (const Conn& c : conns) {
-    Agg& a = per_algo[c.algorithm];
+    Agg& a = totals.per_algo[c.algorithm];
     a.bytes += c.bytes_ok;
     a.connections += 1;
     a.requests += c.done;
-    total_bytes += c.bytes_ok;
-    if (c.done != opt.requests) ++incomplete;
+    totals.bytes += c.bytes_ok;
+    if (c.done != opt.requests) ++totals.incomplete;
   }
+  }  // !opt.chaos
+
   std::printf("bsrng_loadgen: %zu connections x %zu requests, %llu bytes in "
               "%.3f s (%.2f Gbit/s), %llu mismatches, %llu protocol errors, "
-              "%zu incomplete%s\n",
+              "%zu incomplete, %llu retries, %llu reconnects, %llu faults "
+              "injected%s\n",
               opt.connections, opt.requests,
-              static_cast<unsigned long long>(total_bytes), seconds,
-              seconds > 0 ? static_cast<double>(total_bytes) * 8.0 / seconds /
-                                1e9
-                          : 0.0,
-              static_cast<unsigned long long>(mismatches),
-              static_cast<unsigned long long>(protocol_errors), incomplete,
-              timed_out ? " [TIME LIMIT]" : "");
+              static_cast<unsigned long long>(totals.bytes), totals.seconds,
+              totals.seconds > 0
+                  ? static_cast<double>(totals.bytes) * 8.0 / totals.seconds /
+                        1e9
+                  : 0.0,
+              static_cast<unsigned long long>(totals.mismatches),
+              static_cast<unsigned long long>(totals.protocol_errors),
+              totals.incomplete,
+              static_cast<unsigned long long>(totals.retries),
+              static_cast<unsigned long long>(totals.reconnects),
+              static_cast<unsigned long long>(
+                  bsrng::fault::faults().total_fired()),
+              totals.timed_out ? " [TIME LIMIT]" : "");
 
   if (!opt.json_path.empty()) {
-    tel::JsonValue::Array arr;
-    for (const auto& [algo, agg] : per_algo) {
-      const auto info = core::find_algorithm(algo);
-      tel::JsonValue::Object o;
-      o.emplace("bench", tel::JsonValue(std::string("bsrng_loadgen")));
-      o.emplace("algorithm", tel::JsonValue(algo));
-      o.emplace("backend", tel::JsonValue(std::string("net")));
-      o.emplace("width",
-                tel::JsonValue(static_cast<double>(info ? info->lanes : 0)));
-      o.emplace("workers", tel::JsonValue(static_cast<double>(
-                               std::max<std::size_t>(1, agg.connections))));
-      o.emplace("bytes", tel::JsonValue(static_cast<double>(agg.bytes)));
-      o.emplace("seconds", tel::JsonValue(seconds));
-      o.emplace("gbps",
-                tel::JsonValue(seconds > 0 ? static_cast<double>(agg.bytes) *
-                                                 8.0 / seconds / 1e9
-                                           : 0.0));
-      o.emplace("connections",
-                tel::JsonValue(static_cast<double>(agg.connections)));
-      o.emplace("requests", tel::JsonValue(static_cast<double>(agg.requests)));
-      o.emplace("oracle_mismatches",
-                tel::JsonValue(static_cast<double>(mismatches)));
-      arr.emplace_back(std::move(o));
-    }
-    const std::string text = tel::JsonValue(std::move(arr)).dump();
-    std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "bsrng_loadgen: cannot write %s\n",
-                   opt.json_path.c_str());
-      return 1;
-    }
-    std::fwrite(text.data(), 1, text.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
+    const int rc = write_json(opt, totals);
+    if (rc != 0) return rc;
   }
 
-  const bool ok = !timed_out && incomplete == 0 && mismatches == 0 &&
-                  protocol_errors == 0;
+  const bool ok = !totals.timed_out && totals.incomplete == 0 &&
+                  totals.mismatches == 0 && totals.protocol_errors == 0;
   return ok ? 0 : 1;
 }

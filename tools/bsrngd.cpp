@@ -2,6 +2,9 @@
 //
 //   bsrngd [--port N] [--bind ADDR] [--workers N] [--max-connections N]
 //          [--max-seek BYTES] [--telemetry]
+//          [--idle-timeout MS] [--loris-timeout MS] [--shed-bytes N]
+//          [--tenant-pending N] [--tenant-bps N] [--drain-ms MS]
+//          [--chaos SEED] [--chaos-rate R]
 //
 // Serves every registered algorithm over the length-prefixed TCP protocol
 // (src/net/protocol.hpp): a client names (algorithm, seed, offset, nbytes)
@@ -14,10 +17,18 @@
 // GET) returns the telemetry snapshot as JSON; --telemetry enables the
 // process registry at startup (equivalent to BSRNG_TELEMETRY=1).
 //
-// SIGINT/SIGTERM stop the daemon cleanly: the accept loop exits, every
-// connection closes, and the StreamEngine pool drains — clients resume
-// against the next instance by offset (tests/net/restart_determinism_test
-// drives exactly that cycle in-process).
+// Shutdown: SIGINT stops immediately (connections cut; clients resume by
+// offset).  SIGTERM drains gracefully — the listener stops accepting,
+// pending requests on every connection are served, quiet connections close,
+// and after --drain-ms the stragglers are cut off too.
+//
+// --chaos SEED arms the deterministic fault-injection registry
+// (src/fault/fault.hpp) across every compiled-in injection point at
+// --chaos-rate (default 0.02): worker throws/stalls in the pool, engine
+// allocation failures, and server-side syscall faults (short reads/writes,
+// resets, dropped accepts).  The schedule is a pure function of SEED — two
+// runs inject the identical fault sequence.  Equivalent to
+// BSRNG_FAULTS="SEED:RATE" in the environment.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -25,20 +36,27 @@
 #include <ctime>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "net/server.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace {
 
+// 0 = run, 1 = stop now (SIGINT), 2 = drain then stop (SIGTERM).
 volatile std::sig_atomic_t g_stop = 0;
 
-void handle_stop(int) { g_stop = 1; }
+void handle_int(int) { g_stop = 1; }
+void handle_term(int) { g_stop = 2; }
 
 int usage() {
   std::fprintf(stderr,
                "usage: bsrngd [--port N] [--bind ADDR] [--workers N]\n"
                "              [--max-connections N] [--max-seek BYTES]\n"
-               "              [--telemetry]\n");
+               "              [--telemetry]\n"
+               "              [--idle-timeout MS] [--loris-timeout MS]\n"
+               "              [--shed-bytes N] [--tenant-pending N]\n"
+               "              [--tenant-bps N] [--drain-ms MS]\n"
+               "              [--chaos SEED] [--chaos-rate R]\n");
   return 2;
 }
 
@@ -47,6 +65,10 @@ int usage() {
 int main(int argc, char** argv) {
   bsrng::net::ServerConfig config;
   bool telemetry_on = false;
+  bool chaos = false;
+  std::uint64_t chaos_seed = 0;
+  double chaos_rate = 0.02;
+  int drain_ms = 5000;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -70,11 +92,34 @@ int main(int argc, char** argv) {
       config.max_seek_bytes = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--telemetry") {
       telemetry_on = true;
+    } else if (arg == "--idle-timeout") {
+      config.idle_timeout_ms = std::atoi(next());
+    } else if (arg == "--loris-timeout") {
+      config.partial_frame_timeout_ms = std::atoi(next());
+    } else if (arg == "--shed-bytes") {
+      config.shed_queue_bytes = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--tenant-pending") {
+      config.tenant_max_pending = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--tenant-bps") {
+      config.tenant_bytes_per_sec =
+          static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--drain-ms") {
+      drain_ms = std::atoi(next());
+    } else if (arg == "--chaos") {
+      chaos = true;
+      chaos_seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 0));
+    } else if (arg == "--chaos-rate") {
+      chaos_rate = std::atof(next());
     } else {
       return usage();
     }
   }
   if (telemetry_on) bsrng::telemetry::metrics().set_enabled(true);
+  if (chaos) {
+    bsrng::fault::faults().arm(chaos_seed, chaos_rate);
+    std::printf("bsrngd: chaos armed, seed %llu rate %g\n",
+                static_cast<unsigned long long>(chaos_seed), chaos_rate);
+  }
 
   bsrng::net::Server server(config);
   try {
@@ -87,20 +132,33 @@ int main(int argc, char** argv) {
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
 
-  std::signal(SIGINT, handle_stop);
-  std::signal(SIGTERM, handle_stop);
+  std::signal(SIGINT, handle_int);
+  std::signal(SIGTERM, handle_term);
   while (g_stop == 0) {
     const timespec delay{0, 100 * 1000 * 1000};
     ::nanosleep(&delay, nullptr);
   }
-  server.stop();
+  if (g_stop == 2) {
+    std::printf("bsrngd: draining (deadline %d ms)\n", drain_ms);
+    std::fflush(stdout);
+    server.drain(drain_ms);
+  } else {
+    server.stop();
+  }
 
   const bsrng::net::ServerStats s = server.stats();
   std::printf("bsrngd: served %llu requests, %llu bytes, %llu accepted "
-              "connections, %llu bad frames\n",
+              "connections, %llu bad frames, %llu sheds, %llu timeout "
+              "closes\n",
               static_cast<unsigned long long>(s.requests),
               static_cast<unsigned long long>(s.bytes_served),
               static_cast<unsigned long long>(s.accepted),
-              static_cast<unsigned long long>(s.bad_frames));
+              static_cast<unsigned long long>(s.bad_frames),
+              static_cast<unsigned long long>(s.sheds),
+              static_cast<unsigned long long>(s.idle_closed));
+  if (chaos)
+    std::printf("bsrngd: faults injected: %llu\n",
+                static_cast<unsigned long long>(
+                    bsrng::fault::faults().total_fired()));
   return 0;
 }
