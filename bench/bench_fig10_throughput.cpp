@@ -40,8 +40,8 @@ void BM_Fill(benchmark::State& state, const std::string& algo) {
 double measured_gbps(co::StreamEngine& engine, const std::string& algo,
                      std::span<std::uint8_t> buf,
                      bsrng::bench::JsonWriter& json) {
-  engine.generate(algo, 1, buf);  // warm-up: page in the buffer, init tables
-  const auto rep = engine.generate(algo, 1, buf);
+  engine.generate(co::StreamRequest{algo, 1}, buf);  // warm-up
+  const auto rep = engine.generate(co::StreamRequest{algo, 1}, buf);
   json.add({algo, co::find_algorithm(algo)->lanes, 1, rep.bytes,
             rep.wall_seconds, rep.gbps()});
   return rep.gbps();

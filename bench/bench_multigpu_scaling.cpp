@@ -81,7 +81,7 @@ void print_scaling(bsrng::bench::JsonWriter& json,
               "modeled speedup", "identical");
   for (const std::size_t w : {1u, 2u, 4u, 8u}) {
     co::StreamEngine engine({.workers = w, .chunk_bytes = 256u << 10});
-    const auto rep = engine.generate("aes-ctr-bs32", 7, out);
+    const auto rep = engine.generate(co::StreamRequest{"aes-ctr-bs32", 7}, out);
     std::vector<std::uint8_t> direct(out.size());
     co::make_generator("aes-ctr-bs32", 7)->fill(direct);
     std::printf("%-9zu %12.4f %12.4f %16.2f %10s\n", w, rep.wall_seconds,

@@ -49,9 +49,9 @@ void print_engine_table(bsrng::bench::JsonWriter& json) {
     // take minutes at 4 MiB; they are covered by the test suite instead.
     if (a.family == "reference" && a.name != "chacha20-ref") continue;
     co::make_generator(a.name, 42)->fill(reference);
-    const auto r1 = one.generate(a.name, 42, out);
+    const auto r1 = one.generate(co::StreamRequest{a.name, 42}, out);
     const bool ok1 = out == reference;
-    const auto r4 = four.generate(a.name, 42, out);
+    const auto r4 = four.generate(co::StreamRequest{a.name, 42}, out);
     const bool ok4 = out == reference;
     std::printf("%-16s %-11s %10.3f %10.3f %16.2f %10s\n", a.name.c_str(),
                 partition_name(a.partition), r1.gbps(), r4.gbps(),
@@ -71,7 +71,7 @@ void BM_EngineGenerate(benchmark::State& state, const std::string& algo) {
       {.workers = static_cast<std::size_t>(state.range(0))});
   std::vector<std::uint8_t> out(1u << 20);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.generate(algo, 7, out));
+    benchmark::DoNotOptimize(engine.generate(co::StreamRequest{algo, 7}, out));
     benchmark::ClobberMemory();
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *

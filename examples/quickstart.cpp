@@ -50,8 +50,8 @@ int main(int argc, char** argv) {
   bsrng::telemetry::metrics().set_enabled(true);
   bsrng::StreamEngine engine({.workers = 4});
   std::vector<std::uint8_t> buf(64u << 20);
-  const auto ours = engine.generate(algo, seed, buf);
-  const auto ref = engine.generate("mt19937", seed, buf);
+  const auto ours = engine.generate(bsrng::StreamRequest{algo, seed}, buf);
+  const auto ref = engine.generate(bsrng::StreamRequest{"mt19937", seed}, buf);
   std::printf("throughput: %-14s %7.2f Gbit/s (4 workers)\n", algo,
               ours.gbps());
   std::printf("            %-14s %7.2f Gbit/s (conventional baseline)\n",

@@ -226,8 +226,8 @@ std::vector<LintFinding> lint_paths(const std::vector<std::string>& paths) {
 std::vector<std::string> default_lint_roots(std::string_view repo_root) {
   namespace fs = std::filesystem;
   std::vector<std::string> roots;
-  for (const char* sub :
-       {"src/core", "src/ciphers", "src/bitslice", "src/lfsr", "src/fault"}) {
+  for (const char* sub : {"src/core", "src/ciphers", "src/bitslice",
+                          "src/lfsr", "src/fault", "src/stream"}) {
     fs::path p = fs::path(repo_root) / sub;
     roots.push_back(p.string());
   }

@@ -7,6 +7,9 @@
 //   generation   Generator, make_generator / try_make_generator,
 //                algorithm_exists, list_algorithms / find_algorithm,
 //                AlgorithmInfo (with .partition_spec(seed))
+//   addressing   StreamRef (tenant → stream → shard substream tree),
+//                StreamRequest, StreamCheckpoint + serialize_checkpoint /
+//                parse_checkpoint (O(1) resumable positions)
 //   sharding     StreamEngine, StreamEngineConfig, PartitionSpec,
 //                PartitionKind, multi_device_aes_ctr / multi_device_mickey
 //   measurement  ThroughputReport, WorkerStat, measure_throughput
@@ -42,6 +45,8 @@
 #include "net/server.hpp"
 #include "net/session.hpp"
 #include "nist/fips140.hpp"
+#include "stream/checkpoint.hpp"
+#include "stream/stream_ref.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace bsrng {
@@ -55,6 +60,17 @@ using core::AlgorithmInfo;
 using core::list_algorithms;
 using core::find_algorithm;
 using core::gate_ops_per_step;
+
+// Substream addressing: the canonical way to name a stream position.
+// StreamRef{0,0,0} (the default) is the historical root stream, so
+// StreamRequest{algo, seed} is a drop-in for the old (algo, seed) calls.
+using stream::StreamRef;
+using stream::derive_child;
+using stream::StreamCheckpoint;
+using stream::serialize_checkpoint;
+using stream::parse_checkpoint;
+using stream::checkpoint_digest;
+using core::StreamRequest;
 
 // Sharding.
 using core::PartitionKind;

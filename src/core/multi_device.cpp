@@ -128,7 +128,7 @@ MultiDeviceReport multi_device_aes_ctr(std::span<const std::uint8_t> key16,
     return std::unique_ptr<Generator>(std::make_unique<AesCtrShard>(
         std::span(key), std::span(nonce), static_cast<std::uint32_t>(b)));
   };
-  return record_run(make_device_engine(devices, parallel).generate(spec, out));
+  return record_run(make_device_engine(devices, parallel).generate(spec, 0, out));
 }
 
 MultiDeviceReport multi_device_mickey(std::uint64_t master_seed,
@@ -147,7 +147,7 @@ MultiDeviceReport multi_device_mickey(std::uint64_t master_seed,
     for (std::size_t i = 0; i <= d; ++i) seed = lfsr::splitmix64(x);
     return std::unique_ptr<Generator>(std::make_unique<MickeyShard>(seed));
   };
-  return record_run(make_device_engine(devices, parallel).generate(spec, out));
+  return record_run(make_device_engine(devices, parallel).generate(spec, 0, out));
 }
 
 MultiDeviceReport multi_device_generate(std::string_view algorithm,
@@ -157,7 +157,7 @@ MultiDeviceReport multi_device_generate(std::string_view algorithm,
                                         bool parallel) {
   if (devices == 0) throw std::invalid_argument("need at least one device");
   return record_run(make_device_engine(devices, parallel)
-                        .generate(partition_spec(algorithm, seed), out));
+                        .generate(partition_spec(algorithm, seed), 0, out));
 }
 
 namespace {
@@ -190,8 +190,8 @@ void gpusim_device_chunk(const PartitionSpec& spec, std::uint64_t lo,
     StreamEngineConfig ecfg;
     ecfg.workers = 1;
     ecfg.parallel = false;
-    StreamEngine(ecfg).generate_at(spec, lo + b0,
-                                   std::span(buf.data(), b1 - b0));
+    StreamEngine(ecfg).generate(spec, lo + b0,
+                                std::span(buf.data(), b1 - b0));
     for (std::size_t w = w0; w < w1; ++w) {
       const std::size_t k = (w - w0) * 4;
       const std::uint32_t v =
@@ -257,8 +257,8 @@ MultiDeviceReport multi_device_generate(std::string_view algorithm,
   rep.wall_seconds = std::chrono::duration<double>(Clock::now() - w0).count();
 
   // Walk the degradation ladder: device faults are recoverable (regenerate
-  // the whole span on the host path — byte-identical, generate_at is
-  // positional), anything else is a real bug and propagates.
+  // the whole span on the host path — byte-identical, positional generate
+  // is idempotent), anything else is a real bug and propagates.
   std::uint64_t faulted = 0;
   std::exception_ptr other;
   for (const std::exception_ptr& e : errors) {

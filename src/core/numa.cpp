@@ -1,0 +1,101 @@
+#include "core/numa.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace bsrng::core {
+
+namespace {
+
+// Read one small sysfs file; empty string when absent/unreadable.
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+std::vector<int> parse_cpulist(std::string_view text) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  const auto parse_int = [&](int& out) {
+    if (i >= text.size() || !std::isdigit(static_cast<unsigned char>(text[i])))
+      return false;
+    long v = 0;
+    while (i < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i]))) {
+      v = v * 10 + (text[i] - '0');
+      if (v > 1 << 20) return false;  // no machine has a million CPUs
+      ++i;
+    }
+    out = static_cast<int>(v);
+    return true;
+  };
+  while (i < text.size()) {
+    int lo = 0;
+    if (!parse_int(lo)) return {};
+    int hi = lo;
+    if (i < text.size() && text[i] == '-') {
+      ++i;
+      if (!parse_int(hi) || hi < lo) return {};
+    }
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+    if (i < text.size()) {
+      if (text[i] == ',') {
+        ++i;
+        continue;
+      }
+      // Trailing newline/whitespace ends the list; anything else is junk.
+      while (i < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[i])))
+        ++i;
+      if (i != text.size()) return {};
+    }
+  }
+  return cpus;
+}
+
+NumaTopology NumaTopology::single_node() {
+  NumaTopology t;
+  t.nodes_.resize(1);
+  return t;
+}
+
+NumaTopology NumaTopology::emulated(std::size_t nodes) {
+  NumaTopology t;
+  t.nodes_.resize(nodes == 0 ? 1 : nodes);
+  t.emulated_ = t.nodes_.size() > 1;
+  return t;
+}
+
+NumaTopology NumaTopology::from_sysfs(const std::string& root) {
+  NumaTopology t;
+  // Node ids are dense from 0 on Linux; probe until the first gap.
+  for (std::size_t id = 0;; ++id) {
+    const std::string cpulist =
+        slurp(root + "/node" + std::to_string(id) + "/cpulist");
+    if (cpulist.empty()) break;
+    std::vector<int> cpus = parse_cpulist(cpulist);
+    if (cpus.empty()) break;
+    t.nodes_.push_back(NumaNode{std::move(cpus)});
+  }
+  if (t.nodes_.empty()) return single_node();
+  return t;
+}
+
+NumaTopology NumaTopology::detect() {
+  if (const char* env = std::getenv("BSRNG_NUMA_NODES")) {
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && n >= 1 && n <= 1024)
+      return emulated(static_cast<std::size_t>(n));
+  }
+  return from_sysfs("/sys/devices/system/node");
+}
+
+}  // namespace bsrng::core

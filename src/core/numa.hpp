@@ -1,0 +1,74 @@
+// numa.hpp — NUMA topology discovery for the worker pool.
+//
+// On a multi-socket box, a worker that fills an output span resident on the
+// other socket's memory pays the interconnect on every byte.  ThreadPool
+// therefore places its workers round-robin across NUMA nodes, pins each one
+// to its node's CPU set, and keeps the per-worker scratch buffers (the
+// lane-slice double buffers) first-touched on the owning worker's thread so
+// the kernel backs them with node-local pages.
+//
+// Discovery is strictly best-effort and NEVER affects output bytes — the
+// partitioning of work is a pure function of the span and the PartitionSpec,
+// so the same request produces identical bytes on 1 node, 8 nodes, or a
+// machine where sysfs is absent (tests pin this).  Three sources, in order:
+//
+//   1. BSRNG_NUMA_NODES=N   forced N-node emulation (no affinity pinning —
+//                           the nodes are logical).  This is the CI/TSan
+//                           knob: it exercises the multi-node code path on
+//                           single-node builders deterministically.
+//   2. /sys/devices/system/node/node*/cpulist   the real topology.
+//   3. single_node()        graceful fallback when neither exists (macOS,
+//                           containers with masked sysfs, etc.).
+//
+// No libnuma: the only privileged operation is pthread_setaffinity_np, and
+// a failed pin is ignored (placement is an optimization, never a contract).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bsrng::core {
+
+struct NumaNode {
+  std::vector<int> cpus;  // empty for emulated nodes
+};
+
+class NumaTopology {
+ public:
+  // One node, no CPU list: the "I know nothing" topology.  Workers are not
+  // pinned and all scratch is wherever the first touch lands.
+  static NumaTopology single_node();
+
+  // N logical nodes with no CPU lists; workers get node identities (and
+  // node-local scratch accounting) but no affinity pinning.
+  static NumaTopology emulated(std::size_t nodes);
+
+  // BSRNG_NUMA_NODES override, else sysfs, else single_node().
+  static NumaTopology detect();
+
+  // Parse sysfs alone (no env override); exposed for tests pointed at a
+  // fake sysfs root.  Falls back to single_node() when `root` has no
+  // node directories or none of them parse.
+  static NumaTopology from_sysfs(const std::string& root);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  bool emulated_only() const noexcept { return emulated_; }
+  const std::vector<NumaNode>& nodes() const noexcept { return nodes_; }
+
+  // Round-robin worker placement; the layout every pool uses.
+  std::size_t node_of_worker(std::size_t worker) const noexcept {
+    return nodes_.empty() ? 0 : worker % nodes_.size();
+  }
+
+ private:
+  std::vector<NumaNode> nodes_;
+  bool emulated_ = false;
+};
+
+// Parse a sysfs cpulist ("0-3,8,10-11") into CPU ids; empty on malformed
+// input.  Exposed for tests.
+std::vector<int> parse_cpulist(std::string_view text);
+
+}  // namespace bsrng::core

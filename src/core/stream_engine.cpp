@@ -32,6 +32,8 @@ struct EngineMetrics {
   telemetry::Counter& jobs;
   telemetry::Counter& bytes;
   telemetry::Counter& tasks;
+  telemetry::Counter& checkpoints;
+  telemetry::Counter& resumes;
   telemetry::Histogram& task_seconds;
   telemetry::Histogram& job_seconds;
   telemetry::Gauge& last_gbps;
@@ -41,6 +43,8 @@ struct EngineMetrics {
         telemetry::metrics().counter("stream_engine.jobs"),
         telemetry::metrics().counter("stream_engine.bytes"),
         telemetry::metrics().counter("stream_engine.tasks"),
+        telemetry::metrics().counter("stream_engine.checkpoints"),
+        telemetry::metrics().counter("stream_engine.resumes"),
         telemetry::metrics().histogram("stream_engine.task_seconds"),
         telemetry::metrics().histogram("stream_engine.job_seconds"),
         telemetry::metrics().gauge("stream_engine.last_gbps"),
@@ -53,41 +57,53 @@ struct EngineMetrics {
 
 StreamEngine::StreamEngine(StreamEngineConfig config) : config_(config) {
   if (config_.workers == 0) config_.workers = ThreadPool::default_workers();
-  if (config_.parallel) pool_ = std::make_unique<ThreadPool>(config_.workers);
+  if (config_.parallel)
+    pool_ = std::make_unique<ThreadPool>(
+        config_.workers, config_.numa_nodes > 0
+                             ? NumaTopology::emulated(config_.numa_nodes)
+                             : NumaTopology::detect());
 }
 
 StreamEngine::~StreamEngine() = default;
 
-ThroughputReport StreamEngine::generate(std::string_view algo,
-                                        std::uint64_t seed,
+ThroughputReport StreamEngine::generate(const StreamRequest& req,
                                         std::span<std::uint8_t> out) {
-  return generate(partition_spec(algo, seed), out);
+  return generate(partition_spec(req.algorithm, req.derived_seed()),
+                  req.offset, out);
+}
+
+stream::StreamCheckpoint StreamEngine::checkpoint(
+    const StreamRequest& req) const {
+  if (!algorithm_exists(req.algorithm))
+    throw std::invalid_argument("StreamEngine: cannot checkpoint unknown "
+                                "algorithm '" +
+                                req.algorithm + "'");
+  EngineMetrics::get().checkpoints.add();
+  return stream::StreamCheckpoint{req.algorithm, req.seed, req.ref,
+                                  req.offset};
+}
+
+ThroughputReport StreamEngine::resume(const stream::StreamCheckpoint& ck,
+                                      std::span<std::uint8_t> out) {
+  EngineMetrics::get().resumes.add();
+  return generate(StreamRequest{ck.algorithm, ck.seed, ck.ref, ck.offset},
+                  out);
 }
 
 ThroughputReport StreamEngine::generate(const PartitionSpec& spec,
+                                        std::uint64_t offset,
                                         std::span<std::uint8_t> out) {
-  switch (spec.kind) {
-    case PartitionKind::kCounter:
-      return run_counter(spec, out);
-    case PartitionKind::kLaneSlice:
-      return run_lane_slice(spec, out);
-    case PartitionKind::kSequential:
-      return run_sequential(spec, out);
+  if (offset == 0) {
+    switch (spec.kind) {
+      case PartitionKind::kCounter:
+        return run_counter(spec, out);
+      case PartitionKind::kLaneSlice:
+        return run_lane_slice(spec, out);
+      case PartitionKind::kSequential:
+        return run_sequential(spec, out);
+    }
+    throw std::logic_error("StreamEngine: unhandled partition kind");
   }
-  throw std::logic_error("StreamEngine: unhandled partition kind");
-}
-
-ThroughputReport StreamEngine::generate_at(std::string_view algo,
-                                           std::uint64_t seed,
-                                           std::uint64_t offset,
-                                           std::span<std::uint8_t> out) {
-  return generate_at(partition_spec(algo, seed), offset, out);
-}
-
-ThroughputReport StreamEngine::generate_at(const PartitionSpec& spec,
-                                           std::uint64_t offset,
-                                           std::span<std::uint8_t> out) {
-  if (offset == 0) return generate(spec, out);
   // The span must fit the 2^64-byte stream address space: a wrapping end
   // offset would undersize the lane-slice scratch envelope below and turn
   // into an out-of-bounds read.
@@ -163,7 +179,8 @@ ThroughputReport StreamEngine::generate_at(const PartitionSpec& spec,
     case PartitionKind::kSequential: {
       if (!spec.make)
         throw std::invalid_argument("StreamEngine: malformed kSequential spec");
-      return dispatch(out.empty() ? 0 : 1, [&](std::size_t) -> std::uint64_t {
+      return dispatch(out.empty() ? 0 : 1,
+                      [&](std::size_t, std::size_t) -> std::uint64_t {
         auto gen = spec.make();
         discard_bytes(*gen, offset);
         const std::size_t chunk =
@@ -179,18 +196,18 @@ ThroughputReport StreamEngine::generate_at(const PartitionSpec& spec,
 
 ThroughputReport StreamEngine::dispatch(
     std::size_t ntasks,
-    const std::function<std::uint64_t(std::size_t)>& task) {
+    const std::function<std::uint64_t(std::size_t, std::size_t)>& task) {
   // Every generation job funnels through here, so one injection point
   // models "the allocation/setup for this job failed".  It fires before any
   // output byte is written: a caller that catches and re-issues the span
-  // gets byte-identical results (generate_at is idempotent).
+  // gets byte-identical results (positional generate is idempotent).
   if (EngineFaults::get().alloc_fail.fire()) throw std::bad_alloc();
   ThroughputReport rep;
   rep.per_worker.resize(config_.workers);
   EngineMetrics& em = EngineMetrics::get();
   const auto timed = [&](std::size_t worker, std::size_t t) {
     const auto t0 = Clock::now();
-    const std::uint64_t bytes = task(t);
+    const std::uint64_t bytes = task(worker, t);
     const double secs =
         std::chrono::duration<double>(Clock::now() - t0).count();
     WorkerStat& s = rep.per_worker[worker];
@@ -236,7 +253,7 @@ ThroughputReport StreamEngine::run_counter(const PartitionSpec& spec,
       blocks_total == 0 ? 0
                         : (blocks_total + blocks_per_chunk - 1) /
                               blocks_per_chunk;
-  return dispatch(nchunks, [&](std::size_t c) -> std::uint64_t {
+  return dispatch(nchunks, [&](std::size_t, std::size_t c) -> std::uint64_t {
     const std::size_t first_block = c * blocks_per_chunk;
     const std::size_t first_byte = first_block * bb;
     const std::size_t last_byte =
@@ -259,19 +276,26 @@ ThroughputReport StreamEngine::run_lane_slice(const PartitionSpec& spec,
   // One task per lane block; the worker streams its column generator into
   // alternating scratch buffers (double-buffered: the scatter of buffer A
   // runs while buffer B is still warm from the previous round) and scatters
-  // rows into the interleaved output.
+  // rows into the interleaved output.  With a pool the buffers are the
+  // worker's persistent node-local pair (first-touched on that worker's
+  // thread, reused across batches); the inline path keeps task-local ones.
   const std::size_t rows_per_chunk = std::max<std::size_t>(
       1, (config_.chunk_bytes == 0 ? (1u << 18) : config_.chunk_bytes) / cb);
-  return dispatch(rows == 0 ? 0 : nb, [&](std::size_t b) -> std::uint64_t {
+  const bool pooled = config_.parallel && pool_ != nullptr;
+  return dispatch(rows == 0 ? 0 : nb,
+                  [&](std::size_t worker, std::size_t b) -> std::uint64_t {
     auto gen = spec.make_lane_block(b);
-    std::vector<std::uint8_t> bufs[2];
-    bufs[0].resize(rows_per_chunk * cb);
-    bufs[1].resize(rows_per_chunk * cb);
+    std::vector<std::uint8_t> local[2];
+    const auto buf = [&](std::size_t which) -> std::vector<std::uint8_t>& {
+      return pooled ? pool_->scratch(worker, which) : local[which];
+    };
+    if (buf(0).size() < rows_per_chunk * cb) buf(0).resize(rows_per_chunk * cb);
+    if (buf(1).size() < rows_per_chunk * cb) buf(1).resize(rows_per_chunk * cb);
     std::uint64_t produced = 0;
     std::size_t which = 0;
     for (std::size_t r0 = 0; r0 < rows; r0 += rows_per_chunk, which ^= 1) {
       const std::size_t r1 = std::min(rows, r0 + rows_per_chunk);
-      std::vector<std::uint8_t>& col = bufs[which];
+      std::vector<std::uint8_t>& col = buf(which);
       gen->fill(std::span(col.data(), (r1 - r0) * cb));
       for (std::size_t r = r0; r < r1; ++r) {
         const std::size_t dst = r * row + b * cb;
@@ -291,7 +315,8 @@ ThroughputReport StreamEngine::run_sequential(const PartitionSpec& spec,
     throw std::invalid_argument("StreamEngine: malformed kSequential spec");
   // No safe decomposition: one task produces the whole stream, chunked so
   // the report still reflects steady-state generation.
-  return dispatch(out.empty() ? 0 : 1, [&](std::size_t) -> std::uint64_t {
+  return dispatch(out.empty() ? 0 : 1,
+                  [&](std::size_t, std::size_t) -> std::uint64_t {
     auto gen = spec.make();
     const std::size_t chunk =
         config_.chunk_bytes == 0 ? out.size() : config_.chunk_bytes;

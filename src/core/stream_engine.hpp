@@ -1,5 +1,5 @@
 // stream_engine.hpp — deterministic thread-pool sharded generation (§5.4,
-// generalized).
+// generalized), addressed through the substream tree.
 //
 // The paper partitions seed/nonce/counter space across D devices and
 // reconstructs a bit-identical single-device sequence.  StreamEngine lifts
@@ -15,9 +15,20 @@
 //   kLaneSlice  — each worker claims 32-lane column sub-streams and scatters
 //                 their bytes into the interleaved row layout, double-
 //                 buffered per worker so generation and scatter alternate on
-//                 warm buffers.
+//                 warm buffers (the buffers live in the pool, node-local).
 //   kSequential — one worker produces the whole stream in chunks (no safe
 //                 decomposition; determinism is trivial).
+//
+// The canonical entry point is StreamRef-addressed: a StreamRequest names
+// (algorithm, root seed, tenant→stream→shard path, byte offset) and
+// generate(req, out) fills bytes [offset, offset + out.size()) of that
+// substream — the same bytes for every worker count, NUMA node count,
+// backend, and protocol version (the fabric's byte-exactness law).  The
+// historical (algorithm, seed) overload pairs survive as [[deprecated]]
+// forwarders; see the README migration table.
+//
+// checkpoint()/resume() turn any position into a serializable
+// stream::StreamCheckpoint and back — O(1) both ways for counter specs.
 //
 // The engine owns a persistent ThreadPool; construct once, generate many.
 #pragma once
@@ -30,6 +41,8 @@
 #include "core/registry.hpp"
 #include "core/thread_pool.hpp"
 #include "core/throughput.hpp"
+#include "stream/checkpoint.hpp"
+#include "stream/stream_ref.hpp"
 
 namespace bsrng::core {
 
@@ -44,6 +57,23 @@ struct StreamEngineConfig {
   // (attributed round-robin to "workers" for the report) — the multi-device
   // wrappers' sequential baseline mode.
   bool parallel = true;
+  // NUMA placement: 0 = detect (BSRNG_NUMA_NODES override, then sysfs,
+  // then single node); N > 0 = force N emulated nodes.  Placement never
+  // changes output bytes — it only moves workers and their scratch pages.
+  std::size_t numa_nodes = 0;
+};
+
+// The canonical addressing unit: which substream, and where in it.
+struct StreamRequest {
+  std::string algorithm;
+  std::uint64_t seed = 0;     // root seed of the tenant tree
+  stream::StreamRef ref{};    // tenant → stream → shard path ({0,0,0} = root)
+  std::uint64_t offset = 0;   // first byte of the span to fill
+
+  // The seed the substream actually runs on (O(1), pinned schedule).
+  std::uint64_t derived_seed() const noexcept {
+    return ref.derive_seed(seed);
+  }
 };
 
 class StreamEngine {
@@ -56,32 +86,64 @@ class StreamEngine {
 
   std::size_t workers() const noexcept { return config_.workers; }
 
-  // Fill `out` with the canonical stream of a registered algorithm,
-  // sharded per its PartitionSpec.  Byte-identical to
-  // make_generator(algo, seed)->fill(out) for every worker count.
+  // Fill `out` with bytes [req.offset, req.offset + out.size()) of the
+  // substream named by `req` — byte-identical to
+  // make_generator(req.algorithm, req.derived_seed())->fill over the same
+  // range, for every worker count.  Seek cost depends on the partition
+  // kind: kCounter seeks in O(1) via make_at_block (offsets past 2^40 are
+  // fine), kLaneSlice fast-forwards each 32-lane column sub-stream
+  // independently, and kSequential clocks one generator past the offset.
+  ThroughputReport generate(const StreamRequest& req,
+                            std::span<std::uint8_t> out);
+
+  // Low-level positional form for hand-built specs (the multi_device_*
+  // wrappers); generate(req, out) is this applied to the registry spec of
+  // the derived seed.  The tail-equivalence law: generate(spec, offset, n)
+  // equals the last n bytes of generate(spec, 0, offset + n), for every
+  // worker count (tests/core/stream_engine_test.cpp pins it).
+  ThroughputReport generate(const PartitionSpec& spec, std::uint64_t offset,
+                            std::span<std::uint8_t> out);
+
+  // Freeze `req` into a serializable checkpoint (stream::serialize_checkpoint
+  // turns it into the versioned wire blob).  Throws std::invalid_argument
+  // for unknown algorithms — a checkpoint that could not resume must not
+  // be mintable.
+  stream::StreamCheckpoint checkpoint(const StreamRequest& req) const;
+
+  // Resume a parsed checkpoint: fill `out` with the next out.size() bytes
+  // of its substream, starting at ck.offset.  Byte-exact across process
+  // restarts — ck is a pure address, the engine holds no hidden state.
+  ThroughputReport resume(const stream::StreamCheckpoint& ck,
+                          std::span<std::uint8_t> out);
+
+  // --- historical overloads (pre-StreamRef), thin forwarders ------------
+
+  [[deprecated("use generate(StreamRequest{algo, seed}, out)")]]
   ThroughputReport generate(std::string_view algo, std::uint64_t seed,
-                            std::span<std::uint8_t> out);
+                            std::span<std::uint8_t> out) {
+    return generate(StreamRequest{std::string(algo), seed, {}, 0}, out);
+  }
 
-  // Same, from an explicit spec (the multi_device_* wrappers use this with
-  // hand-built specs).
+  [[deprecated("use generate(spec, 0, out)")]]
   ThroughputReport generate(const PartitionSpec& spec,
-                            std::span<std::uint8_t> out);
+                            std::span<std::uint8_t> out) {
+    return generate(spec, 0, out);
+  }
 
-  // Fill `out` with bytes [offset, offset + out.size()) of the canonical
-  // stream — the tail-equivalence law: generate_at(offset, n) equals the
-  // last n bytes of generate over offset + n bytes, for every worker count
-  // (tests/core/stream_engine_test.cpp pins it).  Seek cost depends on the
-  // partition kind: kCounter seeks in O(1) via make_at_block (offsets past
-  // 2^40 are fine), kLaneSlice fast-forwards each 32-lane column sub-stream
-  // independently (O(offset / lane_blocks) work per worker), and
-  // kSequential clocks one generator past `offset` bytes.  bsrngd's session
-  // resume is built on this.
+  [[deprecated(
+      "use generate(StreamRequest{algo, seed, {}, offset}, out)")]]
   ThroughputReport generate_at(std::string_view algo, std::uint64_t seed,
                                std::uint64_t offset,
-                               std::span<std::uint8_t> out);
+                               std::span<std::uint8_t> out) {
+    return generate(StreamRequest{std::string(algo), seed, {}, offset}, out);
+  }
+
+  [[deprecated("use generate(spec, offset, out)")]]
   ThroughputReport generate_at(const PartitionSpec& spec,
                                std::uint64_t offset,
-                               std::span<std::uint8_t> out);
+                               std::span<std::uint8_t> out) {
+    return generate(spec, offset, out);
+  }
 
  private:
   ThroughputReport run_counter(const PartitionSpec& spec,
@@ -91,12 +153,14 @@ class StreamEngine {
   ThroughputReport run_sequential(const PartitionSpec& spec,
                                   std::span<std::uint8_t> out);
 
-  // Run task(t) for t in [0, ntasks) honoring config_.parallel; each task
-  // returns the bytes it produced.  Times every task and attributes busy
-  // time/bytes to the executing worker; returns the finalized report.
+  // Run task(worker, t) for t in [0, ntasks) honoring config_.parallel;
+  // each task returns the bytes it produced.  Times every task and
+  // attributes busy time/bytes to the executing worker; returns the
+  // finalized report.
   ThroughputReport dispatch(
       std::size_t ntasks,
-      const std::function<std::uint64_t(std::size_t task)>& task);
+      const std::function<std::uint64_t(std::size_t worker,
+                                        std::size_t task)>& task);
 
   StreamEngineConfig config_;
   std::unique_ptr<ThreadPool> pool_;

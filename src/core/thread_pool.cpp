@@ -5,6 +5,11 @@
 #include <thread>
 #include <utility>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "fault/fault.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -36,6 +41,8 @@ struct PoolMetrics {
   telemetry::Counter& cas_retries;
   telemetry::Counter& stale_batch_backoffs;
   telemetry::Gauge& queue_depth;
+  telemetry::Gauge& numa_nodes;
+  telemetry::Counter& affinity_pins;
 
   static PoolMetrics& get() {
     static PoolMetrics m{
@@ -44,6 +51,8 @@ struct PoolMetrics {
         telemetry::metrics().counter("thread_pool.claim_cas_retries"),
         telemetry::metrics().counter("thread_pool.stale_batch_backoffs"),
         telemetry::metrics().gauge("thread_pool.queue_depth"),
+        telemetry::metrics().gauge("thread_pool.numa_nodes"),
+        telemetry::metrics().counter("thread_pool.affinity_pins"),
     };
     return m;
   }
@@ -51,11 +60,32 @@ struct PoolMetrics {
 
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t workers) {
+ThreadPool::ThreadPool(std::size_t workers, NumaTopology topo)
+    : topo_(std::move(topo)) {
   workers = std::max<std::size_t>(1, workers);
+  PoolMetrics::get().numa_nodes.set(static_cast<double>(topo_.node_count()));
+  scratch_.resize(workers);  // storage only; pages are worker-first-touched
   threads_.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w)
     threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+void ThreadPool::pin_to_node(std::size_t worker) {
+  // Only a real (sysfs) multi-node topology pins: emulated nodes are
+  // logical, and on one node the scheduler already does the right thing.
+  // A failed pin is ignored — placement is never a correctness contract.
+  if (topo_.emulated_only() || topo_.node_count() < 2) return;
+  const NumaNode& node = topo_.nodes()[node_of(worker)];
+  if (node.cpus.empty()) return;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int cpu : node.cpus)
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  if (CPU_COUNT(&set) > 0 &&
+      pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0)
+    PoolMetrics::get().affinity_pins.add();
+#endif
 }
 
 ThreadPool::~ThreadPool() {
@@ -94,6 +124,7 @@ void ThreadPool::run_indexed(
 }
 
 void ThreadPool::worker_loop(std::size_t worker) {
+  pin_to_node(worker);
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(std::size_t, std::size_t)>* fn;

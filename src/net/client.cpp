@@ -157,6 +157,26 @@ void Client::send_generate(const std::string& algorithm, std::uint64_t seed,
   send_all(encode_generate({algorithm, seed, offset, nbytes}));
 }
 
+void Client::send_generate(const std::string& algorithm, std::uint64_t seed,
+                           stream::StreamRef ref, std::uint64_t offset,
+                           std::uint32_t nbytes) {
+  send_all(encode_generate2({algorithm, seed, offset, nbytes, ref}));
+}
+
+void Client::send_hello(std::uint32_t version) {
+  send_all(encode_hello(version));
+}
+
+void Client::send_checkpoint(const std::string& algorithm, std::uint64_t seed,
+                             stream::StreamRef ref, std::uint64_t offset) {
+  send_all(encode_checkpoint_request({algorithm, seed, offset, 0, ref}));
+}
+
+void Client::send_resume(std::span<const std::uint8_t> checkpoint_blob,
+                         std::uint32_t nbytes) {
+  send_all(encode_resume(checkpoint_blob, nbytes));
+}
+
 void Client::send_metrics() { send_all(encode_simple_request(kMetrics)); }
 
 void Client::send_ping() { send_all(encode_simple_request(kPing)); }
@@ -227,6 +247,63 @@ std::vector<std::uint8_t> Client::generate(const std::string& algorithm,
         std::string(resp->payload.begin(), resp->payload.end()));
   if (resp->payload.size() != nbytes)
     throw std::runtime_error("Client: short generate payload");
+  return std::move(resp->payload);
+}
+
+std::vector<std::uint8_t> Client::generate(const std::string& algorithm,
+                                           std::uint64_t seed,
+                                           stream::StreamRef ref,
+                                           std::uint64_t offset,
+                                           std::uint32_t nbytes) {
+  send_generate(algorithm, seed, ref, offset, nbytes);
+  std::optional<Response> resp = read_response();
+  if (!resp) throw std::runtime_error("Client: connection lost");
+  if (resp->status != Status::kOk)
+    throw std::runtime_error(
+        "Client: server status " +
+        std::to_string(static_cast<int>(resp->status)) + ": " +
+        std::string(resp->payload.begin(), resp->payload.end()));
+  if (resp->payload.size() != nbytes)
+    throw std::runtime_error("Client: short generate payload");
+  return std::move(resp->payload);
+}
+
+std::uint32_t Client::hello(std::uint32_t version) {
+  send_hello(version);
+  std::optional<Response> resp = read_response();
+  if (!resp) throw std::runtime_error("Client: connection lost");
+  if (resp->status != Status::kOk)
+    throw std::runtime_error("Client: protocol version rejected");
+  if (resp->payload.size() < 4)
+    throw std::runtime_error("Client: short hello payload");
+  return read_u32le(resp->payload.data());
+}
+
+std::vector<std::uint8_t> Client::checkpoint(const std::string& algorithm,
+                                             std::uint64_t seed,
+                                             stream::StreamRef ref,
+                                             std::uint64_t offset) {
+  send_checkpoint(algorithm, seed, ref, offset);
+  std::optional<Response> resp = read_response();
+  if (!resp) throw std::runtime_error("Client: connection lost");
+  if (resp->status != Status::kOk)
+    throw std::runtime_error(
+        "Client: checkpoint failed: " +
+        std::string(resp->payload.begin(), resp->payload.end()));
+  return std::move(resp->payload);
+}
+
+std::vector<std::uint8_t> Client::resume(
+    std::span<const std::uint8_t> checkpoint_blob, std::uint32_t nbytes) {
+  send_resume(checkpoint_blob, nbytes);
+  std::optional<Response> resp = read_response();
+  if (!resp) throw std::runtime_error("Client: connection lost");
+  if (resp->status != Status::kOk)
+    throw std::runtime_error(
+        "Client: resume failed: " +
+        std::string(resp->payload.begin(), resp->payload.end()));
+  if (resp->payload.size() != nbytes)
+    throw std::runtime_error("Client: short resume payload");
   return std::move(resp->payload);
 }
 

@@ -47,6 +47,24 @@ class Client {
   std::vector<std::uint8_t> generate(const std::string& algorithm,
                                      std::uint64_t seed, std::uint64_t offset,
                                      std::uint32_t nbytes);
+  // v2: the same span on the substream named by `ref` (kGenerate2).  A
+  // root ref {0,0,0} is byte-identical to the v1 overload above.
+  std::vector<std::uint8_t> generate(const std::string& algorithm,
+                                     std::uint64_t seed, stream::StreamRef ref,
+                                     std::uint64_t offset,
+                                     std::uint32_t nbytes);
+  // v2 handshake: returns the server's protocol version.  Throws on
+  // kBadVersion (the server rejected `version`) or connection loss.
+  std::uint32_t hello(std::uint32_t version = kProtocolVersion);
+  // v2: mint a serialized StreamCheckpoint for a stream position — the
+  // exact blob resume() (and a future process, after a restart) accepts.
+  std::vector<std::uint8_t> checkpoint(const std::string& algorithm,
+                                       std::uint64_t seed,
+                                       stream::StreamRef ref,
+                                       std::uint64_t offset);
+  // v2: the next nbytes bytes from a checkpointed position (kResume).
+  std::vector<std::uint8_t> resume(
+      std::span<const std::uint8_t> checkpoint_blob, std::uint32_t nbytes);
   std::string metrics_json();
   void ping();
 
@@ -54,6 +72,14 @@ class Client {
 
   void send_generate(const std::string& algorithm, std::uint64_t seed,
                      std::uint64_t offset, std::uint32_t nbytes);
+  void send_generate(const std::string& algorithm, std::uint64_t seed,
+                     stream::StreamRef ref, std::uint64_t offset,
+                     std::uint32_t nbytes);
+  void send_hello(std::uint32_t version);
+  void send_checkpoint(const std::string& algorithm, std::uint64_t seed,
+                       stream::StreamRef ref, std::uint64_t offset);
+  void send_resume(std::span<const std::uint8_t> checkpoint_blob,
+                   std::uint32_t nbytes);
   void send_metrics();
   void send_ping();
   // Raw bytes on the wire — the protocol-robustness tests forge malformed

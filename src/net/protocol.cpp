@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <utility>
 
 namespace bsrng::net {
 
@@ -43,6 +44,68 @@ std::vector<std::uint8_t> encode_generate(const GenerateRequest& req) {
   return out;
 }
 
+std::vector<std::uint8_t> encode_generate2(const GenerateRequest& req) {
+  if (req.algorithm.size() > 255)
+    throw std::invalid_argument("protocol: algorithm name too long");
+  std::vector<std::uint8_t> out;
+  const std::size_t body = 1 + 1 + req.algorithm.size() + 8 + 24 + 8 + 4;
+  out.reserve(4 + body);
+  append_u32le(out, static_cast<std::uint32_t>(body));
+  out.push_back(kGenerate2);
+  out.push_back(static_cast<std::uint8_t>(req.algorithm.size()));
+  out.insert(out.end(), req.algorithm.begin(), req.algorithm.end());
+  append_u64le(out, req.seed);
+  append_u64le(out, req.ref.tenant);
+  append_u64le(out, req.ref.stream);
+  append_u64le(out, req.ref.shard);
+  append_u64le(out, req.offset);
+  append_u32le(out, req.nbytes);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_hello(std::uint32_t version) {
+  std::vector<std::uint8_t> out;
+  append_u32le(out, 5);
+  out.push_back(kHello);
+  append_u32le(out, version);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_checkpoint_request(
+    const GenerateRequest& req) {
+  if (req.algorithm.size() > 255)
+    throw std::invalid_argument("protocol: algorithm name too long");
+  std::vector<std::uint8_t> out;
+  const std::size_t body = 1 + 1 + req.algorithm.size() + 8 + 24 + 8;
+  out.reserve(4 + body);
+  append_u32le(out, static_cast<std::uint32_t>(body));
+  out.push_back(kCheckpoint);
+  out.push_back(static_cast<std::uint8_t>(req.algorithm.size()));
+  out.insert(out.end(), req.algorithm.begin(), req.algorithm.end());
+  append_u64le(out, req.seed);
+  append_u64le(out, req.ref.tenant);
+  append_u64le(out, req.ref.stream);
+  append_u64le(out, req.ref.shard);
+  append_u64le(out, req.offset);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_resume(
+    std::span<const std::uint8_t> checkpoint_blob, std::uint32_t nbytes) {
+  if (checkpoint_blob.empty() || checkpoint_blob.size() > 0xFFFF)
+    throw std::invalid_argument("protocol: checkpoint blob size out of range");
+  std::vector<std::uint8_t> out;
+  const std::size_t body = 1 + 4 + 2 + checkpoint_blob.size();
+  out.reserve(4 + body);
+  append_u32le(out, static_cast<std::uint32_t>(body));
+  out.push_back(kResume);
+  append_u32le(out, nbytes);
+  out.push_back(static_cast<std::uint8_t>(checkpoint_blob.size() & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(checkpoint_blob.size() >> 8));
+  out.insert(out.end(), checkpoint_blob.begin(), checkpoint_blob.end());
+  return out;
+}
+
 std::vector<std::uint8_t> encode_simple_request(std::uint8_t type) {
   std::vector<std::uint8_t> out;
   append_u32le(out, 1);
@@ -66,24 +129,63 @@ std::optional<Request> decode_request(std::span<const std::uint8_t> body) {
   req.type = body[0];
   if (req.type == kMetrics || req.type == kPing)
     return body.size() == 1 ? std::optional<Request>(req) : std::nullopt;
-  if (req.type != kGenerate) return std::nullopt;
+  if (req.type == kHello) {
+    if (body.size() != 5) return std::nullopt;
+    req.hello_version = read_u32le(body.data() + 1);
+    return req;
+  }
+  if (req.type == kResume) {
+    // u32 nbytes | u16 ck_len | blob, exact size.  The checkpoint blob is
+    // validated here (structure AND schedule digest) but a bad blob is NOT
+    // a bad frame: the framing was sound, so the request decodes and the
+    // server answers kBadCheckpoint on a connection that stays usable.
+    if (body.size() < 7) return std::nullopt;
+    req.generate.nbytes = read_u32le(body.data() + 1);
+    const std::size_t cklen = static_cast<std::size_t>(body[5]) |
+                              (static_cast<std::size_t>(body[6]) << 8);
+    if (cklen == 0 || body.size() != 7 + cklen) return std::nullopt;
+    if (auto ck = stream::parse_checkpoint(body.subspan(7, cklen))) {
+      req.generate.algorithm = std::move(ck->algorithm);
+      req.generate.seed = ck->seed;
+      req.generate.ref = ck->ref;
+      req.generate.offset = ck->offset;
+      req.checkpoint_ok = true;
+    }
+    return req;
+  }
+  if (req.type != kGenerate && req.type != kGenerate2 &&
+      req.type != kCheckpoint)
+    return std::nullopt;
   if (body.size() < 2) return std::nullopt;
   const std::size_t alen = body[1];
   if (alen == 0) return std::nullopt;  // no algorithm can have an empty name
-  // Fixed tail: seed(8) + offset(8) + nbytes(4); exact-size match so a
-  // frame with trailing garbage is malformed, not silently accepted.
-  if (body.size() != 2 + alen + 20) return std::nullopt;
+  // Fixed tails — exact-size match so a frame with trailing garbage is
+  // malformed, not silently accepted:
+  //   kGenerate    seed(8) + offset(8) + nbytes(4)            = 20
+  //   kGenerate2   seed(8) + ref(24) + offset(8) + nbytes(4)  = 44
+  //   kCheckpoint  seed(8) + ref(24) + offset(8)              = 40
+  const std::size_t tail =
+      req.type == kGenerate ? 20 : (req.type == kGenerate2 ? 44 : 40);
+  if (body.size() != 2 + alen + tail) return std::nullopt;
   req.generate.algorithm.assign(
       reinterpret_cast<const char*>(body.data() + 2), alen);
-  req.generate.seed = read_u64le(body.data() + 2 + alen);
-  req.generate.offset = read_u64le(body.data() + 2 + alen + 8);
-  req.generate.nbytes = read_u32le(body.data() + 2 + alen + 16);
+  const std::uint8_t* p = body.data() + 2 + alen;
+  req.generate.seed = read_u64le(p);
+  p += 8;
+  if (req.type != kGenerate) {
+    req.generate.ref.tenant = read_u64le(p);
+    req.generate.ref.stream = read_u64le(p + 8);
+    req.generate.ref.shard = read_u64le(p + 16);
+    p += 24;
+  }
+  req.generate.offset = read_u64le(p);
+  if (req.type != kCheckpoint) req.generate.nbytes = read_u32le(p + 8);
   return req;
 }
 
 std::optional<Response> decode_response(std::span<const std::uint8_t> body) {
   if (body.empty()) return std::nullopt;
-  if (body[0] > static_cast<std::uint8_t>(Status::kRetryLater))
+  if (body[0] > static_cast<std::uint8_t>(Status::kBadCheckpoint))
     return std::nullopt;
   Response resp;
   resp.status = static_cast<Status>(body[0]);

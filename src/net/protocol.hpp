@@ -14,6 +14,29 @@
 //                 same document a "GET /metrics" HTTP probe receives).
 //   kPing      u8 type
 //              -> empty OK (liveness / protocol handshake probe).
+//   kHello     u8 type | u32le version                            (v2)
+//              -> kOk with a u32le server-version payload when the client
+//                 version is within [kProtocolVersionMin, kProtocolVersion];
+//                 kBadVersion (same payload) otherwise.  Advisory: requests
+//                 are self-describing, so a v1 client that never says hello
+//                 keeps working untouched.
+//   kGenerate2 u8 type | u8 algo_len | algo bytes | u64le seed |
+//              u64le tenant | u64le stream | u64le shard |
+//              u64le offset | u32le nbytes                        (v2)
+//              -> the kGenerate contract on the SUBSTREAM named by the
+//                 StreamRef path: the served bytes are exactly the v1 bytes
+//                 of the derived seed StreamRef::derive_seed(seed), so
+//                 {0,0,0} is byte-identical to kGenerate (tests pin this).
+//   kCheckpoint u8 type | u8 algo_len | algo bytes | u64le seed |
+//              u64le tenant | u64le stream | u64le shard |
+//              u64le offset                                       (v2)
+//              -> kOk whose payload is a serialized stream::StreamCheckpoint
+//                 for that position (the blob kResume accepts).
+//   kResume    u8 type | u32le nbytes | u16le ck_len | ck blob    (v2)
+//              -> the next nbytes bytes from the checkpointed position.  A
+//                 blob that fails the strict checkpoint parse (magic,
+//                 version, structure, schedule digest) answers
+//                 kBadCheckpoint; the connection stays usable.
 //
 // Response bodies are u8 status followed by the payload: the generated
 // bytes (kOk answer to kGenerate), the JSON text (kOk answer to kMetrics),
@@ -38,11 +61,25 @@
 #include <string>
 #include <vector>
 
+#include "stream/checkpoint.hpp"
+#include "stream/stream_ref.hpp"
+
 namespace bsrng::net {
 
 inline constexpr std::uint8_t kGenerate = 1;
 inline constexpr std::uint8_t kMetrics = 2;
 inline constexpr std::uint8_t kPing = 3;
+inline constexpr std::uint8_t kHello = 4;
+inline constexpr std::uint8_t kGenerate2 = 5;
+inline constexpr std::uint8_t kCheckpoint = 6;
+inline constexpr std::uint8_t kResume = 7;
+
+// Wire protocol versions this build speaks.  v1 is the original
+// kGenerate/kMetrics/kPing surface; v2 adds StreamRef addressing and
+// checkpoints.  Every v1 frame stays valid under v2 (a kGenerate is a
+// kGenerate2 on the root ref), so the handshake is advisory.
+inline constexpr std::uint32_t kProtocolVersionMin = 1;
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 enum class Status : std::uint8_t {
   kOk = 0,
@@ -57,6 +94,12 @@ enum class Status : std::uint8_t {
                       // — see encode_retry_after.  The connection stays
                       // usable; the request was NOT served and a retry at
                       // the same offset is byte-exact.
+  kBadVersion = 7,    // kHello with a version outside the supported range;
+                      // payload is the u32le server version.  The
+                      // connection stays usable (requests self-describe).
+  kBadCheckpoint = 8, // kResume blob failed the strict checkpoint parse
+                      // (magic/version/structure/schedule digest).  The
+                      // connection stays usable.
 };
 
 // Longest legal request body.  1 MiB leaves room for any algorithm name
@@ -67,15 +110,37 @@ inline constexpr std::size_t kMaxGenerateBytes = 4u << 20;
 
 struct GenerateRequest {
   std::string algorithm;
-  std::uint64_t seed = 0;    // the tenant identity: (algorithm, seed)
+  std::uint64_t seed = 0;    // root seed of the tenant tree
   std::uint64_t offset = 0;  // first stream byte requested
   std::uint32_t nbytes = 0;
+  // Substream path; {0,0,0} on v1 frames.  Deliberately the LAST field so
+  // the long-standing positional {algo, seed, offset, nbytes} aggregate
+  // init keeps meaning exactly what it always did.
+  stream::StreamRef ref{};
+
+  // The seed the substream runs on — the server folds this at admission,
+  // so sessions, quotas, and batching key on the actual stream identity
+  // and a v2 request is indistinguishable from the equivalent v1 one.
+  std::uint64_t effective_seed() const noexcept {
+    return ref.derive_seed(seed);
+  }
 };
 
 struct Request {
   std::uint8_t type = 0;
-  GenerateRequest generate;  // valid when type == kGenerate
+  // Stream coordinates; valid for kGenerate/kGenerate2/kCheckpoint, and for
+  // kResume when checkpoint_ok (filled from the parsed blob).
+  GenerateRequest generate;
+  std::uint32_t hello_version = 0;  // valid when type == kHello
+  bool checkpoint_ok = false;       // kResume: blob parsed and digest-valid
 };
+
+// Does this decoded request consume generation quota / produce stream
+// bytes?  (A kResume whose blob was rejected never will.)
+inline bool is_stream_request(const Request& r) noexcept {
+  return r.type == kGenerate || r.type == kGenerate2 ||
+         (r.type == kResume && r.checkpoint_ok);
+}
 
 struct Response {
   Status status = Status::kOk;
@@ -90,7 +155,15 @@ std::uint32_t read_u32le(const std::uint8_t* p);
 std::uint64_t read_u64le(const std::uint8_t* p);
 
 // Full frames (length prefix included), ready to write to a socket.
+// encode_generate is the v1 frame (req.ref must be root — callers with a
+// non-root ref use encode_generate2); encode_checkpoint_request ignores
+// req.nbytes (a checkpoint is a position, not a span).
 std::vector<std::uint8_t> encode_generate(const GenerateRequest& req);
+std::vector<std::uint8_t> encode_generate2(const GenerateRequest& req);
+std::vector<std::uint8_t> encode_hello(std::uint32_t version);
+std::vector<std::uint8_t> encode_checkpoint_request(const GenerateRequest& req);
+std::vector<std::uint8_t> encode_resume(
+    std::span<const std::uint8_t> checkpoint_blob, std::uint32_t nbytes);
 std::vector<std::uint8_t> encode_simple_request(std::uint8_t type);
 std::vector<std::uint8_t> encode_response(Status status,
                                           std::span<const std::uint8_t> payload);

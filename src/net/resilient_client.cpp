@@ -31,7 +31,8 @@ struct ResilientMetrics {
 
 bool permanent_status(Status s) {
   return s == Status::kBadFrame || s == Status::kUnknownAlgorithm ||
-         s == Status::kTooLarge || s == Status::kSeekTooFar;
+         s == Status::kTooLarge || s == Status::kSeekTooFar ||
+         s == Status::kBadVersion || s == Status::kBadCheckpoint;
 }
 
 }  // namespace
@@ -77,7 +78,8 @@ void ResilientClient::backoff(std::size_t attempt,
 }
 
 void ResilientClient::fetch_span(const std::string& algorithm,
-                                 std::uint64_t seed, std::uint64_t offset,
+                                 std::uint64_t seed, stream::StreamRef ref,
+                                 std::uint64_t offset,
                                  std::span<std::uint8_t> out) {
   std::string last_error = "unreachable";
   for (std::size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
@@ -93,8 +95,13 @@ void ResilientClient::fetch_span(const std::string& algorithm,
     std::uint32_t hint = 0;
     try {
       ++stats_.requests;
-      client_->send_generate(algorithm, seed, offset,
-                             static_cast<std::uint32_t>(out.size()));
+      // Root refs stay on the v1 frame so old servers keep working.
+      if (ref.is_root())
+        client_->send_generate(algorithm, seed, offset,
+                               static_cast<std::uint32_t>(out.size()));
+      else
+        client_->send_generate(algorithm, seed, ref, offset,
+                               static_cast<std::uint32_t>(out.size()));
       Response resp;
       const Client::ReadResult r =
           client_->read_response(resp, config_.request_timeout_ms);
@@ -147,10 +154,16 @@ void ResilientClient::fetch_span(const std::string& algorithm,
 void ResilientClient::fetch(const std::string& algorithm, std::uint64_t seed,
                             std::uint64_t offset,
                             std::span<std::uint8_t> out) {
+  fetch(algorithm, seed, stream::StreamRef{}, offset, out);
+}
+
+void ResilientClient::fetch(const std::string& algorithm, std::uint64_t seed,
+                            stream::StreamRef ref, std::uint64_t offset,
+                            std::span<std::uint8_t> out) {
   std::size_t done = 0;
   while (done < out.size()) {
     const std::size_t n = std::min(config_.span_bytes, out.size() - done);
-    fetch_span(algorithm, seed, offset + done, out.subspan(done, n));
+    fetch_span(algorithm, seed, ref, offset + done, out.subspan(done, n));
     done += n;
   }
 }
@@ -158,8 +171,14 @@ void ResilientClient::fetch(const std::string& algorithm, std::uint64_t seed,
 std::vector<std::uint8_t> ResilientClient::generate(
     const std::string& algorithm, std::uint64_t seed, std::uint64_t offset,
     std::size_t nbytes) {
+  return generate(algorithm, seed, stream::StreamRef{}, offset, nbytes);
+}
+
+std::vector<std::uint8_t> ResilientClient::generate(
+    const std::string& algorithm, std::uint64_t seed, stream::StreamRef ref,
+    std::uint64_t offset, std::size_t nbytes) {
   std::vector<std::uint8_t> out(nbytes);
-  fetch(algorithm, seed, offset, out);
+  fetch(algorithm, seed, ref, offset, out);
   return out;
 }
 

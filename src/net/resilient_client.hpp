@@ -16,8 +16,9 @@
 //   * kRetryLater: the server shed the request; sleep max(server hint,
 //     backoff) and retry.  The connection stays up.
 //   * kServerError / connection loss / EOF: retry, reconnecting as needed.
-//   * kBadFrame, kUnknownAlgorithm, kTooLarge, kSeekTooFar: permanent —
-//     retrying cannot help; throws std::runtime_error.
+//   * kBadFrame, kUnknownAlgorithm, kTooLarge, kSeekTooFar, kBadVersion,
+//     kBadCheckpoint: permanent — retrying cannot help; throws
+//     std::runtime_error.
 //
 // Backoff between attempts is capped exponential with deterministic jitter
 // drawn from the pinned splitmix64 schedule (SeedStream over jitter_seed) —
@@ -68,10 +69,20 @@ class ResilientClient {
   // std::runtime_error on a permanent status or attempt exhaustion.
   void fetch(const std::string& algorithm, std::uint64_t seed,
              std::uint64_t offset, std::span<std::uint8_t> out);
+  // Substream-addressed fetch: the same retry-forever-safe contract on the
+  // stream named by `ref`.  A root ref goes out as a v1 kGenerate frame
+  // (old servers keep working); any other ref uses kGenerate2 — spans stay
+  // positional and idempotent either way, so the splice law is unchanged.
+  void fetch(const std::string& algorithm, std::uint64_t seed,
+             stream::StreamRef ref, std::uint64_t offset,
+             std::span<std::uint8_t> out);
 
   std::vector<std::uint8_t> generate(const std::string& algorithm,
                                      std::uint64_t seed, std::uint64_t offset,
                                      std::size_t nbytes);
+  std::vector<std::uint8_t> generate(const std::string& algorithm,
+                                     std::uint64_t seed, stream::StreamRef ref,
+                                     std::uint64_t offset, std::size_t nbytes);
 
   const ResilientClientStats& stats() const noexcept { return stats_; }
   bool connected() const noexcept { return client_.has_value(); }
@@ -83,7 +94,8 @@ class ResilientClient {
   // deterministic jitter plus the server's retry-after hint, if any.
   void backoff(std::size_t attempt, std::uint32_t server_hint_ms);
   void fetch_span(const std::string& algorithm, std::uint64_t seed,
-                  std::uint64_t offset, std::span<std::uint8_t> out);
+                  stream::StreamRef ref, std::uint64_t offset,
+                  std::span<std::uint8_t> out);
 
   ResilientClientConfig config_;
   std::optional<Client> client_;

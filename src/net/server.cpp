@@ -26,6 +26,7 @@
 #include "fault/fault.hpp"
 #include "net/protocol.hpp"
 #include "net/session.hpp"
+#include "stream/checkpoint.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace bsrng::net {
@@ -152,6 +153,9 @@ struct Server::Impl {
     bool closing = false;     // flush wbuf, then close
     bool throttled = false;   // over the write high watermark: not reading
     bool dead = false;        // socket error: close immediately
+    // Advisory protocol version from kHello (requests self-describe, so a
+    // client that never says hello simply stays at 1).
+    std::uint32_t version = 1;
     Clock::time_point last_activity;   // last byte read or written
     Clock::time_point partial_since;   // oldest incomplete-frame byte
     bool has_partial = false;
@@ -215,7 +219,8 @@ struct Server::Impl {
         engine(core::StreamEngineConfig{
             .workers = config.workers,
             .chunk_bytes = config.engine_chunk_bytes,
-            .parallel = true}) {}
+            .parallel = true,
+            .numa_nodes = config.numa_nodes}) {}
 
   // --- lifecycle ---------------------------------------------------------
 
@@ -455,7 +460,7 @@ struct Server::Impl {
     queued_total -= c.pending_write();
     if (tenant_tracking())
       for (const PendingReq& p : c.pending)
-        if (p.req.type == kGenerate && !p.shed)
+        if (is_stream_request(p.req) && !p.shed)
           tenant_release(p.req.generate);
     ::close(c.fd);
     const auto next = conns.erase(it);
@@ -555,7 +560,7 @@ struct Server::Impl {
   // Drop the front request, returning its tenant in-flight slot.
   void pop_front_request(Conn& c) {
     const PendingReq& p = c.pending.front();
-    if (tenant_tracking() && p.req.type == kGenerate && !p.shed)
+    if (tenant_tracking() && is_stream_request(p.req) && !p.shed)
       tenant_release(p.req.generate);
     c.pending.pop_front();
   }
@@ -597,10 +602,20 @@ struct Server::Impl {
             mark_poisoned(c);
             break;
           }
+          // Fold the substream ref into the derived seed at admission:
+          // from here on sessions, quotas, and batching key on the actual
+          // stream identity, and a v2 request is indistinguishable from
+          // the equivalent v1 one.  kCheckpoint is deliberately NOT
+          // folded — a minted checkpoint echoes the client's own
+          // addressing (root seed + ref), not the folded identity.
+          if (is_stream_request(*req)) {
+            req->generate.seed = req->generate.effective_seed();
+            req->generate.ref = {};
+          }
           PendingReq p{std::move(*req), false};
           // Per-tenant in-flight admission: the overflow slot is marked for
           // an in-order kRetryLater instead of occupying quota.
-          if (config.tenant_max_pending > 0 && p.req.type == kGenerate) {
+          if (config.tenant_max_pending > 0 && is_stream_request(p.req)) {
             Tenant& t = tenant(p.req.generate);
             if (t.pending >= config.tenant_max_pending)
               p.shed = true;
@@ -681,6 +696,30 @@ struct Server::Impl {
         c.pending.pop_front();
         continue;
       }
+      if (front.req.type == kHello) {
+        // Advisory handshake: the payload is the server's version either
+        // way, so a too-new client learns what to downshift to.
+        bump_requests(1);
+        std::vector<std::uint8_t> ver;
+        append_u32le(ver, kProtocolVersion);
+        const bool supported =
+            front.req.hello_version >= kProtocolVersionMin &&
+            front.req.hello_version <= kProtocolVersion;
+        if (supported) c.version = front.req.hello_version;
+        respond(c, supported ? Status::kOk : Status::kBadVersion, ver);
+        c.pending.pop_front();
+        continue;
+      }
+      if (front.req.type == kResume && !front.req.checkpoint_ok) {
+        // The frame was sound but the checkpoint blob failed the strict
+        // parse (magic/version/structure/schedule digest) — the connection
+        // stays usable.
+        bump_requests(1);
+        respond(c, Status::kBadCheckpoint,
+                ascii_payload("checkpoint rejected"));
+        c.pending.pop_front();
+        continue;
+      }
       const GenerateRequest& g = front.req.generate;
       if (g.nbytes > kMaxGenerateBytes) {
         bump_requests(1);
@@ -701,6 +740,17 @@ struct Server::Impl {
       if (!core::algorithm_exists(g.algorithm)) {
         bump_requests(1);
         respond(c, Status::kUnknownAlgorithm, ascii_payload(g.algorithm));
+        pop_front_request(c);
+        continue;
+      }
+      if (front.req.type == kCheckpoint) {
+        // Mint an O(1) resumable position.  The ref was not folded at
+        // admission, so the blob records the client's own (root seed, ref)
+        // addressing; kResume folds it when the blob comes back.
+        bump_requests(1);
+        const std::vector<std::uint8_t> blob = stream::serialize_checkpoint(
+            {g.algorithm, g.seed, g.ref, g.offset});
+        respond(c, Status::kOk, blob);
         pop_front_request(c);
         continue;
       }
@@ -783,7 +833,7 @@ struct Server::Impl {
     std::size_t total = 0;
     std::uint64_t next_off = first.offset;
     for (const PendingReq& p : c.pending) {
-      if (p.req.type != kGenerate || p.shed) break;
+      if (!is_stream_request(p.req) || p.shed) break;
       const GenerateRequest& g = p.req.generate;
       if (g.algorithm != first.algorithm || g.seed != first.seed ||
           g.offset != next_off || g.nbytes > kMaxGenerateBytes)

@@ -21,9 +21,13 @@
 //                  draining, buffered frames are decoded and served, and
 //                  the socket closes only once the write queue empties.
 //   sessions       per-connection map (algorithm, seed) -> net::Session.
-//                  Sessions die with their connection; nothing about the
-//                  stream's identity lives in the server (restart-safe by
-//                  construction, tests/net/restart_determinism_test.cpp).
+//                  v2 substream requests (kGenerate2 / kResume) fold their
+//                  StreamRef into the derived seed at admission, so one
+//                  session/quota/batching machinery serves both protocol
+//                  generations.  Sessions die with their connection;
+//                  nothing about the stream's identity lives in the server
+//                  (restart-safe by construction,
+//                  tests/net/restart_determinism_test.cpp).
 //   metrics        a kMetrics frame — or a plain HTTP "GET /metrics" on the
 //                  same port — answers with telemetry::metrics().to_json().
 //
@@ -47,6 +51,10 @@ struct ServerConfig {
   std::uint16_t port = 0;       // 0 = ephemeral; read back via port()
   std::size_t workers = 0;      // StreamEngine pool width; 0 = hardware
   std::size_t engine_chunk_bytes = 1u << 18;
+  // NUMA placement for the engine pool: 0 = detect (BSRNG_NUMA_NODES env
+  // override, then sysfs, then single node); N > 0 forces N emulated
+  // nodes.  Placement never changes served bytes.
+  std::size_t numa_nodes = 0;
   std::size_t max_connections = 4096;
   // Per-connection response-queue watermarks (bytes pending write).
   std::size_t max_write_queue = 8u << 20;

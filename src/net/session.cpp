@@ -19,7 +19,7 @@ void Session::serve(core::StreamEngine& engine, std::uint64_t offset,
                     std::span<std::uint8_t> out) {
   if (spec_.kind == core::PartitionKind::kCounter) {
     // O(1) counter seek; the engine shards the span across its pool.
-    engine.generate_at(spec_, offset, out);
+    engine.generate(spec_, offset, out);
     cursor_ = offset + out.size();
     return;
   }

@@ -1,0 +1,104 @@
+#include "stream/checkpoint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bsrng::stream {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'B', 'S', 'C', 'K'};
+
+// FNV-1a 64 over the digest preimage.  Same constants as the fault
+// registry's name hash; duplicated here so src/stream stays a leaf module
+// (lfsr only) instead of pulling in src/fault.
+std::uint64_t fnv1a64(const std::uint8_t* p, std::size_t n) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+void append_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void append_u64le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+// Everything up to (not including) the digest field.
+std::vector<std::uint8_t> prefix_bytes(const StreamCheckpoint& ck) {
+  if (ck.algorithm.empty() || ck.algorithm.size() > 255)
+    throw std::invalid_argument(
+        "checkpoint: algorithm name must be 1..255 bytes");
+  std::vector<std::uint8_t> out;
+  out.reserve(kCheckpointFixedBytes + ck.algorithm.size());
+  out.insert(out.end(), kMagic, kMagic + 4);
+  append_u32le(out, kCheckpointVersion);
+  out.push_back(static_cast<std::uint8_t>(ck.algorithm.size()));
+  out.insert(out.end(), ck.algorithm.begin(), ck.algorithm.end());
+  append_u64le(out, ck.seed);
+  append_u64le(out, ck.ref.tenant);
+  append_u64le(out, ck.ref.stream);
+  append_u64le(out, ck.ref.shard);
+  append_u64le(out, ck.offset);
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t checkpoint_digest(const StreamCheckpoint& ck) {
+  std::vector<std::uint8_t> pre = prefix_bytes(ck);
+  // Appending the derived seed makes the digest pin the derivation schedule
+  // (kSplitmixGamma, the level tags, the finalizer), not just the fields.
+  append_u64le(pre, ck.ref.derive_seed(ck.seed));
+  std::uint64_t x = fnv1a64(pre.data(), pre.size()) ^
+                    core::keyschedule::kSplitmixGamma;
+  return lfsr::splitmix64(x);
+}
+
+std::vector<std::uint8_t> serialize_checkpoint(const StreamCheckpoint& ck) {
+  std::vector<std::uint8_t> out = prefix_bytes(ck);
+  append_u64le(out, checkpoint_digest(ck));
+  return out;
+}
+
+std::optional<StreamCheckpoint> parse_checkpoint(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kCheckpointFixedBytes) return std::nullopt;
+  if (!std::equal(kMagic, kMagic + 4, bytes.data())) return std::nullopt;
+  if (read_u32le(bytes.data() + 4) != kCheckpointVersion) return std::nullopt;
+  const std::size_t alen = bytes[8];
+  if (alen == 0) return std::nullopt;
+  // Exact-size match: trailing garbage means the blob is not one of ours.
+  if (bytes.size() != kCheckpointFixedBytes + alen) return std::nullopt;
+  StreamCheckpoint ck;
+  ck.algorithm.assign(reinterpret_cast<const char*>(bytes.data() + 9), alen);
+  const std::uint8_t* p = bytes.data() + 9 + alen;
+  ck.seed = read_u64le(p);
+  ck.ref.tenant = read_u64le(p + 8);
+  ck.ref.stream = read_u64le(p + 16);
+  ck.ref.shard = read_u64le(p + 24);
+  ck.offset = read_u64le(p + 32);
+  if (read_u64le(p + 40) != checkpoint_digest(ck)) return std::nullopt;
+  return ck;
+}
+
+}  // namespace bsrng::stream

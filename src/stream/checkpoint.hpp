@@ -1,0 +1,67 @@
+// checkpoint.hpp — serializable O(1) stream positions.
+//
+// A StreamCheckpoint names a byte position in one substream: the algorithm,
+// the root seed, the StreamRef path, and the byte offset.  It is everything
+// a consumer needs to resume byte-exactly — across process restarts, across
+// machines, across server worker counts — because the stream itself is a
+// pure function of those fields (the restart-determinism invariant).
+//
+// Wire format (little-endian, exact size, no trailing bytes tolerated):
+//
+//   "BSCK"                     4  magic
+//   u32  version               4  kCheckpointVersion
+//   u8   alen | algo bytes     1 + alen (alen >= 1)
+//   u64  seed                  8  root seed
+//   u64  tenant|stream|shard  24  the StreamRef path
+//   u64  offset                8  first byte of the resumed span
+//   u64  digest                8  schedule digest (see below)
+//
+// The digest is a pure function of every preceding byte PLUS the derived
+// (post-StreamRef) seed, folded through the pinned splitmix64 finalizer.
+// Including the *derived* seed makes the digest a fingerprint of the key
+// schedule itself: if the derivation constants ever changed, every
+// checkpoint minted under the old schedule would fail parse instead of
+// silently resuming a different stream.  parse_checkpoint is strict —
+// wrong magic, unknown version, truncation, trailing garbage, or a digest
+// mismatch all yield nullopt, so "it parsed" means "it is safe to resume".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stream/stream_ref.hpp"
+
+namespace bsrng::stream {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+// Fixed bytes around the algorithm name: magic(4) + version(4) + alen(1) +
+// seed(8) + ref(24) + offset(8) + digest(8).
+inline constexpr std::size_t kCheckpointFixedBytes = 57;
+
+struct StreamCheckpoint {
+  std::string algorithm;
+  std::uint64_t seed = 0;   // root seed (pre-derivation)
+  StreamRef ref{};          // substream path under that root
+  std::uint64_t offset = 0; // next byte of the canonical derived stream
+
+  friend bool operator==(const StreamCheckpoint&,
+                         const StreamCheckpoint&) = default;
+};
+
+// The schedule digest serialize_checkpoint embeds; exposed so tests can pin
+// it and tools can fingerprint a checkpoint without re-serializing.
+std::uint64_t checkpoint_digest(const StreamCheckpoint& ck);
+
+// Serialize to the versioned binary format above.  Throws
+// std::invalid_argument for an empty algorithm name or one longer than 255
+// bytes — such a checkpoint could never round-trip.
+std::vector<std::uint8_t> serialize_checkpoint(const StreamCheckpoint& ck);
+
+// Strict parse; nullopt on any structural or digest mismatch.
+std::optional<StreamCheckpoint> parse_checkpoint(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace bsrng::stream

@@ -1,0 +1,88 @@
+// stream_ref.hpp — the substream tree: tenant → stream → shard addressing.
+//
+// The flat (algorithm, seed) identity that bsrngd shipped with forces every
+// consumer to do ad-hoc seed arithmetic when it wants more than one stream.
+// Shoverand (PAPERS.md) argues the right shape is a first-class hierarchical
+// stream-distribution API; the paper's §5.4 reconstruction argument needs
+// every node of that hierarchy to be O(1)-addressable.  A StreamRef is a
+// path in a three-level tree rooted at a user seed:
+//
+//   root seed ── tenant t ── stream s ── shard h   →   derived seed
+//
+// Each edge is one application of derive_child below, built on the SAME
+// pinned splitmix64 schedule as core/keyschedule.hpp (kSplitmixGamma,
+// lfsr::splitmix64) — so the whole tree inherits the schedule's pinning:
+// tests/stream/stream_fabric_test.cpp freezes exact derived values, and any
+// change to the derivation is a deliberate, visible break.
+//
+// Laws (all tested):
+//   identity    derive_child(p, tag, 0) == p, so StreamRef{0,0,0} is the
+//               root: v1 clients and pre-fabric callers (who never mention
+//               a ref) keep their historical streams byte-for-byte.
+//   injectivity for a fixed parent and level, index ↦ child is injective:
+//               child(i) is draw #i of the splitmix64 stream seeded at
+//               parent ^ tag, i.e. mix64(parent ^ tag + i·Γ).  Γ is odd, so
+//               i ↦ parent ^ tag + i·Γ is a bijection of Z/2^64, and the
+//               splitmix64 finalizer is a bijection (invertible xor-shift
+//               and odd-multiply steps) — distinct indices give distinct
+//               children, with no collision *by construction* inside one
+//               level.  Cross-level and cross-parent disjointness is the
+//               generic-function argument (distinct level tags decorrelate
+//               the trees) and is pinned by a collision property test over
+//               a large tree sample.
+//   O(1)        a derived seed costs three finalizer applications; no node
+//               depends on its siblings, so any shard is rebuilt in
+//               isolation (§5.4: reconstruct any slice of any stream).
+//
+// Leaf header: depends only on the keyschedule header (itself a leaf over
+// lfsr/bitsliced_lfsr.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "core/keyschedule.hpp"
+
+namespace bsrng::stream {
+
+// Level tags: arbitrary pinned odd constants, one per tree level, xor-mixed
+// into the parent before indexing so the three levels draw from unrelated
+// splitmix64 streams.  Changing any of these re-keys every non-root stream
+// — they are part of the wire/checkpoint contract, like kSplitmixGamma.
+inline constexpr std::uint64_t kTenantTag = 0xB5D15EEDC0FFEE01ull;
+inline constexpr std::uint64_t kStreamTag = 0x517CC1B727220A95ull;
+inline constexpr std::uint64_t kShardTag = 0x2545F4914F6CDD1Dull;
+
+// Child `index` of `parent` at the tree level named by `tag`.  Index 0 is
+// the identity (the parent itself), so an all-zero path degrades to the
+// root seed; index i > 0 is draw #i of the splitmix64 stream seeded at
+// parent ^ tag.
+inline std::uint64_t derive_child(std::uint64_t parent, std::uint64_t tag,
+                                  std::uint64_t index) noexcept {
+  if (index == 0) return parent;
+  std::uint64_t x =
+      (parent ^ tag) + (index - 1) * core::keyschedule::kSplitmixGamma;
+  return lfsr::splitmix64(x);
+}
+
+// A path in the substream tree.  {0,0,0} is the root: derive_seed is the
+// identity and the stream is the historical (algorithm, seed) stream.
+struct StreamRef {
+  std::uint64_t tenant = 0;
+  std::uint64_t stream = 0;
+  std::uint64_t shard = 0;
+
+  bool is_root() const noexcept {
+    return tenant == 0 && stream == 0 && shard == 0;
+  }
+
+  // Walk root → tenant → stream → shard; three O(1) edges.
+  std::uint64_t derive_seed(std::uint64_t root_seed) const noexcept {
+    std::uint64_t s = derive_child(root_seed, kTenantTag, tenant);
+    s = derive_child(s, kStreamTag, stream);
+    return derive_child(s, kShardTag, shard);
+  }
+
+  friend bool operator==(const StreamRef&, const StreamRef&) = default;
+};
+
+}  // namespace bsrng::stream

@@ -129,10 +129,13 @@ TEST(LintPaths, MissingPathThrows) {
 
 TEST(LintPaths, DefaultRootsNameTheGenerationTrees) {
   const auto roots = an::default_lint_roots("/repo");
-  ASSERT_EQ(roots.size(), 5u);
+  ASSERT_EQ(roots.size(), 6u);
   EXPECT_EQ(roots[0], "/repo/src/core");
   EXPECT_EQ(roots[1], "/repo/src/ciphers");
   EXPECT_EQ(roots[2], "/repo/src/bitslice");
   EXPECT_EQ(roots[3], "/repo/src/lfsr");
   EXPECT_EQ(roots[4], "/repo/src/fault");
+  // The substream fabric: checkpoint/serialization code is generation-
+  // critical (a wall-clock read there would break restart determinism).
+  EXPECT_EQ(roots[5], "/repo/src/stream");
 }

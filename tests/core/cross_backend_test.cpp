@@ -84,7 +84,7 @@ TEST(CrossBackend, KernelMemoryIsTheCanonicalStream) {
       // sharding path on the identical derivation).
       std::vector<std::uint8_t> engine_out(gpu_bytes.size());
       co::StreamEngine engine({.workers = 3});
-      engine.generate(equiv, cfg.seed, engine_out);
+      engine.generate({equiv, cfg.seed}, engine_out);
       EXPECT_EQ(gpu_bytes, engine_out)
           << desc.base << " vs engine " << equiv
           << " coalesced=" << coalesced;

@@ -1,0 +1,116 @@
+// numa_test.cpp — NUMA topology discovery and the placement-never-changes-
+// bytes contract (src/core/numa.*, ThreadPool integration).
+#include "core/numa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace co = bsrng::core;
+
+TEST(NumaCpulist, ParsesRangesAndSingles) {
+  EXPECT_EQ(co::parse_cpulist("0-3,8,10-11"),
+            (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(co::parse_cpulist("5"), (std::vector<int>{5}));
+  EXPECT_EQ(co::parse_cpulist("0-0"), (std::vector<int>{0}));
+  EXPECT_EQ(co::parse_cpulist("0-1\n"), (std::vector<int>{0, 1}));
+}
+
+TEST(NumaCpulist, RejectsJunk) {
+  EXPECT_TRUE(co::parse_cpulist("").empty());
+  EXPECT_TRUE(co::parse_cpulist("abc").empty());
+  EXPECT_TRUE(co::parse_cpulist("3-1").empty());   // inverted range
+  EXPECT_TRUE(co::parse_cpulist("1,,2").empty());
+  EXPECT_TRUE(co::parse_cpulist("1-2-3").empty());
+  // The 1<<20 CPU bound keeps a hostile sysfs from allocating the world.
+  EXPECT_TRUE(co::parse_cpulist("0-99999999").empty());
+}
+
+TEST(NumaTopology, SingleNodeFallback) {
+  const co::NumaTopology t = co::NumaTopology::single_node();
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_FALSE(t.emulated_only());
+  EXPECT_EQ(t.node_of_worker(0), 0u);
+  EXPECT_EQ(t.node_of_worker(17), 0u);
+}
+
+TEST(NumaTopology, EmulationGivesNodeIdentitiesWithoutPinning) {
+  const co::NumaTopology t = co::NumaTopology::emulated(4);
+  EXPECT_EQ(t.node_count(), 4u);
+  EXPECT_TRUE(t.emulated_only());
+  for (const co::NumaNode& n : t.nodes()) EXPECT_TRUE(n.cpus.empty());
+  // Round-robin placement law.
+  for (std::size_t w = 0; w < 16; ++w)
+    EXPECT_EQ(t.node_of_worker(w), w % 4);
+  // emulated(1) and emulated(0) degrade to a plain single node.
+  EXPECT_EQ(co::NumaTopology::emulated(1).node_count(), 1u);
+  EXPECT_FALSE(co::NumaTopology::emulated(1).emulated_only());
+  EXPECT_EQ(co::NumaTopology::emulated(0).node_count(), 1u);
+}
+
+TEST(NumaTopology, EnvOverrideDrivesDetect) {
+  // The TSan CI leg pins BSRNG_NUMA_NODES for the whole binary; restore
+  // whatever was set so this test does not strip the override from the
+  // suites that run after it.
+  const char* prior = ::getenv("BSRNG_NUMA_NODES");
+  const std::string saved = prior ? prior : "";
+
+  ::setenv("BSRNG_NUMA_NODES", "3", 1);
+  EXPECT_EQ(co::NumaTopology::detect().node_count(), 3u);
+  EXPECT_TRUE(co::NumaTopology::detect().emulated_only());
+  // Junk / out-of-range values fall through to real detection (>= 1 node).
+  for (const char* bad : {"", "0", "abc", "4x", "1025", "-2"}) {
+    ::setenv("BSRNG_NUMA_NODES", bad, 1);
+    EXPECT_GE(co::NumaTopology::detect().node_count(), 1u) << bad;
+    EXPECT_FALSE(co::NumaTopology::detect().emulated_only()) << bad;
+  }
+
+  if (prior)
+    ::setenv("BSRNG_NUMA_NODES", saved.c_str(), 1);
+  else
+    ::unsetenv("BSRNG_NUMA_NODES");
+}
+
+TEST(NumaTopology, FakeSysfsRootParses) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::temp_directory_path() / "bsrng_numa_test_sysfs";
+  fs::remove_all(root);
+  fs::create_directories(root / "node0");
+  fs::create_directories(root / "node1");
+  std::ofstream(root / "node0" / "cpulist") << "0-1\n";
+  std::ofstream(root / "node1" / "cpulist") << "2-3\n";
+  const co::NumaTopology t = co::NumaTopology::from_sysfs(root.string());
+  ASSERT_EQ(t.node_count(), 2u);
+  EXPECT_FALSE(t.emulated_only());
+  EXPECT_EQ(t.nodes()[0].cpus, (std::vector<int>{0, 1}));
+  EXPECT_EQ(t.nodes()[1].cpus, (std::vector<int>{2, 3}));
+  fs::remove_all(root);
+}
+
+TEST(NumaTopology, MissingSysfsFallsBackToSingleNode) {
+  const co::NumaTopology t =
+      co::NumaTopology::from_sysfs("/nonexistent/bsrng/sysfs");
+  EXPECT_EQ(t.node_count(), 1u);
+}
+
+TEST(NumaPool, PoolReportsTopologyAndScratch) {
+  co::ThreadPool pool(6, co::NumaTopology::emulated(3));
+  EXPECT_EQ(pool.topology().node_count(), 3u);
+  for (std::size_t w = 0; w < 6; ++w) EXPECT_EQ(pool.node_of(w), w % 3);
+  // Per-worker scratch pairs exist and are distinct buffers.
+  auto& a = pool.scratch(0, 0);
+  auto& b = pool.scratch(0, 1);
+  auto& c = pool.scratch(1, 0);
+  EXPECT_NE(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.resize(128, 0xAB);
+  EXPECT_EQ(pool.scratch(0, 0).size(), 128u);
+}

@@ -90,7 +90,7 @@ TEST(RegistryApi, InfoPartitionSpecShardsReproduceStream) {
     ASSERT_TRUE(info.has_value());
     co::StreamEngine engine({.workers = 3, .chunk_bytes = 1024});
     std::vector<std::uint8_t> sharded(16384), direct(16384);
-    engine.generate(info->partition_spec(5), sharded);
+    engine.generate(info->partition_spec(5), 0, sharded);
     co::make_generator(name, 5)->fill(direct);
     EXPECT_EQ(sharded, direct) << name;
   }

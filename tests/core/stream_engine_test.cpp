@@ -59,7 +59,7 @@ TEST_P(StreamEngineDeterminism, MatchesDirectFillForEveryWorkerCount) {
     co::StreamEngine engine({.workers = workers});
     for (const std::size_t n : span_sizes()) {
       std::vector<std::uint8_t> out(n, 0xAA);
-      const auto rep = engine.generate(name, kSeed, out);
+      const auto rep = engine.generate({name, kSeed}, out);
       ASSERT_TRUE(std::equal(out.begin(), out.end(), reference.begin()))
           << name << " diverges from the direct stream with " << workers
           << " workers at span size " << n;
@@ -82,8 +82,8 @@ TEST_P(StreamEngineDeterminism, InlineModeAndContiguousChunksAgree) {
   co::StreamEngine inline_eng(
       {.workers = 3, .chunk_bytes = 1u << 12, .parallel = false});
   std::vector<std::uint8_t> a(n), b(n);
-  contiguous.generate(name, kSeed, a);
-  inline_eng.generate(name, kSeed, b);
+  contiguous.generate({name, kSeed}, a);
+  inline_eng.generate({name, kSeed}, b);
   EXPECT_EQ(a, reference) << name;
   EXPECT_EQ(b, reference) << name;
 }
@@ -100,7 +100,7 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, StreamEngineDeterminism,
 TEST(StreamEngine, UnknownAlgorithmThrows) {
   co::StreamEngine engine({.workers = 2});
   std::vector<std::uint8_t> out(16);
-  EXPECT_THROW(engine.generate("not-a-generator", 1, out),
+  EXPECT_THROW(engine.generate({"not-a-generator", 1}, out),
                std::invalid_argument);
   EXPECT_THROW(co::partition_spec("not-a-generator", 1),
                std::invalid_argument);
@@ -108,7 +108,7 @@ TEST(StreamEngine, UnknownAlgorithmThrows) {
 
 TEST(StreamEngine, EmptySpanIsTrivial) {
   co::StreamEngine engine({.workers = 4});
-  const auto rep = engine.generate("aes-ctr-bs32", 7, {});
+  const auto rep = engine.generate({"aes-ctr-bs32", 7}, {});
   EXPECT_EQ(rep.bytes, 0u);
   EXPECT_EQ(rep.workers, 4u);
 }
@@ -116,7 +116,7 @@ TEST(StreamEngine, EmptySpanIsTrivial) {
 TEST(StreamEngine, ReportAccountsAllBytesAndTasks) {
   co::StreamEngine engine({.workers = 2, .chunk_bytes = 1u << 14});
   std::vector<std::uint8_t> out((1u << 18) + 5);
-  const auto rep = engine.generate("chacha20-bs64", 11, out);
+  const auto rep = engine.generate({"chacha20-bs64", 11}, out);
   EXPECT_EQ(rep.bytes, out.size());
   EXPECT_EQ(rep.per_worker.size(), 2u);
   std::uint64_t bytes = 0;
@@ -167,7 +167,7 @@ TEST(StreamEngineGenerateAt, TailEquivalenceAtUnalignedOffsets) {
       for (const std::size_t workers : {1u, 3u}) {
         co::StreamEngine engine({.workers = workers, .chunk_bytes = 1u << 10});
         std::vector<std::uint8_t> out(n, 0xAA);
-        const auto rep = engine.generate_at(name, kSeed, offset, out);
+        const auto rep = engine.generate({name, kSeed, {}, offset}, out);
         ASSERT_TRUE(std::equal(out.begin(), out.end(),
                                reference.begin() +
                                    static_cast<std::ptrdiff_t>(offset)))
@@ -183,7 +183,7 @@ TEST(StreamEngineGenerateAt, ZeroLengthSpansAreTrivialAtAnyOffset) {
   for (const char* name : kOffsetAlgos) {
     for (const std::uint64_t offset :
          {std::uint64_t{0}, std::uint64_t{13}, std::uint64_t{1} << 41}) {
-      const auto rep = engine.generate_at(name, kSeed, offset, {});
+      const auto rep = engine.generate({name, kSeed, {}, offset}, {});
       EXPECT_EQ(rep.bytes, 0u) << name << " offset " << offset;
     }
   }
@@ -206,7 +206,7 @@ TEST(StreamEngineGenerateAt, HugeCounterOffsetsSeekInConstantTime) {
     for (const std::size_t workers : {1u, 4u}) {
       co::StreamEngine engine({.workers = workers, .chunk_bytes = 1u << 10});
       std::vector<std::uint8_t> out(n, 0x55);
-      engine.generate_at(name, kSeed, offset, out);
+      engine.generate({name, kSeed, {}, offset}, out);
       ASSERT_TRUE(std::equal(out.begin(), out.end(),
                              reference.begin() +
                                  static_cast<std::ptrdiff_t>(lead)))
@@ -224,15 +224,16 @@ TEST(StreamEngineGenerateAt, OverflowingSpansAreRejected) {
   const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
   for (const char* name : kOffsetAlgos) {
     std::vector<std::uint8_t> out(64);
-    EXPECT_THROW(engine.generate_at(name, kSeed, max - 10, out),
+    EXPECT_THROW(engine.generate({name, kSeed, {}, max - 10}, out),
                  std::invalid_argument)
         << name;
     // One byte past the largest representable end offset.
-    EXPECT_THROW(engine.generate_at(name, kSeed, max - out.size() + 1, out),
-                 std::invalid_argument)
+    EXPECT_THROW(
+        engine.generate({name, kSeed, {}, max - out.size() + 1}, out),
+        std::invalid_argument)
         << name;
     // Empty spans stay trivially valid even at the very top of the space.
-    EXPECT_NO_THROW(engine.generate_at(name, kSeed, max, {})) << name;
+    EXPECT_NO_THROW(engine.generate({name, kSeed, {}, max}, {})) << name;
   }
 }
 
@@ -260,7 +261,7 @@ TEST(StreamEngineGenerateAt, BackToBackSpansFromInterleavedSessionsAreSeamless) 
         const std::size_t n =
             std::min(spans[si % 5], total - cur.got.size());
         std::vector<std::uint8_t> out(n);
-        engine.generate_at(cur.algo, cur.seed, cur.cursor, out);
+        engine.generate({cur.algo, cur.seed, {}, cur.cursor}, out);
         cur.got.insert(cur.got.end(), out.begin(), out.end());
         cur.cursor += n;
       }

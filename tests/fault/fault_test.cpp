@@ -171,13 +171,13 @@ TEST_F(FaultTest, EngineAllocFaultThrowsThenRecoversByteExact) {
   fa::faults().arm_point("engine.alloc_fail", 1.0);
   co::StreamEngine engine({.workers = 2});
   std::vector<std::uint8_t> out(n, 0x5A);
-  EXPECT_THROW((void)engine.generate(algo, 99, out), std::bad_alloc);
+  EXPECT_THROW((void)engine.generate({algo, 99}, out), std::bad_alloc);
 
   // The fault fires before any output byte, so the retry-at-same-offset
   // contract is trivial: disarm and the very same engine produces the
   // canonical stream.
   fa::faults().disarm();
-  (void)engine.generate(algo, 99, out);
+  (void)engine.generate({algo, 99}, out);
   EXPECT_TRUE(std::equal(out.begin(), out.end(), reference.begin()));
 }
 
@@ -191,10 +191,10 @@ TEST_F(FaultTest, PoolTaskFaultPropagatesThenRecoversByteExact) {
   fa::faults().arm_point("pool.task_throw", 1.0);
   co::StreamEngine engine({.workers = 3});
   std::vector<std::uint8_t> out(n, 0xEE);
-  EXPECT_THROW((void)engine.generate(algo, 5, out), fa::InjectedFault);
+  EXPECT_THROW((void)engine.generate({algo, 5}, out), fa::InjectedFault);
 
   fa::faults().disarm();
-  (void)engine.generate(algo, 5, out);
+  (void)engine.generate({algo, 5}, out);
   EXPECT_TRUE(std::equal(out.begin(), out.end(), reference.begin()));
 }
 

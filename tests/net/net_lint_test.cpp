@@ -38,7 +38,7 @@ TEST(NetLint, DefaultRootsDoNotIncludeTheServingLayer) {
   // schedule must be as deterministic as the streams it disturbs.
   for (const char* must : {"/repo/src/core", "/repo/src/ciphers",
                            "/repo/src/bitslice", "/repo/src/lfsr",
-                           "/repo/src/fault"})
+                           "/repo/src/fault", "/repo/src/stream"})
     EXPECT_NE(std::find(roots.begin(), roots.end(), must), roots.end())
         << must;
 }

@@ -116,7 +116,7 @@ TEST(Protocol, MalformedResponseBodiesAreRejected) {
   EXPECT_FALSE(nt::decode_response(bad_status).has_value());
   // The first byte past the last defined status is already malformed.
   std::vector<std::uint8_t> next_status = {
-      static_cast<std::uint8_t>(nt::Status::kRetryLater) + 1, 'x'};
+      static_cast<std::uint8_t>(nt::Status::kBadCheckpoint) + 1, 'x'};
   EXPECT_FALSE(nt::decode_response(next_status).has_value());
 }
 

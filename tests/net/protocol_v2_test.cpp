@@ -1,0 +1,264 @@
+// protocol_v2_test.cpp — the v2 wire surface: hello versioning, StreamRef-
+// addressed kGenerate2, server-minted checkpoints, and kResume — plus the
+// fold law that makes v2 safe to ship: a v2 request is served byte-
+// identically to the v1 request at the derived seed, so v1 and v2 clients
+// can interleave on one connection (and one server) without either noticing
+// the other exists.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "stream/checkpoint.hpp"
+#include "stream/stream_ref.hpp"
+
+namespace co = bsrng::core;
+namespace nt = bsrng::net;
+namespace st = bsrng::stream;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 0xB5126'2026ull;
+constexpr st::StreamRef kRef{4, 2, 9};
+
+std::vector<std::uint8_t> reference_bytes(const std::string& algo,
+                                          std::uint64_t seed,
+                                          std::uint64_t offset,
+                                          std::size_t n) {
+  std::vector<std::uint8_t> all(offset + n);
+  co::make_generator(algo, seed)->fill(all);
+  return {all.begin() + static_cast<std::ptrdiff_t>(offset), all.end()};
+}
+
+}  // namespace
+
+// --- pure codec -----------------------------------------------------------
+
+TEST(ProtocolV2, Generate2RoundTripsThroughTheCodec) {
+  const nt::GenerateRequest req{"mickey-bs64", 42, 4096, 512, {1, 2, 3}};
+  const auto frame = nt::encode_generate2(req);
+  // Body: type + alen + name + seed + ref(24) + offset + nbytes.
+  ASSERT_EQ(frame.size(), 4u + 2 + 11 + 8 + 24 + 8 + 4);
+  const auto dec = nt::decode_request(
+      std::span(frame.data() + 4, frame.size() - 4));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->type, nt::kGenerate2);
+  EXPECT_EQ(dec->generate.algorithm, "mickey-bs64");
+  EXPECT_EQ(dec->generate.seed, 42u);
+  EXPECT_EQ(dec->generate.ref, (st::StreamRef{1, 2, 3}));
+  EXPECT_EQ(dec->generate.offset, 4096u);
+  EXPECT_EQ(dec->generate.nbytes, 512u);
+  EXPECT_TRUE(nt::is_stream_request(*dec));
+  // The derived seed the server folds to.
+  EXPECT_EQ(dec->generate.effective_seed(),
+            (st::StreamRef{1, 2, 3}).derive_seed(42));
+}
+
+TEST(ProtocolV2, HelloAndCheckpointFramesRoundTrip) {
+  const auto hello = nt::encode_hello(7);
+  const auto hdec = nt::decode_request(
+      std::span(hello.data() + 4, hello.size() - 4));
+  ASSERT_TRUE(hdec.has_value());
+  EXPECT_EQ(hdec->type, nt::kHello);
+  EXPECT_EQ(hdec->hello_version, 7u);
+  EXPECT_FALSE(nt::is_stream_request(*hdec));
+
+  const nt::GenerateRequest req{"grain-bs32", 5, 100, 0, {9, 0, 1}};
+  const auto ck = nt::encode_checkpoint_request(req);
+  const auto cdec =
+      nt::decode_request(std::span(ck.data() + 4, ck.size() - 4));
+  ASSERT_TRUE(cdec.has_value());
+  EXPECT_EQ(cdec->type, nt::kCheckpoint);
+  EXPECT_EQ(cdec->generate.algorithm, "grain-bs32");
+  EXPECT_EQ(cdec->generate.ref, (st::StreamRef{9, 0, 1}));
+  EXPECT_EQ(cdec->generate.offset, 100u);
+  EXPECT_FALSE(nt::is_stream_request(*cdec));  // a position, not a span
+}
+
+TEST(ProtocolV2, ResumeDecodeValidatesTheBlobNotJustTheFrame) {
+  const st::StreamCheckpoint ck{"trivium-bs64", 8, {1, 1, 1}, 2048};
+  const auto blob = st::serialize_checkpoint(ck);
+  const auto frame = nt::encode_resume(blob, 333);
+  const auto dec = nt::decode_request(
+      std::span(frame.data() + 4, frame.size() - 4));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->type, nt::kResume);
+  EXPECT_TRUE(dec->checkpoint_ok);
+  EXPECT_TRUE(nt::is_stream_request(*dec));
+  EXPECT_EQ(dec->generate.algorithm, "trivium-bs64");
+  EXPECT_EQ(dec->generate.offset, 2048u);
+  EXPECT_EQ(dec->generate.nbytes, 333u);
+
+  // A digest-tampered blob is a sound FRAME carrying a bad CHECKPOINT:
+  // decode succeeds, checkpoint_ok stays false (-> kBadCheckpoint, not
+  // kBadFrame — the connection must survive).
+  auto bad = blob;
+  bad.back() ^= 0x01;
+  const auto bframe = nt::encode_resume(bad, 333);
+  const auto bdec = nt::decode_request(
+      std::span(bframe.data() + 4, bframe.size() - 4));
+  ASSERT_TRUE(bdec.has_value());
+  EXPECT_FALSE(bdec->checkpoint_ok);
+  EXPECT_FALSE(nt::is_stream_request(*bdec));
+
+  // Structural damage to the FRAME is still a bad frame.
+  std::vector<std::uint8_t> trunc(frame.begin() + 4, frame.end() - 1);
+  EXPECT_FALSE(nt::decode_request(trunc).has_value());
+  EXPECT_THROW((void)nt::encode_resume({}, 1), std::invalid_argument);
+}
+
+// --- live server ----------------------------------------------------------
+
+TEST(ProtocolV2, HelloNegotiatesAndRejectsOutOfRangeVersions) {
+  nt::Server server({.workers = 1});
+  server.start();
+  nt::Client client("127.0.0.1", server.port());
+
+  EXPECT_EQ(client.hello(), nt::kProtocolVersion);
+  EXPECT_EQ(client.hello(1), nt::kProtocolVersion);  // v1 clients welcome
+
+  // An out-of-range hello answers kBadVersion (payload: server version)
+  // and leaves the connection usable.
+  client.send_hello(99);
+  const auto resp = client.read_response();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, nt::Status::kBadVersion);
+  ASSERT_EQ(resp->payload.size(), 4u);
+  EXPECT_EQ(nt::read_u32le(resp->payload.data()), nt::kProtocolVersion);
+  EXPECT_EQ(client.generate("mickey-bs64", 1, 0, 64).size(), 64u);
+  server.stop();
+}
+
+TEST(ProtocolV2, Generate2ServesTheDerivedSeedStream) {
+  // The fold law over the wire: kGenerate2 bytes == v1 bytes of the derived
+  // seed, and the root ref == plain kGenerate, on the same server.
+  nt::Server server({.workers = 3});
+  server.start();
+  nt::Client client("127.0.0.1", server.port());
+
+  for (const std::string algo : {"aes-ctr-bs64", "mickey-bs32", "mt19937"}) {
+    const std::uint64_t derived = kRef.derive_seed(kSeed);
+    EXPECT_EQ(client.generate(algo, kSeed, kRef, 777, 4099),
+              reference_bytes(algo, derived, 777, 4099))
+        << algo;
+    EXPECT_EQ(client.generate(algo, kSeed, kRef, 777, 4099),
+              client.generate(algo, derived, 777, 4099))
+        << algo << " v2 != v1-at-derived-seed";
+    EXPECT_EQ(client.generate(algo, kSeed, st::StreamRef{}, 0, 512),
+              client.generate(algo, kSeed, 0, 512))
+        << algo << " root ref != v1";
+  }
+  server.stop();
+}
+
+TEST(ProtocolV2, MixedVersionClientsInterleaveOnOneConnection) {
+  // Alternating v1 and v2 frames walking the SAME effective stream must
+  // concatenate seamlessly — after the admission fold they are the same
+  // request, so they even batch together.
+  nt::Server server({.workers = 2});
+  server.start();
+  nt::Client client("127.0.0.1", server.port());
+
+  const std::string algo = "chacha20-bs64";
+  const st::StreamRef ref{6, 1, 0};
+  const std::uint64_t derived = ref.derive_seed(kSeed);
+  const std::size_t span = 2048, rounds = 8;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    if (i % 2 == 0)
+      client.send_generate(algo, kSeed, ref, i * span,
+                           static_cast<std::uint32_t>(span));
+    else
+      client.send_generate(algo, derived, i * span,
+                           static_cast<std::uint32_t>(span));
+  }
+  std::vector<std::uint8_t> got;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const auto resp = client.read_response();
+    ASSERT_TRUE(resp.has_value()) << i;
+    ASSERT_EQ(resp->status, nt::Status::kOk) << i;
+    got.insert(got.end(), resp->payload.begin(), resp->payload.end());
+  }
+  EXPECT_EQ(got, reference_bytes(algo, derived, 0, rounds * span));
+  server.stop();
+}
+
+TEST(ProtocolV2, ServerMintedCheckpointsMatchTheLocalCodec) {
+  // kCheckpoint echoes the CLIENT's addressing (root seed + ref), not the
+  // folded seed — the blob is the canonical serialize_checkpoint output.
+  nt::Server server({.workers = 2});
+  server.start();
+  nt::Client client("127.0.0.1", server.port());
+
+  const auto blob = client.checkpoint("grain-bs64", kSeed, kRef, 12345);
+  EXPECT_EQ(blob, st::serialize_checkpoint(
+                      {"grain-bs64", kSeed, kRef, 12345}));
+  const auto back = st::parse_checkpoint(blob);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seed, kSeed);
+  EXPECT_EQ(back->ref, kRef);
+  EXPECT_EQ(back->offset, 12345u);
+  server.stop();
+}
+
+TEST(ProtocolV2, ResumeServesTheCheckpointTailAndSurvivesTampering) {
+  nt::Server server({.workers = 3});
+  server.start();
+  nt::Client client("127.0.0.1", server.port());
+
+  const std::string algo = "trivium-bs64";
+  const std::uint64_t off = 8191;
+  const auto blob = client.checkpoint(algo, kSeed, kRef, off);
+  EXPECT_EQ(client.resume(blob, 4096),
+            reference_bytes(algo, kRef.derive_seed(kSeed), off, 4096));
+
+  // Every single-byte tamper answers kBadCheckpoint; the connection keeps
+  // serving afterwards.
+  for (const std::size_t i : {std::size_t{0}, blob.size() / 2,
+                              blob.size() - 1}) {
+    auto bad = blob;
+    bad[i] ^= 0x01;
+    client.send_resume(bad, 64);
+    const auto resp = client.read_response();
+    ASSERT_TRUE(resp.has_value()) << "tamper at " << i;
+    EXPECT_EQ(resp->status, nt::Status::kBadCheckpoint) << "tamper at " << i;
+  }
+  EXPECT_EQ(client.resume(blob, 128),
+            reference_bytes(algo, kRef.derive_seed(kSeed), off, 128));
+  server.stop();
+}
+
+TEST(ProtocolV2, CheckpointResumesByteExactAcrossServerRestart) {
+  // The O(1)-checkpoint restart law: a blob minted by one daemon resumes
+  // byte-exactly against a NEW daemon with a different worker count.  The
+  // blob is the only thing that survives the kill.
+  const std::string algo = "mickey-bs64";
+  const std::size_t head = 24576, tail = 8192;
+  const std::uint64_t derived = kRef.derive_seed(kSeed);
+  const auto reference = reference_bytes(algo, derived, 0, head + tail);
+
+  std::vector<std::uint8_t> blob;
+  std::vector<std::uint8_t> got;
+  {
+    nt::Server server({.workers = 3});
+    server.start();
+    nt::Client client("127.0.0.1", server.port());
+    got = client.generate(algo, kSeed, kRef, 0,
+                          static_cast<std::uint32_t>(head));
+    blob = client.checkpoint(algo, kSeed, kRef, head);
+    server.stop();  // full kill; the checkpoint outlives everything
+  }
+  {
+    nt::Server server({.workers = 1});
+    server.start();
+    nt::Client client("127.0.0.1", server.port());
+    const auto rest = client.resume(blob, static_cast<std::uint32_t>(tail));
+    got.insert(got.end(), rest.begin(), rest.end());
+    server.stop();
+  }
+  EXPECT_EQ(got, reference) << "checkpoint diverged across restart";
+}

@@ -237,8 +237,8 @@ TEST(Instrumentation, StreamEngineCountsJobsAndBytes) {
 
   bsrng::core::StreamEngine engine({.workers = 2});
   std::vector<std::uint8_t> out(1u << 16);
-  engine.generate("aes-ctr-bs32", 7, out);
-  engine.generate("mickey-bs32", 7, out);
+  engine.generate({"aes-ctr-bs32", 7}, out);
+  engine.generate({"mickey-bs32", 7}, out);
 
   const auto snap = reg.snapshot();
   const auto* jobs = snap.find("stream_engine.jobs");
@@ -268,7 +268,7 @@ TEST(Instrumentation, ThreadPoolClaimsEveryTask) {
   bsrng::core::StreamEngine engine(
       {.workers = 4, .chunk_bytes = 4096, .parallel = true});
   std::vector<std::uint8_t> out(1u << 16);
-  engine.generate("aes-ctr-bs32", 7, out);
+  engine.generate({"aes-ctr-bs32", 7}, out);
 
   const auto snap = reg.snapshot();
   const auto* claims = snap.find("thread_pool.claims");

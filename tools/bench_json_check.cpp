@@ -28,6 +28,9 @@
 //   retries                 number, non-negative integer
 //   reconnects              number, non-negative integer
 //   faults_injected         number, non-negative integer
+//   tenant                  number, positive integer (StreamRef spread)
+//   stream                  number, positive integer (StreamRef spread)
+//   checkpoint_resumes      number, non-negative integer
 //
 // Any other key fails validation.  Exit 0 when every file validates; 1
 // with a per-record diagnostic
@@ -135,11 +138,19 @@ bool check_file(const char* path) {
                        /*optional=*/true);
     ok &= check_number(rec, path, i, "faults_injected", /*integral=*/true,
                        0.0, /*optional=*/true);
+    // Optional substream-fabric keys (v2 StreamRef loadgen runs).
+    ok &= check_number(rec, path, i, "tenant", /*integral=*/true, 1.0,
+                       /*optional=*/true);
+    ok &= check_number(rec, path, i, "stream", /*integral=*/true, 1.0,
+                       /*optional=*/true);
+    ok &= check_number(rec, path, i, "checkpoint_resumes", /*integral=*/true,
+                       0.0, /*optional=*/true);
     std::size_t known = 8;
     for (const char* opt :
          {"transactions_predicted", "transactions_measured", "tpa_predicted",
           "connections", "requests", "oracle_mismatches", "retries",
-          "reconnects", "faults_injected"})
+          "reconnects", "faults_injected", "tenant", "stream",
+          "checkpoint_resumes"})
       if (rec.find(opt) != nullptr) ++known;
     if (rec.as_object().size() != known)
       ok = fail(path, i, "record carries keys outside the schema");

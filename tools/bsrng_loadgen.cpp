@@ -3,6 +3,7 @@
 //   bsrng_loadgen --port N [--host ADDR] [--connections N] [--requests M]
 //                 [--pipeline D] [--algos a,b,c] [--spans s1,s2,...]
 //                 [--seed S] [--jump-every K] [--oracle-workers W]
+//                 [--tenants T] [--streams U] [--resume-every K]
 //                 [--time-limit SECONDS] [--json PATH]
 //                 [--chaos SEED] [--chaos-rate R]
 //
@@ -13,6 +14,17 @@
 // StreamEngine, i.e. the same code path bsrngd itself serves from, seeded
 // identically.  With --jump-every K every Kth request restarts the stream
 // at half the cursor, exercising the server's out-of-order resume path.
+//
+// --tenants T / --streams U spread connections over the v2 substream tree:
+// connection i addresses StreamRef {i % T, (i / T) % U, 0} via kGenerate2
+// frames (the root ref {0,0,0} stays on v1 kGenerate, so T=U=1 is the
+// historical v1 run and T*U > 1 produces a mixed-version workload).  The
+// oracle is seeded with the DERIVED substream seed, so every compare also
+// proves the server's fold law: v2 bytes == v1 bytes of the derived seed.
+// --resume-every K turns every Kth request into a checkpoint/resume pair:
+// a kCheckpoint frame whose blob is compared against the locally minted
+// serialize_checkpoint (the format is deterministic), then a kResume
+// carrying that blob in place of the explicit coordinates.
 //
 // --chaos SEED switches to the resilient mode: one ResilientClient per
 // connection on its own thread, retrying every span through timeouts,
@@ -59,6 +71,8 @@
 #include "net/protocol.hpp"
 #include "net/resilient_client.hpp"
 #include "net/session.hpp"
+#include "stream/checkpoint.hpp"
+#include "stream/stream_ref.hpp"
 #include "telemetry/json.hpp"
 
 namespace core = bsrng::core;
@@ -78,6 +92,9 @@ struct Options {
   std::uint64_t seed = 1;
   std::size_t jump_every = 0;  // 0 = strictly sequential offsets
   std::size_t oracle_workers = 2;
+  std::size_t tenants = 1;       // v2 ref spreading: tenant axis
+  std::size_t streams = 1;       // v2 ref spreading: stream axis
+  std::size_t resume_every = 0;  // 0 = never checkpoint/resume
   double time_limit = 120.0;
   std::string json_path;
   bool chaos = false;
@@ -89,13 +106,18 @@ struct InFlight {
   std::uint64_t offset = 0;
   std::uint32_t nbytes = 0;
   std::vector<std::uint8_t> expected;
+  // false for a kCheckpoint mint riding ahead of its kResume: its answer is
+  // a blob, not stream bytes, and it doesn't count toward done/bytes_ok.
+  bool counts = true;
+  bool is_resume = false;  // completed via kResume (checkpoint_resumes stat)
 };
 
 struct Conn {
   int fd = -1;
   std::size_t index = 0;
   std::string algorithm;
-  std::uint64_t seed = 0;
+  std::uint64_t seed = 0;              // root seed on the wire
+  bsrng::stream::StreamRef ref;        // substream this connection drives
   std::unique_ptr<net::Session> oracle;
   std::vector<std::uint8_t> wbuf;
   std::size_t wpos = 0;
@@ -126,6 +148,7 @@ struct Totals {
   std::uint64_t protocol_errors = 0;
   std::uint64_t retries = 0;
   std::uint64_t reconnects = 0;
+  std::uint64_t checkpoint_resumes = 0;
   std::size_t incomplete = 0;
   bool timed_out = false;
   double seconds = 0.0;
@@ -137,6 +160,7 @@ int usage() {
       "usage: bsrng_loadgen --port N [--host ADDR] [--connections N]\n"
       "       [--requests M] [--pipeline D] [--algos a,b,c] [--spans s,..]\n"
       "       [--seed S] [--jump-every K] [--oracle-workers W]\n"
+      "       [--tenants T] [--streams U] [--resume-every K]\n"
       "       [--time-limit SECONDS] [--json PATH]\n"
       "       [--chaos SEED] [--chaos-rate R]\n");
   return 2;
@@ -202,6 +226,12 @@ int write_json(const Options& opt, const Totals& t) {
     o.emplace("reconnects",
               tel::JsonValue(static_cast<double>(t.reconnects)));
     o.emplace("faults_injected", tel::JsonValue(faults_injected));
+    // v2 substream-fabric extras: how wide the StreamRef spread was and
+    // how many requests completed via checkpoint/resume.
+    o.emplace("tenant", tel::JsonValue(static_cast<double>(opt.tenants)));
+    o.emplace("stream", tel::JsonValue(static_cast<double>(opt.streams)));
+    o.emplace("checkpoint_resumes",
+              tel::JsonValue(static_cast<double>(t.checkpoint_resumes)));
     arr.emplace_back(std::move(o));
   }
   const std::string text = tel::JsonValue(std::move(arr)).dump();
@@ -239,7 +269,10 @@ int run_chaos(const Options& opt, Totals& t) {
     }
     offs[i].push_back(total);
     expected[i].resize(total);
-    net::Session oracle(opt.algos[i % opt.algos.size()], opt.seed + i);
+    const bsrng::stream::StreamRef ref{i % opt.tenants,
+                                       (i / opt.tenants) % opt.streams, 0};
+    net::Session oracle(opt.algos[i % opt.algos.size()],
+                        ref.derive_seed(opt.seed + i));
     oracle.serve(oracle_engine, 0, expected[i]);
   }
 
@@ -284,6 +317,8 @@ int run_chaos(const Options& opt, Totals& t) {
       net::ResilientClient rc(cfg);
       const std::string& algo = opt.algos[i % opt.algos.size()];
       const std::uint64_t seed = opt.seed + i;
+      const bsrng::stream::StreamRef ref{
+          i % opt.tenants, (i / opt.tenants) % opt.streams, 0};
       std::vector<std::uint8_t> buf;
       for (std::size_t r = 0; r < opt.requests; ++r) {
         if (std::chrono::steady_clock::now() > deadline) {
@@ -294,7 +329,7 @@ int run_chaos(const Options& opt, Totals& t) {
         const std::size_t n = static_cast<std::size_t>(offs[i][r + 1] - off);
         buf.resize(n);
         try {
-          rc.fetch(algo, seed, off, buf);
+          rc.fetch(algo, seed, ref, off, buf);
         } catch (const std::exception& e) {
           res.error = e.what();
           break;
@@ -366,6 +401,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--seed") opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
     else if (arg == "--jump-every") opt.jump_every = static_cast<std::size_t>(std::atoll(next()));
     else if (arg == "--oracle-workers") opt.oracle_workers = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--tenants") opt.tenants = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--streams") opt.streams = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--resume-every") opt.resume_every = static_cast<std::size_t>(std::atoll(next()));
     else if (arg == "--time-limit") opt.time_limit = std::atof(next());
     else if (arg == "--json") opt.json_path = next();
     else if (arg == "--chaos") {
@@ -381,6 +419,8 @@ int main(int argc, char** argv) {
                  "aes-ctr-bs64", "a51-bs64",   "chacha20-bs64"};
   if (opt.spans.empty()) opt.spans = {512, 4096, 1024, 65536, 256};
   if (opt.pipeline == 0) opt.pipeline = 1;
+  if (opt.tenants == 0) opt.tenants = 1;
+  if (opt.streams == 0) opt.streams = 1;
   for (const std::string& a : opt.algos)
     if (!core::algorithm_exists(a)) {
       std::fprintf(stderr, "bsrng_loadgen: unknown algorithm %s\n", a.c_str());
@@ -398,12 +438,17 @@ int main(int argc, char** argv) {
   std::vector<Conn> conns(opt.connections);
   std::uint64_t protocol_errors = 0;
   std::uint64_t mismatches = 0;
+  std::uint64_t checkpoint_resumes = 0;
   for (std::size_t i = 0; i < conns.size(); ++i) {
     Conn& c = conns[i];
     c.index = i;
     c.algorithm = opt.algos[i % opt.algos.size()];
     c.seed = opt.seed + i;
-    c.oracle = std::make_unique<net::Session>(c.algorithm, c.seed);
+    c.ref = {i % opt.tenants, (i / opt.tenants) % opt.streams, 0};
+    // Oracle at the DERIVED seed: the server folds the ref to exactly this
+    // identity, so every byte compare proves the fold law end to end.
+    c.oracle = std::make_unique<net::Session>(c.algorithm,
+                                              c.ref.derive_seed(c.seed));
     c.fd = connect_to(opt.host, opt.port);
     if (c.fd < 0) {
       std::fprintf(stderr, "bsrng_loadgen: connect %zu failed: %s\n", i,
@@ -424,8 +469,31 @@ int main(int argc, char** argv) {
     f.nbytes = n;
     f.expected.resize(n);
     c.oracle->serve(oracle_engine, offset, f.expected);
-    const std::vector<std::uint8_t> frame =
-        net::encode_generate({c.algorithm, c.seed, offset, n});
+    const bool via_resume = opt.resume_every != 0 && c.sent > 0 &&
+                            c.sent % opt.resume_every == 0;
+    std::vector<std::uint8_t> frame;
+    if (via_resume) {
+      // Checkpoint/resume pair: the kCheckpoint answer must equal the
+      // locally minted blob (the format is deterministic), and the kResume
+      // riding behind it must serve the same bytes a kGenerate would.
+      const std::vector<std::uint8_t> blob = bsrng::stream::
+          serialize_checkpoint({c.algorithm, c.seed, c.ref, offset});
+      InFlight mint;
+      mint.offset = offset;
+      mint.nbytes = static_cast<std::uint32_t>(blob.size());
+      mint.expected = blob;
+      mint.counts = false;
+      frame = net::encode_checkpoint_request(
+          {c.algorithm, c.seed, offset, 0, c.ref});
+      c.wbuf.insert(c.wbuf.end(), frame.begin(), frame.end());
+      c.inflight.push_back(std::move(mint));
+      f.is_resume = true;
+      frame = net::encode_resume(blob, n);
+    } else if (c.ref.is_root()) {
+      frame = net::encode_generate({c.algorithm, c.seed, offset, n});
+    } else {
+      frame = net::encode_generate2({c.algorithm, c.seed, offset, n, c.ref});
+    }
     c.wbuf.insert(c.wbuf.end(), frame.begin(), frame.end());
     c.inflight.push_back(std::move(f));
     c.cursor = offset + n;
@@ -540,16 +608,22 @@ int main(int argc, char** argv) {
               ++mismatches;
               std::fprintf(stderr,
                            "bsrng_loadgen: ORACLE MISMATCH conn %zu %s seed "
-                           "%llu offset %llu nbytes %u\n",
+                           "%llu offset %llu nbytes %u%s\n",
                            c.index, c.algorithm.c_str(),
                            static_cast<unsigned long long>(c.seed),
                            static_cast<unsigned long long>(f.offset),
-                           f.nbytes);
+                           f.nbytes, f.counts ? "" : " (checkpoint blob)");
             }
-            c.bytes_ok += f.nbytes;
+            const bool counted = f.counts;
+            if (counted) {
+              c.bytes_ok += f.nbytes;
+              if (f.is_resume) ++checkpoint_resumes;
+            }
             c.inflight.pop_front();
-            ++c.done;
-            if (c.sent < opt.requests) enqueue(c);
+            if (counted) {
+              ++c.done;
+              if (c.sent < opt.requests) enqueue(c);
+            }
           }
         } catch (const std::exception&) {
           broken = true;
@@ -576,6 +650,7 @@ int main(int argc, char** argv) {
   totals.timed_out = timed_out;
   totals.mismatches = mismatches;
   totals.protocol_errors = protocol_errors;
+  totals.checkpoint_resumes = checkpoint_resumes;
   for (const Conn& c : conns) {
     Agg& a = totals.per_algo[c.algorithm];
     a.bytes += c.bytes_ok;
@@ -588,8 +663,8 @@ int main(int argc, char** argv) {
 
   std::printf("bsrng_loadgen: %zu connections x %zu requests, %llu bytes in "
               "%.3f s (%.2f Gbit/s), %llu mismatches, %llu protocol errors, "
-              "%zu incomplete, %llu retries, %llu reconnects, %llu faults "
-              "injected%s\n",
+              "%zu incomplete, %llu retries, %llu reconnects, %llu "
+              "checkpoint resumes, %llu faults injected%s\n",
               opt.connections, opt.requests,
               static_cast<unsigned long long>(totals.bytes), totals.seconds,
               totals.seconds > 0
@@ -601,6 +676,7 @@ int main(int argc, char** argv) {
               totals.incomplete,
               static_cast<unsigned long long>(totals.retries),
               static_cast<unsigned long long>(totals.reconnects),
+              static_cast<unsigned long long>(totals.checkpoint_resumes),
               static_cast<unsigned long long>(
                   bsrng::fault::faults().total_fired()),
               totals.timed_out ? " [TIME LIMIT]" : "");

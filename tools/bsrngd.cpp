@@ -1,7 +1,7 @@
 // bsrngd — the BSRNG RNG-as-a-service daemon.
 //
-//   bsrngd [--port N] [--bind ADDR] [--workers N] [--max-connections N]
-//          [--max-seek BYTES] [--telemetry]
+//   bsrngd [--port N] [--bind ADDR] [--workers N] [--numa N]
+//          [--max-connections N] [--max-seek BYTES] [--telemetry]
 //          [--idle-timeout MS] [--loris-timeout MS] [--shed-bytes N]
 //          [--tenant-pending N] [--tenant-bps N] [--drain-ms MS]
 //          [--chaos SEED] [--chaos-rate R]
@@ -11,7 +11,12 @@
 // and receives exactly those bytes of the canonical make_generator stream —
 // the same bytes at any worker count, any connection interleaving, and
 // across daemon restarts, because tenant identity is (algorithm, seed) and
-// position is the client-held offset.  `--port 0` (the default) binds an
+// position is the client-held offset.  v2 clients address substreams with
+// a (tenant, stream, shard) StreamRef and can checkpoint/resume positions
+// (kCheckpoint/kResume); the served bytes are identical either way.
+// --numa N forces N emulated NUMA nodes for the engine pool (0 = detect:
+// BSRNG_NUMA_NODES env, then sysfs, then single node) — placement only;
+// served bytes never change.  `--port 0` (the default) binds an
 // ephemeral port; the chosen port is printed on stdout either way, so
 // scripts can scrape it.  A plain `curl http://host:port/metrics` (any HTTP
 // GET) returns the telemetry snapshot as JSON; --telemetry enables the
@@ -51,6 +56,7 @@ void handle_term(int) { g_stop = 2; }
 int usage() {
   std::fprintf(stderr,
                "usage: bsrngd [--port N] [--bind ADDR] [--workers N]\n"
+               "              [--numa N]\n"
                "              [--max-connections N] [--max-seek BYTES]\n"
                "              [--telemetry]\n"
                "              [--idle-timeout MS] [--loris-timeout MS]\n"
@@ -84,6 +90,9 @@ int main(int argc, char** argv) {
       config.bind_address = next();
     } else if (arg == "--workers") {
       config.workers = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--numa") {
+      // Force N emulated NUMA nodes for the engine pool (0 = detect).
+      config.numa_nodes = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--max-connections") {
       config.max_connections = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--max-seek") {
